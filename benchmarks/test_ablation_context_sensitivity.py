@@ -1,0 +1,49 @@
+"""Design-choice ablation: context sensitivity of the points-to analysis.
+
+The paper uses k-call-site sensitivity with k=5 and falls back when a
+file would explode past 8 contexts/method.  This ablation measures what
+k buys on the corpus: the number of variables whose origin resolves
+precisely (not top), which is exactly what feeds the AST+ decoration.
+"""
+
+from conftest import print_table
+
+from repro.analysis.origins import compute_origins
+from repro.analysis.pointsto import PointsToConfig
+from repro.lang import parse_source
+
+
+def _resolved_origins(corpus, k: int, max_files: int = 80) -> tuple[int, float]:
+    total = 0
+    contexts = []
+    for count, (repo, f) in enumerate(corpus.files()):
+        if count >= max_files:
+            break
+        try:
+            module = parse_source(f.source, f.language, f.path, repo.name)
+        except ValueError:
+            continue
+        result = compute_origins(module, PointsToConfig(k=k))
+        total += sum(len(env) for env in result.by_function.values())
+        contexts.append(result.pointsto.avg_contexts)
+    avg_ctx = sum(contexts) / len(contexts) if contexts else 0.0
+    return total, avg_ctx
+
+
+def test_context_sensitivity(python_corpus, benchmark):
+    resolved_k5, ctx_k5 = benchmark.pedantic(
+        lambda: _resolved_origins(python_corpus, k=5), rounds=1, iterations=1
+    )
+    resolved_k0, ctx_k0 = _resolved_origins(python_corpus, k=0)
+
+    print_table(
+        "Ablation — k-call-site sensitivity (Section 4.1)",
+        f"{'k':>3} {'resolved origins':>17} {'avg contexts/method':>20}\n"
+        f"{5:>3} {resolved_k5:>17} {ctx_k5:>20.2f}\n"
+        f"{0:>3} {resolved_k0:>17} {ctx_k0:>20.2f}",
+    )
+
+    # Context sensitivity never *loses* origins (monotone precision),
+    # and the corpus stays far below the 8-contexts/method explosion cap.
+    assert resolved_k5 >= resolved_k0
+    assert ctx_k5 < 8.0

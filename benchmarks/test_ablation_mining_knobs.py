@@ -1,0 +1,87 @@
+"""Design-choice ablations: the mining regularization knobs.
+
+Two choices DESIGN.md calls out:
+
+* **Condition subsets** (Algorithm 2's ``combinations``): enumerating
+  condition subsets ("all") aggregates support across FP-tree branches
+  and is what lets idioms generalize over incidental context paths;
+  the "full" mode (one pattern per is_last node, as in the worked
+  Figure 3 example) over-specializes.
+* **Satisfaction-ratio pruning** (the paper's 0.8 threshold): lowering
+  it admits noisy patterns (more violations, lower raw precision);
+  raising it prunes real idioms away.
+"""
+
+from conftest import BENCH_MINING, print_table
+
+from repro.core.namer import Namer, NamerConfig
+from repro.evaluation.oracle import Oracle
+from repro.mining.miner import MiningConfig
+
+
+def _mine(corpus, **overrides):
+    base = dict(
+        min_pattern_support=BENCH_MINING.min_pattern_support,
+        min_path_frequency=BENCH_MINING.min_path_frequency,
+    )
+    base.update(overrides)
+    namer = Namer(NamerConfig(mining=MiningConfig(**base)))
+    namer.mine(corpus)
+    return namer
+
+
+def test_condition_subsets_generalize(python_corpus, benchmark):
+    namer_all = benchmark.pedantic(
+        lambda: _mine(python_corpus, condition_subsets="all"),
+        rounds=1,
+        iterations=1,
+    )
+    namer_full = _mine(python_corpus, condition_subsets="full")
+
+    violations_all = namer_all.all_violations()
+    violations_full = namer_full.all_violations()
+    oracle = Oracle(python_corpus)
+    true_all = sum(oracle.label(v) for v in violations_all)
+    true_full = sum(oracle.label(v) for v in violations_full)
+
+    print_table(
+        "Ablation — condition subset enumeration (Algorithm 2)",
+        f"{'mode':<8} {'patterns':>9} {'violations':>11} {'true issues':>12}\n"
+        f"{'all':<8} {len(namer_all.matcher.patterns):>9} "
+        f"{len(violations_all):>11} {true_all:>12}\n"
+        f"{'full':<8} {len(namer_full.matcher.patterns):>9} "
+        f"{len(violations_full):>11} {true_full:>12}",
+    )
+
+    # Subset enumeration yields more (more general) patterns and finds
+    # at least as many true issues.
+    assert len(namer_all.matcher.patterns) >= len(namer_full.matcher.patterns)
+    assert true_all >= true_full
+
+
+def test_satisfaction_ratio_tradeoff(python_corpus, benchmark):
+    oracle = Oracle(python_corpus)
+    rows = []
+    for ratio in (0.6, 0.8, 0.95):
+        namer = _mine(python_corpus, min_satisfaction_ratio=ratio)
+        violations = namer.all_violations()
+        true = sum(oracle.label(v) for v in violations)
+        precision = true / len(violations) if violations else 0.0
+        rows.append((ratio, len(namer.matcher.patterns), len(violations), true, precision))
+    benchmark.pedantic(
+        lambda: _mine(python_corpus, min_satisfaction_ratio=0.8),
+        rounds=1,
+        iterations=1,
+    )
+
+    body = f"{'ratio':>6} {'patterns':>9} {'violations':>11} {'true':>6} {'precision':>10}\n"
+    body += "\n".join(
+        f"{r:>6.2f} {p:>9} {v:>11} {t:>6} {prec:>10.0%}" for r, p, v, t, prec in rows
+    )
+    print_table("Ablation — pruneUncommon satisfaction-ratio threshold", body)
+
+    low, default, high = rows
+    # Lower threshold admits noisier patterns: more violations, lower
+    # raw precision than the strict setting.
+    assert low[2] >= default[2] >= high[2]
+    assert low[4] <= high[4] + 1e-9

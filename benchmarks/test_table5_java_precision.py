@@ -1,0 +1,30 @@
+"""Table 5: precision of Namer and its ablations on Java.
+
+Paper's rows: Namer 68%, w/o C 31%, w/o A 48%, w/o C & A 29% — the same
+ordering reproduced here on the synthetic Java corpus.  The benchmark
+times the Java inference kernel.
+"""
+
+from conftest import print_table
+
+
+def test_table5_java_precision(java_ablation, benchmark):
+    result = java_ablation
+    namer = result.namer
+
+    violations = namer.all_violations()
+    benchmark.pedantic(
+        lambda: namer.classify(violations[:100]), rounds=3, iterations=1
+    )
+
+    print_table("Table 5 — Java precision and ablations", result.format_table())
+
+    full = result.row("Namer")
+    no_c = result.row("w/o C")
+    no_a = result.row("w/o A")
+    no_ca = result.row("w/o C & A")
+
+    assert full.precision > no_c.precision > no_ca.precision
+    assert full.precision >= no_a.precision
+    assert no_c.false_positives > full.false_positives
+    assert full.precision >= 0.6

@@ -1,0 +1,34 @@
+"""Section 5.1 text: per-file analysis speed.
+
+The paper reports ~39ms/file for Python and ~20ms/file for Java on its
+28-core server, runtime dominated by the Section 4.1 analyses.  The
+benchmark times exactly that stage (parse + facts + points-to +
+origins) per file; the assertion only requires interactive-scale
+throughput, since absolute timings are hardware-bound.
+"""
+
+from conftest import print_table
+
+from repro.evaluation.speed import measure_analysis_speed
+
+
+def test_analysis_speed_python(python_corpus, benchmark):
+    report = benchmark.pedantic(
+        lambda: measure_analysis_speed(python_corpus, max_files=60),
+        rounds=1,
+        iterations=1,
+    )
+    print_table("Section 5.1 text — Python analysis speed", str(report))
+    assert report.files == 60
+    assert report.ms_per_file < 500  # interactive-scale per-file analysis
+
+
+def test_analysis_speed_java(java_corpus, benchmark):
+    report = benchmark.pedantic(
+        lambda: measure_analysis_speed(java_corpus, max_files=60),
+        rounds=1,
+        iterations=1,
+    )
+    print_table("Section 5.1 text — Java analysis speed", str(report))
+    assert report.files == 60
+    assert report.ms_per_file < 500

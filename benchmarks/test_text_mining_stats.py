@@ -1,0 +1,51 @@
+"""Section 5.2/5.3 text statistics: pattern-mining coverage and the
+classifier's cross-validation metrics.
+
+Paper (Python): 65,619 patterns; 50% of files and 92% of repositories
+had at least one violation; 30x repeated 80/20 cross-validation of the
+selected SVM averaged ~81% accuracy/precision/recall/F1.  The absolute
+counts scale with corpus size; the checked shape is broad coverage plus
+a well-calibrated classifier, with the SVM-vs-LR-vs-LDA model selection
+reproduced.
+"""
+
+from conftest import print_table
+
+from repro.evaluation.cross_validation import run_model_selection
+
+
+def test_mining_statistics(python_ablation, python_oracle, benchmark):
+    namer = python_ablation.namer
+    summary = namer.summary
+
+    selection = benchmark.pedantic(
+        lambda: run_model_selection(namer, python_oracle, repeats=30),
+        rounds=1,
+        iterations=1,
+    )
+
+    file_share = summary.files_with_violation / summary.total_files
+    repo_share = summary.repos_with_violation / summary.total_repos
+    body = (
+        f"patterns mined:            {summary.num_patterns}"
+        f" (consistency {summary.num_consistency},"
+        f" confusing word {summary.num_confusing})\n"
+        f"confusing word pairs:      {summary.num_confusing_pairs}\n"
+        f"statements with violation: {summary.statements_with_violation}"
+        f" / {summary.total_statements}\n"
+        f"files with violation:      {summary.files_with_violation}"
+        f" / {summary.total_files} ({file_share:.0%})\n"
+        f"repos with violation:      {summary.repos_with_violation}"
+        f" / {summary.total_repos} ({repo_share:.0%})\n\n"
+        "cross-validation (30x 80/20):\n" + selection.format()
+    )
+    print_table("Section 5.2 text — mining statistics and CV metrics", body)
+
+    # Patterns are not rare events: wide violation coverage.
+    assert summary.num_patterns > 10
+    assert file_share > 0.2
+    assert repo_share > 0.5
+    # The classifier cross-validates well (paper: ~81%).
+    best = selection.per_model[selection.selected]
+    assert best.mean_accuracy > 0.7
+    assert best.mean_f1 > 0.6

@@ -1,0 +1,60 @@
+"""Java end-to-end demo: the framework is language-generic.
+
+Mines patterns from a synthetic Java corpus and detects the paper's
+Table 6 issue kinds — assert API misuse, a double loop index, and
+catch-clause problems — in a hand-written buggy file parsed by the
+built-in Java frontend.
+
+Run:  python examples/java_demo.py
+"""
+
+from repro import GeneratorConfig, Namer, NamerConfig, generate_java_corpus
+from repro.core.prepare import prepare_file
+from repro.corpus.model import SourceFile
+from repro.mining.miner import MiningConfig
+
+BUGGY_JAVA = """\
+public class OrderTest extends TestCase {
+    public void testOrderCount() {
+        Order order = this.buildOrder();
+        this.assertTrue(order.getCount(), 12);
+    }
+}
+
+class ChainWalker {
+    public int walk(int chainlength) {
+        int total = 0;
+        for (double i = 1; i < chainlength; i++) {
+            total += i;
+        }
+        return total;
+    }
+}
+"""
+
+
+def main() -> None:
+    print("generating a synthetic Java corpus ...")
+    corpus = generate_java_corpus(GeneratorConfig(num_repos=20, seed=5))
+    print(f"  {corpus.file_count()} files")
+
+    namer = Namer(
+        NamerConfig(mining=MiningConfig(min_pattern_support=10, min_path_frequency=5))
+    )
+    summary = namer.mine(corpus)
+    print(f"  {summary.num_patterns} patterns mined")
+
+    print("\nchecking a buggy Java file ...")
+    prepared = prepare_file(
+        SourceFile(path="OrderTest.java", source=BUGGY_JAVA, language="java"),
+        repo="demo",
+    )
+    violations = namer.violations_in(prepared)
+    if not violations:
+        print("  (no violations — try more repositories)")
+    for violation in violations:
+        print(f"  {violation.describe()}")
+
+
+if __name__ == "__main__":
+    main()

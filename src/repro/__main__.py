@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``mine``  — mine patterns (and optionally train the classifier) from
+  the synthetic reference corpus and save the artifacts to a file.
+* ``scan``  — load saved artifacts and scan a directory of source
+  files, printing reports and (optionally) applying fixes in place.
+* ``eval``  — run the Table 2-style precision evaluation end to end.
+
+Example session::
+
+    python -m repro mine --out namer.json --repos 30
+    python -m repro scan --artifacts namer.json path/to/project
+    python -m repro eval --repos 30 --language python
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import random
+import sys
+
+from repro.core.fixer import apply_fixes
+from repro.core.namer import Namer, NamerConfig
+from repro.core.persistence import load_namer, save_namer
+from repro.core.prepare import prepare_file
+from repro.corpus.generator import GeneratorConfig, generate_python_corpus
+from repro.corpus.javagen import generate_java_corpus
+from repro.corpus.model import SourceFile
+from repro.evaluation.oracle import Oracle
+from repro.evaluation.precision import run_precision_evaluation, sample_balanced_training
+from repro.mining.miner import MiningConfig
+
+_SUFFIXES = {".py": "python", ".java": "java"}
+
+
+def _mining_config(args: argparse.Namespace) -> MiningConfig:
+    return MiningConfig(
+        min_pattern_support=args.min_support, min_path_frequency=args.min_frequency
+    )
+
+
+def cmd_mine(args: argparse.Namespace) -> int:
+    generate = generate_java_corpus if args.language == "java" else generate_python_corpus
+    corpus = generate(
+        GeneratorConfig(num_repos=args.repos, issue_rate=0.12, seed=args.seed)
+    )
+    namer = Namer(NamerConfig(mining=_mining_config(args)))
+    summary = namer.mine(corpus)
+    print(
+        f"mined {summary.num_patterns} patterns "
+        f"({summary.num_confusing_pairs} confusing pairs) "
+        f"from {summary.total_files} files"
+    )
+    if not args.no_classifier:
+        oracle = Oracle(corpus)
+        violations = namer.all_violations()
+        training, labels = sample_balanced_training(
+            violations, oracle, 120, random.Random(args.seed)
+        )
+        if len(set(labels)) > 1:
+            namer.train(training, labels)
+            print(f"trained classifier on {len(training)} labeled violations")
+    save_namer(namer, args.out)
+    print(f"artifacts saved to {args.out}")
+    return 0
+
+
+def cmd_scan(args: argparse.Namespace) -> int:
+    namer = load_namer(args.artifacts)
+    root = pathlib.Path(args.path)
+    targets = [root] if root.is_file() else sorted(
+        p for p in root.rglob("*") if p.suffix in _SUFFIXES
+    )
+    total = 0
+    for path in targets:
+        language = _SUFFIXES.get(path.suffix)
+        if language is None:
+            continue
+        source = SourceFile(path=str(path), source=path.read_text(), language=language)
+        prepared = prepare_file(source, repo=root.name)
+        if prepared is None:
+            print(f"[skip] {path}: unparsable", file=sys.stderr)
+            continue
+        reports = namer.detect(prepared)
+        total += len(reports)
+        for report in reports:
+            print(report.describe())
+        if args.style:
+            from repro.naming.style_checker import StyleChecker
+
+            for issue in StyleChecker().check(prepared.module):
+                total += 1
+                print(issue.describe())
+        if args.fix and reports:
+            fixed, results = apply_fixes(source.source, reports)
+            applied = sum(1 for r in results if r.applied)
+            if applied:
+                path.write_text(fixed)
+                print(f"[fixed] {path}: {applied} change(s) applied")
+    print(f"{total} naming issue(s) reported")
+    return 0
+
+
+def cmd_eval(args: argparse.Namespace) -> int:
+    generate = generate_java_corpus if args.language == "java" else generate_python_corpus
+    corpus = generate(
+        GeneratorConfig(num_repos=args.repos, issue_rate=0.12, seed=args.seed)
+    )
+    result = run_precision_evaluation(
+        corpus,
+        NamerConfig(mining=_mining_config(args)),
+        sample_size=args.sample,
+        training_size=120,
+        seed=args.seed,
+    )
+    print(result.format_table())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Namer (PLDI 2021) — find and fix naming issues",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--repos", type=int, default=30, help="synthetic corpus size")
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--language", choices=["python", "java"], default="python")
+        p.add_argument("--min-support", type=int, default=15)
+        p.add_argument("--min-frequency", type=int, default=6)
+
+    mine = sub.add_parser("mine", help="mine patterns and save artifacts")
+    common(mine)
+    mine.add_argument("--out", default="namer.json", help="artifact output path")
+    mine.add_argument(
+        "--no-classifier", action="store_true", help="skip classifier training"
+    )
+    mine.set_defaults(fn=cmd_mine)
+
+    scan = sub.add_parser("scan", help="scan sources with saved artifacts")
+    scan.add_argument("path", help="file or directory to scan")
+    scan.add_argument("--artifacts", default="namer.json")
+    scan.add_argument(
+        "--fix", action="store_true", help="apply suggested fixes in place"
+    )
+    scan.add_argument(
+        "--style",
+        action="store_true",
+        help="also flag identifiers against the file's naming convention",
+    )
+    scan.set_defaults(fn=cmd_scan)
+
+    evaluate = sub.add_parser("eval", help="run the precision evaluation")
+    common(evaluate)
+    evaluate.add_argument("--sample", type=int, default=300)
+    evaluate.set_defaults(fn=cmd_eval)
+
+    report = sub.add_parser(
+        "report", help="regenerate the paper's full evaluation as markdown"
+    )
+    common(report)
+    report.add_argument("--out", default="RESULTS.md")
+    report.add_argument(
+        "--no-dl", action="store_true", help="skip the deep-learning comparison"
+    )
+    report.set_defaults(fn=cmd_report)
+    return parser
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.evaluation.full_report import ReportOptions, build_full_report
+
+    document = build_full_report(
+        ReportOptions(
+            language=args.language,
+            num_repos=args.repos,
+            seed=args.seed,
+            include_dl=not args.no_dl,
+            min_pattern_support=args.min_support,
+            min_path_frequency=args.min_frequency,
+        )
+    )
+    pathlib.Path(args.out).write_text(document)
+    print(f"evaluation report written to {args.out}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,128 @@
+"""Origins of objects and values (Section 4.1).
+
+The origin of an *object* is its allocation site's class; the origin of
+a *value* is the function that returned it, or the primitive type of a
+literal, or top when the value was modified after creation.  When the
+origin is precisely computed (a single candidate, not top), the AST+
+transformation inserts it as a decoration node — which is what makes
+e.g. all ``self`` receivers inside ``unittest`` test classes share the
+``TestCase`` origin.
+
+This module turns the points-to result plus the primitive/dataflow
+facts into per-statement origin environments consumed by
+:func:`repro.core.transform.transform_statement`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.analysis.facts import MODULE_FUNC, FileFacts, extract_facts
+from repro.analysis.pointsto import PointsToConfig, PointsToResult, analyze_pointsto
+from repro.lang.moduleir import ModuleIr
+
+__all__ = ["ModuleOrigins", "compute_origins"]
+
+
+@dataclass
+class ModuleOrigins:
+    """Origin environments for one analyzed module.
+
+    Attributes:
+        by_function: ``function -> {name -> origin}``; names whose origin
+            is top are absent.
+        per_statement: One environment per statement projection, aligned
+            with ``module.statements``.
+        pointsto: The underlying points-to result (exposed for tests and
+            the analysis-speed benchmark).
+    """
+
+    by_function: dict[str, dict[str, str]]
+    per_statement: list[dict[str, str]]
+    pointsto: PointsToResult
+
+
+def compute_origins(
+    module: ModuleIr, config: PointsToConfig = PointsToConfig()
+) -> ModuleOrigins:
+    """Run fact extraction, points-to, and value dataflow on a module."""
+    facts = extract_facts(module)
+    pointsto = analyze_pointsto(facts, config)
+    by_function = _resolve_origins(facts, pointsto)
+
+    # Flow sensitivity: a variable's origin only applies from its first
+    # definition site onward within the enclosing function.
+    first_def: dict[tuple[str, str], int] = {}
+    for variable, func, index in facts.def_site:
+        key = (func, variable)
+        if key not in first_def or index < first_def[key]:
+            first_def[key] = index
+
+    module_env = by_function.get(MODULE_FUNC, {})
+    per_statement: list[dict[str, str]] = []
+    for index, _stmt in enumerate(module.statements):
+        func = facts.stmt_function.get(index, MODULE_FUNC)
+        env = dict(module_env)
+        for variable, origin in by_function.get(func, {}).items():
+            defined_at = first_def.get((func, variable))
+            if defined_at is None or defined_at <= index:
+                env[variable] = origin
+        per_statement.append(env)
+    return ModuleOrigins(
+        by_function=by_function,
+        per_statement=per_statement,
+        pointsto=pointsto,
+    )
+
+
+def _resolve_origins(
+    facts: FileFacts, pointsto: PointsToResult
+) -> dict[str, dict[str, str]]:
+    """Combine object origins (points-to), value origins (primitives and
+    external returns) and import aliases into per-function maps."""
+    candidates: dict[str, dict[str, set[str]]] = defaultdict(lambda: defaultdict(set))
+
+    # Object origins: heap sites resolved through heap_origin.
+    for (func, variable), heaps in pointsto.var_points_to.items():
+        for heap in heaps:
+            origin = facts.heap_origin.get(heap)
+            if origin is not None:
+                candidates[func][variable].add(origin)
+
+    # Primitive literals and external returns are pseudo heap sites
+    # (see facts._synthesize_value_heaps), so they are already covered
+    # by the points-to pass above.
+
+    # Imports are module-level bindings.
+    for alias, origin in facts.import_alias:
+        candidates[MODULE_FUNC][alias].add(origin)
+
+    # Statically declared types (Java).  Unlike value origins, these
+    # survive reassignment: the declared type never changes.
+    declared: dict[str, dict[str, str]] = defaultdict(dict)
+    for variable, origin, func in facts.decl_type:
+        if variable in declared[func] and declared[func][variable] != origin:
+            declared[func][variable] = ""  # shadowed declarations: give up
+        else:
+            declared[func][variable] = origin
+
+    # Top-out anything opaquely assigned.
+    tops: dict[str, set[str]] = defaultdict(set)
+    for variable, func in facts.opaque_assign:
+        tops[func].add(variable)
+
+    resolved: dict[str, dict[str, str]] = {}
+    for func in set(candidates) | set(declared):
+        env: dict[str, str] = {}
+        for variable, origins in candidates.get(func, {}).items():
+            if variable in tops.get(func, ()):
+                continue
+            if len(origins) == 1:
+                env[variable] = next(iter(origins))
+        for variable, origin in declared.get(func, {}).items():
+            if origin and variable not in env:
+                env[variable] = origin
+        if env:
+            resolved[func] = env
+    return resolved

@@ -1,0 +1,185 @@
+"""Andersen-style points-to analysis with k-call-site sensitivity.
+
+Section 4.1: Namer computes a context-sensitive Andersen points-to
+analysis per file, with k-call-site sensitivity (k = 5 by default),
+implemented in Datalog.  When a file would explode to more than
+``max_avg_contexts`` contexts per method on average, the analysis falls
+back to a context-insensitive run — the paper notes this happens for a
+few programs in its dataset, and that soundness is not required.
+
+Contexts are tuples of call-site ids, newest first, truncated to k.
+``VarPointsTo`` rows are scoped by (context, function, variable) so that
+same-named locals in different functions stay apart.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.analysis.facts import FileFacts
+from repro.datalog.engine import Program
+from repro.datalog.terms import Bind, Var, atom
+
+__all__ = ["PointsToConfig", "PointsToResult", "analyze_pointsto"]
+
+EMPTY_CTX: tuple = ()
+
+
+@dataclass(frozen=True)
+class PointsToConfig:
+    """Analysis parameters (paper defaults)."""
+
+    k: int = 5
+    max_avg_contexts: float = 8.0
+
+
+@dataclass
+class PointsToResult:
+    """Solved relations, flattened for consumers.
+
+    Attributes:
+        var_points_to: ``(function, variable) -> set of heap sites``
+            (contexts are collapsed — origins only need the heap set).
+        reachable_functions: Functions reached from any entry point.
+        call_edges: ``(caller, site, callee)`` triples.
+        used_k: The context depth actually used (0 after fallback).
+        avg_contexts: Average contexts per reachable method.
+    """
+
+    var_points_to: dict[tuple[str, str], set[str]] = field(default_factory=dict)
+    reachable_functions: set[str] = field(default_factory=set)
+    call_edges: set[tuple[str, str, str]] = field(default_factory=set)
+    used_k: int = 5
+    avg_contexts: float = 0.0
+
+    def heaps_of(self, function: str, variable: str) -> set[str]:
+        return self.var_points_to.get((function, variable), set())
+
+
+def analyze_pointsto(
+    facts: FileFacts, config: PointsToConfig = PointsToConfig()
+) -> PointsToResult:
+    """Run the analysis, falling back to k=0 on context explosion."""
+    result = _run(facts, config.k)
+    if result.avg_contexts > config.max_avg_contexts and config.k > 0:
+        result = _run(facts, 0)
+    return result
+
+
+def _run(facts: FileFacts, k: int) -> PointsToResult:
+    program = _build_program(facts, k)
+    database = program.solve()
+
+    vpt: dict[tuple[str, str], set[str]] = defaultdict(set)
+    contexts_per_function: dict[str, set[tuple]] = defaultdict(set)
+    for ctx, func, variable, heap in database.get("VarPointsTo", ()):
+        vpt[(func, variable)].add(heap)
+        contexts_per_function[func].add(ctx)
+    reachable = {func for _, func in database.get("Reachable", ())}
+    for _, func in database.get("Reachable", ()):
+        contexts_per_function.setdefault(func, set())
+    for ctx, func in database.get("Reachable", ()):
+        contexts_per_function[func].add(ctx)
+
+    edges = set()
+    for ctx, site, ctx2, callee in database.get("CallEdge", ()):
+        caller = _site_owner(site)
+        edges.add((caller, site, callee))
+
+    counts = [len(v) or 1 for v in contexts_per_function.values()]
+    avg = sum(counts) / len(counts) if counts else 0.0
+    return PointsToResult(
+        var_points_to=dict(vpt),
+        reachable_functions=reachable,
+        call_edges=edges,
+        used_k=k,
+        avg_contexts=avg,
+    )
+
+
+def _site_owner(site: str) -> str:
+    """Call-site ids are ``siteN@function``."""
+    _, _, owner = site.partition("@")
+    return owner
+
+
+def _build_program(facts: FileFacts, k: int) -> Program:
+    p = Program()
+    p.add_facts("AllocF", facts.alloc)
+    p.add_facts("MoveF", facts.move)
+    p.add_facts("LoadF", facts.load)
+    p.add_facts("StoreF", facts.store)
+    p.add_facts("FormalParam", facts.formal_param)
+    p.add_facts("ActualParam", facts.actual_param)
+    p.add_facts("FormalReturn", facts.formal_return)
+    p.add_facts("ActualReturn", facts.actual_return)
+    p.add_facts("CallSiteIn", facts.call_site_in)
+    p.add_facts("ResolvesTo", facts.resolves_to)
+    p.add_facts("EntryPoint", [(fn,) for fn in facts.entry_points()])
+
+    def push(ctx: tuple, site: str) -> tuple:
+        if k == 0:
+            return EMPTY_CTX
+        return ((site,) + ctx)[:k]
+
+    C, C2, F, G = Var("C"), Var("C2"), Var("F"), Var("G")
+    V, H, HB, TO, FROM = Var("V"), Var("H"), Var("HB"), Var("TO"), Var("FROM")
+    S, I, A, P, R, FLD = Var("S"), Var("I"), Var("A"), Var("P"), Var("R"), Var("FLD")
+
+    # Entry points run under the empty context.
+    p.rule(atom("Reachable", EMPTY_CTX, "?F"), atom("EntryPoint", "?F"))
+
+    # Allocation.
+    p.rule(
+        atom("VarPointsTo", "?C", "?F", "?V", "?H"),
+        atom("Reachable", "?C", "?F"),
+        atom("AllocF", "?V", "?H", "?F"),
+    )
+    # Move.
+    p.rule(
+        atom("VarPointsTo", "?C", "?F", "?TO", "?H"),
+        atom("MoveF", "?TO", "?FROM", "?F"),
+        atom("VarPointsTo", "?C", "?F", "?FROM", "?H"),
+    )
+    # Call graph with context push.
+    p.rule(
+        atom("CallEdge", "?C", "?S", "?C2", "?G"),
+        atom("Reachable", "?C", "?F"),
+        atom("CallSiteIn", "?S", "?F"),
+        atom("ResolvesTo", "?S", "?G"),
+        Bind(C2, push, (C, S)),
+    )
+    p.rule(atom("Reachable", "?C2", "?G"), atom("CallEdge", "?C", "?S", "?C2", "?G"))
+    # Parameter passing.
+    p.rule(
+        atom("VarPointsTo", "?C2", "?G", "?P", "?H"),
+        atom("CallEdge", "?C", "?S", "?C2", "?G"),
+        atom("ActualParam", "?S", "?I", "?A"),
+        atom("FormalParam", "?G", "?I", "?P"),
+        atom("CallSiteIn", "?S", "?F"),
+        atom("VarPointsTo", "?C", "?F", "?A", "?H"),
+    )
+    # Return values.
+    p.rule(
+        atom("VarPointsTo", "?C", "?F", "?TO", "?H"),
+        atom("CallEdge", "?C", "?S", "?C2", "?G"),
+        atom("ActualReturn", "?S", "?TO"),
+        atom("FormalReturn", "?G", "?R"),
+        atom("CallSiteIn", "?S", "?F"),
+        atom("VarPointsTo", "?C2", "?G", "?R", "?H"),
+    )
+    # Field store / load (field-sensitive, heap-based).
+    p.rule(
+        atom("FieldPointsTo", "?HB", "?FLD", "?H"),
+        atom("StoreF", "?V", "?FLD", "?FROM", "?F"),
+        atom("VarPointsTo", "?C", "?F", "?V", "?HB"),
+        atom("VarPointsTo", "?C", "?F", "?FROM", "?H"),
+    )
+    p.rule(
+        atom("VarPointsTo", "?C", "?F", "?TO", "?H"),
+        atom("LoadF", "?TO", "?V", "?FLD", "?F"),
+        atom("VarPointsTo", "?C", "?F", "?V", "?HB"),
+        atom("FieldPointsTo", "?HB", "?FLD", "?H"),
+    )
+    return p

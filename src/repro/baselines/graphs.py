@@ -1,0 +1,186 @@
+"""Program graphs for the deep-learning baselines (Section 5.6).
+
+Following Allamanis et al.'s GGNN paper, a program fragment becomes a
+graph whose nodes are AST nodes and whose typed edges encode syntax and
+data flow:
+
+====================  ====================================================
+``CHILD``             AST parent -> child
+``NEXT_TOKEN``        consecutive terminal tokens
+``LAST_USE``          identifier use -> previous use of the same name
+``LAST_WRITE``        identifier use -> most recent store of the name
+``COMPUTED_FROM``     assignment target -> names on the right-hand side
+====================  ====================================================
+
+Graphs are built per top-level declaration (class or function) so they
+stay small enough for dense attention in the GREAT baseline.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.lang.astir import Node
+from repro.lang.moduleir import ModuleIr
+
+__all__ = ["EDGE_TYPES", "ProgramGraph", "Vocabulary", "build_graphs"]
+
+EDGE_TYPES = ("CHILD", "NEXT_TOKEN", "LAST_USE", "LAST_WRITE", "COMPUTED_FROM")
+NUM_EDGE_TYPES = len(EDGE_TYPES)
+
+_EDGE_INDEX = {name: i for i, name in enumerate(EDGE_TYPES)}
+
+
+@dataclass
+class ProgramGraph:
+    """One fragment's graph.
+
+    Attributes:
+        labels: Node label strings, indexed by node id.
+        edges: ``(type_index, source, target)`` triples.
+        var_nodes: Identifier-terminal node ids, by variable name.
+        file_path / line: Provenance of the fragment.
+    """
+
+    labels: list[str]
+    edges: list[tuple[int, int, int]]
+    var_nodes: dict[str, list[int]] = field(default_factory=dict)
+    #: source line of each node's enclosing statement (oracle matching)
+    node_lines: list[int] = field(default_factory=list)
+    file_path: str = ""
+    repo: str = ""
+    line: int = 0
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.labels)
+
+    def edge_type_matrix(self) -> np.ndarray:
+        """Dense ``(num_types, n, n)`` adjacency used by GREAT."""
+        n = self.num_nodes
+        matrix = np.zeros((NUM_EDGE_TYPES, n, n))
+        for t, src, dst in self.edges:
+            matrix[t, src, dst] = 1.0
+        return matrix
+
+    def variable_names(self) -> list[str]:
+        return sorted(self.var_nodes)
+
+
+class Vocabulary:
+    """Label-to-id mapping with an <unk> bucket."""
+
+    UNK = "<unk>"
+
+    def __init__(self, labels: list[str] | None = None) -> None:
+        self._index: dict[str, int] = {self.UNK: 0}
+        for label in labels or []:
+            self._index.setdefault(label, len(self._index))
+
+    @classmethod
+    def build(cls, graphs: list[ProgramGraph], min_count: int = 2) -> "Vocabulary":
+        counts: Counter[str] = Counter()
+        for g in graphs:
+            counts.update(g.labels)
+        kept = [label for label, c in counts.most_common() if c >= min_count]
+        return cls(kept)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def encode(self, labels: list[str]) -> np.ndarray:
+        return np.array([self._index.get(x, 0) for x in labels], dtype=np.int64)
+
+
+def build_graphs(module: ModuleIr, max_nodes: int = 160) -> list[ProgramGraph]:
+    """One graph per top-level declaration of the module."""
+    graphs = []
+    for top in module.root.children:
+        if top.kind in ("Import", "ImportFrom", "Package"):
+            continue
+        graph = _build_one(top, module)
+        if 4 <= graph.num_nodes <= max_nodes:
+            graphs.append(graph)
+    return graphs
+
+
+def _build_one(root: Node, module: ModuleIr) -> ProgramGraph:
+    labels: list[str] = []
+    node_lines: list[int] = []
+    edges: list[tuple[int, int, int]] = []
+    ids: dict[int, int] = {}
+    terminals: list[tuple[int, Node]] = []
+    stores: set[int] = set()
+    stmt_lines = {
+        idx: stmt.line for idx, stmt in enumerate(module.statements)
+    }
+
+    def visit(n: Node, in_store: bool, line: int) -> int:
+        index = n.meta.get("stmt_index")
+        if isinstance(index, int) and index in stmt_lines:
+            line = stmt_lines[index]
+        node_id = len(labels)
+        ids[id(n)] = node_id
+        labels.append(n.value)
+        node_lines.append(line)
+        if n.is_terminal:
+            terminals.append((node_id, n))
+            if in_store and n.kind == "Ident":
+                stores.add(node_id)
+        child_store = in_store or n.kind in ("NameStore", "AttributeStore")
+        for child in n.children:
+            child_id = visit(child, child_store, line)
+            edges.append((_EDGE_INDEX["CHILD"], node_id, child_id))
+        return node_id
+
+    visit(root, False, 0)
+
+    # NEXT_TOKEN chain over terminals.
+    for (a, _), (b, _) in zip(terminals, terminals[1:]):
+        edges.append((_EDGE_INDEX["NEXT_TOKEN"], a, b))
+
+    # LAST_USE / LAST_WRITE / COMPUTED_FROM over identifier terminals.
+    var_nodes: dict[str, list[int]] = {}
+    last_use: dict[str, int] = {}
+    last_write: dict[str, int] = {}
+    for node_id, n in terminals:
+        if n.kind != "Ident":
+            continue
+        name = n.value
+        var_nodes.setdefault(name, []).append(node_id)
+        if name in last_use:
+            edges.append((_EDGE_INDEX["LAST_USE"], node_id, last_use[name]))
+        if name in last_write:
+            edges.append((_EDGE_INDEX["LAST_WRITE"], node_id, last_write[name]))
+        last_use[name] = node_id
+        if node_id in stores:
+            last_write[name] = node_id
+
+    # COMPUTED_FROM: assignment targets point at RHS identifier uses.
+    for n in root.walk():
+        if n.kind != "Assign" or len(n.children) < 2:
+            continue
+        *targets, value = n.children
+        value_idents = [
+            ids[id(t)]
+            for t in value.walk()
+            if t.is_terminal and t.kind == "Ident" and id(t) in ids
+        ]
+        for target in targets:
+            for t in target.walk():
+                if t.is_terminal and t.kind == "Ident" and id(t) in ids:
+                    for vid in value_idents:
+                        edges.append((_EDGE_INDEX["COMPUTED_FROM"], ids[id(t)], vid))
+
+    return ProgramGraph(
+        labels=labels,
+        edges=edges,
+        var_nodes=var_nodes,
+        node_lines=node_lines,
+        file_path=module.file_path,
+        repo=module.repo,
+        line=node_lines[0] if node_lines else 0,
+    )

@@ -1,0 +1,75 @@
+"""GREAT baseline: relation-aware transformer for VarMisuse.
+
+Re-implementation (at laptop scale) of Hellendoorn et al.'s global
+relational model [28]: a transformer over all graph nodes whose
+attention logits receive additive learned biases per program-graph
+relation between the two positions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.ggnn import _log
+from repro.baselines.graphs import NUM_EDGE_TYPES, Vocabulary
+from repro.baselines.varmisuse import VarMisuseSample
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Embedding, LayerNorm, Linear, Module, RelationalAttention
+
+__all__ = ["GreatModel"]
+
+
+class _Block(Module):
+    """One transformer block: relational attention + feed-forward."""
+
+    def __init__(self, rng: np.random.Generator, dim: int, heads: int) -> None:
+        self.attention = RelationalAttention(rng, dim, NUM_EDGE_TYPES, heads)
+        self.norm1 = LayerNorm(dim)
+        self.ff1 = Linear(rng, dim, dim * 2)
+        self.ff2 = Linear(rng, dim * 2, dim)
+        self.norm2 = LayerNorm(dim)
+
+    def __call__(self, x: Tensor, edge_matrix: np.ndarray) -> Tensor:
+        x = self.norm1(x + self.attention(x, edge_matrix))
+        return self.norm2(x + self.ff2(self.ff1(x).relu()))
+
+
+class GreatModel(Module):
+    name = "GREAT"
+
+    def __init__(
+        self,
+        vocab: Vocabulary,
+        dim: int = 32,
+        layers: int = 2,
+        heads: int = 2,
+        seed: int = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed + 17)
+        self.vocab = vocab
+        self.dim = dim
+        self.embedding = Embedding(rng, len(vocab), dim)
+        self.blocks = [_Block(rng, dim, heads) for _ in range(layers)]
+        self.slot_proj = Linear(rng, dim, dim)
+
+    def encode(self, sample: VarMisuseSample) -> Tensor:
+        graph = sample.graph
+        states = self.embedding(self.vocab.encode(graph.labels))
+        edge_matrix = graph.edge_type_matrix()
+        for block in self.blocks:
+            states = block(states, edge_matrix)
+        return states
+
+    def logits(self, sample: VarMisuseSample) -> Tensor:
+        states = self.encode(sample)
+        slot = self.slot_proj(states.gather_rows(np.array([sample.slot])))
+        candidates = states.gather_rows(np.array(sample.candidates))
+        return (candidates @ slot.transpose()).reshape(len(sample.candidates))
+
+    def loss(self, sample: VarMisuseSample) -> Tensor:
+        probs = self.logits(sample).softmax(axis=-1)
+        picked = probs.gather_rows(np.array([sample.label]))
+        return -_log(picked).sum()
+
+    def predict_probs(self, sample: VarMisuseSample) -> np.ndarray:
+        return self.logits(sample).softmax(axis=-1).data

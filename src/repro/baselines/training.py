@@ -1,0 +1,181 @@
+"""Training and evaluation harness for the deep-learning baselines.
+
+Reproduces the Section 5.6 protocol end to end:
+
+1. Train GGNN/GREAT on synthetically corrupted programs (the only
+   training data the original works can use — no large labeled corpus
+   of real naming issues exists).
+2. Measure accuracy on *held-out synthetic* bugs (the papers' metric:
+   classification / localization / repair accuracy).
+3. Run the trained model over the *real* corpus (no injected swaps),
+   report slots where the model disagrees with the written name above a
+   confidence threshold tuned to a target report budget, and score
+   precision against the oracle.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.graphs import ProgramGraph
+from repro.baselines.varmisuse import (
+    VarMisuseSample,
+    build_dataset,
+    extract_slots,
+    make_sample,
+)
+from repro.nn.optim import Adam
+
+__all__ = [
+    "TrainConfig",
+    "SyntheticMetrics",
+    "DlReport",
+    "train_model",
+    "evaluate_synthetic",
+    "detect_real_issues",
+]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    epochs: int = 3
+    lr: float = 2e-3
+    seed: int = 0
+    max_train_samples: int | None = None
+
+
+@dataclass(frozen=True)
+class SyntheticMetrics:
+    """The accuracy triple the original papers report."""
+
+    classification: float
+    localization: float
+    repair: float
+
+    def __str__(self) -> str:
+        return (
+            f"classification={self.classification:.0%} "
+            f"localization={self.localization:.0%} repair={self.repair:.0%}"
+        )
+
+
+@dataclass(frozen=True)
+class DlReport:
+    """One issue reported by a trained baseline on real code."""
+
+    file_path: str
+    line: int
+    observed: str
+    suggested: str
+    confidence: float
+
+
+def train_model(model, samples: list[VarMisuseSample], config: TrainConfig = TrainConfig()):
+    """SGD over per-sample losses; returns the per-epoch mean loss."""
+    rng = random.Random(config.seed)
+    optimizer = Adam(model.parameters(), lr=config.lr)
+    pool = list(samples)
+    if config.max_train_samples is not None:
+        pool = pool[: config.max_train_samples]
+    history: list[float] = []
+    for _ in range(config.epochs):
+        rng.shuffle(pool)
+        total = 0.0
+        for sample in pool:
+            optimizer.zero_grad()
+            loss = model.loss(sample)
+            loss.backward()
+            optimizer.step()
+            total += float(loss.data)
+        history.append(total / max(1, len(pool)))
+    return history
+
+
+def evaluate_synthetic(model, samples: list[VarMisuseSample]) -> SyntheticMetrics:
+    """Held-out accuracy on synthetic bugs.
+
+    * classification — does the model's agree/disagree verdict match
+      whether the sample was corrupted;
+    * localization — among each corrupted graph's slots, is the
+      corrupted one the most-disagreed-with;
+    * repair — on corrupted samples, does the model point back at the
+      original name.
+    """
+    cls_hits = cls_total = rep_hits = rep_total = loc_hits = loc_total = 0
+    for sample in samples:
+        probs = model.predict_probs(sample)
+        predicted = int(np.argmax(probs))
+        disagrees = predicted != sample.observed_index
+        cls_total += 1
+        if disagrees == sample.is_buggy:
+            cls_hits += 1
+        if sample.is_buggy:
+            rep_total += 1
+            if predicted == sample.label:
+                rep_hits += 1
+            loc_total += 1
+            if _localizes(model, sample):
+                loc_hits += 1
+    return SyntheticMetrics(
+        classification=cls_hits / cls_total if cls_total else 0.0,
+        localization=loc_hits / loc_total if loc_total else 0.0,
+        repair=rep_hits / rep_total if rep_total else 0.0,
+    )
+
+
+def _localizes(model, sample: VarMisuseSample) -> bool:
+    """True when the corrupted slot has the highest disagreement
+    confidence among all slots of its (corrupted) graph."""
+    rng = random.Random(0)
+    best_slot = None
+    best_conf = -1.0
+    for slot, name in extract_slots(sample.graph):
+        probe = make_sample(sample.graph, slot, name, rng, bug_probability=0.0)
+        if probe is None:
+            continue
+        conf = _disagreement(model.predict_probs(probe), probe.observed_index)
+        if conf > best_conf:
+            best_conf = conf
+            best_slot = slot
+    return best_slot == sample.slot
+
+
+def _disagreement(probs: np.ndarray, observed_index: int) -> float:
+    """How strongly the model prefers a different name."""
+    return float(probs.max() - probs[observed_index])
+
+
+def detect_real_issues(
+    model,
+    graphs: list[ProgramGraph],
+    target_reports: int,
+    seed: int = 0,
+) -> list[DlReport]:
+    """Run the model over real (uninjected) code and keep the
+    ``target_reports`` most confident disagreements — the paper tunes
+    baseline confidence thresholds to a fixed report budget."""
+    rng = random.Random(seed)
+    candidates: list[DlReport] = []
+    for graph in graphs:
+        for slot, name in extract_slots(graph):
+            sample = make_sample(graph, slot, name, rng, bug_probability=0.0)
+            if sample is None:
+                continue
+            probs = model.predict_probs(sample)
+            predicted = int(np.argmax(probs))
+            if predicted == sample.observed_index:
+                continue
+            candidates.append(
+                DlReport(
+                    file_path=graph.file_path,
+                    line=sample.line,
+                    observed=sample.observed,
+                    suggested=sample.candidate_names[predicted],
+                    confidence=_disagreement(probs, sample.observed_index),
+                )
+            )
+    candidates.sort(key=lambda r: r.confidence, reverse=True)
+    return candidates[:target_reports]

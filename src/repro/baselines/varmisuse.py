@@ -1,0 +1,179 @@
+"""The VarMisuse task: synthetic bug injection and sample building.
+
+GGNN and GREAT are trained on datasets "constructed by injecting
+synthetic defects in programs" (Section 1): a variable *use* is picked
+as the slot, its name is replaced by another in-scope variable, and the
+model must point back at the original.  That protocol is reproduced
+here verbatim — and it is exactly what produces the distribution
+mismatch the paper measures, because real naming issues are not
+uniformly-sampled variable swaps.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.baselines.graphs import ProgramGraph, build_graphs
+from repro.corpus.model import Corpus
+from repro.lang import parse_source
+
+__all__ = ["VarMisuseSample", "extract_slots", "corrupt", "build_dataset", "corpus_graphs"]
+
+#: slots need at least this many distinct candidates to be interesting
+MIN_CANDIDATES = 2
+MAX_CANDIDATES = 6
+
+
+@dataclass
+class VarMisuseSample:
+    """One (possibly corrupted) slot in a graph.
+
+    Attributes:
+        graph: The program graph (labels already corrupted when
+            ``is_buggy``).
+        slot: Node id of the variable use under question.
+        candidates: Node ids, one representative per candidate name.
+        label: Index into ``candidates`` of the *correct* name.
+        is_buggy: Whether the slot was corrupted.
+        original / observed: The correct and the in-graph names.
+    """
+
+    graph: ProgramGraph
+    slot: int
+    candidates: list[int]
+    candidate_names: list[str]
+    label: int
+    is_buggy: bool
+    original: str
+    observed: str
+
+    @property
+    def line(self) -> int:
+        return self.graph.node_lines[self.slot]
+
+    @property
+    def observed_index(self) -> int:
+        """Index of the name actually present at the slot."""
+        return self.candidate_names.index(self.observed)
+
+
+def extract_slots(graph: ProgramGraph, max_slots: int = 6) -> list[tuple[int, str]]:
+    """Variable-use slots: identifier occurrences whose name has at
+    least one alternative candidate in scope."""
+    names = [n for n, nodes in graph.var_nodes.items() if nodes]
+    if len(names) < MIN_CANDIDATES:
+        return []
+    slots = []
+    for name, nodes in graph.var_nodes.items():
+        # Use later occurrences (first occurrence is usually the
+        # definition, which is not a "use").
+        for node_id in nodes[1:]:
+            slots.append((node_id, name))
+    return slots[:max_slots]
+
+
+def candidate_set(
+    graph: ProgramGraph, slot_name: str, rng: random.Random
+) -> tuple[list[int], list[str]]:
+    """Pick candidate names (including the slot's own) and one
+    representative node per name."""
+    names = [n for n in graph.variable_names() if n != slot_name]
+    rng.shuffle(names)
+    chosen = [slot_name] + names[: MAX_CANDIDATES - 1]
+    nodes = [graph.var_nodes[name][0] for name in chosen]
+    return nodes, chosen
+
+
+def corrupt(
+    graph: ProgramGraph, slot: int, slot_name: str, wrong_name: str
+) -> ProgramGraph:
+    """Return a copy of ``graph`` with the slot's label replaced."""
+    labels = list(graph.labels)
+    labels[slot] = wrong_name
+    return ProgramGraph(
+        labels=labels,
+        edges=graph.edges,
+        var_nodes=graph.var_nodes,
+        node_lines=graph.node_lines,
+        file_path=graph.file_path,
+        repo=graph.repo,
+        line=graph.line,
+    )
+
+
+def make_sample(
+    graph: ProgramGraph,
+    slot: int,
+    slot_name: str,
+    rng: random.Random,
+    bug_probability: float = 0.5,
+) -> VarMisuseSample | None:
+    """Build one sample, corrupting it with ``bug_probability``."""
+    candidates, names = candidate_set(graph, slot_name, rng)
+    if len(candidates) < MIN_CANDIDATES:
+        return None
+    label = 0  # the slot's own name leads the candidate list
+    if rng.random() < bug_probability and len(names) > 1:
+        wrong = rng.choice(names[1:])
+        corrupted = corrupt(graph, slot, slot_name, wrong)
+        return VarMisuseSample(
+            graph=corrupted,
+            slot=slot,
+            candidates=candidates,
+            candidate_names=names,
+            label=label,
+            is_buggy=True,
+            original=slot_name,
+            observed=wrong,
+        )
+    # The uncorrupted path also serves as a *probe* over graphs that may
+    # already carry a corruption (localization scoring): the observed
+    # name is whatever the graph actually shows at the slot.
+    observed = graph.labels[slot]
+    if observed not in names:
+        names = names + [observed]
+        candidates = candidates + [graph.var_nodes.get(observed, [slot])[0]]
+    return VarMisuseSample(
+        graph=graph,
+        slot=slot,
+        candidates=candidates,
+        candidate_names=names,
+        label=label,
+        is_buggy=observed != slot_name,
+        original=slot_name,
+        observed=observed,
+    )
+
+
+def corpus_graphs(corpus: Corpus, max_files: int | None = None) -> list[ProgramGraph]:
+    """All program graphs of a corpus (unparsable files skipped)."""
+    graphs: list[ProgramGraph] = []
+    for count, (repo, f) in enumerate(corpus.files()):
+        if max_files is not None and count >= max_files:
+            break
+        try:
+            module = parse_source(f.source, f.language, f.path, repo.name)
+        except ValueError:
+            continue
+        graphs.extend(build_graphs(module))
+    return graphs
+
+
+def build_dataset(
+    graphs: list[ProgramGraph],
+    seed: int = 0,
+    bug_probability: float = 0.5,
+    max_slots_per_graph: int = 3,
+) -> list[VarMisuseSample]:
+    """The synthetic training/testing protocol of the original papers."""
+    rng = random.Random(seed)
+    samples: list[VarMisuseSample] = []
+    for graph in graphs:
+        slots = extract_slots(graph, max_slots=max_slots_per_graph)
+        rng.shuffle(slots)
+        for slot, name in slots:
+            sample = make_sample(graph, slot, name, rng, bug_probability)
+            if sample is not None:
+                samples.append(sample)
+    return samples

@@ -1,0 +1,109 @@
+"""The 17 violation features of Table 1 (Section 4.2).
+
+Given a violation — a statement ``s`` and the name pattern ``p`` it
+violates — the extractor computes high-level statistical measures of
+the violation's strength.  These are deliberately *not* low-level
+embeddings: high-level features are what lets the classifier train from
+~120 labeled examples instead of the huge synthetic datasets deep
+models need.
+
+Feature index (matching Table 1):
+
+ 1. number of name paths representing ``s``
+ 2. statements identical to ``s`` in its file
+ 3. statements identical to ``s`` in its repository
+ 4. satisfaction rate of ``p`` in the file
+ 5. satisfaction rate of ``p`` in the repository
+ 6. satisfaction rate of ``p`` over the mining dataset
+ 7-9.  violation counts of ``p`` (file / repo / dataset)
+ 10-12. satisfaction counts of ``p`` (file / repo / dataset)
+ 13. whether ``p`` targets a function name (vs. an object name)
+ 14. number of name paths in ``p``'s condition
+ 15. match ratio between ``p`` and ``s``
+ 16. edit distance between the original and the suggested name
+ 17. whether (original, suggested) is a mined confusing word pair
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.namepath import NamePath
+from repro.core.patterns import Violation
+from repro.core.stats_index import StatsIndex
+from repro.mining.confusing_pairs import ConfusingPairStore
+from repro.naming.distance import edit_distance
+
+__all__ = ["FEATURE_NAMES", "NUM_FEATURES", "extract_features"]
+
+FEATURE_NAMES: tuple[str, ...] = (
+    "num_name_paths",
+    "identical_stmts_file",
+    "identical_stmts_repo",
+    "satisfaction_rate_file",
+    "satisfaction_rate_repo",
+    "satisfaction_rate_dataset",
+    "violations_file",
+    "violations_repo",
+    "violations_dataset",
+    "satisfactions_file",
+    "satisfactions_repo",
+    "satisfactions_dataset",
+    "targets_function_name",
+    "condition_size",
+    "match_ratio",
+    "edit_distance",
+    "is_confusing_pair",
+)
+
+NUM_FEATURES = len(FEATURE_NAMES)
+
+
+def extract_features(
+    violation: Violation,
+    paths: list[NamePath],
+    stats: StatsIndex,
+    confusing: ConfusingPairStore,
+    local_stats: StatsIndex | None = None,
+) -> np.ndarray:
+    """Compute the feature vector ``phi(s, p)`` for one violation.
+
+    ``local_stats`` supplies the file/repository-level counters when the
+    statement comes from a file *outside* the mining corpus (a scanned
+    project): the global index has never seen that file, so its local
+    levels would read as zero and shift the feature distribution the
+    classifier was trained on.  Dataset-level features always come from
+    the global ``stats``.
+    """
+    stmt = violation.statement
+    pattern = violation.pattern
+    local = local_stats if local_stats is not None else stats
+
+    num_paths = len(paths)
+    deduction_size = len(pattern.deduction)
+    condition_size = len(pattern.condition)
+    denominator = max(1, num_paths - deduction_size)
+
+    values = np.array(
+        [
+            num_paths,
+            local.identical_statements(stmt, "file"),
+            local.identical_statements(stmt, "repo"),
+            local.satisfaction_rate(pattern, stmt, "file"),
+            local.satisfaction_rate(pattern, stmt, "repo"),
+            stats.satisfaction_rate(pattern, stmt, "dataset"),
+            local.violation_count(pattern, stmt, "file"),
+            local.violation_count(pattern, stmt, "repo"),
+            stats.violation_count(pattern, stmt, "dataset"),
+            local.satisfaction_count(pattern, stmt, "file"),
+            local.satisfaction_count(pattern, stmt, "repo"),
+            stats.satisfaction_count(pattern, stmt, "dataset"),
+            1.0 if pattern.targets_function_name() else 0.0,
+            condition_size,
+            condition_size / denominator,
+            edit_distance(violation.observed, violation.suggested),
+            1.0 if confusing.is_confusing(violation.observed, violation.suggested) else 0.0,
+        ],
+        dtype=np.float64,
+    )
+    return values

@@ -1,0 +1,88 @@
+"""Applying suggested fixes to source text.
+
+Namer's reports carry a rendered fix (``assertTrue -> assertEqual``);
+this module applies it to the file: the offending identifier occurrence
+on the reported line is replaced, word-boundary-safely, producing a
+patched source and a unified-diff-style description.  This is the
+"automatic pull request" / "IDE plugin" delivery mode the paper's user
+study found developers want (Table 8).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.reports import Report, render_fixed_identifier
+
+__all__ = ["FixResult", "apply_fix", "apply_fixes"]
+
+
+@dataclass(frozen=True)
+class FixResult:
+    """Outcome of applying one fix."""
+
+    applied: bool
+    source: str
+    line: int = 0
+    before: str = ""
+    after: str = ""
+
+    def diff(self) -> str:
+        if not self.applied:
+            return ""
+        return f"@@ line {self.line} @@\n-{self.before}\n+{self.after}"
+
+
+def apply_fix(source: str, report: Report) -> FixResult:
+    """Apply ``report``'s suggested fix to ``source``.
+
+    The original identifier is located on the reported line and replaced
+    by the fixed identifier.  Returns ``applied=False`` (and the source
+    unchanged) when the identifier is not present on that line — e.g.
+    because the file changed since the report was produced.
+    """
+    violation = report.violation
+    original = _original_identifier(report)
+    fixed = render_fixed_identifier(violation)
+    if not original or original == fixed:
+        return FixResult(applied=False, source=source)
+
+    lines = source.splitlines(keepends=True)
+    index = report.line - 1
+    if not 0 <= index < len(lines):
+        return FixResult(applied=False, source=source)
+
+    pattern = re.compile(rf"\b{re.escape(original)}\b")
+    before = lines[index]
+    after, count = pattern.subn(fixed, before, count=1)
+    if count == 0:
+        return FixResult(applied=False, source=source)
+    lines[index] = after
+    return FixResult(
+        applied=True,
+        source="".join(lines),
+        line=report.line,
+        before=before.rstrip("\n"),
+        after=after.rstrip("\n"),
+    )
+
+
+def apply_fixes(source: str, reports: list[Report]) -> tuple[str, list[FixResult]]:
+    """Apply several fixes to one file, in order; later fixes see the
+    earlier ones' output.  Returns the final source and per-fix results."""
+    results: list[FixResult] = []
+    current = source
+    for report in reports:
+        result = apply_fix(current, report)
+        results.append(result)
+        if result.applied:
+            current = result.source
+    return current, results
+
+
+def _original_identifier(report: Report) -> str:
+    """The full identifier containing the offending subtoken."""
+    from repro.core.reports import _original_identifier as resolve
+
+    return resolve(report.violation)

@@ -1,0 +1,292 @@
+"""The Namer system: the paper's end-to-end pipeline (Figure 1).
+
+Learning (top of Figure 1):
+
+1. :meth:`Namer.mine` — mine confusing word pairs from commit
+   histories, then mine consistency and confusing-word name patterns
+   from the unlabeled corpus, and build the corpus statistics index.
+2. :meth:`Namer.train` — fit the defect classifier (scaler + PCA +
+   linear SVM by default) on a *small* labeled set of violations.
+
+Inference (bottom of Figure 1):
+
+3. :meth:`Namer.violations_in` — match a file's statements against the
+   mined patterns.
+4. :meth:`Namer.detect` — keep only the violations the classifier
+   predicts to be true naming issues, returning :class:`Report` rows
+   with rendered fixes.
+
+Ablations: ``use_classifier=False`` reports every violation ("w/o C" in
+Tables 2 and 5); ``use_analysis=False`` skips the points-to/data flow
+decoration ("w/o A").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.pointsto import PointsToConfig
+from repro.core.features import extract_features
+from repro.core.prepare import PreparedFile, prepare_corpus
+from repro.core.patterns import PatternKind, Violation
+from repro.core.reports import Report
+from repro.core.stats_index import StatsIndex
+from repro.core.transform import TransformConfig
+from repro.corpus.model import Corpus
+from repro.mining.confusing_pairs import ConfusingPairStore, mine_confusing_pairs
+from repro.mining.matcher import PatternMatcher
+from repro.mining.miner import MiningConfig, PatternMiner
+from repro.ml.linear import LinearSVM
+from repro.ml.pipeline import ClassifierPipeline
+from repro.lang import parse_source
+
+__all__ = ["NamerConfig", "Namer", "MiningSummary"]
+
+
+@dataclass(frozen=True)
+class NamerConfig:
+    """All knobs of the system in one place."""
+
+    mining: MiningConfig = MiningConfig()
+    transform: TransformConfig = TransformConfig()
+    pointsto: PointsToConfig = PointsToConfig()
+    use_analysis: bool = True
+    use_classifier: bool = True
+    #: minimum occurrences for a confusing word pair to be used
+    min_pair_count: int = 2
+    #: PCA components kept in the classifier pipeline
+    pca_components: float = 0.99
+
+
+@dataclass
+class MiningSummary:
+    """Statistics reported in the "pattern mining" paragraphs of 5.2/5.3."""
+
+    num_patterns: int = 0
+    num_consistency: int = 0
+    num_confusing: int = 0
+    num_confusing_pairs: int = 0
+    statements_with_violation: int = 0
+    files_with_violation: int = 0
+    repos_with_violation: int = 0
+    total_statements: int = 0
+    total_files: int = 0
+    total_repos: int = 0
+
+
+class Namer:
+    """Find and fix naming issues with Big Code and small supervision."""
+
+    def __init__(self, config: NamerConfig = NamerConfig()) -> None:
+        self.config = config
+        self.pairs: ConfusingPairStore = ConfusingPairStore()
+        self.matcher: PatternMatcher | None = None
+        self.stats: StatsIndex | None = None
+        self.classifier: ClassifierPipeline | None = None
+        self.prepared: list[PreparedFile] = []
+        self.summary = MiningSummary()
+
+    # ------------------------------------------------------------------
+    # Learning step (i): unsupervised mining from Big Code
+    # ------------------------------------------------------------------
+
+    def mine(self, corpus: Corpus) -> MiningSummary:
+        """Mine name patterns and build the statistics index."""
+        cfg = self.config
+        self.pairs = mine_confusing_pairs(
+            ((c.before, c.after) for c in corpus.commits),
+            parse=lambda src: parse_source(src, corpus.language).statements,
+        )
+
+        self.prepared = prepare_corpus(
+            corpus,
+            use_analysis=cfg.use_analysis,
+            transform_config=TransformConfig(
+                use_origins=cfg.use_analysis and cfg.transform.use_origins,
+                max_subtokens=cfg.transform.max_subtokens,
+            ),
+            pointsto_config=cfg.pointsto,
+            max_paths=cfg.mining.max_paths_per_statement,
+        )
+        statements = [ps.stmt for pf in self.prepared for ps in pf.statements]
+
+        miner = PatternMiner(
+            cfg.mining, confusing_pairs=self.pairs.pairs(cfg.min_pair_count)
+        )
+        consistency = miner.mine(statements, PatternKind.CONSISTENCY)
+        confusing = miner.mine(statements, PatternKind.CONFUSING_WORD)
+        patterns = consistency.patterns + confusing.patterns
+        self.matcher = PatternMatcher(patterns)
+
+        self.stats = StatsIndex.build(
+            self.matcher,
+            ((ps.stmt, ps.paths) for pf in self.prepared for ps in pf.statements),
+        )
+        self.summary = self._summarize(consistency, confusing, corpus)
+        return self.summary
+
+    def _summarize(self, consistency, confusing, corpus: Corpus) -> MiningSummary:
+        assert self.matcher is not None
+        files_with = set()
+        repos_with = set()
+        stmts_with = 0
+        for pf in self.prepared:
+            file_hit = False
+            for ps in pf.statements:
+                if self.matcher.violations(ps.stmt, ps.paths):
+                    stmts_with += 1
+                    file_hit = True
+            if file_hit:
+                files_with.add(pf.path)
+                repos_with.add(pf.repo)
+        return MiningSummary(
+            num_patterns=len(self.matcher.patterns),
+            num_consistency=len(consistency.patterns),
+            num_confusing=len(confusing.patterns),
+            num_confusing_pairs=len(self.pairs),
+            statements_with_violation=stmts_with,
+            files_with_violation=len(files_with),
+            repos_with_violation=len(repos_with),
+            total_statements=sum(len(pf.statements) for pf in self.prepared),
+            total_files=len(self.prepared),
+            total_repos=len(corpus.repositories),
+        )
+
+    # ------------------------------------------------------------------
+    # Learning step (ii): small-supervision classifier
+    # ------------------------------------------------------------------
+
+    def featurize(
+        self, violation: Violation, paths=None, local_stats: StatsIndex | None = None
+    ) -> np.ndarray:
+        """Feature vector for a violation (Table 1).
+
+        ``local_stats`` supplies file/repo-level counters for statements
+        from files outside the mining corpus.
+        """
+        if self.stats is None:
+            raise RuntimeError("call mine() before featurize()")
+        if paths is None:
+            paths = self._paths_of(violation)
+        return extract_features(
+            violation, paths, self.stats, self.pairs, local_stats=local_stats
+        )
+
+    def train(
+        self,
+        violations: list[Violation],
+        labels: list[int],
+        make_classifier=None,
+    ) -> None:
+        """Fit the defect classifier on labeled violations.
+
+        ``labels`` are 1 for a true naming issue, 0 for a false
+        positive; the paper labels 120 violations per language.
+        """
+        X = np.vstack([self.featurize(v) for v in violations])
+        y = np.asarray(labels)
+        classifier = make_classifier() if make_classifier else LinearSVM()
+        self.classifier = ClassifierPipeline(
+            classifier, n_components=self.config.pca_components
+        )
+        self.classifier.fit(X, y)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+
+    def all_violations(self) -> list[Violation]:
+        """Every pattern violation in the mined corpus (the pool the
+        paper samples its 300 inspected violations from)."""
+        if self.matcher is None:
+            raise RuntimeError("call mine() first")
+        found: list[Violation] = []
+        for pf in self.prepared:
+            for ps in pf.statements:
+                found.extend(self.matcher.violations(ps.stmt, ps.paths))
+        return _dedup_violations(found)
+
+    def violations_in(self, prepared: PreparedFile) -> list[Violation]:
+        if self.matcher is None:
+            raise RuntimeError("call mine() first")
+        found: list[Violation] = []
+        for ps in prepared.statements:
+            found.extend(self.matcher.violations(ps.stmt, ps.paths))
+        return _dedup_violations(found)
+
+    def classify(
+        self,
+        violations: list[Violation],
+        local_stats: StatsIndex | None = None,
+    ) -> list[Report]:
+        """Run the defect classifier over violations; with the
+        classifier disabled (w/o C) every violation becomes a report."""
+        reports: list[Report] = []
+        for violation in violations:
+            features = self.featurize(violation, local_stats=local_stats)
+            if self.config.use_classifier and self.classifier is not None:
+                score = float(self.classifier.decision_function(features[None, :])[0])
+                if score < 0.0:
+                    continue
+            else:
+                score = 0.0
+            reports.append(Report(violation=violation, features=features, score=score))
+        return reports
+
+    def detect(self, prepared: PreparedFile) -> list[Report]:
+        """Full inference on one prepared file.
+
+        The file's own statements feed a local statistics index so the
+        file/repo-level features are meaningful even when the file was
+        not part of the mining corpus.
+        """
+        if self.matcher is None or self.stats is None:
+            raise RuntimeError("call mine() first")
+        local = StatsIndex.build(
+            self.matcher, ((ps.stmt, ps.paths) for ps in prepared.statements)
+        )
+        return self.classify(self.violations_in(prepared), local_stats=local)
+
+    # ------------------------------------------------------------------
+
+    def _paths_of(self, violation: Violation):
+        from repro.core.namepath import extract_name_paths
+
+        return extract_name_paths(
+            violation.statement, max_paths=self.config.mining.max_paths_per_statement
+        )
+
+
+def _dedup_violations(violations: list[Violation]) -> list[Violation]:
+    """Collapse violations that propose the same fix at the same spot.
+
+    Subset-condition mining makes several overlapping patterns flag one
+    offending subtoken; a user sees that as a single report.  The most
+    specific surviving pattern (largest condition, then highest
+    support) represents the group.
+    """
+    best: dict[tuple, Violation] = {}
+    order: list[tuple] = []
+    for v in violations:
+        key = (
+            v.statement.file_path,
+            v.statement.line,
+            v.statement.structural_key(),
+            v.deduction_path.prefix,
+            v.observed,
+            v.suggested,
+        )
+        current = best.get(key)
+        if current is None:
+            best[key] = v
+            order.append(key)
+            continue
+        better = (len(v.pattern.condition), v.pattern.support) > (
+            len(current.pattern.condition),
+            current.pattern.support,
+        )
+        if better:
+            best[key] = v
+    return [best[k] for k in order]

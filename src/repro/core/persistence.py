@@ -1,0 +1,232 @@
+"""Saving and loading a fitted Namer.
+
+Mining over a big corpus is the expensive one-time step; a deployed
+tool ships the *artifacts* — mined patterns, confusing word pairs, the
+corpus statistics index, and the trained classifier — and only runs
+inference.  This module serializes all four to a single JSON document
+(numpy arrays as lists; everything else is naturally JSON-shaped).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.namer import Namer, NamerConfig
+from repro.core.namepath import EPSILON, NamePath, PathStep
+from repro.core.patterns import NamePattern, PatternKind
+from repro.core.stats_index import StatsIndex
+from repro.mining.confusing_pairs import ConfusingPairStore
+from repro.mining.matcher import PatternMatcher
+from repro.mining.miner import MiningConfig
+from repro.ml.linear import LinearSVM
+from repro.ml.pipeline import ClassifierPipeline
+from repro.ml.preprocess import PCA, StandardScaler
+
+__all__ = ["save_namer", "load_namer"]
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Name paths and patterns
+# ----------------------------------------------------------------------
+
+
+def _path_to_json(path: NamePath) -> dict:
+    return {
+        "prefix": [[s.value, s.index] for s in path.prefix],
+        "end": path.end,
+    }
+
+
+def _path_from_json(data: dict) -> NamePath:
+    return NamePath(
+        prefix=tuple(PathStep(value=v, index=i) for v, i in data["prefix"]),
+        end=data["end"] if data["end"] is not None else EPSILON,
+    )
+
+
+def _pattern_to_json(pattern: NamePattern) -> dict:
+    return {
+        "kind": pattern.kind.value,
+        "support": pattern.support,
+        "condition": [_path_to_json(p) for p in sorted(pattern.condition)],
+        "deduction": [_path_to_json(p) for p in sorted(pattern.deduction)],
+    }
+
+
+def _pattern_from_json(data: dict) -> NamePattern:
+    return NamePattern(
+        condition=frozenset(_path_from_json(p) for p in data["condition"]),
+        deduction=frozenset(_path_from_json(p) for p in data["deduction"]),
+        kind=PatternKind(data["kind"]),
+        support=data["support"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Statistics index
+# ----------------------------------------------------------------------
+
+
+def _stats_to_json(stats: StatsIndex, patterns: list[NamePattern]) -> dict:
+    """Pattern keys are not JSON-safe; encode them as indices into the
+    saved pattern list."""
+    key_to_index = {p.key(): i for i, p in enumerate(patterns)}
+
+    def encode_counter(counter, scoped: bool) -> list:
+        rows = []
+        for key, count in counter.items():
+            if scoped:
+                scope, pattern_key = key
+                index = key_to_index.get(pattern_key)
+                if index is None:
+                    continue
+                rows.append([scope, index, count])
+            else:
+                index = key_to_index.get(key)
+                if index is None:
+                    continue
+                rows.append([index, count])
+        return rows
+
+    def encode_table(table) -> dict:
+        return {
+            "file": encode_counter(table["file"], scoped=True),
+            "repo": encode_counter(table["repo"], scoped=True),
+            "dataset": encode_counter(table["dataset"], scoped=False),
+        }
+
+    return {
+        "matches": encode_table(stats.matches),
+        "satisfactions": encode_table(stats.satisfactions),
+        "violations": encode_table(stats.violations),
+        "statement_counts": {
+            level: [[scope, struct, count] for (scope, struct), count in counter.items()]
+            for level, counter in stats.statement_counts.items()
+        },
+        "total_statements": stats.total_statements,
+    }
+
+
+def _stats_from_json(data: dict, patterns: list[NamePattern]) -> StatsIndex:
+    stats = StatsIndex()
+    keys = [p.key() for p in patterns]
+
+    def decode_table(table_data: dict, target: dict) -> None:
+        for scope, index, count in table_data["file"]:
+            target["file"][(scope, keys[index])] = count
+        for scope, index, count in table_data["repo"]:
+            target["repo"][(scope, keys[index])] = count
+        for index, count in table_data["dataset"]:
+            target["dataset"][keys[index]] = count
+
+    decode_table(data["matches"], stats.matches)
+    decode_table(data["satisfactions"], stats.satisfactions)
+    decode_table(data["violations"], stats.violations)
+    for level, rows in data["statement_counts"].items():
+        for scope, struct, count in rows:
+            stats.statement_counts[level][(scope, struct)] = count
+    stats.total_statements = data["total_statements"]
+    return stats
+
+
+# ----------------------------------------------------------------------
+# Classifier pipeline
+# ----------------------------------------------------------------------
+
+
+def _classifier_to_json(pipeline: ClassifierPipeline | None) -> dict | None:
+    if pipeline is None:
+        return None
+    classifier = pipeline.classifier
+    return {
+        "scaler_mean": pipeline.scaler.mean_.tolist(),
+        "scaler_scale": pipeline.scaler.scale_.tolist(),
+        "pca_components": (
+            pipeline.pca.components_.tolist() if pipeline.pca is not None else None
+        ),
+        "pca_mean": (
+            pipeline.pca.mean_.tolist() if pipeline.pca is not None else None
+        ),
+        "coef": np.asarray(classifier.coef_).tolist(),
+        "intercept": float(classifier.intercept_),
+    }
+
+
+def _classifier_from_json(data: dict | None) -> ClassifierPipeline | None:
+    if data is None:
+        return None
+    pipeline = ClassifierPipeline(LinearSVM(), n_components=None)
+    pipeline.scaler = StandardScaler()
+    pipeline.scaler.mean_ = np.asarray(data["scaler_mean"])
+    pipeline.scaler.scale_ = np.asarray(data["scaler_scale"])
+    if data["pca_components"] is not None:
+        pca = PCA()
+        pca.components_ = np.asarray(data["pca_components"])
+        pca.mean_ = np.asarray(data["pca_mean"])
+        pipeline.pca = pca
+    pipeline.classifier.coef_ = np.asarray(data["coef"])
+    pipeline.classifier.intercept_ = data["intercept"]
+    return pipeline
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+
+def save_namer(namer: Namer, path: str | Path) -> None:
+    """Serialize a fitted Namer's artifacts to ``path`` (JSON).
+
+    The prepared corpus itself is not saved — it is an input, not an
+    artifact — so a loaded Namer supports inference
+    (:meth:`~repro.core.namer.Namer.violations_in` /
+    :meth:`~repro.core.namer.Namer.detect`) but not re-mining.
+    """
+    if namer.matcher is None or namer.stats is None:
+        raise ValueError("mine() the Namer before saving it")
+    patterns = namer.matcher.patterns
+    document: dict[str, Any] = {
+        "version": FORMAT_VERSION,
+        "config": {
+            "use_analysis": namer.config.use_analysis,
+            "use_classifier": namer.config.use_classifier,
+            "max_paths_per_statement": namer.config.mining.max_paths_per_statement,
+        },
+        "patterns": [_pattern_to_json(p) for p in patterns],
+        "pairs": [[m, c, n] for (m, c), n in namer.pairs.counts.items()],
+        "stats": _stats_to_json(namer.stats, patterns),
+        "classifier": _classifier_to_json(namer.classifier),
+    }
+    Path(path).write_text(json.dumps(document))
+
+
+def load_namer(path: str | Path) -> Namer:
+    """Reconstruct a fitted Namer from :func:`save_namer` output."""
+    document = json.loads(Path(path).read_text())
+    if document.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported artifact version: {document.get('version')}")
+
+    config = document["config"]
+    namer = Namer(
+        NamerConfig(
+            mining=MiningConfig(
+                max_paths_per_statement=config["max_paths_per_statement"]
+            ),
+            use_analysis=config["use_analysis"],
+            use_classifier=config["use_classifier"],
+        )
+    )
+    patterns = [_pattern_from_json(p) for p in document["patterns"]]
+    namer.matcher = PatternMatcher(patterns)
+    namer.pairs = ConfusingPairStore()
+    for mistaken, correct, count in document["pairs"]:
+        namer.pairs.add(mistaken, correct, count)
+    namer.stats = _stats_from_json(document["stats"], patterns)
+    namer.classifier = _classifier_from_json(document["classifier"])
+    return namer

@@ -1,0 +1,121 @@
+"""Corpus preparation: parse, analyze, transform, extract paths.
+
+Every stage of Namer — mining, statistics, detection — operates on
+transformed statement ASTs plus their name paths.  This module runs the
+frontends and (optionally) the static analyses over a corpus once and
+caches the results as :class:`PreparedStatement` rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.origins import compute_origins
+from repro.analysis.pointsto import PointsToConfig
+from repro.core.namepath import NamePath, extract_name_paths
+from repro.core.transform import TransformConfig, transform_statement
+from repro.corpus.model import Corpus, SourceFile
+from repro.lang import parse_source
+from repro.lang.astir import StatementAst
+from repro.lang.moduleir import ModuleIr
+
+__all__ = ["PreparedStatement", "PreparedFile", "prepare_corpus", "prepare_file"]
+
+
+@dataclass
+class PreparedStatement:
+    """A transformed statement together with its extracted name paths."""
+
+    stmt: StatementAst
+    paths: list[NamePath]
+
+
+@dataclass
+class PreparedFile:
+    """All prepared statements of one source file."""
+
+    module: ModuleIr
+    statements: list[PreparedStatement] = field(default_factory=list)
+
+    @property
+    def path(self) -> str:
+        return self.module.file_path
+
+    @property
+    def repo(self) -> str:
+        return self.module.repo
+
+
+def prepare_file(
+    source: SourceFile,
+    repo: str = "",
+    use_analysis: bool = True,
+    transform_config: TransformConfig = TransformConfig(),
+    pointsto_config: PointsToConfig = PointsToConfig(),
+    max_paths: int = 10,
+) -> PreparedFile | None:
+    """Parse, analyze and transform one file.
+
+    Returns ``None`` for unparsable files — a large corpus always
+    contains some (the paper simply skips them too).
+    """
+    try:
+        module = parse_source(source.source, source.language, source.path, repo)
+    except ValueError:
+        return None
+
+    if use_analysis and transform_config.use_origins:
+        origins = compute_origins(module, pointsto_config).per_statement
+    else:
+        origins = [None] * len(module.statements)
+
+    prepared = PreparedFile(module=module)
+    for stmt, env in zip(module.statements, origins):
+        transformed = transform_statement(stmt, env, transform_config)
+        paths = extract_name_paths(transformed, max_paths=max_paths)
+        if paths:
+            prepared.statements.append(PreparedStatement(stmt=transformed, paths=paths))
+    return prepared
+
+
+def prepare_corpus(
+    corpus: Corpus,
+    use_analysis: bool = True,
+    transform_config: TransformConfig | None = None,
+    pointsto_config: PointsToConfig = PointsToConfig(),
+    max_paths: int = 10,
+    workers: int = 1,
+) -> list[PreparedFile]:
+    """Prepare every file of a corpus; unparsable files are skipped.
+
+    Files are analyzed independently (the paper parallelizes this stage
+    across all 28 cores of its test server); ``workers > 1`` fans the
+    per-file work out over a process pool, preserving file order.
+    """
+    if transform_config is None:
+        transform_config = TransformConfig(use_origins=use_analysis)
+    tasks = [
+        (source, repo.name, use_analysis, transform_config, pointsto_config, max_paths)
+        for repo, source in corpus.files()
+    ]
+    if workers <= 1:
+        results = [_prepare_task(task) for task in tasks]
+    else:
+        import concurrent.futures
+
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(_prepare_task, tasks, chunksize=8))
+    return [prepared for prepared in results if prepared is not None]
+
+
+def _prepare_task(task) -> PreparedFile | None:
+    """Process-pool entry point (must be module-level for pickling)."""
+    source, repo, use_analysis, transform_config, pointsto_config, max_paths = task
+    return prepare_file(
+        source,
+        repo=repo,
+        use_analysis=use_analysis,
+        transform_config=transform_config,
+        pointsto_config=pointsto_config,
+        max_paths=max_paths,
+    )

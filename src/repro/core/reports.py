@@ -1,0 +1,113 @@
+"""Namer's issue reports and fix rendering.
+
+A :class:`Report` is a classifier-approved violation: the statement,
+the offending name, and the suggested fix — rendered back into the
+identifier's original naming convention (``assertTrue`` with subtoken
+``True`` replaced by ``Equal`` becomes ``assertEqual``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.patterns import PatternKind, Violation
+from repro.naming.subtokens import join_subtokens, normalize_style, split_identifier
+
+__all__ = ["Report", "render_fixed_identifier"]
+
+
+@dataclass
+class Report:
+    """One naming issue reported to the user."""
+
+    violation: Violation
+    features: np.ndarray
+    score: float = 0.0
+
+    @property
+    def file_path(self) -> str:
+        return self.violation.statement.file_path
+
+    @property
+    def line(self) -> int:
+        return self.violation.statement.line
+
+    @property
+    def source(self) -> str:
+        return self.violation.statement.source
+
+    @property
+    def observed(self) -> str:
+        return self.violation.observed
+
+    @property
+    def suggested(self) -> str:
+        return self.violation.suggested
+
+    @property
+    def pattern_kind(self) -> PatternKind:
+        return self.violation.pattern.kind
+
+    def fixed_identifier(self) -> str:
+        """The full identifier after applying the suggested fix."""
+        return render_fixed_identifier(self.violation)
+
+    def describe(self) -> str:
+        original = _original_identifier(self.violation)
+        return (
+            f"{self.file_path}:{self.line}: replace '{self.observed}' with "
+            f"'{self.suggested}' ({original} -> {self.fixed_identifier()}) "
+            f"in: {self.source}"
+        )
+
+
+def render_fixed_identifier(violation: Violation) -> str:
+    """Rebuild the offending identifier with the suggested subtoken.
+
+    The deduction path points at one subtoken position of one
+    identifier; the fix keeps every other subtoken and the original
+    naming convention.
+    """
+    original = _original_identifier(violation)
+    subtokens = split_identifier(original)
+    position = _subtoken_position(violation)
+    if position is None or position >= len(subtokens):
+        return violation.suggested
+    fixed = list(subtokens)
+    fixed[position] = violation.suggested
+    style = normalize_style(original)
+    rendered = join_subtokens(fixed, style)
+    # Preserve the original's leading casing when the first subtoken
+    # was untouched (join_subtokens lowercases camelCase heads).
+    if position != 0 and rendered and original and style == "camel":
+        rendered = original[0] + rendered[1:]
+    return rendered
+
+
+def _subtoken_position(violation: Violation) -> int | None:
+    """The subtoken index targeted by the deduction path: the child
+    index under the ``NumST(k)`` prefix step."""
+    prefix = violation.deduction_path.prefix
+    for step in reversed(prefix):
+        if step.value.startswith("NumST("):
+            return step.index
+    return None
+
+
+def _original_identifier(violation: Violation) -> str:
+    """Recover the full original identifier containing the offender."""
+    stmt = violation.statement
+    target_prefix = violation.deduction_path.prefix
+    # Walk the transformed tree following the deduction prefix to the
+    # offending subtoken, then read its meta["original"].
+    node = stmt.root
+    for step in target_prefix:
+        if node.is_terminal or step.index >= len(node.children):
+            return violation.observed
+        if node.value != step.value:
+            return violation.observed
+        node = node.children[step.index]
+    original = node.meta.get("original")
+    return original if isinstance(original, str) else violation.observed

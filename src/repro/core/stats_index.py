@@ -1,0 +1,125 @@
+"""Corpus-level statistics backing the defect classifier's features.
+
+Most of Table 1's features are counts of matches, satisfactions and
+violations of a pattern at three levels — the file containing the
+statement, its repository, and the entire mining dataset.  This index
+is built in one pass over the corpus: every statement is checked
+against its candidate patterns and the outcome is recorded at all three
+levels, alongside identical-statement counts (features 2-3).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.namepath import NamePath
+from repro.core.patterns import NamePattern, Relation
+from repro.lang.astir import StatementAst
+from repro.mining.matcher import PatternMatcher
+
+__all__ = ["StatsIndex"]
+
+
+@dataclass
+class StatsIndex:
+    """Match/satisfaction/violation counts per pattern and level.
+
+    Pattern identity is the pattern's :meth:`~NamePattern.key`, so the
+    index survives re-created pattern objects.
+    """
+
+    matches: dict[str, Counter] = field(
+        default_factory=lambda: {"file": Counter(), "repo": Counter(), "dataset": Counter()}
+    )
+    satisfactions: dict[str, Counter] = field(
+        default_factory=lambda: {"file": Counter(), "repo": Counter(), "dataset": Counter()}
+    )
+    violations: dict[str, Counter] = field(
+        default_factory=lambda: {"file": Counter(), "repo": Counter(), "dataset": Counter()}
+    )
+    statement_counts: dict[str, Counter] = field(
+        default_factory=lambda: {"file": Counter(), "repo": Counter()}
+    )
+    total_statements: int = 0
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        matcher: PatternMatcher,
+        statements: Iterable[tuple[StatementAst, Sequence[NamePath]]],
+    ) -> "StatsIndex":
+        """Scan ``(statement, paths)`` pairs and accumulate all counters."""
+        index = cls()
+        for stmt, paths in statements:
+            index.add_statement(matcher, stmt, paths)
+        return index
+
+    def add_statement(
+        self,
+        matcher: PatternMatcher,
+        stmt: StatementAst,
+        paths: Sequence[NamePath],
+    ) -> None:
+        self.total_statements += 1
+        struct = stmt.structural_key()
+        self.statement_counts["file"][(stmt.file_path, struct)] += 1
+        self.statement_counts["repo"][(stmt.repo, struct)] += 1
+        for pattern, relation in matcher.check_all(paths):
+            key = pattern.key()
+            self._bump(self.matches, key, stmt)
+            if relation is Relation.SATISFIED:
+                self._bump(self.satisfactions, key, stmt)
+            else:
+                self._bump(self.violations, key, stmt)
+
+    def _bump(self, table: dict[str, Counter], key, stmt: StatementAst) -> None:
+        table["file"][(stmt.file_path, key)] += 1
+        table["repo"][(stmt.repo, key)] += 1
+        table["dataset"][key] += 1
+
+    # ------------------------------------------------------------------
+    # Queries used by the feature extractor
+    # ------------------------------------------------------------------
+
+    def identical_statements(self, stmt: StatementAst, level: str) -> int:
+        struct = stmt.structural_key()
+        scope = stmt.file_path if level == "file" else stmt.repo
+        return self.statement_counts[level][(scope, struct)]
+
+    def match_count(self, pattern: NamePattern, stmt: StatementAst, level: str) -> int:
+        return self._lookup(self.matches, pattern, stmt, level)
+
+    def satisfaction_count(
+        self, pattern: NamePattern, stmt: StatementAst, level: str
+    ) -> int:
+        return self._lookup(self.satisfactions, pattern, stmt, level)
+
+    def violation_count(
+        self, pattern: NamePattern, stmt: StatementAst, level: str
+    ) -> int:
+        return self._lookup(self.violations, pattern, stmt, level)
+
+    def satisfaction_rate(
+        self, pattern: NamePattern, stmt: StatementAst, level: str
+    ) -> float:
+        matched = self.match_count(pattern, stmt, level)
+        if matched == 0:
+            return 0.0
+        return self.satisfaction_count(pattern, stmt, level) / matched
+
+    def _lookup(
+        self,
+        table: dict[str, Counter],
+        pattern: NamePattern,
+        stmt: StatementAst,
+        level: str,
+    ) -> int:
+        key = pattern.key()
+        if level == "dataset":
+            return table["dataset"][key]
+        scope = stmt.file_path if level == "file" else stmt.repo
+        return table[level][(scope, key)]

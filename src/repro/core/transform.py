@@ -1,0 +1,225 @@
+"""AST+ transformation (Section 3.1, steps 1-4).
+
+Given a parsed statement AST, produce the *transformed* AST on which
+name paths are extracted:
+
+1. Abstract literals: numeric values become ``NUM``, strings ``STR``,
+   booleans ``BOOL``.
+2. Insert ``NumArgs(k)`` above every function call and definition,
+   where ``k`` is the argument count.
+3. Split identifier terminals into subtokens and wrap them in a
+   ``NumST(k)`` node.
+4. Decorate names with the *origin* of the underlying object, computed
+   by the interprocedural points-to / data flow analyses (Section 4.1).
+   Origin nodes are inserted between the ``NumST`` node and each
+   subtoken, exactly as in Figure 2(c).
+
+Step 4 is optional (the ``w/o A`` ablation of Tables 2 and 5 disables
+it), so the transformation accepts an optional per-statement origin
+environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.lang.astir import (
+    BOOL_TOKEN,
+    NUM_TOKEN,
+    STR_TOKEN,
+    Node,
+    StatementAst,
+    terminal,
+)
+from repro.naming.subtokens import split_identifier
+
+__all__ = ["TransformConfig", "transform_statement", "transform_statements"]
+
+#: Kinds of literal wrapper nodes and the abstract token each maps to.
+_LITERAL_TOKENS = {"Num": NUM_TOKEN, "Str": STR_TOKEN, "Bool": BOOL_TOKEN}
+
+#: Kinds that receive a NumArgs(k) parent.
+_CALLABLE_KINDS = {"Call", "FunctionDef", "MethodDecl", "MethodCall", "New"}
+
+
+@dataclass(frozen=True)
+class TransformConfig:
+    """Knobs for the AST+ transformation.
+
+    Attributes:
+        use_origins: Apply step 4 (origin decoration).  Disabled for the
+            "w/o A" ablation.
+        max_subtokens: Identifiers splitting into more subtokens than
+            this are kept whole (regularization; extremely long names
+            only add noise to the FP tree).
+    """
+
+    use_origins: bool = True
+    max_subtokens: int = 8
+
+
+def transform_statement(
+    stmt: StatementAst,
+    origins: Mapping[str, str] | None = None,
+    config: TransformConfig = TransformConfig(),
+) -> StatementAst:
+    """Return a new :class:`StatementAst` holding the transformed tree.
+
+    Args:
+        stmt: A parsed statement projection from a frontend.
+        origins: Maps identifier names visible in this statement to
+            their origin (allocation-site class, returning function,
+            or library root); ``None`` or missing entries leave names
+            undecorated.
+        config: Transformation options.
+    """
+    env = origins if (config.use_origins and origins is not None) else {}
+    transformer = _Transformer(env, config)
+    new_root = transformer.rewrite(stmt.root, receiver=None)
+    return StatementAst(
+        root=new_root,
+        source=stmt.source,
+        file_path=stmt.file_path,
+        repo=stmt.repo,
+        line=stmt.line,
+    )
+
+
+def transform_statements(
+    stmts: list[StatementAst],
+    origins_per_stmt: list[Mapping[str, str] | None] | None = None,
+    config: TransformConfig = TransformConfig(),
+) -> list[StatementAst]:
+    """Transform a module's worth of statement projections."""
+    if origins_per_stmt is None:
+        origins_per_stmt = [None] * len(stmts)
+    return [
+        transform_statement(stmt, env, config)
+        for stmt, env in zip(stmts, origins_per_stmt)
+    ]
+
+
+@dataclass
+class _Transformer:
+    env: Mapping[str, str]
+    config: TransformConfig
+    _warned: set[str] = field(default_factory=set)
+
+    def rewrite(self, n: Node, receiver: str | None) -> Node:
+        """Recursively rebuild ``n`` applying all four steps."""
+        if n.kind in _LITERAL_TOKENS:
+            return self._literal(n)
+        if n.is_terminal and n.kind == "Ident":
+            return self._identifier(n, receiver)
+        if n.is_terminal:
+            return n.clone()
+
+        # Compute the receiver name of a call so the callee identifier
+        # can be decorated with the receiver's origin (step 4).
+        child_receiver = receiver
+        if n.kind == "Call":
+            child_receiver = _receiver_name(n)
+
+        rebuilt = Node(kind=n.kind, value=n.value, meta=dict(n.meta))
+        for child in n.children:
+            if n.kind in ("Call", "MethodCall"):
+                # Only the callee subtree of a Call sees the receiver;
+                # argument subtrees start fresh.
+                inherited = child_receiver if _is_callee(n, child) else None
+            else:
+                inherited = receiver
+            rebuilt.add(self.rewrite(child, inherited))
+
+        if n.kind in _CALLABLE_KINDS:
+            k = _argument_count(n)
+            wrapper = Node(kind="NumArgs", value=f"NumArgs({k})")
+            wrapper.add(rebuilt)
+            return wrapper
+        return rebuilt
+
+    def _literal(self, n: Node) -> Node:
+        """Step 1 + step 3 for literals: ``Num -> NumST(1) -> NUM``."""
+        token = _LITERAL_TOKENS[n.kind]
+        leaf = terminal("SubToken", token)
+        leaf.meta["role"] = "literal"
+        wrapper = Node(kind="NumST", value="NumST(1)", children=[leaf])
+        return Node(kind=n.kind, value=n.value, children=[wrapper], meta=dict(n.meta))
+
+    def _identifier(self, n: Node, receiver: str | None) -> Node:
+        """Steps 3 + 4 for identifier terminals."""
+        name = n.value
+        subtokens = split_identifier(name)
+        if len(subtokens) > self.config.max_subtokens:
+            subtokens = [name]
+        role = n.meta.get("role", "object")
+        origin = self._origin_for(name, role, receiver)
+
+        wrapper = Node(kind="NumST", value=f"NumST({len(subtokens)})")
+        for index, sub in enumerate(subtokens):
+            leaf = terminal("SubToken", sub)
+            leaf.meta.update(n.meta)
+            leaf.meta["original"] = name
+            leaf.meta["st_index"] = index
+            if origin is not None:
+                origin_node = Node(kind="Origin", value=origin, children=[leaf])
+                wrapper.add(origin_node)
+            else:
+                wrapper.add(leaf)
+        return wrapper
+
+    def _origin_for(self, name: str, role: str, receiver: str | None) -> str | None:
+        """Resolve the origin to decorate with, if any.
+
+        Object names use their own origin; called function names use the
+        origin of the receiver object (Section 3.1, step 4).
+        """
+        if not self.env:
+            return None
+        if role == "func":
+            if receiver is not None:
+                return self.env.get(receiver)
+            return None
+        if role in ("object", "param"):
+            return self.env.get(name)
+        return None
+
+
+def _argument_count(n: Node) -> int:
+    """Number of arguments of a call or definition node."""
+    if n.kind in ("Call", "MethodCall", "New"):
+        return max(0, len(n.children) - 1)
+    # FunctionDef/MethodDecl: count Param-ish children of the Params node.
+    for child in n.children:
+        if child.kind == "Params":
+            return len(child.children)
+    return 0
+
+
+def _is_callee(parent: Node, child: Node) -> bool:
+    """True when ``child`` is the callee subtree of a Call node."""
+    return parent.kind in ("Call", "MethodCall") and parent.children and parent.children[0] is child
+
+
+def _receiver_name(call: Node) -> str | None:
+    """Extract the simple receiver name of ``call``, if syntactic.
+
+    ``self.assertTrue(...)`` has receiver ``self``; a call through a
+    complex expression (``foo().bar()``) has no simple receiver.
+    """
+    if not call.children:
+        return None
+    callee = call.children[0]
+    if callee.kind in ("AttributeLoad", "FieldAccess") and callee.children:
+        base = callee.children[0]
+        if base.kind in ("NameLoad", "NameStore") and base.children:
+            ident = base.children[0]
+            if ident.is_terminal:
+                return ident.value
+    if callee.kind in ("NameLoad",) and callee.children:
+        # Plain function call: the "receiver" is the function name itself,
+        # letting module-level origins (e.g. an imported module) attach.
+        ident = callee.children[0]
+        if ident.is_terminal:
+            return ident.value
+    return None

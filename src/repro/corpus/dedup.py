@@ -1,0 +1,71 @@
+"""Corpus deduplication (Section 5.1).
+
+"Aware of code duplication on GitHub [35], we pruned our dataset to
+make it free from project forks and file-level duplicates."  The same
+pruning applies to any corpus fed to the miner: file-level duplicates
+are detected by content hash, forks by near-identical file sets.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.corpus.model import Corpus, Repository
+
+__all__ = ["dedup_files", "prune_forks", "dedup_corpus"]
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def dedup_files(corpus: Corpus) -> int:
+    """Drop files whose content hash was already seen anywhere in the
+    corpus; returns how many files were removed."""
+    seen: set[str] = set()
+    removed = 0
+    for repo in corpus.repositories:
+        kept = []
+        for f in repo.files:
+            h = _digest(f.source)
+            if h in seen:
+                removed += 1
+                continue
+            seen.add(h)
+            kept.append(f)
+        repo.files = kept
+    return removed
+
+
+def prune_forks(corpus: Corpus, similarity: float = 0.9) -> int:
+    """Drop repositories whose file-content set overlaps an earlier
+    repository by at least ``similarity`` (Jaccard); returns how many
+    repositories were removed."""
+    kept: list[Repository] = []
+    fingerprints: list[set[str]] = []
+    removed = 0
+    for repo in corpus.repositories:
+        hashes = {_digest(f.source) for f in repo.files}
+        is_fork = any(
+            hashes and _jaccard(hashes, other) >= similarity for other in fingerprints
+        )
+        if is_fork:
+            removed += 1
+            continue
+        kept.append(repo)
+        fingerprints.append(hashes)
+    corpus.repositories = kept
+    return removed
+
+
+def _jaccard(a: set[str], b: set[str]) -> float:
+    union = len(a | b)
+    return len(a & b) / union if union else 0.0
+
+
+def dedup_corpus(corpus: Corpus) -> tuple[int, int]:
+    """Fork pruning followed by file-level dedup, as in the paper.
+    Returns (repositories removed, files removed)."""
+    forks = prune_forks(corpus)
+    files = dedup_files(corpus)
+    return forks, files

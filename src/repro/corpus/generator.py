@@ -1,0 +1,520 @@
+"""Synthetic Big Code generator for Python (dataset substitution).
+
+The paper mines naming idioms from ~1M GitHub Python files.  Offline,
+this generator plays the role of GitHub: it emits repositories of
+idiomatic Python built from a library of *fragment* templates (unittest
+test classes, constructors, numpy usage, setters, loops, ...) with a
+seeded RNG driving name choices, so naming idioms are statistically
+common while individual identifiers vary realistically.
+
+Three kinds of content are produced:
+
+* **Idiomatic code** — the overwhelming majority; this is what the
+  FP-tree miner learns patterns from.
+* **Injected naming issues** — at a configurable rate, a fragment is
+  generated with a known mistake (wrong assert API, deprecated call,
+  typo, inconsistent constructor assignment, ``**args``, single-letter
+  alias, ...).  Each is recorded as ground truth with its category from
+  Section 5.1 / Table 4, replacing the paper's human inspection.
+* **Benign deviations** — rare-but-legitimate code that violates the
+  common idiom (a repo-local house style, a deliberately different
+  name).  These become the *false positives* that the defect classifier
+  must learn to prune.  They repeat within their repository, which is
+  what makes the repo-level statistics of Table 1 informative.
+
+Commit histories: separately generated (before, after) file pairs in
+which a mistake of the same kind is fixed, feeding the confusing-word
+pair miner exactly like real GitHub histories do.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.corpus.model import (
+    Commit,
+    Corpus,
+    GroundTruthIssue,
+    IssueCategory,
+    Repository,
+    SourceFile,
+)
+from repro.corpus.vocabulary import Vocabulary
+
+__all__ = ["GeneratorConfig", "PythonCorpusGenerator", "generate_python_corpus"]
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Size and noise knobs for the synthetic corpus."""
+
+    num_repos: int = 40
+    min_files_per_repo: int = 3
+    max_files_per_repo: int = 7
+    min_fragments_per_file: int = 2
+    max_fragments_per_file: int = 5
+    #: probability that a fragment carries an injected naming issue
+    issue_rate: float = 0.10
+    #: probability that a fragment is a benign deviation from the idiom
+    deviation_rate: float = 0.06
+    #: historical fix commits generated per repository
+    commits_per_repo: int = 4
+    seed: int = 20210620
+
+
+@dataclass
+class _FileBuilder:
+    """Accumulates lines and ground truth while a file is generated."""
+
+    repo: str
+    path: str
+    lines: list[str] = field(default_factory=list)
+    issues: list[GroundTruthIssue] = field(default_factory=list)
+
+    def add(self, text: str = "") -> int:
+        """Append one line; returns its 1-based line number."""
+        self.lines.append(text)
+        return len(self.lines)
+
+    def mark(
+        self, line: int, observed: str, suggested: str, category: IssueCategory, why: str
+    ) -> None:
+        self.issues.append(
+            GroundTruthIssue(
+                repo=self.repo,
+                file_path=self.path,
+                line=line,
+                observed=observed,
+                suggested=suggested,
+                category=category,
+                description=why,
+            )
+        )
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class PythonCorpusGenerator:
+    """Generates a :class:`Corpus` of synthetic Python repositories."""
+
+    def __init__(self, config: GeneratorConfig = GeneratorConfig()) -> None:
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.vocab = Vocabulary(self.rng)
+
+    # ------------------------------------------------------------------
+
+    def generate(self) -> Corpus:
+        corpus = Corpus(language="python")
+        for repo_index in range(self.config.num_repos):
+            repo_name = f"repo_{repo_index:03d}"
+            repository = Repository(name=repo_name)
+            # Each repo has a "house style" deviation it may repeat.
+            house_deviation = self.rng.choice(_DEVIATION_KINDS)
+            num_files = self.rng.randint(
+                self.config.min_files_per_repo, self.config.max_files_per_repo
+            )
+            for file_index in range(num_files):
+                builder = _FileBuilder(
+                    repo=repo_name, path=f"{repo_name}/module_{file_index}.py"
+                )
+                self._emit_file(builder, house_deviation)
+                repository.files.append(
+                    SourceFile(path=builder.path, source=builder.source())
+                )
+                corpus.ground_truth.extend(builder.issues)
+            corpus.repositories.append(repository)
+            corpus.commits.extend(self._emit_commits(repo_name))
+        return corpus
+
+    # ------------------------------------------------------------------
+    # File assembly
+    # ------------------------------------------------------------------
+
+    def _emit_file(self, b: _FileBuilder, house_deviation: str) -> None:
+        b.add("import os")
+        b.add("import numpy as np")
+        b.add("from unittest import TestCase")
+        b.add()
+        count = self.rng.randint(
+            self.config.min_fragments_per_file, self.config.max_fragments_per_file
+        )
+        kinds = list(_FRAGMENT_WEIGHTS)
+        weights = list(_FRAGMENT_WEIGHTS.values())
+        for _ in range(count):
+            fragment = self.rng.choices(kinds, weights=weights, k=1)[0]
+            inject = self.rng.random() < self.config.issue_rate
+            deviate = (not inject) and self.rng.random() < self.config.deviation_rate
+            if deviate and self.rng.random() < 0.4:
+                # One-off benign deviation, not the repo's house style:
+                # deliberate code that merely looks like a naming issue.
+                deviation: str | None = self.rng.choice(_ONEOFF_DEVIATIONS)
+            elif deviate:
+                deviation = house_deviation
+            else:
+                deviation = None
+            getattr(self, f"_frag_{fragment}")(b, inject=inject, deviation=deviation)
+            b.add()
+
+    # ------------------------------------------------------------------
+    # Fragments.  Each emits idiomatic code; with ``inject`` it plants a
+    # known naming issue; with ``deviation`` it emits the repo's benign
+    # house-style deviation instead.
+    # ------------------------------------------------------------------
+
+    def _frag_test_class(self, b: _FileBuilder, inject: bool, deviation: str | None) -> None:
+        cls = f"Test{self.vocab.pascal_name(1)}"
+        b.add(f"class {cls}(TestCase):")
+        methods = self.rng.randint(2, 3)
+        injected = False
+        for _ in range(methods):
+            noun = self.vocab.noun()
+            attr = self.vocab.attribute()
+            b.add(f"    def test_{noun}_{attr}(self):")
+            b.add(f"        {noun} = self.build_{noun}()")
+            expected = self.rng.randint(1, 99)
+            if inject and not injected:
+                injected = True
+                style = self.rng.random()
+                if style < 0.5:
+                    line = b.add(
+                        f"        self.assertTrue({noun}.{attr}, {expected})"
+                    )
+                    b.mark(
+                        line, "True", "Equal", IssueCategory.SEMANTIC_DEFECT,
+                        "assertTrue with a comparison value; assertEqual intended",
+                    )
+                else:
+                    line = b.add(
+                        f"        self.assertEquals({noun}.{attr}, {expected})"
+                    )
+                    b.mark(
+                        line, "Equals", "Equal", IssueCategory.SEMANTIC_DEFECT,
+                        "deprecated unittest alias assertEquals",
+                    )
+            else:
+                b.add(f"        self.assertEqual({noun}.{attr}, {expected})")
+            if self.rng.random() < 0.5:
+                # Path-check asserts are part of the idiom; the rare
+                # islink/isdir variants are correct code that the
+                # dominant 'exists' pattern will flag — the paper's
+                # Example 7 false positive.
+                predicate = self.rng.choices(
+                    ["exists", "islink", "isdir"], weights=[90, 5, 5], k=1
+                )[0]
+                b.add(f"        self.assertTrue(os.path.{predicate}({noun}.path))")
+
+    #: constructor attributes and the literal kind a caller passes
+    _INIT_ATTRS = {
+        "name": '"{w}"', "path": '"/tmp/{w}"', "owner": '"{w}"', "label": '"{w}"',
+        "port": "{n}", "size": "{n}", "limit": "{n}", "state": "{n}",
+    }
+
+    def _frag_init_class(self, b: _FileBuilder, inject: bool, deviation: str | None) -> None:
+        cls = self.vocab.pascal_name(2)
+        attrs = self.rng.sample(list(self._INIT_ATTRS), k=self.rng.randint(2, 4))
+        b.add(f"class {cls}:")
+        b.add(f"    def __init__(self, {', '.join(attrs)}):")
+        injected = False
+        for attr in attrs:
+            if inject and not injected:
+                injected = True
+                style = self.rng.random()
+                if style < 0.5:
+                    wrong = self.vocab.typo(attr)
+                    line = b.add(f"        self.{attr} = {wrong}")
+                    b.mark(
+                        line, wrong, attr, IssueCategory.TYPO,
+                        "typo on the right-hand side of a constructor assignment",
+                    )
+                else:
+                    other = self.vocab.attribute()
+                    if other == attr:
+                        other = "data"
+                    line = b.add(f"        self.{other} = {attr}")
+                    b.mark(
+                        line, attr, other, IssueCategory.INCONSISTENT_NAME,
+                        "constructor stores a parameter under a different name",
+                    )
+            elif deviation == "renamed_field":
+                b.add(f"        self.inner_{attr} = {attr}")
+            elif deviation == "aliased_field":
+                # Deliberate: the parameter feeds a differently-named
+                # field (e.g. ``self.owner = name``).  Violates the
+                # consistency idiom yet is not an issue — a false
+                # positive indistinguishable from an injected one.
+                alias = self.vocab.attribute()
+                if alias == attr:
+                    alias = "source"
+                b.add(f"        self.{alias} = {attr}")
+                deviation = None
+            else:
+                b.add(f"        self.{attr} = {attr}")
+        # A caller instantiating the class with literals: the points-to
+        # analysis flows these into __init__'s parameters, typing the
+        # constructor idiom with Str/Num origins (as in Example 3.8).
+        word = self.vocab.noun()
+        literals = [
+            self._INIT_ATTRS[a].format(w=word, n=self.rng.randint(1, 9000))
+            for a in attrs
+        ]
+        b.add()
+        b.add(f"def make_{cls.lower()}():")
+        b.add(f"    return {cls}({', '.join(literals)})")
+
+    def _frag_setters(self, b: _FileBuilder, inject: bool, deviation: str | None) -> None:
+        cls = self.vocab.pascal_name(1) + "Holder"
+        attrs = self.rng.sample(
+            ["fullpath", "title", "scale", "color", "level", "rate"],
+            k=self.rng.randint(2, 3),
+        )
+        b.add(f"class {cls}:")
+        injected = False
+        for attr in attrs:
+            b.add(f"    def {attr}_set(self, {attr if not (inject and not injected) else 'value'}):")
+            if inject and not injected:
+                injected = True
+                line = b.add(f"        self._{attr} = value")
+                b.mark(
+                    line, "value", attr, IssueCategory.MINOR_ISSUE,
+                    "setter parameter should carry the attribute's name",
+                )
+            else:
+                b.add(f"        self._{attr} = {attr}")
+
+    def _frag_numpy_block(self, b: _FileBuilder, inject: bool, deviation: str | None) -> None:
+        fn = f"{self.vocab.verb()}_{self.vocab.noun()}_array"
+        size = self.rng.randint(2, 16)
+        if inject:
+            b.add("import numpy as N")
+            b.add(f"def {fn}(sz):")
+            line = b.add("    return N.array(sz)")
+            b.mark(
+                line, "N", "np", IssueCategory.CONFUSING_NAME,
+                "nonstandard alias for numpy; np is the convention",
+            )
+        else:
+            b.add(f"def {fn}(sz):")
+            b.add(f"    data = np.zeros({size})")
+            b.add("    return np.array(sz) + data")
+
+    def _frag_kwargs_func(self, b: _FileBuilder, inject: bool, deviation: str | None) -> None:
+        fn = f"{self.vocab.verb()}_{self.vocab.noun()}"
+        if inject:
+            b.add(f"def {fn}(self, options, **args):")
+            line = len(b.lines)
+            b.mark(
+                line, "args", "kwargs", IssueCategory.CONFUSING_NAME,
+                "keyworded variable arguments should be named kwargs",
+            )
+            b.add("    self.options = options")
+            b.add("    self.extra = args")
+        else:
+            b.add(f"def {fn}(self, options, **kwargs):")
+            b.add("    self.options = options")
+            b.add("    self.extra = kwargs")
+
+    def _frag_loop_func(self, b: _FileBuilder, inject: bool, deviation: str | None) -> None:
+        fn = f"{self.vocab.verb()}_all_{self.vocab.noun()}s"
+        bound = self.rng.randint(5, 40)
+        b.add(f"def {fn}(items):")
+        b.add("    total = 0")
+        if inject:
+            line = b.add(f"    for i in xrange({bound}):")
+            b.mark(
+                line, "xrange", "range", IssueCategory.SEMANTIC_DEFECT,
+                "xrange was removed in Python 3",
+            )
+        else:
+            b.add(f"    for i in range({bound}):")
+        b.add("        total += i")
+        b.add("    return total")
+
+    def _frag_handler_class(self, b: _FileBuilder, inject: bool, deviation: str | None) -> None:
+        cls = self.vocab.pascal_name(1) + "Handler"
+        events = self.rng.sample(["click", "close", "change", "submit", "resize"], k=2)
+        b.add(f"class {cls}:")
+        injected = False
+        for event_name in events:
+            if inject and not injected:
+                injected = True
+                b.add(f"    def on_{event_name}(self, e):")
+                line = len(b.lines)
+                b.mark(
+                    line, "e", "event", IssueCategory.INDESCRIPTIVE_NAME,
+                    "single-letter parameter where the idiom uses 'event'",
+                )
+                b.add("        self.last_event = e")
+            else:
+                b.add(f"    def on_{event_name}(self, event):")
+                b.add("        self.last_event = event")
+
+    def _frag_builder_class(
+        self, b: _FileBuilder, inject: bool, deviation: str | None
+    ) -> None:
+        """A linked-structure builder whose fields deliberately differ
+        from its parameter names (``self.data = payload``).  These are
+        perfectly good names; without the Str/Num origin conditions the
+        consistency patterns match here and either flood false positives
+        or get pruned away ("w/o A")."""
+        cls = self.vocab.pascal_name(1) + "Node"
+        pairs = self.rng.sample(
+            [("data", "payload"), ("owner", "parent"), ("succ", "target"),
+             ("head", "front"), ("tail", "rear")],
+            k=2,
+        )
+        b.add(f"class {cls}:")
+        b.add(f"    def __init__(self, {', '.join(p for _, p in pairs)}):")
+        for fld, param in pairs:
+            b.add(f"        self.{fld} = {param}")
+        b.add()
+        b.add(f"def link_{cls.lower()}(existing, other):")
+        b.add(f"    return {cls}(existing, other)")
+
+    def _frag_validator_class(
+        self, b: _FileBuilder, inject: bool, deviation: str | None
+    ) -> None:
+        """A custom validator whose own two-argument ``assertTrue`` is
+        legitimate.  Only the points-to analysis can distinguish these
+        receivers from ``unittest.TestCase`` ones: without origins the
+        assert name patterns fire here and produce false positives,
+        which is precisely the paper's argument for the analyses
+        (Table 2, "w/o A")."""
+        cls = self.vocab.pascal_name(1) + "Validator"
+        attrs = self.rng.sample(
+            ["angle", "score", "limit", "offset", "weight"], k=2
+        )
+        b.add(f"class {cls}:")
+        b.add("    def assertTrue(self, value, expected):")
+        b.add("        if value != expected:")
+        b.add("            self.errors += 1")
+        for attr in attrs:
+            bound = self.rng.randint(1, 99)
+            b.add(f"    def check_{attr}(self, record):")
+            b.add(f"        self.assertTrue(record.{attr}, {bound})")
+
+    # ------------------------------------------------------------------
+    # Commit histories (for confusing word pair mining)
+    # ------------------------------------------------------------------
+
+    def _emit_commits(self, repo_name: str) -> list[Commit]:
+        """Historical fixes: each commit repairs one mistake of a kind
+        the corpus also contains, yielding the paper's confusing pairs
+        ((True, Equal), (xrange, range), (args, kwargs), typos, ...)."""
+        commits = []
+        for commit_index in range(self.config.commits_per_repo):
+            kind = self.rng.choice(_FIX_KINDS)
+            before, after = getattr(self, f"_fix_{kind}")()
+            commits.append(
+                Commit(
+                    repo=repo_name,
+                    path=f"{repo_name}/history_{commit_index}.py",
+                    before=before,
+                    after=after,
+                )
+            )
+        return commits
+
+    def _fix_assert_true(self) -> tuple[str, str]:
+        noun, attr = self.vocab.noun(), self.vocab.attribute()
+        value = self.rng.randint(1, 99)
+        template = (
+            "class TestFix(TestCase):\n"
+            "    def test_{n}(self):\n"
+            "        self.{call}({n}.{a}, {v})\n"
+        )
+        before = template.format(n=noun, a=attr, v=value, call="assertTrue")
+        after = template.format(n=noun, a=attr, v=value, call="assertEqual")
+        return before, after
+
+    def _fix_assert_equals(self) -> tuple[str, str]:
+        noun, attr = self.vocab.noun(), self.vocab.attribute()
+        value = self.rng.randint(1, 99)
+        template = (
+            "class TestFix(TestCase):\n"
+            "    def test_{n}(self):\n"
+            "        self.{call}({n}.{a}, {v})\n"
+        )
+        before = template.format(n=noun, a=attr, v=value, call="assertEquals")
+        after = template.format(n=noun, a=attr, v=value, call="assertEqual")
+        return before, after
+
+    def _fix_xrange(self) -> tuple[str, str]:
+        bound = self.rng.randint(5, 40)
+        template = "def walk(items):\n    for i in {call}({v}):\n        items.append(i)\n"
+        return (
+            template.format(call="xrange", v=bound),
+            template.format(call="range", v=bound),
+        )
+
+    def _fix_kwargs(self) -> tuple[str, str]:
+        fn = self.vocab.verb()
+        template = "def {fn}(self, options, **{name}):\n    self.extra = {name}\n"
+        return (
+            template.format(fn=fn, name="args"),
+            template.format(fn=fn, name="kwargs"),
+        )
+
+    def _fix_alias(self) -> tuple[str, str]:
+        template = "import numpy as {alias}\ndef make(sz):\n    return {alias}.array(sz)\n"
+        return template.format(alias="N"), template.format(alias="np")
+
+    def _fix_path_check(self) -> tuple[str, str]:
+        noun = self.vocab.noun()
+        wrong = self.rng.choice(["islink", "isdir"])
+        template = (
+            "class TestFix(TestCase):\n"
+            "    def test_{n}(self):\n"
+            "        self.assertTrue(os.path.{call}({n}.path))\n"
+        )
+        return (
+            template.format(n=noun, call=wrong),
+            template.format(n=noun, call="exists"),
+        )
+
+    def _fix_typo(self) -> tuple[str, str]:
+        attr = self.vocab.attribute()
+        wrong = self.vocab.typo(attr)
+        template = "class Conf:\n    def __init__(self, {p}):\n        self.{a} = {r}\n"
+        before = template.format(p=attr, a=attr, r=wrong)
+        after = template.format(p=attr, a=attr, r=attr)
+        return before, after
+
+
+#: Fragment sampling weights.  Test code is over-represented (as in the
+#: paper's dataset).  Validator classes are deliberately rare: rare
+#: enough that the assert idiom's satisfaction ratio survives pruning
+#: even without the analyses, yet present enough to cause false
+#: positives when origins are unavailable ("w/o A").
+_FRAGMENT_WEIGHTS = {
+    "test_class": 24,
+    "init_class": 20,
+    "builder_class": 7,
+    "setters": 11,
+    "numpy_block": 10,
+    "kwargs_func": 9,
+    "loop_func": 9,
+    "handler_class": 7,
+    "validator_class": 5,
+}
+
+_DEVIATION_KINDS = ["renamed_field"]
+
+_ONEOFF_DEVIATIONS = ["aliased_field"]
+
+_FIX_KINDS = [
+    "assert_true",
+    "assert_equals",
+    "xrange",
+    "kwargs",
+    "alias",
+    "typo",
+    "path_check",
+]
+
+
+def generate_python_corpus(config: GeneratorConfig = GeneratorConfig()) -> Corpus:
+    """Convenience entry point."""
+    return PythonCorpusGenerator(config).generate()

@@ -1,0 +1,404 @@
+"""Synthetic Big Code generator for Java (dataset substitution).
+
+Mirror of :mod:`repro.corpus.generator` for the paper's Java
+evaluation (Section 5.3): idiomatic fragments (JUnit test classes,
+constructors, getters/setters, Android activity code, exception
+handling, loops) with injected issues matching the kinds in Table 6 —
+``getStackTrace()`` whose result is dropped, ``double`` loop indexes,
+``catch (Throwable ...)``, typos, indescriptive ``Intent i``, and
+type/variable naming inconsistencies — plus benign deviations and
+historical fix commits for confusing-pair mining.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.corpus.generator import GeneratorConfig, _FileBuilder
+from repro.corpus.model import (
+    Commit,
+    Corpus,
+    IssueCategory,
+    Repository,
+    SourceFile,
+)
+from repro.corpus.vocabulary import Vocabulary
+
+__all__ = ["JavaCorpusGenerator", "generate_java_corpus"]
+
+
+@dataclass(frozen=True)
+class _JavaWeights:
+    test_class: int = 24
+    init_class: int = 20
+    activity_class: int = 12
+    catch_block: int = 12
+    loop_method: int = 10
+    setters: int = 10
+    writer_method: int = 7
+    checker_class: int = 3
+
+
+class JavaCorpusGenerator:
+    """Generates a :class:`Corpus` of synthetic Java repositories."""
+
+    def __init__(self, config: GeneratorConfig = GeneratorConfig()) -> None:
+        self.config = config
+        self.rng = random.Random(config.seed + 1)
+        self.vocab = Vocabulary(self.rng)
+        self.weights = _JavaWeights()
+
+    # ------------------------------------------------------------------
+
+    def generate(self) -> Corpus:
+        corpus = Corpus(language="java")
+        for repo_index in range(self.config.num_repos):
+            repo_name = f"jrepo_{repo_index:03d}"
+            repository = Repository(name=repo_name)
+            num_files = self.rng.randint(
+                self.config.min_files_per_repo, self.config.max_files_per_repo
+            )
+            for file_index in range(num_files):
+                builder = _FileBuilder(
+                    repo=repo_name, path=f"{repo_name}/Module{file_index}.java"
+                )
+                self._emit_file(builder)
+                repository.files.append(
+                    SourceFile(
+                        path=builder.path, source=builder.source(), language="java"
+                    )
+                )
+                corpus.ground_truth.extend(builder.issues)
+            corpus.repositories.append(repository)
+            corpus.commits.extend(self._emit_commits(repo_name))
+        return corpus
+
+    def _emit_file(self, b: _FileBuilder) -> None:
+        b.add("import java.util.List;")
+        b.add("import android.content.Intent;")
+        b.add()
+        kinds = list(vars(self.weights))
+        weights = [getattr(self.weights, k) for k in kinds]
+        count = self.rng.randint(
+            self.config.min_fragments_per_file, self.config.max_fragments_per_file
+        )
+        for _ in range(count):
+            fragment = self.rng.choices(kinds, weights=weights, k=1)[0]
+            inject = self.rng.random() < self.config.issue_rate
+            getattr(self, f"_frag_{fragment}")(b, inject=inject)
+            b.add()
+
+    # ------------------------------------------------------------------
+    # Fragments
+    # ------------------------------------------------------------------
+
+    def _frag_test_class(self, b: _FileBuilder, inject: bool) -> None:
+        cls = f"{self.vocab.pascal_name(1)}Test"
+        b.add(f"public class {cls} extends TestCase {{")
+        injected = False
+        for _ in range(self.rng.randint(2, 3)):
+            noun = self.vocab.noun()
+            attr = self.vocab.attribute()
+            expected = self.rng.randint(1, 99)
+            b.add(f"    public void test{noun.capitalize()}{attr.capitalize()}() {{")
+            b.add(f"        {noun.capitalize()} {noun} = this.build{noun.capitalize()}();")
+            if inject and not injected:
+                injected = True
+                line = b.add(
+                    f"        this.assertTrue({noun}.get{attr.capitalize()}(), {expected});"
+                )
+                b.mark(
+                    line, "True", "Equals", IssueCategory.SEMANTIC_DEFECT,
+                    "assertTrue with a comparison value; assertEquals intended",
+                )
+            else:
+                b.add(
+                    f"        this.assertEquals({noun}.get{attr.capitalize()}(), {expected});"
+                )
+            b.add("    }")
+        b.add("}")
+
+    def _frag_init_class(self, b: _FileBuilder, inject: bool) -> None:
+        cls = self.vocab.pascal_name(2)
+        attr_types = {
+            "name": "String", "path": "String", "owner": "String", "label": "String",
+            "port": "int", "size": "int", "limit": "int", "state": "int",
+        }
+        attrs = self.rng.sample(list(attr_types), k=self.rng.randint(2, 3))
+        b.add(f"public class {cls} {{")
+        for attr in attrs:
+            b.add(f"    private {attr_types[attr]} {attr};")
+        params = ", ".join(f"{attr_types[a]} {a}" for a in attrs)
+        b.add(f"    public {cls}({params}) {{")
+        injected = False
+        for attr in attrs:
+            if inject and not injected:
+                injected = True
+                if self.rng.random() < 0.5:
+                    wrong = self.vocab.typo(attr)
+                    line = b.add(f"        this.{attr} = {wrong};")
+                    b.mark(
+                        line, wrong, attr, IssueCategory.TYPO,
+                        "typo on the right-hand side of a constructor assignment",
+                    )
+                else:
+                    other = self.vocab.attribute()
+                    if other == attr:
+                        other = "data"
+                    line = b.add(f"        this.{other} = {attr};")
+                    b.mark(
+                        line, attr, other, IssueCategory.INCONSISTENT_NAME,
+                        "constructor stores a parameter under a different name",
+                    )
+            elif self.rng.random() < 0.05:
+                # Benign one-off: a deliberately different field name —
+                # a false positive for the consistency patterns.
+                alias = self.vocab.attribute()
+                if alias == attr:
+                    alias = "source"
+                b.add(f"        this.{alias} = {attr};")
+            else:
+                b.add(f"        this.{attr} = {attr};")
+        b.add("    }")
+        b.add("}")
+
+    def _frag_activity_class(self, b: _FileBuilder, inject: bool) -> None:
+        """The Android idiom of Table 6: an Intent variable should be
+        named ``intent``; ``Intent i`` is the injected quality issue."""
+        cls = f"{self.vocab.pascal_name(1)}Activity"
+        target = f"{self.vocab.pascal_name(1)}Screen"
+        b.add(f"public class {cls} extends Activity {{")
+        b.add("    public void openNext(Context context) {")
+        if inject:
+            line = b.add(f"        Intent i = new Intent(context, {target}.class);")
+            b.mark(
+                line, "i", "intent", IssueCategory.INDESCRIPTIVE_NAME,
+                "single-letter name for an Intent local",
+            )
+            b.add("        context.startActivity(i);")
+        else:
+            b.add(f"        Intent intent = new Intent(context, {target}.class);")
+            b.add("        context.startActivity(intent);")
+        b.add("    }")
+        b.add("}")
+
+    def _frag_catch_block(self, b: _FileBuilder, inject: bool) -> None:
+        """Exception idioms of Table 6: catch Exception (not Throwable)
+        and call printStackTrace (not drop getStackTrace's result)."""
+        fn = f"run{self.vocab.pascal_name(1)}"
+        b.add(f"public class {self.vocab.pascal_name(1)}Runner {{")
+        b.add(f"    public void {fn}(Worker worker) {{")
+        b.add("        try {")
+        b.add("            worker.execute();")
+        style = self.rng.random()
+        if inject and style < 0.5:
+            line = b.add("        } catch (Throwable e) {")
+            b.mark(
+                line, "Throwable", "Exception", IssueCategory.SEMANTIC_DEFECT,
+                "catching Throwable also catches Error",
+            )
+            b.add("            e.printStackTrace();")
+        elif inject:
+            b.add("        } catch (Exception e) {")
+            line = b.add("            e.getStackTrace();")
+            b.mark(
+                line, "get", "print", IssueCategory.SEMANTIC_DEFECT,
+                "getStackTrace result dropped; printStackTrace intended",
+            )
+        else:
+            b.add("        } catch (Exception e) {")
+            b.add("            e.printStackTrace();")
+        b.add("        }")
+        b.add("    }")
+        b.add("}")
+
+    def _frag_loop_method(self, b: _FileBuilder, inject: bool) -> None:
+        """Loop index types (Table 6 example 2: double index -> int)."""
+        fn = f"sum{self.vocab.pascal_name(1)}"
+        bound = self.rng.randint(5, 50)
+        b.add(f"public class {self.vocab.pascal_name(1)}Math {{")
+        b.add(f"    public int {fn}(int chainlength) {{")
+        b.add("        int total = 0;")
+        if inject:
+            line = b.add(f"        for (double i = 1; i < chainlength; i++) {{")
+            b.mark(
+                line, "double", "int", IssueCategory.SEMANTIC_DEFECT,
+                "floating-point loop index",
+            )
+        else:
+            b.add(f"        for (int i = 1; i < {bound}; i++) {{")
+        b.add("            total += i;")
+        b.add("        }")
+        b.add("        return total;")
+        b.add("    }")
+        b.add("}")
+
+    def _frag_setters(self, b: _FileBuilder, inject: bool) -> None:
+        cls = self.vocab.pascal_name(1) + "Holder"
+        attrs = self.rng.sample(
+            ["fullpath", "title", "scale", "color", "level", "rate"], k=2
+        )
+        b.add(f"public class {cls} {{")
+        injected = False
+        for attr in attrs:
+            b.add(f"    private String {attr};")
+            param = "value" if inject and not injected else attr
+            b.add(f"    public void set{attr.capitalize()}(String {param}) {{")
+            if inject and not injected:
+                injected = True
+                line = b.add(f"        this.{attr} = value;")
+                b.mark(
+                    line, "value", attr, IssueCategory.MINOR_ISSUE,
+                    "setter parameter should carry the attribute's name",
+                )
+            else:
+                b.add(f"        this.{attr} = {attr};")
+            b.add("    }")
+        b.add("}")
+
+    def _frag_writer_method(self, b: _FileBuilder, inject: bool) -> None:
+        """Type/variable consistency idiom: ``StringWriter stringWriter``.
+        The benign deviation (``outputWriter``) reproduces the paper's
+        Table 6 false positive; no ground truth is recorded for it."""
+        fn = f"render{self.vocab.pascal_name(1)}"
+        deviate = (not inject) and self.rng.random() < 0.08
+        name = "outputWriter" if deviate else "stringWriter"
+        b.add(f"public class {self.vocab.pascal_name(1)}Renderer {{")
+        b.add(f"    public String {fn}(Report report) {{")
+        b.add(f"        StringWriter {name} = new StringWriter();")
+        b.add(f"        report.writeTo({name});")
+        b.add(f"        return {name}.toString();")
+        b.add("    }")
+        b.add("}")
+
+    def _frag_checker_class(self, b: _FileBuilder, inject: bool) -> None:
+        """Non-TestCase class with a legitimate two-argument assertTrue;
+        only the analysis distinguishes it from test code."""
+        cls = self.vocab.pascal_name(1) + "Checker"
+        attrs = self.rng.sample(["angle", "score", "limit", "offset"], k=2)
+        b.add(f"public class {cls} {{")
+        b.add("    private int errors;")
+        b.add("    public void assertTrue(int value, int expected) {")
+        b.add("        if (value != expected) {")
+        b.add("            this.errors += 1;")
+        b.add("        }")
+        b.add("    }")
+        for attr in attrs:
+            bound = self.rng.randint(1, 99)
+            b.add(f"    public void check{attr.capitalize()}(Record record) {{")
+            b.add(f"        this.assertTrue(record.get{attr.capitalize()}(), {bound});")
+            b.add("    }")
+        b.add("}")
+
+    # ------------------------------------------------------------------
+    # Commits
+    # ------------------------------------------------------------------
+
+    def _emit_commits(self, repo_name: str) -> list[Commit]:
+        fixes = [
+            self._fix_assert_true,
+            self._fix_double_index,
+            self._fix_throwable,
+            self._fix_stack_trace,
+            self._fix_intent_name,
+            self._fix_typo,
+        ]
+        commits = []
+        for commit_index in range(self.config.commits_per_repo):
+            before, after = self.rng.choice(fixes)()
+            commits.append(
+                Commit(
+                    repo=repo_name,
+                    path=f"{repo_name}/History{commit_index}.java",
+                    before=before,
+                    after=after,
+                    language="java",
+                )
+            )
+        return commits
+
+    def _fix_assert_true(self) -> tuple[str, str]:
+        noun = self.vocab.noun()
+        value = self.rng.randint(1, 99)
+        template = (
+            "public class FixTest extends TestCase {{\n"
+            "    public void test{N}() {{\n"
+            "        this.{call}({n}.getCount(), {v});\n"
+            "    }}\n"
+            "}}\n"
+        )
+        fmt = dict(N=noun.capitalize(), n=noun, v=value)
+        return (
+            template.format(call="assertTrue", **fmt),
+            template.format(call="assertEquals", **fmt),
+        )
+
+    def _fix_double_index(self) -> tuple[str, str]:
+        template = (
+            "public class Fix {{\n"
+            "    public void walk(int n) {{\n"
+            "        for ({t} i = 0; i < n; i++) {{\n"
+            "            use(i);\n"
+            "        }}\n"
+            "    }}\n"
+            "}}\n"
+        )
+        return template.format(t="double"), template.format(t="int")
+
+    def _fix_throwable(self) -> tuple[str, str]:
+        template = (
+            "public class Fix {\n"
+            "    public void run(Worker worker) {\n"
+            "        try {\n"
+            "            worker.execute();\n"
+            "        } catch (%s e) {\n"
+            "            e.printStackTrace();\n"
+            "        }\n"
+            "    }\n"
+            "}\n"
+        )
+        return template % "Throwable", template % "Exception"
+
+    def _fix_stack_trace(self) -> tuple[str, str]:
+        template = (
+            "public class Fix {\n"
+            "    public void run(Worker worker) {\n"
+            "        try {\n"
+            "            worker.execute();\n"
+            "        } catch (Exception e) {\n"
+            "            e.%sStackTrace();\n"
+            "        }\n"
+            "    }\n"
+            "}\n"
+        )
+        return template % "get", template % "print"
+
+    def _fix_intent_name(self) -> tuple[str, str]:
+        template = (
+            "public class Fix extends Activity {{\n"
+            "    public void open(Context context) {{\n"
+            "        Intent {n} = new Intent(context, Next.class);\n"
+            "        context.startActivity({n});\n"
+            "    }}\n"
+            "}}\n"
+        )
+        return template.format(n="i"), template.format(n="intent")
+
+    def _fix_typo(self) -> tuple[str, str]:
+        attr = self.vocab.attribute()
+        wrong = self.vocab.typo(attr)
+        template = (
+            "public class Fix {{\n"
+            "    private String {a};\n"
+            "    public Fix(String {a}) {{\n"
+            "        this.{a} = {r};\n"
+            "    }}\n"
+            "}}\n"
+        )
+        return template.format(a=attr, r=wrong), template.format(a=attr, r=attr)
+
+
+def generate_java_corpus(config: GeneratorConfig = GeneratorConfig()) -> Corpus:
+    """Convenience entry point."""
+    return JavaCorpusGenerator(config).generate()

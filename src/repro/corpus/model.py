@@ -1,0 +1,115 @@
+"""Data model for a Big Code corpus.
+
+The paper mines ~1M Python and ~4M Java files from 33k GitHub
+repositories plus their full commit histories.  This module defines the
+corpus shape that the rest of the system consumes; the synthetic
+generator (:mod:`repro.corpus.generator`) produces instances of it, and
+nothing downstream knows whether the corpus came from GitHub or from
+the generator.
+
+Ground truth: the synthetic generator knows exactly which naming issues
+it injected, recorded as :class:`GroundTruthIssue` rows.  The labeling
+oracle (:mod:`repro.evaluation.oracle`) uses them in place of the
+paper's human inspectors.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "IssueCategory",
+    "SourceFile",
+    "Repository",
+    "Commit",
+    "GroundTruthIssue",
+    "Corpus",
+]
+
+
+class IssueCategory(enum.Enum):
+    """The report taxonomy of Section 5.1 plus the Table 4 breakdown."""
+
+    SEMANTIC_DEFECT = "semantic defect"
+    CONFUSING_NAME = "confusing name"
+    INDESCRIPTIVE_NAME = "indescriptive name"
+    INCONSISTENT_NAME = "inconsistent name"
+    MINOR_ISSUE = "minor issue"
+    TYPO = "typo"
+
+    @property
+    def is_code_quality(self) -> bool:
+        return self is not IssueCategory.SEMANTIC_DEFECT
+
+
+@dataclass
+class SourceFile:
+    """One source file within a repository."""
+
+    path: str
+    source: str
+    language: str = "python"
+
+
+@dataclass
+class Repository:
+    """A repository: files plus name."""
+
+    name: str
+    files: list[SourceFile] = field(default_factory=list)
+
+    def file_count(self) -> int:
+        return len(self.files)
+
+
+@dataclass
+class Commit:
+    """A before/after pair for one file, used for mining confusing
+    word pairs from histories."""
+
+    repo: str
+    path: str
+    before: str
+    after: str
+    language: str = "python"
+
+
+@dataclass(frozen=True)
+class GroundTruthIssue:
+    """One injected naming issue with its exact location and fix."""
+
+    repo: str
+    file_path: str
+    line: int
+    observed: str
+    suggested: str
+    category: IssueCategory
+    description: str = ""
+
+
+@dataclass
+class Corpus:
+    """A full dataset: repositories, histories, and ground truth."""
+
+    repositories: list[Repository] = field(default_factory=list)
+    commits: list[Commit] = field(default_factory=list)
+    ground_truth: list[GroundTruthIssue] = field(default_factory=list)
+    language: str = "python"
+
+    def files(self) -> Iterator[tuple[Repository, SourceFile]]:
+        for repo in self.repositories:
+            for f in repo.files:
+                yield repo, f
+
+    def file_count(self) -> int:
+        return sum(r.file_count() for r in self.repositories)
+
+    def truth_at(self, file_path: str, line: int) -> GroundTruthIssue | None:
+        """Ground truth lookup by location (linear scan is fine: ground
+        truth sets are small relative to corpora)."""
+        for issue in self.ground_truth:
+            if issue.file_path == file_path and issue.line == line:
+                return issue
+        return None

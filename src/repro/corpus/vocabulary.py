@@ -1,0 +1,87 @@
+"""Name vocabularies for the synthetic corpus generators.
+
+Realistic naming diversity matters: pattern mining must see many
+*different* receiver and variable names so that only genuinely common
+name paths stay above the frequency threshold and make it into pattern
+conditions (exactly as on real GitHub data).
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["NOUNS", "ADJECTIVES", "VERBS", "ATTRIBUTES", "Vocabulary"]
+
+NOUNS = [
+    "user", "picture", "record", "session", "node", "packet", "token",
+    "widget", "account", "message", "order", "device", "client", "server",
+    "buffer", "window", "layer", "model", "report", "task", "queue",
+    "cache", "image", "frame", "signal", "event", "handler", "worker",
+    "parser", "config", "option", "result", "status", "entry", "item",
+    "table", "column", "row", "field", "value", "index", "batch",
+    "stream", "channel", "socket", "request", "response", "payload",
+    "vector", "matrix", "angle", "offset", "score", "weight", "price",
+]
+
+ADJECTIVES = [
+    "new", "old", "first", "last", "next", "prev", "max", "min",
+    "total", "current", "active", "pending", "raw", "final", "base",
+    "local", "remote", "default", "temp", "main", "inner", "outer",
+]
+
+VERBS = [
+    "get", "set", "load", "save", "read", "write", "open", "close",
+    "send", "recv", "parse", "build", "create", "update", "delete",
+    "find", "count", "check", "reset", "apply", "merge", "split",
+]
+
+ATTRIBUTES = [
+    "name", "size", "count", "length", "width", "height", "depth",
+    "path", "port", "host", "kind", "state", "level", "limit",
+    "rate", "delay", "scale", "color", "label", "title", "owner",
+]
+
+
+class Vocabulary:
+    """Seeded name sampler shared by the generators."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+
+    def noun(self) -> str:
+        return self.rng.choice(NOUNS)
+
+    def adjective(self) -> str:
+        return self.rng.choice(ADJECTIVES)
+
+    def verb(self) -> str:
+        return self.rng.choice(VERBS)
+
+    def attribute(self) -> str:
+        return self.rng.choice(ATTRIBUTES)
+
+    def snake_name(self, parts: int = 2) -> str:
+        pieces = [self.adjective()] if parts > 1 else []
+        pieces += [self.noun() for _ in range(parts - len(pieces))]
+        return "_".join(pieces)
+
+    def camel_name(self, parts: int = 2) -> str:
+        pieces = self.snake_name(parts).split("_")
+        return pieces[0] + "".join(p.capitalize() for p in pieces[1:])
+
+    def pascal_name(self, parts: int = 2) -> str:
+        return "".join(p.capitalize() for p in self.snake_name(parts).split("_"))
+
+    def typo(self, name: str) -> str:
+        """Introduce a single-character typo into one subtoken."""
+        if len(name) < 3:
+            return name + name[-1]
+        pos = self.rng.randrange(1, len(name) - 1)
+        choice = self.rng.random()
+        if choice < 0.4:
+            return name[:pos] + name[pos + 1 :]  # deletion
+        if choice < 0.7:
+            return name[:pos] + name[pos] + name[pos:]  # duplication
+        swapped = list(name)
+        swapped[pos], swapped[pos - 1] = swapped[pos - 1], swapped[pos]
+        return "".join(swapped)

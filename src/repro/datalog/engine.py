@@ -1,0 +1,247 @@
+"""Semi-naive Datalog evaluation with stratified negation.
+
+The engine evaluates a :class:`Program` to a fixpoint.  Rules are
+compiled to left-to-right joins with per-predicate hash indexes on the
+bound argument positions; semi-naive iteration restricts one positive
+atom per rule to the delta of the previous round, so each derivation is
+considered once.
+
+Negation is stratified: the predicate dependency graph must have no
+negative edge inside a cycle; strata are evaluated bottom-up, so a
+negated atom is only consulted after its predicate is fully computed.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
+
+from repro.datalog.terms import Atom, Bind, BodyItem, Filter, Negation, Rule, Var
+
+__all__ = ["Program", "StratificationError"]
+
+Tuple_ = tuple[Hashable, ...]
+Bindings = dict[Var, Hashable]
+
+
+class StratificationError(ValueError):
+    """Raised when negation occurs inside a recursive cycle."""
+
+
+@dataclass
+class Program:
+    """A set of rules and base facts, evaluated on demand."""
+
+    rules: list[Rule] = field(default_factory=list)
+    facts: dict[str, set[Tuple_]] = field(default_factory=lambda: defaultdict(set))
+
+    def rule(self, head: Atom, *body: BodyItem) -> None:
+        self.rules.append(Rule(head=head, body=tuple(body)))
+
+    def fact(self, predicate: str, *args: Hashable) -> None:
+        self.facts[predicate].add(tuple(args))
+
+    def add_facts(self, predicate: str, rows: Iterable[Sequence[Hashable]]) -> None:
+        self.facts[predicate].update(tuple(r) for r in rows)
+
+    # ------------------------------------------------------------------
+
+    def solve(self) -> dict[str, set[Tuple_]]:
+        """Evaluate to fixpoint; returns all relations (base + derived)."""
+        database: dict[str, set[Tuple_]] = defaultdict(set)
+        for predicate, rows in self.facts.items():
+            database[predicate] |= rows
+        for stratum in self._stratify():
+            self._evaluate_stratum(stratum, database)
+        return dict(database)
+
+    def query(self, goal: Atom) -> list[Bindings]:
+        """Solve and match ``goal`` against the result."""
+        database = self.solve()
+        results: list[Bindings] = []
+        for row in database.get(goal.predicate, ()):
+            bindings = _unify(goal.args, row, {})
+            if bindings is not None:
+                results.append(bindings)
+        return results
+
+    # ------------------------------------------------------------------
+    # Stratification
+    # ------------------------------------------------------------------
+
+    def _stratify(self) -> list[list[Rule]]:
+        """Order rules into strata so negated predicates are complete
+        before use.  Raises :class:`StratificationError` on negative
+        cycles."""
+        level: dict[str, int] = defaultdict(int)
+        heads = {r.head.predicate for r in self.rules}
+        changed = True
+        iterations = 0
+        bound = (len(heads) + 1) * (len(self.rules) + 1) + 1
+        while changed:
+            iterations += 1
+            if iterations > bound:
+                raise StratificationError("negation inside a recursive cycle")
+            changed = False
+            for r in self.rules:
+                h = r.head.predicate
+                for p in r.positive_predicates():
+                    if level[h] < level[p]:
+                        level[h] = level[p]
+                        changed = True
+                for p in r.negative_predicates():
+                    if level[h] < level[p] + 1:
+                        level[h] = level[p] + 1
+                        changed = True
+        strata: dict[int, list[Rule]] = defaultdict(list)
+        for r in self.rules:
+            strata[level[r.head.predicate]].append(r)
+        return [strata[i] for i in sorted(strata)]
+
+    # ------------------------------------------------------------------
+    # Semi-naive evaluation of one stratum
+    # ------------------------------------------------------------------
+
+    def _evaluate_stratum(
+        self, rules: list[Rule], database: dict[str, set[Tuple_]]
+    ) -> None:
+        derived = {r.head.predicate for r in rules}
+
+        # Naive first round to seed the deltas.
+        delta: dict[str, set[Tuple_]] = defaultdict(set)
+        for rule in rules:
+            for row in self._apply(rule, database, delta=None):
+                if row not in database[rule.head.predicate]:
+                    database[rule.head.predicate].add(row)
+                    delta[rule.head.predicate].add(row)
+
+        while any(delta.values()):
+            next_delta: dict[str, set[Tuple_]] = defaultdict(set)
+            for rule in rules:
+                body_preds = rule.positive_predicates() & derived
+                if not body_preds & set(delta):
+                    continue
+                # One positive atom at a time is restricted to the delta.
+                positive_positions = [
+                    i
+                    for i, item in enumerate(rule.body)
+                    if isinstance(item, Atom) and item.predicate in delta
+                ]
+                for pos in positive_positions:
+                    for row in self._apply(rule, database, delta=delta, delta_pos=pos):
+                        if row not in database[rule.head.predicate]:
+                            database[rule.head.predicate].add(row)
+                            next_delta[rule.head.predicate].add(row)
+            delta = next_delta
+
+    def _apply(
+        self,
+        rule: Rule,
+        database: dict[str, set[Tuple_]],
+        delta: dict[str, set[Tuple_]] | None,
+        delta_pos: int | None = None,
+    ) -> Iterable[Tuple_]:
+        """Join the rule body left to right, yielding head tuples."""
+        bindings_list: list[Bindings] = [{}]
+        for index, item in enumerate(rule.body):
+            if not bindings_list:
+                return
+            if isinstance(item, Atom):
+                if delta is not None and index == delta_pos:
+                    rows: Iterable[Tuple_] = delta.get(item.predicate, ())
+                else:
+                    rows = database.get(item.predicate, ())
+                bindings_list = _join(bindings_list, item, rows)
+            elif isinstance(item, Negation):
+                rows = database.get(item.atom.predicate, set())
+                bindings_list = [
+                    b for b in bindings_list if not _matches_any(item.atom, rows, b)
+                ]
+            elif isinstance(item, Bind):
+                new_list = []
+                for b in bindings_list:
+                    value = item.fn(*[_resolve(a, b) for a in item.args])
+                    existing = b.get(item.target)
+                    if existing is not None and existing != value:
+                        continue
+                    nb = dict(b)
+                    nb[item.target] = value
+                    new_list.append(nb)
+                bindings_list = new_list
+            elif isinstance(item, Filter):
+                bindings_list = [
+                    b
+                    for b in bindings_list
+                    if item.fn(*[_resolve(a, b) for a in item.args])
+                ]
+            else:  # pragma: no cover - exhaustive over BodyItem
+                raise TypeError(f"unknown body item {item!r}")
+        for b in bindings_list:
+            yield tuple(_resolve(a, b) for a in rule.head.args)
+
+
+def _resolve(term, bindings: Bindings):
+    if isinstance(term, Var):
+        if term not in bindings:
+            raise ValueError(f"unbound variable {term!r}")
+        return bindings[term]
+    return term
+
+
+def _join(
+    bindings_list: list[Bindings], item: Atom, rows: Iterable[Tuple_]
+) -> list[Bindings]:
+    """Join current bindings with the rows of one atom.
+
+    Builds a hash index over the atom's bound positions so the join is
+    linear in ``|bindings| + |rows|`` instead of their product.
+    """
+    if not bindings_list:
+        return []
+    sample = bindings_list[0]
+    bound_positions = [
+        i
+        for i, a in enumerate(item.args)
+        if not isinstance(a, Var) or a in sample
+    ]
+    index: dict[tuple, list[Tuple_]] = defaultdict(list)
+    rows = list(rows)
+    for row in rows:
+        if len(row) != len(item.args):
+            continue
+        index[tuple(row[i] for i in bound_positions)].append(row)
+    out: list[Bindings] = []
+    for b in bindings_list:
+        key = tuple(
+            b[item.args[i]] if isinstance(item.args[i], Var) else item.args[i]
+            for i in bound_positions
+        )
+        for row in index.get(key, ()):
+            extended = _unify(item.args, row, b)
+            if extended is not None:
+                out.append(extended)
+    return out
+
+
+def _unify(args: tuple, row: Tuple_, bindings: Bindings) -> Bindings | None:
+    if len(args) != len(row):
+        return None
+    out = dict(bindings)
+    for a, v in zip(args, row):
+        if isinstance(a, Var):
+            if a in out:
+                if out[a] != v:
+                    return None
+            else:
+                out[a] = v
+        elif a != v:
+            return None
+    return out
+
+
+def _matches_any(atom_: Atom, rows: set[Tuple_], bindings: Bindings) -> bool:
+    for row in rows:
+        if _unify(atom_.args, row, bindings) is not None:
+            return True
+    return False

@@ -1,0 +1,136 @@
+"""Terms, atoms and rules of the Datalog dialect.
+
+The points-to analysis of Section 4.1 is expressed in Datalog (the
+paper cites Smaragdakis & Balatsouras for the encoding).  This engine
+supports:
+
+* positive atoms and stratified negation,
+* ``Bind`` builtins that compute a value from bound variables (needed
+  to push call sites onto bounded k-contexts), and
+* ``Filter`` builtins that test a predicate over bound variables.
+
+Constants are arbitrary hashable Python values; variables are
+:class:`Var` instances (or, in the convenience constructors, strings
+starting with an uppercase letter or ``?``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+__all__ = ["Var", "Atom", "Negation", "Bind", "Filter", "Rule", "atom", "var"]
+
+
+@dataclass(frozen=True)
+class Var:
+    """A Datalog variable."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+Term = Var | Hashable
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``predicate(arg1, ..., argn)`` — in a head or a body."""
+
+    predicate: str
+    args: tuple[Term, ...]
+
+    def variables(self) -> set[Var]:
+        return {a for a in self.args if isinstance(a, Var)}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.predicate}({inner})"
+
+
+@dataclass(frozen=True)
+class Negation:
+    """``not atom`` — only valid under stratification."""
+
+    atom: Atom
+
+    def __repr__(self) -> str:
+        return f"!{self.atom!r}"
+
+
+@dataclass(frozen=True)
+class Bind:
+    """``var := fn(*args)`` — computes a new binding.
+
+    All ``args`` must be bound (constants or previously bound variables)
+    when the Bind is evaluated; body items are processed left to right.
+    """
+
+    target: Var
+    fn: Callable[..., Hashable]
+    args: tuple[Term, ...] = ()
+
+    def __repr__(self) -> str:
+        return f"{self.target!r} := {getattr(self.fn, '__name__', 'fn')}{self.args!r}"
+
+
+@dataclass(frozen=True)
+class Filter:
+    """``fn(*args)`` must be truthy for the rule to proceed."""
+
+    fn: Callable[..., bool]
+    args: tuple[Term, ...] = ()
+
+    def __repr__(self) -> str:
+        return f"filter {getattr(self.fn, '__name__', 'fn')}{self.args!r}"
+
+
+BodyItem = Atom | Negation | Bind | Filter
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body``. Facts are rules with an empty body."""
+
+    head: Atom
+    body: tuple[BodyItem, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        bound: set[Var] = set()
+        for item in self.body:
+            if isinstance(item, Atom):
+                bound |= item.variables()
+            elif isinstance(item, Bind):
+                bound.add(item.target)
+        unbound = self.head.variables() - bound
+        if self.body and unbound:
+            raise ValueError(f"head variables {unbound} never bound in body")
+
+    def positive_predicates(self) -> set[str]:
+        return {i.predicate for i in self.body if isinstance(i, Atom)}
+
+    def negative_predicates(self) -> set[str]:
+        return {i.atom.predicate for i in self.body if isinstance(i, Negation)}
+
+    def __repr__(self) -> str:
+        if not self.body:
+            return f"{self.head!r}."
+        return f"{self.head!r} :- {', '.join(repr(b) for b in self.body)}."
+
+
+def var(name: str) -> Var:
+    return Var(name)
+
+
+def atom(predicate: str, *args: Term) -> Atom:
+    """Convenience constructor: strings starting with an uppercase letter
+    or ``?`` become variables, everything else stays constant."""
+    converted: list[Term] = []
+    for a in args:
+        if isinstance(a, str) and a[:1] == "?":
+            converted.append(Var(a[1:]))
+        else:
+            converted.append(a)
+    return Atom(predicate=predicate, args=tuple(converted))

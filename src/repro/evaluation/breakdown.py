@@ -1,0 +1,101 @@
+"""Per-pattern-type breakdown of Namer's reports (Table 4 and the
+Section 5.3 per-type statistics).
+
+The paper samples 100 fresh reports per pattern type, inspects them,
+and breaks code quality issues down into confusing / indescriptive /
+inconsistent names, minor issues, and typos.  The oracle's ground-truth
+categories provide the same breakdown here.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.namer import Namer
+from repro.core.patterns import PatternKind
+from repro.evaluation.oracle import Oracle
+
+__all__ = ["PatternTypeBreakdown", "run_breakdown", "report_share_by_kind"]
+
+
+@dataclass
+class PatternTypeBreakdown:
+    """Inspection outcome of N reports of one pattern type."""
+
+    kind: PatternKind
+    inspected: int = 0
+    semantic_defects: int = 0
+    code_quality_issues: int = 0
+    false_positives: int = 0
+    quality_categories: Counter = field(default_factory=Counter)
+
+    def format(self) -> str:
+        lines = [
+            f"pattern type: {self.kind.value} ({self.inspected} inspected)",
+            f"  semantic defects:    {self.semantic_defects}",
+            f"  code quality issues: {self.code_quality_issues}",
+            f"  false positives:     {self.false_positives}",
+        ]
+        for category, count in sorted(
+            self.quality_categories.items(), key=lambda kv: kv[0].value
+        ):
+            lines.append(f"    {category.value:<20} {count}")
+        return "\n".join(lines)
+
+
+def run_breakdown(
+    namer: Namer,
+    oracle: Oracle,
+    per_type: int = 100,
+    seed: int = 11,
+) -> dict[PatternKind, PatternTypeBreakdown]:
+    """Sample up to ``per_type`` classifier-approved reports per pattern
+    type and inspect them with the oracle."""
+    rng = random.Random(seed)
+    violations = namer.all_violations()
+    rng.shuffle(violations)
+    reports = namer.classify(violations)
+    result: dict[PatternKind, PatternTypeBreakdown] = {
+        kind: PatternTypeBreakdown(kind=kind) for kind in PatternKind
+    }
+    for report in reports:
+        breakdown = result[report.pattern_kind]
+        if breakdown.inspected >= per_type:
+            continue
+        breakdown.inspected += 1
+        outcome = oracle.inspect(report.violation)
+        if outcome.is_semantic_defect:
+            breakdown.semantic_defects += 1
+        elif outcome.is_code_quality_issue:
+            breakdown.code_quality_issues += 1
+            assert outcome.category is not None
+            breakdown.quality_categories[outcome.category] += 1
+        else:
+            breakdown.false_positives += 1
+    return result
+
+
+def report_share_by_kind(namer: Namer) -> dict[str, float]:
+    """Share of reports per pattern type (the Section 5.2 statistic:
+    "around 29% of the reports came from consistency name patterns").
+    A statement flagged by both types counts toward both, so the shares
+    can sum to more than 100%, as in the paper."""
+    violations = namer.all_violations()
+    reports = namer.classify(violations)
+    by_location: dict[tuple, set[PatternKind]] = {}
+    for report in reports:
+        key = (report.file_path, report.line)
+        by_location.setdefault(key, set()).add(report.pattern_kind)
+    total = len(by_location)
+    if total == 0:
+        return {kind.value: 0.0 for kind in PatternKind} | {"both": 0.0}
+    shares = {
+        kind.value: sum(1 for kinds in by_location.values() if kind in kinds) / total
+        for kind in PatternKind
+    }
+    shares["both"] = (
+        sum(1 for kinds in by_location.values() if len(kinds) > 1) / total
+    )
+    return shares

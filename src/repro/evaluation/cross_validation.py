@@ -1,0 +1,83 @@
+"""Classifier model selection and cross-validation statistics.
+
+Section 5.1: the paper cross-validates a linear SVM against logistic
+regression and LDA, picks the SVM, and reports 30x repeated 80/20
+hold-out metrics (~81% for Python, ~90% for Java).  This module runs
+the same protocol on the oracle-labeled violation features.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.namer import Namer
+from repro.evaluation.oracle import Oracle
+from repro.ml.lda import LinearDiscriminantAnalysis
+from repro.ml.linear import LinearSVM, LogisticRegression
+from repro.ml.model_selection import CrossValidationResult, repeated_holdout
+from repro.ml.pipeline import ClassifierPipeline
+
+__all__ = ["ModelSelectionResult", "run_model_selection"]
+
+_CANDIDATES = {
+    "svm": LinearSVM,
+    "logistic regression": LogisticRegression,
+    "lda": LinearDiscriminantAnalysis,
+}
+
+
+@dataclass
+class ModelSelectionResult:
+    """Cross-validation outcome per candidate model."""
+
+    per_model: dict[str, CrossValidationResult]
+    selected: str
+
+    def format(self) -> str:
+        lines = []
+        for name, result in self.per_model.items():
+            marker = " <= selected" if name == self.selected else ""
+            lines.append(f"{name:<22} {result.summary()}{marker}")
+        return "\n".join(lines)
+
+
+def labeled_features(
+    namer: Namer, oracle: Oracle, max_samples: int = 240, seed: int = 3
+) -> tuple[np.ndarray, np.ndarray]:
+    """Feature matrix and oracle labels over a balanced violation sample."""
+    rng = random.Random(seed)
+    violations = namer.all_violations()
+    rng.shuffle(violations)
+    positives = [v for v in violations if oracle.label(v) == 1]
+    negatives = [v for v in violations if oracle.label(v) == 0]
+    half = max_samples // 2
+    chosen = positives[:half] + negatives[:half]
+    rng.shuffle(chosen)
+    X = np.vstack([namer.featurize(v) for v in chosen])
+    y = np.array([oracle.label(v) for v in chosen])
+    return X, y
+
+
+def run_model_selection(
+    namer: Namer,
+    oracle: Oracle,
+    repeats: int = 30,
+    seed: int = 3,
+) -> ModelSelectionResult:
+    """30x repeated 80/20 hold-out per candidate; select by accuracy."""
+    X, y = labeled_features(namer, oracle, seed=seed)
+    rng = np.random.default_rng(seed)
+    per_model: dict[str, CrossValidationResult] = {}
+    for name, cls in _CANDIDATES.items():
+        per_model[name] = repeated_holdout(
+            lambda cls=cls: ClassifierPipeline(cls(), n_components=0.99),
+            X,
+            y,
+            repeats=repeats,
+            rng=rng,
+        )
+    selected = max(per_model, key=lambda n: per_model[n].mean_accuracy)
+    return ModelSelectionResult(per_model=per_model, selected=selected)

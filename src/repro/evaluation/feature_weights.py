@@ -1,0 +1,76 @@
+"""Classifier decision making (Table 9, Section 5.5).
+
+The paper reports the learned linear classifier's weights for the
+identical-statement, satisfaction-count and violation-count features
+across the three statistical levels (file / repository / dataset), and
+highlights that the same feature's contribution flips sign across
+levels — evidence that combining local and global statistics is what
+makes the classifier effective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.features import FEATURE_NAMES
+from repro.core.namer import Namer
+
+__all__ = ["FeatureWeightTable", "extract_feature_weights"]
+
+#: The Table 9 rows: feature family -> (file, repo, dataset) feature names.
+_FAMILIES: dict[str, tuple[str | None, str | None, str | None]] = {
+    "identical statement": ("identical_stmts_file", "identical_stmts_repo", None),
+    "satisfaction count": (
+        "satisfactions_file",
+        "satisfactions_repo",
+        "satisfactions_dataset",
+    ),
+    "violation count": ("violations_file", "violations_repo", "violations_dataset"),
+}
+
+
+@dataclass
+class FeatureWeightTable:
+    """Weights of the learned classifier per feature family and level."""
+
+    rows: dict[str, tuple[float | None, float | None, float | None]]
+    all_weights: dict[str, float]
+
+    def sign_flips(self) -> list[str]:
+        """Families whose weight changes sign across levels — the
+        paper's headline observation about the classifier."""
+        flips = []
+        for family, values in self.rows.items():
+            present = [v for v in values if v is not None]
+            if len(present) >= 2 and (min(present) < 0 < max(present)):
+                flips.append(family)
+        return flips
+
+    def format(self) -> str:
+        lines = [f"{'feature':<22} {'file':>9} {'repo':>9} {'dataset':>9}"]
+        for family, (f, r, d) in self.rows.items():
+            lines.append(
+                f"{family:<22} "
+                f"{_fmt(f):>9} {_fmt(r):>9} {_fmt(d):>9}"
+            )
+        return "\n".join(lines)
+
+
+def _fmt(value: float | None) -> str:
+    return "-" if value is None else f"{value:+.3f}"
+
+
+def extract_feature_weights(namer: Namer) -> FeatureWeightTable:
+    """Weights of the trained pipeline mapped back to the original
+    (standardized) features."""
+    if namer.classifier is None:
+        raise RuntimeError("train the classifier before extracting weights")
+    weights = np.asarray(namer.classifier.feature_weights(), dtype=float)
+    named = dict(zip(FEATURE_NAMES, weights))
+    rows = {
+        family: tuple(named.get(n) if n else None for n in names)
+        for family, names in _FAMILIES.items()
+    }
+    return FeatureWeightTable(rows=rows, all_weights=named)

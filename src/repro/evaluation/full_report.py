@@ -1,0 +1,150 @@
+"""One-command regeneration of the paper's full evaluation.
+
+``build_full_report`` runs the entire Section 5 protocol — precision
+ablations, per-pattern breakdown, user study, feature weights, model
+selection, DL comparison, mining statistics, analysis speed — for one
+language and renders a single markdown document.  The CLI exposes it as
+``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+from repro.baselines.training import TrainConfig
+from repro.core.namer import NamerConfig
+from repro.corpus.generator import GeneratorConfig, generate_python_corpus
+from repro.corpus.javagen import generate_java_corpus
+from repro.corpus.model import Corpus
+from repro.core.patterns import PatternKind
+from repro.evaluation.breakdown import report_share_by_kind, run_breakdown
+from repro.evaluation.cross_validation import run_model_selection
+from repro.evaluation.dl_comparison import run_dl_comparison
+from repro.evaluation.feature_weights import extract_feature_weights
+from repro.evaluation.oracle import Oracle
+from repro.evaluation.precision import AblationResult, run_precision_evaluation
+from repro.evaluation.speed import measure_analysis_speed
+from repro.evaluation.user_study import STUDY_ISSUES, simulate_user_study
+from repro.mining.miner import MiningConfig
+
+__all__ = ["ReportOptions", "build_full_report"]
+
+
+@dataclass(frozen=True)
+class ReportOptions:
+    language: str = "python"
+    num_repos: int = 45
+    sample_size: int = 300
+    training_size: int = 120
+    seed: int = 7
+    include_dl: bool = True
+    dl_epochs: int = 2
+    min_pattern_support: int = 20
+    min_path_frequency: int = 8
+
+
+def _corpus(options: ReportOptions) -> Corpus:
+    config = GeneratorConfig(
+        num_repos=options.num_repos, issue_rate=0.12, deviation_rate=0.08
+    )
+    if options.language == "java":
+        return generate_java_corpus(config)
+    return generate_python_corpus(config)
+
+
+def build_full_report(options: ReportOptions = ReportOptions()) -> str:
+    """Run the full evaluation; returns a markdown document."""
+    out = io.StringIO()
+
+    def section(title: str) -> None:
+        out.write(f"\n## {title}\n\n")
+
+    def code(text: str) -> None:
+        out.write("```\n" + text.rstrip() + "\n```\n")
+
+    out.write(f"# Namer evaluation report — {options.language}\n")
+    out.write(
+        f"\nCorpus: {options.num_repos} synthetic repositories, seed "
+        f"{options.seed}; sample {options.sample_size} violations, "
+        f"{options.training_size} training labels.\n"
+    )
+
+    corpus = _corpus(options)
+    oracle = Oracle(corpus)
+    mining = MiningConfig(
+        min_pattern_support=options.min_pattern_support,
+        min_path_frequency=options.min_path_frequency,
+    )
+    ablation: AblationResult = run_precision_evaluation(
+        corpus,
+        NamerConfig(mining=mining),
+        sample_size=options.sample_size,
+        training_size=options.training_size,
+        seed=options.seed,
+    )
+    namer = ablation.namer
+
+    section("Precision and ablations (Table 2 / Table 5)")
+    code(ablation.format_table())
+
+    section("Mining statistics (Section 5.2/5.3 text)")
+    summary = namer.summary
+    code(
+        f"patterns: {summary.num_patterns} "
+        f"(consistency {summary.num_consistency}, confusing {summary.num_confusing})\n"
+        f"confusing word pairs: {summary.num_confusing_pairs}\n"
+        f"violating statements: {summary.statements_with_violation}/{summary.total_statements}\n"
+        f"violating files: {summary.files_with_violation}/{summary.total_files}\n"
+        f"violating repositories: {summary.repos_with_violation}/{summary.total_repos}"
+    )
+
+    section("Per-pattern-type breakdown (Table 4)")
+    breakdown = run_breakdown(namer, oracle, per_type=100)
+    code(
+        breakdown[PatternKind.CONSISTENCY].format()
+        + "\n\n"
+        + breakdown[PatternKind.CONFUSING_WORD].format()
+    )
+    shares = report_share_by_kind(namer)
+    out.write(
+        "Report shares: "
+        + ", ".join(f"{k} {v:.0%}" for k, v in shares.items())
+        + "\n"
+    )
+
+    section("Classifier model selection and cross-validation (Section 5.1/5.2)")
+    code(run_model_selection(namer, oracle, repeats=30).format())
+
+    section("Feature weights (Table 9)")
+    weights = extract_feature_weights(namer)
+    code(weights.format())
+    flips = weights.sign_flips()
+    if flips:
+        out.write(f"Sign flips across levels: {', '.join(flips)}.\n")
+
+    section("User study (Tables 7+8, simulated)")
+    rows = simulate_user_study(participants=7, seed=2021)
+    study = "\n".join(
+        f"{STUDY_ISSUES[cat]}\n  {row.format()}" for cat, row in rows.items()
+    )
+    code(study)
+
+    if options.include_dl:
+        section("Deep-learning comparison (Table 10 / Table 11)")
+        comparison = run_dl_comparison(
+            corpus,
+            namer_report_count=ablation.row("Namer").reports,
+            train_config=TrainConfig(epochs=options.dl_epochs),
+            seed=options.seed,
+        )
+        lines = []
+        for name, result in comparison.items():
+            lines.append(f"{result.row.format()}  [synthetic: {result.synthetic}]")
+        lines.append(ablation.row("Namer").format())
+        code("\n".join(lines))
+
+    section("Analysis speed (Section 5.1 text)")
+    code(str(measure_analysis_speed(corpus, max_files=60)))
+
+    return out.getvalue()

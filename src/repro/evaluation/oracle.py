@@ -1,0 +1,91 @@
+"""Labeling oracle: the stand-in for the paper's human inspectors.
+
+The paper's authors manually inspected sampled violations and labeled
+each as a semantic defect, a code quality issue, or a false positive
+(Section 5.1).  Our corpus generator records exactly which issues it
+injected, so the oracle labels a violation by location lookup: a
+violation pointing at an injected issue is a true positive with the
+injected category; anything else is a false positive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.patterns import Violation
+from repro.corpus.model import Corpus, GroundTruthIssue, IssueCategory
+
+__all__ = ["InspectionOutcome", "Oracle"]
+
+
+@dataclass(frozen=True)
+class InspectionOutcome:
+    """The oracle's verdict for one violation."""
+
+    is_true_issue: bool
+    category: IssueCategory | None
+    truth: GroundTruthIssue | None
+
+    @property
+    def is_semantic_defect(self) -> bool:
+        return self.category is IssueCategory.SEMANTIC_DEFECT
+
+    @property
+    def is_code_quality_issue(self) -> bool:
+        return self.is_true_issue and not self.is_semantic_defect
+
+
+class Oracle:
+    """Location-indexed ground truth lookup.
+
+    A violation is a true positive when it points at the injected
+    issue's exact line, or — because one injected mistake often radiates
+    into neighbouring statements (a misnamed parameter is also misused
+    in the body) — when it flags the *same offending name* within a few
+    lines of the injection.  A human inspector would credit both.
+    """
+
+    #: how far a same-name detection may sit from the injected line
+    line_slack: int = 4
+
+    def __init__(self, corpus: Corpus) -> None:
+        self._by_location: dict[tuple[str, int], GroundTruthIssue] = {
+            (issue.file_path, issue.line): issue for issue in corpus.ground_truth
+        }
+        self._by_file: dict[str, list[GroundTruthIssue]] = {}
+        for issue in corpus.ground_truth:
+            self._by_file.setdefault(issue.file_path, []).append(issue)
+
+    def inspect(self, violation: Violation) -> InspectionOutcome:
+        stmt = violation.statement
+        return self.inspect_location(
+            stmt.file_path, stmt.line, {violation.observed, violation.suggested}
+        )
+
+    def inspect_location(
+        self, file_path: str, line: int, names: set[str]
+    ) -> InspectionOutcome:
+        """Oracle verdict for any report shape (Namer or the deep
+        learning baselines): exact line hit, or same-name proximity."""
+        truth = self._by_location.get((file_path, line))
+        if truth is None:
+            truth = self._nearby_same_name(file_path, line, names)
+        if truth is None:
+            return InspectionOutcome(is_true_issue=False, category=None, truth=None)
+        return InspectionOutcome(
+            is_true_issue=True, category=truth.category, truth=truth
+        )
+
+    def _nearby_same_name(
+        self, file_path: str, line: int, names: set[str]
+    ) -> GroundTruthIssue | None:
+        for issue in self._by_file.get(file_path, ()):
+            if abs(issue.line - line) > self.line_slack:
+                continue
+            if issue.observed in names or issue.suggested in names:
+                return issue
+        return None
+
+    def label(self, violation: Violation) -> int:
+        """Binary label for classifier training: 1 = true naming issue."""
+        return 1 if self.inspect(violation).is_true_issue else 0

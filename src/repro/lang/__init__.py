@@ -1,0 +1,23 @@
+"""Language frontends producing the neutral statement AST."""
+
+from __future__ import annotations
+
+from repro.lang.astir import Node, StatementAst
+from repro.lang.moduleir import ModuleIr
+
+__all__ = ["Node", "StatementAst", "ModuleIr", "parse_source"]
+
+
+def parse_source(
+    source: str, language: str, file_path: str = "", repo: str = ""
+) -> ModuleIr:
+    """Dispatch to the frontend for ``language`` ("python" or "java")."""
+    if language == "python":
+        from repro.lang.python_frontend import parse_module
+
+        return parse_module(source, file_path, repo)
+    if language == "java":
+        from repro.lang.java.frontend import parse_java
+
+        return parse_java(source, file_path, repo)
+    raise ValueError(f"unsupported language: {language!r}")

@@ -1,0 +1,227 @@
+"""A Java lexer (from scratch — no Java tooling exists offline).
+
+Produces the token stream consumed by :mod:`repro.lang.java.parser`.
+Covers the full lexical grammar needed for real-world Java source:
+identifiers/keywords, integer/floating/char/string literals (including
+text blocks), all operators and separators, and both comment styles.
+Tokens carry line/column for error reporting and statement provenance.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["TokenKind", "Token", "JavaLexError", "tokenize", "KEYWORDS"]
+
+
+class JavaLexError(ValueError):
+    """Raised on malformed input (unterminated string, bad char...)."""
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    CHAR = "char"
+    OPERATOR = "operator"
+    SEPARATOR = "separator"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_kw(self, *words: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text in words
+
+    def is_op(self, *ops: str) -> bool:
+        return self.kind is TokenKind.OPERATOR and self.text in ops
+
+    def is_sep(self, *seps: str) -> bool:
+        return self.kind is TokenKind.SEPARATOR and self.text in seps
+
+    def __repr__(self) -> str:
+        return f"{self.kind.value}:{self.text!r}@{self.line}"
+
+
+KEYWORDS = frozenset(
+    """abstract assert boolean break byte case catch char class const continue
+    default do double else enum extends final finally float for goto if
+    implements import instanceof int interface long native new package
+    private protected public return short static strictfp super switch
+    synchronized this throw throws transient try void volatile while
+    true false null""".split()
+)
+# Note: record/var/yield/sealed/permits are contextual keywords and lex
+# as identifiers, matching how real Java treats them.
+
+# Longest-match operator table, sorted by length at module load.
+_OPERATORS = sorted(
+    [
+        ">>>=", "<<=", ">>=", ">>>", "...", "->", "::",
+        "==", "!=", "<=", ">=", "&&", "||", "++", "--",
+        "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>",
+        "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+        "?", ":", "@",
+    ],
+    key=len,
+    reverse=True,
+)
+
+_SEPARATORS = "(){}[];,."
+
+
+def tokenize(source: str) -> list[Token]:
+    """Lex ``source`` into tokens (EOF token included)."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        # Whitespace
+        if ch in " \t\r\n\f":
+            advance(1)
+            continue
+        # Comments
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            advance((end if end != -1 else n) - i)
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise JavaLexError(f"unterminated block comment at line {line}")
+            advance(end + 2 - i)
+            continue
+        start_line, start_col = line, col
+        # Identifiers / keywords
+        if ch.isalpha() or ch in "_$":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] in "_$"):
+                j += 1
+            text = source[i:j]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, start_line, start_col))
+            advance(j - i)
+            continue
+        # Numbers
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j, kind = _lex_number(source, i)
+            tokens.append(Token(kind, source[i:j], start_line, start_col))
+            advance(j - i)
+            continue
+        # Text blocks and strings
+        if source.startswith('"""', i):
+            end = source.find('"""', i + 3)
+            if end == -1:
+                raise JavaLexError(f"unterminated text block at line {line}")
+            tokens.append(
+                Token(TokenKind.STRING, source[i + 3 : end], start_line, start_col)
+            )
+            advance(end + 3 - i)
+            continue
+        if ch == '"':
+            j = _lex_quoted(source, i, '"', line)
+            tokens.append(
+                Token(TokenKind.STRING, source[i + 1 : j - 1], start_line, start_col)
+            )
+            advance(j - i)
+            continue
+        if ch == "'":
+            j = _lex_quoted(source, i, "'", line)
+            tokens.append(
+                Token(TokenKind.CHAR, source[i + 1 : j - 1], start_line, start_col)
+            )
+            advance(j - i)
+            continue
+        # "..." must win over the '.' separator.
+        if source.startswith("...", i):
+            tokens.append(Token(TokenKind.OPERATOR, "...", start_line, start_col))
+            advance(3)
+            continue
+        # Separators
+        if ch in _SEPARATORS:
+            tokens.append(Token(TokenKind.SEPARATOR, ch, start_line, start_col))
+            advance(1)
+            continue
+        # Operators (longest match)
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token(TokenKind.OPERATOR, op, start_line, start_col))
+                advance(len(op))
+                break
+        else:
+            raise JavaLexError(f"unexpected character {ch!r} at line {line}")
+
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens
+
+
+def _lex_number(source: str, i: int) -> tuple[int, TokenKind]:
+    n = len(source)
+    j = i
+    kind = TokenKind.INT
+    if source.startswith(("0x", "0X"), i):
+        j = i + 2
+        while j < n and (source[j] in "0123456789abcdefABCDEF_"):
+            j += 1
+    elif source.startswith(("0b", "0B"), i):
+        j = i + 2
+        while j < n and source[j] in "01_":
+            j += 1
+    else:
+        while j < n and (source[j].isdigit() or source[j] == "_"):
+            j += 1
+        if j < n and source[j] == ".":
+            kind = TokenKind.FLOAT
+            j += 1
+            while j < n and (source[j].isdigit() or source[j] == "_"):
+                j += 1
+        if j < n and source[j] in "eE":
+            kind = TokenKind.FLOAT
+            j += 1
+            if j < n and source[j] in "+-":
+                j += 1
+            while j < n and source[j].isdigit():
+                j += 1
+    if j < n and source[j] in "lLfFdD":
+        if source[j] in "fFdD":
+            kind = TokenKind.FLOAT
+        j += 1
+    return j, kind
+
+
+def _lex_quoted(source: str, i: int, quote: str, line: int) -> int:
+    """Return the index just past the closing quote."""
+    j = i + 1
+    n = len(source)
+    while j < n:
+        if source[j] == "\\":
+            j += 2
+            continue
+        if source[j] == quote:
+            return j + 1
+        if source[j] == "\n":
+            break
+        j += 1
+    raise JavaLexError(f"unterminated {quote} literal at line {line}")

@@ -1,0 +1,44 @@
+"""Whole-module intermediate representation shared by both frontends.
+
+Statement-level ASTs (:class:`~repro.lang.astir.StatementAst`) are what
+the miner and detector consume, but the static analyses of Section 4.1
+need the whole file: function boundaries, class hierarchies, and the
+nesting of statements inside them.  A :class:`ModuleIr` keeps both views
+coherent — ``root`` is the full neutral tree and ``statements`` are the
+per-statement projections extracted from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.astir import Node, StatementAst
+
+__all__ = ["ModuleIr"]
+
+
+@dataclass
+class ModuleIr:
+    """A parsed source file in neutral form.
+
+    Attributes:
+        root: Neutral AST of the entire module.
+        statements: Statement projections, in source order.
+        language: ``"python"`` or ``"java"``.
+        file_path: Path of the source file within its repository.
+        repo: Name of the owning repository (empty for loose files).
+    """
+
+    root: Node
+    statements: list[StatementAst] = field(default_factory=list)
+    language: str = "python"
+    file_path: str = ""
+    repo: str = ""
+
+    def functions(self) -> list[Node]:
+        """All function/method definition nodes in the module."""
+        return [n for n in self.root.walk() if n.kind in ("FunctionDef", "MethodDecl")]
+
+    def classes(self) -> list[Node]:
+        """All class definition nodes in the module."""
+        return [n for n in self.root.walk() if n.kind in ("ClassDef", "ClassDecl")]

@@ -1,0 +1,552 @@
+"""Python frontend: CPython ``ast`` to the neutral statement AST.
+
+The node vocabulary follows the paper's figures (which themselves follow
+the py150 convention): identifier *uses* become ``NameLoad``/``NameStore``
+nodes whose single child is the identifier terminal; attribute accesses
+become ``AttributeLoad``/``AttributeStore`` with an ``Attr`` child holding
+the attribute terminal; calls become ``Call`` with the callee expression
+first and arguments after; literals become ``Num``/``Str``/``Bool`` nodes
+whose child carries the literal text (abstracted later by the AST+
+transformation).
+
+Identifier terminals are annotated with ``meta["role"]`` — one of
+``"object"``, ``"func"``, ``"attr"``, ``"param"``, ``"type"`` — which
+feature 13 of the defect classifier consumes (whether a pattern targets
+an object name or a function name).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lang.astir import Node, StatementAst, node, terminal
+from repro.lang.moduleir import ModuleIr
+
+__all__ = ["parse_module", "parse_statement", "PythonFrontendError"]
+
+
+class PythonFrontendError(ValueError):
+    """Raised when a source file cannot be parsed."""
+
+
+def parse_module(source: str, file_path: str = "", repo: str = "") -> ModuleIr:
+    """Parse ``source`` into a :class:`ModuleIr`.
+
+    Raises:
+        PythonFrontendError: If CPython's parser rejects the source.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        raise PythonFrontendError(f"{file_path or '<memory>'}: {exc}") from exc
+    converter = _Converter(source.splitlines(), file_path, repo)
+    root = converter.convert_module(tree)
+    return ModuleIr(
+        root=root,
+        statements=converter.statements,
+        language="python",
+        file_path=file_path,
+        repo=repo,
+    )
+
+
+def parse_statement(source: str) -> StatementAst:
+    """Parse a single statement; convenience for tests and examples.
+
+    The source may be a bare expression/assignment or a compound
+    statement header followed by a body — only the first statement
+    projection is returned.
+    """
+    snippet = source.strip()
+    if snippet.endswith(":"):
+        snippet += "\n    pass"
+    module = parse_module(snippet)
+    if not module.statements:
+        raise PythonFrontendError(f"no statement found in {source!r}")
+    return module.statements[0]
+
+
+_BIN_OPS = {
+    ast.Add: "Add", ast.Sub: "Sub", ast.Mult: "Mult", ast.Div: "Div",
+    ast.FloorDiv: "FloorDiv", ast.Mod: "Mod", ast.Pow: "Pow",
+    ast.LShift: "LShift", ast.RShift: "RShift", ast.BitOr: "BitOr",
+    ast.BitXor: "BitXor", ast.BitAnd: "BitAnd", ast.MatMult: "MatMult",
+}
+
+_CMP_OPS = {
+    ast.Eq: "Eq", ast.NotEq: "NotEq", ast.Lt: "Lt", ast.LtE: "LtE",
+    ast.Gt: "Gt", ast.GtE: "GtE", ast.Is: "Is", ast.IsNot: "IsNot",
+    ast.In: "In", ast.NotIn: "NotIn",
+}
+
+_UNARY_OPS = {
+    ast.UAdd: "UAdd", ast.USub: "USub", ast.Not: "Not", ast.Invert: "Invert",
+}
+
+
+class _Converter:
+    """Stateful converter accumulating statement projections."""
+
+    def __init__(self, lines: list[str], file_path: str, repo: str) -> None:
+        self._lines = lines
+        self._file_path = file_path
+        self._repo = repo
+        self.statements: list[StatementAst] = []
+
+    # ------------------------------------------------------------------
+    # Modules, definitions and statements
+    # ------------------------------------------------------------------
+
+    def convert_module(self, tree: ast.Module) -> Node:
+        root = node("Module")
+        for stmt in tree.body:
+            root.add(self._statement(stmt))
+        return root
+
+    def _statement(self, stmt: ast.stmt) -> Node:
+        """Convert one statement, registering its projection(s)."""
+        handler = getattr(self, f"_stmt_{type(stmt).__name__}", None)
+        if handler is not None:
+            return handler(stmt)
+        return self._opaque(stmt)
+
+    def _register(
+        self, projection: Node, stmt: ast.stmt, tree_node: Node | None = None
+    ) -> None:
+        """Record a statement projection.
+
+        ``tree_node`` is the node that remains in the whole-module tree
+        (for compound headers the projection is a clone taken before the
+        body is attached); both carry ``meta["stmt_index"]`` so analyses
+        over the module tree can map results back to projections.
+        """
+        index = len(self.statements)
+        projection.meta["stmt_index"] = index
+        (tree_node if tree_node is not None else projection).meta["stmt_index"] = index
+        self.statements.append(
+            StatementAst(
+                root=projection,
+                source=self._source_of(stmt),
+                file_path=self._file_path,
+                repo=self._repo,
+                line=getattr(stmt, "lineno", 0),
+            )
+        )
+
+    def _source_of(self, stmt: ast.stmt) -> str:
+        lineno = getattr(stmt, "lineno", 0)
+        if 1 <= lineno <= len(self._lines):
+            return self._lines[lineno - 1].strip()
+        return ""
+
+    def _body(self, stmts: list[ast.stmt]) -> Node:
+        body = node("Body")
+        for s in stmts:
+            body.add(self._statement(s))
+        return body
+
+    def _stmt_FunctionDef(self, stmt: ast.FunctionDef) -> Node:
+        return self._function(stmt)
+
+    def _stmt_AsyncFunctionDef(self, stmt: ast.AsyncFunctionDef) -> Node:
+        return self._function(stmt)
+
+    def _function(self, stmt: ast.FunctionDef | ast.AsyncFunctionDef) -> Node:
+        args = stmt.args
+        header = node("FunctionDef")
+        header.add(node("FuncDefName", self._ident(stmt.name, role="func")))
+        params = node("Params")
+        for arg in args.posonlyargs + args.args:
+            params.add(node("Param", self._ident(arg.arg, role="param")))
+        if args.vararg is not None:
+            params.add(node("VarArg", self._ident(args.vararg.arg, role="param")))
+        for arg in args.kwonlyargs:
+            params.add(node("KwOnlyParam", self._ident(arg.arg, role="param")))
+        if args.kwarg is not None:
+            params.add(node("KwArg", self._ident(args.kwarg.arg, role="param")))
+        header.add(params)
+        self._register(header.clone(), stmt, header)
+        header.add(self._body(stmt.body))
+        return header
+
+    def _stmt_ClassDef(self, stmt: ast.ClassDef) -> Node:
+        header = node("ClassDef")
+        header.add(node("ClassDefName", self._ident(stmt.name, role="type")))
+        bases = node("Bases")
+        for base in stmt.bases:
+            bases.add(self._expr(base))
+        header.add(bases)
+        self._register(header.clone(), stmt, header)
+        header.add(self._body(stmt.body))
+        return header
+
+    def _stmt_Assign(self, stmt: ast.Assign) -> Node:
+        result = node("Assign")
+        for target in stmt.targets:
+            result.add(self._expr(target, store=True))
+        result.add(self._expr(stmt.value))
+        self._register(result, stmt)
+        return result
+
+    def _stmt_AugAssign(self, stmt: ast.AugAssign) -> Node:
+        op = _BIN_OPS.get(type(stmt.op), "Op")
+        result = node("AugAssign", value=f"AugAssign{op}")
+        result.add(self._expr(stmt.target, store=True))
+        result.add(self._expr(stmt.value))
+        self._register(result, stmt)
+        return result
+
+    def _stmt_AnnAssign(self, stmt: ast.AnnAssign) -> Node:
+        result = node("AnnAssign")
+        result.add(self._expr(stmt.target, store=True))
+        result.add(node("Annotation", self._expr(stmt.annotation)))
+        if stmt.value is not None:
+            result.add(self._expr(stmt.value))
+        self._register(result, stmt)
+        return result
+
+    def _stmt_Expr(self, stmt: ast.Expr) -> Node:
+        inner = self._expr(stmt.value)
+        # The paper's figures project expression statements onto the bare
+        # expression (e.g. the Call node is the root in Figure 2), so the
+        # registered projection drops the ExprStmt wrapper.
+        self._register(inner, stmt)
+        return node("ExprStmt", inner)
+
+    def _stmt_Return(self, stmt: ast.Return) -> Node:
+        result = node("Return")
+        if stmt.value is not None:
+            result.add(self._expr(stmt.value))
+        self._register(result, stmt)
+        return result
+
+    def _stmt_Raise(self, stmt: ast.Raise) -> Node:
+        result = node("Raise")
+        if stmt.exc is not None:
+            result.add(self._expr(stmt.exc))
+        self._register(result, stmt)
+        return result
+
+    def _stmt_Assert(self, stmt: ast.Assert) -> Node:
+        result = node("Assert", self._expr(stmt.test))
+        if stmt.msg is not None:
+            result.add(self._expr(stmt.msg))
+        self._register(result, stmt)
+        return result
+
+    def _stmt_Delete(self, stmt: ast.Delete) -> Node:
+        result = node("Delete")
+        for target in stmt.targets:
+            result.add(self._expr(target))
+        self._register(result, stmt)
+        return result
+
+    def _stmt_For(self, stmt: ast.For) -> Node:
+        header = node("For")
+        header.add(self._expr(stmt.target, store=True))
+        header.add(self._expr(stmt.iter))
+        self._register(header.clone(), stmt, header)
+        header.add(self._body(stmt.body))
+        if stmt.orelse:
+            header.add(node("OrElse", self._body(stmt.orelse)))
+        return header
+
+    _stmt_AsyncFor = _stmt_For
+
+    def _stmt_While(self, stmt: ast.While) -> Node:
+        header = node("While", self._expr(stmt.test))
+        self._register(header.clone(), stmt, header)
+        header.add(self._body(stmt.body))
+        return header
+
+    def _stmt_If(self, stmt: ast.If) -> Node:
+        header = node("If", self._expr(stmt.test))
+        self._register(header.clone(), stmt, header)
+        header.add(self._body(stmt.body))
+        if stmt.orelse:
+            header.add(node("OrElse", self._body(stmt.orelse)))
+        return header
+
+    def _stmt_With(self, stmt: ast.With) -> Node:
+        header = node("With")
+        for item in stmt.items:
+            entry = node("WithItem", self._expr(item.context_expr))
+            if item.optional_vars is not None:
+                entry.add(self._expr(item.optional_vars, store=True))
+            header.add(entry)
+        self._register(header.clone(), stmt, header)
+        header.add(self._body(stmt.body))
+        return header
+
+    _stmt_AsyncWith = _stmt_With
+
+    def _stmt_Try(self, stmt: ast.Try) -> Node:
+        result = node("Try", self._body(stmt.body))
+        for handler in stmt.handlers:
+            h = node("ExceptHandler")
+            if handler.type is not None:
+                h.add(self._expr(handler.type))
+            if handler.name:
+                h.add(node("NameStore", self._ident(handler.name, role="object")))
+            h.add(self._body(handler.body))
+            result.add(h)
+        if stmt.orelse:
+            result.add(node("OrElse", self._body(stmt.orelse)))
+        if stmt.finalbody:
+            result.add(node("Finally", self._body(stmt.finalbody)))
+        return result
+
+    def _stmt_Import(self, stmt: ast.Import) -> Node:
+        result = node("Import")
+        for alias in stmt.names:
+            entry = node("ImportName", self._ident(alias.name, role="type"))
+            if alias.asname:
+                entry.add(node("ImportAlias", self._ident(alias.asname, role="object")))
+            result.add(entry)
+        self._register(result, stmt)
+        return result
+
+    def _stmt_ImportFrom(self, stmt: ast.ImportFrom) -> Node:
+        result = node("ImportFrom")
+        result.add(node("ImportModule", self._ident(stmt.module or ".", role="type")))
+        for alias in stmt.names:
+            entry = node("ImportName", self._ident(alias.name, role="type"))
+            if alias.asname:
+                entry.add(node("ImportAlias", self._ident(alias.asname, role="object")))
+            result.add(entry)
+        self._register(result, stmt)
+        return result
+
+    def _stmt_Global(self, stmt: ast.Global) -> Node:
+        result = node("Global")
+        for name in stmt.names:
+            result.add(node("NameLoad", self._ident(name, role="object")))
+        self._register(result, stmt)
+        return result
+
+    def _stmt_Nonlocal(self, stmt: ast.Nonlocal) -> Node:
+        result = node("Nonlocal")
+        for name in stmt.names:
+            result.add(node("NameLoad", self._ident(name, role="object")))
+        self._register(result, stmt)
+        return result
+
+    def _stmt_Match(self, stmt) -> Node:
+        """Structural pattern matching (3.10+): the subject projects as a
+        statement; case bodies are visited for nested statements."""
+        header = node("Switch", self._expr(stmt.subject))
+        self._register(header.clone(), stmt, header)
+        for case in stmt.cases:
+            header.add(node("Case", self._body(case.body)))
+        return header
+
+    def _stmt_Pass(self, stmt: ast.Pass) -> Node:
+        return node("Pass")
+
+    def _stmt_Break(self, stmt: ast.Break) -> Node:
+        return node("Break")
+
+    def _stmt_Continue(self, stmt: ast.Continue) -> Node:
+        return node("Continue")
+
+    def _opaque(self, stmt: ast.stmt) -> Node:
+        """Fallback for statements outside the modeled subset."""
+        return node("Opaque", value=f"Opaque:{type(stmt).__name__}")
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _expr(self, expr: ast.expr, store: bool = False) -> Node:
+        handler = getattr(self, f"_expr_{type(expr).__name__}", None)
+        if handler is None:
+            return node("OpaqueExpr", value=f"OpaqueExpr:{type(expr).__name__}")
+        if type(expr).__name__ in ("Name", "Attribute", "Subscript", "Tuple", "List", "Starred"):
+            return handler(expr, store)
+        return handler(expr)
+
+    def _expr_Name(self, expr: ast.Name, store: bool = False) -> Node:
+        kind = "NameStore" if store else "NameLoad"
+        return node(kind, self._ident(expr.id, role="object"))
+
+    def _expr_Attribute(self, expr: ast.Attribute, store: bool = False) -> Node:
+        kind = "AttributeStore" if store else "AttributeLoad"
+        return node(
+            kind,
+            self._expr(expr.value),
+            node("Attr", self._ident(expr.attr, role="attr")),
+        )
+
+    def _expr_Call(self, expr: ast.Call) -> Node:
+        callee = self._expr(expr.func)
+        self._mark_callee(callee)
+        result = node("Call", callee)
+        for arg in expr.args:
+            result.add(self._expr(arg))
+        for kw in expr.keywords:
+            if kw.arg is None:
+                result.add(node("DoubleStarred", self._expr(kw.value)))
+            else:
+                result.add(
+                    node("Keyword", self._ident(kw.arg, role="param"), self._expr(kw.value))
+                )
+        return result
+
+    @staticmethod
+    def _mark_callee(callee: Node) -> None:
+        """Flip the role of the called name to ``"func"``."""
+        if callee.kind in ("NameLoad", "NameStore") and callee.children:
+            callee.children[0].meta["role"] = "func"
+        elif callee.kind in ("AttributeLoad", "AttributeStore") and len(callee.children) == 2:
+            attr = callee.children[1]
+            if attr.children:
+                attr.children[0].meta["role"] = "func"
+
+    def _expr_Constant(self, expr: ast.Constant) -> Node:
+        value = expr.value
+        if isinstance(value, bool):
+            return node("Bool", terminal("BoolLit", str(value)))
+        if isinstance(value, (int, float, complex)):
+            return node("Num", terminal("NumLit", repr(value)))
+        if isinstance(value, str):
+            return node("Str", terminal("StrLit", value))
+        if isinstance(value, bytes):
+            return node("Str", terminal("StrLit", value.decode("utf-8", "replace")))
+        if value is None:
+            return node("NoneLit")
+        if value is Ellipsis:
+            return node("EllipsisLit")
+        return node("Const", terminal("ConstLit", repr(value)))
+
+    def _expr_BinOp(self, expr: ast.BinOp) -> Node:
+        op = _BIN_OPS.get(type(expr.op), "Op")
+        return node("BinOp", self._expr(expr.left), self._expr(expr.right), value=f"BinOp{op}")
+
+    def _expr_UnaryOp(self, expr: ast.UnaryOp) -> Node:
+        op = _UNARY_OPS.get(type(expr.op), "Op")
+        return node("UnaryOp", self._expr(expr.operand), value=f"UnaryOp{op}")
+
+    def _expr_BoolOp(self, expr: ast.BoolOp) -> Node:
+        op = "And" if isinstance(expr.op, ast.And) else "Or"
+        result = node("BoolOp", value=f"BoolOp{op}")
+        for value in expr.values:
+            result.add(self._expr(value))
+        return result
+
+    def _expr_Compare(self, expr: ast.Compare) -> Node:
+        ops = "".join(_CMP_OPS.get(type(op), "Op") for op in expr.ops)
+        result = node("Compare", self._expr(expr.left), value=f"Compare{ops}")
+        for comparator in expr.comparators:
+            result.add(self._expr(comparator))
+        return result
+
+    def _expr_Subscript(self, expr: ast.Subscript, store: bool = False) -> Node:
+        kind = "SubscriptStore" if store else "SubscriptLoad"
+        return node(kind, self._expr(expr.value), node("Index", self._expr(expr.slice)))
+
+    def _expr_Slice(self, expr: ast.Slice) -> Node:
+        result = node("Slice")
+        for part in (expr.lower, expr.upper, expr.step):
+            if part is not None:
+                result.add(self._expr(part))
+        return result
+
+    def _expr_Tuple(self, expr: ast.Tuple, store: bool = False) -> Node:
+        result = node("Tuple")
+        for element in expr.elts:
+            result.add(self._expr(element, store=store))
+        return result
+
+    def _expr_List(self, expr: ast.List, store: bool = False) -> Node:
+        result = node("List")
+        for element in expr.elts:
+            result.add(self._expr(element, store=store))
+        return result
+
+    def _expr_Set(self, expr: ast.Set) -> Node:
+        result = node("SetLit")
+        for element in expr.elts:
+            result.add(self._expr(element))
+        return result
+
+    def _expr_Dict(self, expr: ast.Dict) -> Node:
+        result = node("Dict")
+        for key, value in zip(expr.keys, expr.values):
+            if key is None:
+                result.add(node("DoubleStarred", self._expr(value)))
+            else:
+                result.add(node("DictEntry", self._expr(key), self._expr(value)))
+        return result
+
+    def _expr_Starred(self, expr: ast.Starred, store: bool = False) -> Node:
+        return node("Starred", self._expr(expr.value, store=store))
+
+    def _expr_Lambda(self, expr: ast.Lambda) -> Node:
+        params = node("Params")
+        for arg in expr.args.posonlyargs + expr.args.args:
+            params.add(node("Param", self._ident(arg.arg, role="param")))
+        return node("Lambda", params, self._expr(expr.body))
+
+    def _expr_IfExp(self, expr: ast.IfExp) -> Node:
+        return node(
+            "IfExp", self._expr(expr.test), self._expr(expr.body), self._expr(expr.orelse)
+        )
+
+    def _expr_ListComp(self, expr: ast.ListComp) -> Node:
+        return self._comprehension("ListComp", expr.elt, expr.generators)
+
+    def _expr_SetComp(self, expr: ast.SetComp) -> Node:
+        return self._comprehension("SetComp", expr.elt, expr.generators)
+
+    def _expr_GeneratorExp(self, expr: ast.GeneratorExp) -> Node:
+        return self._comprehension("GeneratorExp", expr.elt, expr.generators)
+
+    def _expr_DictComp(self, expr: ast.DictComp) -> Node:
+        result = self._comprehension("DictComp", expr.key, expr.generators)
+        result.add(self._expr(expr.value))
+        return result
+
+    def _comprehension(
+        self, kind: str, elt: ast.expr, generators: list[ast.comprehension]
+    ) -> Node:
+        result = node(kind, self._expr(elt))
+        for gen in generators:
+            comp = node(
+                "Comprehension", self._expr(gen.target, store=True), self._expr(gen.iter)
+            )
+            for cond in gen.ifs:
+                comp.add(node("CompIf", self._expr(cond)))
+            result.add(comp)
+        return result
+
+    def _expr_JoinedStr(self, expr: ast.JoinedStr) -> Node:
+        result = node("FString")
+        for value in expr.values:
+            if isinstance(value, ast.FormattedValue):
+                result.add(node("FormattedValue", self._expr(value.value)))
+            else:
+                result.add(self._expr(value))
+        return result
+
+    def _expr_Await(self, expr: ast.Await) -> Node:
+        return node("Await", self._expr(expr.value))
+
+    def _expr_Yield(self, expr: ast.Yield) -> Node:
+        result = node("Yield")
+        if expr.value is not None:
+            result.add(self._expr(expr.value))
+        return result
+
+    def _expr_YieldFrom(self, expr: ast.YieldFrom) -> Node:
+        return node("YieldFrom", self._expr(expr.value))
+
+    def _expr_NamedExpr(self, expr: ast.NamedExpr) -> Node:
+        return node("NamedExpr", self._expr(expr.target, store=True), self._expr(expr.value))
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _ident(name: str, role: str) -> Node:
+        ident = terminal("Ident", name)
+        ident.meta["role"] = role
+        return ident

@@ -1,0 +1,93 @@
+"""AST diff matching over commit before/after versions.
+
+Confusing word pairs (Section 3.2) are extracted from commits: the
+before/after ASTs are matched node-by-node [Paletov et al., 37], and
+when a pair of matched identifiers differs in exactly one subtoken, that
+subtoken pair is recorded as (mistaken word, correct word).
+
+Statement alignment uses difflib over structural keys, which behaves
+like a classical tree-diff restricted to statement granularity: moved
+and unchanged statements align, edited statements pair up positionally
+inside replace blocks.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+
+from repro.lang.astir import Node, StatementAst
+from repro.naming.subtokens import split_identifier
+
+__all__ = ["NameEdit", "diff_statements", "identifier_edits", "subtoken_edit"]
+
+
+@dataclass(frozen=True)
+class NameEdit:
+    """One identifier renamed between two versions of a statement."""
+
+    before: str
+    after: str
+
+
+def diff_statements(
+    before: list[StatementAst], after: list[StatementAst]
+) -> list[tuple[StatementAst, StatementAst]]:
+    """Pair up statements that were *edited* between two file versions.
+
+    Unchanged statements are skipped — only replace blocks contribute,
+    and within a block statements pair positionally.
+    """
+    before_keys = [s.structural_key() for s in before]
+    after_keys = [s.structural_key() for s in after]
+    matcher = difflib.SequenceMatcher(a=before_keys, b=after_keys, autojunk=False)
+    pairs: list[tuple[StatementAst, StatementAst]] = []
+    for tag, i1, i2, j1, j2 in matcher.get_opcodes():
+        if tag != "replace":
+            continue
+        for offset in range(min(i2 - i1, j2 - j1)):
+            pairs.append((before[i1 + offset], after[j1 + offset]))
+    return pairs
+
+
+def identifier_edits(before: Node, after: Node) -> list[NameEdit] | None:
+    """Walk two same-shaped trees collecting differing identifiers.
+
+    Returns ``None`` when the trees differ structurally (different kinds
+    or arities anywhere), because then the edit is not a pure rename.
+    """
+    edits: list[NameEdit] = []
+    if not _collect_edits(before, after, edits):
+        return None
+    return edits
+
+
+def _collect_edits(a: Node, b: Node, out: list[NameEdit]) -> bool:
+    if a.kind != b.kind or len(a.children) != len(b.children):
+        return False
+    if a.is_terminal:
+        if a.value != b.value:
+            out.append(NameEdit(before=a.value, after=b.value))
+        return True
+    if a.value != b.value and a.kind not in ("NumArgs", "NumST"):
+        # Non-terminal value changes (e.g. a different operator) mean
+        # the edit is more than a rename.
+        return False
+    for ca, cb in zip(a.children, b.children):
+        if not _collect_edits(ca, cb, out):
+            return False
+    return True
+
+
+def subtoken_edit(before: str, after: str) -> tuple[str, str] | None:
+    """If ``before`` and ``after`` split into equally many subtokens and
+    differ at exactly one position, return that (mistaken, correct)
+    subtoken pair; otherwise ``None``."""
+    sub_a = split_identifier(before)
+    sub_b = split_identifier(after)
+    if len(sub_a) != len(sub_b):
+        return None
+    diffs = [(x, y) for x, y in zip(sub_a, sub_b) if x != y]
+    if len(diffs) != 1:
+        return None
+    return diffs[0]

@@ -1,0 +1,82 @@
+"""Fast candidate lookup for pattern matching.
+
+Matching every mined pattern against every statement is quadratic; with
+tens of thousands of patterns it dominates everything else.  Matching a
+pattern requires every deduction prefix to appear among the statement's
+path prefixes, so indexing patterns by one deduction prefix (the
+*anchor*) gives a complete candidate filter: a statement can only match
+patterns anchored at one of its own prefixes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.namepath import NamePath, PathStep
+from repro.core.patterns import (
+    NamePattern,
+    Relation,
+    Violation,
+    check_pattern,
+    find_violation,
+)
+from repro.lang.astir import StatementAst
+
+__all__ = ["PatternMatcher"]
+
+
+class PatternMatcher:
+    """An anchor index over a fixed pattern set."""
+
+    def __init__(self, patterns: Sequence[NamePattern]) -> None:
+        self.patterns = list(patterns)
+        self._by_anchor: dict[tuple[PathStep, ...], list[int]] = defaultdict(list)
+        for idx, pattern in enumerate(self.patterns):
+            anchor = min(d.prefix for d in pattern.deduction)
+            self._by_anchor[anchor].append(idx)
+
+    def candidate_indices(self, paths: Sequence[NamePath]) -> Iterator[int]:
+        """Indices of patterns that could match a statement with these
+        paths.  Complete (never misses a match) but not exact."""
+        seen: set[int] = set()
+        for path in paths:
+            for idx in self._by_anchor.get(path.prefix, ()):
+                if idx not in seen:
+                    seen.add(idx)
+                    yield idx
+
+    def candidates(self, paths: Sequence[NamePath]) -> Iterator[NamePattern]:
+        for idx in self.candidate_indices(paths):
+            yield self.patterns[idx]
+
+    def check_all(
+        self, paths: Sequence[NamePath]
+    ) -> Iterator[tuple[NamePattern, Relation]]:
+        """Yield (pattern, relation) for every candidate that matches."""
+        for pattern in self.candidates(paths):
+            relation = check_pattern(pattern, paths)
+            if relation is not Relation.NO_MATCH:
+                yield pattern, relation
+
+    def violations(
+        self, stmt: StatementAst, paths: Sequence[NamePath]
+    ) -> list[Violation]:
+        """All pattern violations triggered by one statement."""
+        found = []
+        for pattern in self.candidates(paths):
+            violation = find_violation(pattern, stmt, paths)
+            if violation is not None:
+                found.append(violation)
+        return found
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    @staticmethod
+    def merge(matchers: Iterable["PatternMatcher"]) -> "PatternMatcher":
+        """Combine matchers over disjoint pattern sets."""
+        combined: list[NamePattern] = []
+        for m in matchers:
+            combined.extend(m.patterns)
+        return PatternMatcher(combined)

@@ -1,0 +1,366 @@
+"""Mining name patterns from Big Code (Section 3.3, Algorithms 1 and 2).
+
+The miner runs in four phases:
+
+1. **Frequency pass** — count every concrete name path across the
+   dataset and drop infrequent ones (the paper removes paths occurring
+   fewer than ~10 times, eliminating over 99% of distinct paths).
+2. **Growth pass** — for each statement, enumerate the possible
+   condition/deduction splits (``splitPaths``) and insert each resulting
+   transaction ``sort(cond) + sort(deduct)`` into the FP tree.
+3. **Generation** — traverse the FP tree (Algorithm 2) emitting a
+   pattern at every ``is_last`` node.
+4. **Pruning** — keep only patterns whose satisfaction/match ratio over
+   the dataset is at least ``min_satisfaction_ratio`` (0.8 in the
+   paper) and whose support clears ``min_pattern_support``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.namepath import EPSILON, NamePath, extract_name_paths
+from repro.core.patterns import NamePattern, PatternKind, Relation, check_pattern
+from repro.lang.astir import StatementAst
+from repro.mining.fptree import FPNode, FPTree
+from repro.mining.matcher import PatternMatcher
+
+__all__ = ["MiningConfig", "PatternMiner", "MiningResult", "generate_patterns"]
+
+
+@dataclass(frozen=True)
+class MiningConfig:
+    """Regularization knobs from Section 5.1.
+
+    Attributes:
+        max_paths_per_statement: Keep only the first N name paths of a
+            statement (paper: 10).
+        min_path_frequency: Drop name paths occurring fewer times in
+            the dataset (paper: 10).
+        max_condition_paths: Cap on condition size (paper: 10).
+        min_pattern_support: Occurrence threshold for keeping a mined
+            pattern (paper: 100 for Python, 500 for Java).
+        min_satisfaction_ratio: pruneUncommon threshold (paper: 0.8).
+        condition_subsets: ``"all"`` (the paper's Algorithm 2, line 7)
+            enumerates condition subsets smallest-first — general
+            patterns whose support aggregates across FP-tree branches —
+            bounded by ``max_condition_combinations``; ``"full"`` emits
+            a single pattern per is_last node using all visited
+            condition paths (matches the worked example in Figure 3(b)).
+        max_condition_combinations: Bound on subset enumeration per
+            node when ``condition_subsets == "all"``.
+    """
+
+    max_paths_per_statement: int = 10
+    min_path_frequency: int = 10
+    max_condition_paths: int = 10
+    min_pattern_support: int = 100
+    min_satisfaction_ratio: float = 0.8
+    condition_subsets: str = "all"
+    max_condition_combinations: int = 64
+
+
+@dataclass
+class MiningResult:
+    """Mined patterns plus statistics used by the evaluation."""
+
+    patterns: list[NamePattern]
+    total_statements: int = 0
+    total_transactions: int = 0
+    fp_tree_nodes: int = 0
+    candidates_before_pruning: int = 0
+
+    def by_kind(self, kind: PatternKind) -> list[NamePattern]:
+        return [p for p in self.patterns if p.kind is kind]
+
+
+class PatternMiner:
+    """End-to-end implementation of Algorithm 1 (``minePatterns``)."""
+
+    def __init__(
+        self,
+        config: MiningConfig = MiningConfig(),
+        confusing_pairs: Iterable[tuple[str, str]] = (),
+    ) -> None:
+        self.config = config
+        #: ``correct word -> set of mistaken words``; deductions of
+        #: confusing-word patterns must end at a correct word.
+        self.correct_words: dict[str, set[str]] = {}
+        for mistaken, correct in confusing_pairs:
+            self.correct_words.setdefault(correct, set()).add(mistaken)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+
+    def mine(
+        self,
+        statements: Sequence[StatementAst],
+        kind: PatternKind,
+    ) -> MiningResult:
+        """Mine patterns of ``kind`` from transformed statement ASTs.
+
+        ``statements`` must already be AST+ transformed; the miner only
+        extracts paths and grows the tree.
+        """
+        cfg = self.config
+        path_lists = [
+            extract_name_paths(s, max_paths=cfg.max_paths_per_statement)
+            for s in statements
+        ]
+        frequent = self._frequent_paths(path_lists)
+
+        tree = FPTree()
+        for paths in path_lists:
+            kept = [p for p in paths if p in frequent]
+            for cond, deduct in self._split_paths(kept, kind):
+                transaction = sorted(cond) + sorted(deduct)
+                tree.update(transaction)
+
+        candidates = generate_patterns(
+            tree.root,
+            [],
+            kind,
+            max_condition_paths=cfg.max_condition_paths,
+            condition_subsets=cfg.condition_subsets,
+            max_combinations=cfg.max_condition_combinations,
+        )
+        merged = _merge_duplicates(candidates)
+        pruned = self._prune_uncommon(merged, path_lists)
+        return MiningResult(
+            patterns=pruned,
+            total_statements=len(statements),
+            total_transactions=tree.transaction_count,
+            fp_tree_nodes=tree.node_count(),
+            candidates_before_pruning=len(merged),
+        )
+
+    def _frequent_paths(self, path_lists: list[list[NamePath]]) -> set[NamePath]:
+        """First pass: the set of paths above the frequency threshold."""
+        counts: Counter[NamePath] = Counter()
+        for paths in path_lists:
+            counts.update(paths)
+        return {p for p, c in counts.items() if c >= self.config.min_path_frequency}
+
+    # ------------------------------------------------------------------
+    # splitPaths (Algorithm 1, line 6)
+    # ------------------------------------------------------------------
+
+    def _split_paths(
+        self, paths: list[NamePath], kind: PatternKind
+    ) -> Iterable[tuple[list[NamePath], list[NamePath]]]:
+        """Enumerate every way to split ``paths`` into condition and
+        deduction for the given pattern type."""
+        if kind is PatternKind.CONSISTENCY:
+            yield from self._split_consistency(paths)
+        else:
+            yield from self._split_confusing(paths)
+
+    def _split_consistency(
+        self, paths: list[NamePath]
+    ) -> Iterable[tuple[list[NamePath], list[NamePath]]]:
+        """Pairs of paths sharing an end subtoken become the deduction.
+
+        Deduction paths are inserted *symbolically* (end set to epsilon)
+        so that e.g. ``self.x = x`` and ``self.y = y`` grow the same
+        branch of the FP tree and their counts aggregate.
+        """
+        for i, a1 in enumerate(paths):
+            for a2 in paths[i + 1 :]:
+                ends_equal = (
+                    a1.end is not None
+                    and a2.end is not None
+                    and a1.end.casefold() == a2.end.casefold()
+                )
+                if not ends_equal or a1.prefix == a2.prefix:
+                    continue
+                if not _is_name_subtoken(a1) or not _is_name_subtoken(a2):
+                    continue
+                deduct = [a1.as_symbolic(), a2.as_symbolic()]
+                cond = [
+                    p for p in paths if p.prefix not in (a1.prefix, a2.prefix)
+                ][: self.config.max_condition_paths]
+                yield cond, deduct
+
+    def _split_confusing(
+        self, paths: list[NamePath]
+    ) -> Iterable[tuple[list[NamePath], list[NamePath]]]:
+        """Paths ending at the correct word of a confusing pair become
+        the deduction (Definition 3.9)."""
+        for a in paths:
+            if a.end not in self.correct_words:
+                continue
+            cond = [p for p in paths if p.prefix != a.prefix][
+                : self.config.max_condition_paths
+            ]
+            yield cond, [a]
+
+    # ------------------------------------------------------------------
+    # pruneUncommon (Algorithm 1, line 9)
+    # ------------------------------------------------------------------
+
+    def _prune_uncommon(
+        self,
+        candidates: list[NamePattern],
+        path_lists: list[list[NamePath]],
+    ) -> list[NamePattern]:
+        """Keep patterns commonly *satisfied* where they match."""
+        cfg = self.config
+        supported = [p for p in candidates if p.support >= cfg.min_pattern_support]
+        if not supported:
+            return []
+        matcher = PatternMatcher(supported)
+        match_counts: Counter[int] = Counter()
+        sat_counts: Counter[int] = Counter()
+        for paths in path_lists:
+            for idx in matcher.candidate_indices(paths):
+                relation = check_pattern(supported[idx], paths)
+                if relation is Relation.NO_MATCH:
+                    continue
+                match_counts[idx] += 1
+                if relation is Relation.SATISFIED:
+                    sat_counts[idx] += 1
+        kept = []
+        for idx, pattern in enumerate(supported):
+            m = match_counts[idx]
+            if m == 0:
+                continue
+            if sat_counts[idx] / m >= cfg.min_satisfaction_ratio:
+                kept.append(pattern)
+        return kept
+
+
+# ----------------------------------------------------------------------
+# Algorithm 2
+# ----------------------------------------------------------------------
+
+
+def generate_patterns(
+    node: FPNode,
+    visited: list[NamePath],
+    kind: PatternKind,
+    max_condition_paths: int = 10,
+    condition_subsets: str = "full",
+    max_combinations: int = 32,
+) -> list[NamePattern]:
+    """Recursive FP-tree traversal emitting a pattern per is_last node.
+
+    ``visited`` is the list of name paths from the root to the current
+    node (Algorithm 2's ``paths`` argument).
+    """
+    patterns: list[NamePattern] = []
+    if node.path is not None:
+        visited.append(node.path)
+    try:
+        if node.is_last and node.path is not None:
+            deduct, conds = _get_deduction_and_conditions(visited, kind)
+            if deduct is not None:
+                for cond in _condition_combinations(
+                    conds, max_condition_paths, condition_subsets, max_combinations
+                ):
+                    pattern = _build_pattern(cond, deduct, kind, node.count)
+                    if pattern is not None:
+                        patterns.append(pattern)
+        for child in node.children.values():
+            patterns.extend(
+                generate_patterns(
+                    child,
+                    visited,
+                    kind,
+                    max_condition_paths,
+                    condition_subsets,
+                    max_combinations,
+                )
+            )
+    finally:
+        if node.path is not None:
+            visited.pop()
+    return patterns
+
+
+def _get_deduction_and_conditions(
+    visited: list[NamePath], kind: PatternKind
+) -> tuple[list[NamePath] | None, list[NamePath]]:
+    """Split the visited paths into (deduction, candidate conditions).
+
+    Deduction paths were inserted last in every transaction, so they are
+    the final one (confusing word) or two (consistency) visited paths.
+    """
+    if kind is PatternKind.CONSISTENCY:
+        if len(visited) < 2:
+            return None, []
+        deduct = [p.with_end(EPSILON) for p in visited[-2:]]
+        return deduct, list(visited[:-2])
+    if not visited:
+        return None, []
+    return [visited[-1]], list(visited[:-1])
+
+
+def _condition_combinations(
+    conds: list[NamePath],
+    max_condition_paths: int,
+    mode: str,
+    max_combinations: int,
+) -> Iterable[tuple[NamePath, ...]]:
+    base = tuple(conds[:max_condition_paths])
+    if mode == "full":
+        yield base
+        return
+    if mode != "all":
+        raise ValueError(f"unknown condition_subsets mode: {mode!r}")
+    if not base:
+        yield ()
+        return
+    # Smallest subsets first: general conditions aggregate support from
+    # many FP-tree branches (the duplicate-merge step sums them), which
+    # is what lets idioms generalize over incidental context paths.
+    yield base
+    emitted = 1
+    for size in range(1, len(base)):
+        for combo in itertools.combinations(base, size):
+            yield combo
+            emitted += 1
+            if emitted >= max_combinations:
+                return
+
+
+def _build_pattern(
+    cond: tuple[NamePath, ...],
+    deduct: list[NamePath],
+    kind: PatternKind,
+    support: int,
+) -> NamePattern | None:
+    if kind is PatternKind.CONSISTENCY:
+        if len(deduct) != 2 or deduct[0].prefix == deduct[1].prefix:
+            return None
+    try:
+        return NamePattern(
+            condition=frozenset(cond),
+            deduction=frozenset(deduct),
+            kind=kind,
+            support=support,
+        )
+    except ValueError:
+        return None
+
+
+def _merge_duplicates(patterns: list[NamePattern]) -> list[NamePattern]:
+    """The same (condition, deduction) pair can be reached from several
+    FP-tree branches; merge them, summing support."""
+    merged: dict[tuple, NamePattern] = {}
+    for p in patterns:
+        key = p.key()
+        existing = merged.get(key)
+        if existing is None:
+            merged[key] = p
+        else:
+            merged[key] = existing.with_support(existing.support + p.support)
+    return list(merged.values())
+
+
+def _is_name_subtoken(path: NamePath) -> bool:
+    """Consistency deductions should relate real names, not literals."""
+    return path.end not in (None, "NUM", "STR", "BOOL")

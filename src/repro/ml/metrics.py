@@ -1,0 +1,81 @@
+"""Binary-classification metrics reported in Sections 5.2-5.3."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "accuracy",
+    "precision",
+    "recall",
+    "f1_score",
+    "confusion_matrix",
+    "ClassificationReport",
+    "classification_report",
+]
+
+
+def _arrays(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(y_true).astype(int)
+    b = np.asarray(y_pred).astype(int)
+    if a.shape != b.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    return a, b
+
+
+def confusion_matrix(y_true, y_pred) -> np.ndarray:
+    """2x2 matrix ``[[tn, fp], [fn, tp]]``."""
+    a, b = _arrays(y_true, y_pred)
+    tn = int(np.sum((a == 0) & (b == 0)))
+    fp = int(np.sum((a == 0) & (b == 1)))
+    fn = int(np.sum((a == 1) & (b == 0)))
+    tp = int(np.sum((a == 1) & (b == 1)))
+    return np.array([[tn, fp], [fn, tp]])
+
+
+def accuracy(y_true, y_pred) -> float:
+    a, b = _arrays(y_true, y_pred)
+    return float(np.mean(a == b)) if len(a) else 0.0
+
+
+def precision(y_true, y_pred) -> float:
+    m = confusion_matrix(y_true, y_pred)
+    tp, fp = m[1, 1], m[0, 1]
+    return tp / (tp + fp) if (tp + fp) else 0.0
+
+
+def recall(y_true, y_pred) -> float:
+    m = confusion_matrix(y_true, y_pred)
+    tp, fn = m[1, 1], m[1, 0]
+    return tp / (tp + fn) if (tp + fn) else 0.0
+
+
+def f1_score(y_true, y_pred) -> float:
+    p = precision(y_true, y_pred)
+    r = recall(y_true, y_pred)
+    return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+
+    def __str__(self) -> str:
+        return (
+            f"accuracy={self.accuracy:.2%} precision={self.precision:.2%} "
+            f"recall={self.recall:.2%} f1={self.f1:.2%}"
+        )
+
+
+def classification_report(y_true, y_pred) -> ClassificationReport:
+    return ClassificationReport(
+        accuracy=accuracy(y_true, y_pred),
+        precision=precision(y_true, y_pred),
+        recall=recall(y_true, y_pred),
+        f1=f1_score(y_true, y_pred),
+    )

@@ -1,0 +1,100 @@
+"""Feature preprocessing: standardization and PCA.
+
+Section 5.1: "We used feature standardization and principal component
+analysis as a preprocessing step for the features."  Both are
+implemented directly on numpy — the environment has no sklearn, and the
+paper's models are small enough that closed-form implementations are
+exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler", "PCA"]
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance feature scaling."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=np.float64)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        # Constant features scale by 1 so they map to exactly zero.
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler used before fit()")
+        return (np.asarray(X, dtype=np.float64) - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler used before fit()")
+        return np.asarray(X, dtype=np.float64) * self.scale_ + self.mean_
+
+
+class PCA:
+    """Principal component analysis via singular value decomposition.
+
+    Args:
+        n_components: Number of components to keep; ``None`` keeps all,
+            a float in (0, 1) keeps enough components to explain that
+            fraction of variance.
+    """
+
+    def __init__(self, n_components: int | float | None = None) -> None:
+        self.n_components = n_components
+        self.components_: np.ndarray | None = None
+        self.mean_: np.ndarray | None = None
+        self.explained_variance_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "PCA":
+        X = np.asarray(X, dtype=np.float64)
+        n_samples = X.shape[0]
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        variance = (singular_values**2) / max(1, n_samples - 1)
+        total = variance.sum()
+        ratio = variance / total if total > 0 else np.zeros_like(variance)
+
+        k = self._resolve_components(ratio, len(singular_values))
+        self.components_ = vt[:k]
+        self.explained_variance_ = variance[:k]
+        self.explained_variance_ratio_ = ratio[:k]
+        return self
+
+    def _resolve_components(self, ratio: np.ndarray, available: int) -> int:
+        if self.n_components is None:
+            return available
+        if isinstance(self.n_components, float):
+            if not 0.0 < self.n_components <= 1.0:
+                raise ValueError("fractional n_components must be in (0, 1]")
+            cumulative = np.cumsum(ratio)
+            return int(np.searchsorted(cumulative, self.n_components) + 1)
+        return min(int(self.n_components), available)
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.components_ is None or self.mean_ is None:
+            raise RuntimeError("PCA used before fit()")
+        return (np.asarray(X, dtype=np.float64) - self.mean_) @ self.components_.T
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if self.components_ is None or self.mean_ is None:
+            raise RuntimeError("PCA used before fit()")
+        return np.asarray(X, dtype=np.float64) @ self.components_ + self.mean_

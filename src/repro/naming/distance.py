@@ -1,0 +1,42 @@
+"""String distances used by the defect classifier.
+
+Feature 16 of Table 1 is the edit distance between the original name
+that violates a pattern and the name suggested by the deduction; small
+distances hint at typos and correlate with true naming issues.
+"""
+
+from __future__ import annotations
+
+__all__ = ["edit_distance", "normalized_edit_distance"]
+
+
+def edit_distance(a: str, b: str) -> int:
+    """Levenshtein distance between ``a`` and ``b``.
+
+    Uses the classic two-row dynamic program; O(len(a) * len(b)) time,
+    O(min(len(a), len(b))) space.
+    """
+    if a == b:
+        return 0
+    if len(a) < len(b):
+        a, b = b, a
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, ch_a in enumerate(a, start=1):
+        current = [i]
+        for j, ch_b in enumerate(b, start=1):
+            cost = 0 if ch_a == ch_b else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            )
+        previous = current
+    return previous[-1]
+
+
+def normalized_edit_distance(a: str, b: str) -> float:
+    """Edit distance scaled into [0, 1] by the longer string's length."""
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 0.0
+    return edit_distance(a, b) / longest

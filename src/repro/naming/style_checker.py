@@ -1,0 +1,102 @@
+"""Naming-convention consistency checking (extension).
+
+The paper leaves "the addition of more patterns" as future work
+(Section 3.2).  This module adds one such extension in the same spirit
+as the consistency patterns: per-file naming *style* coherence.  For
+each identifier role (variables/functions vs. classes), the dominant
+convention in a file is mined (snake_case, camelCase, PascalCase), and
+identifiers written in a minority convention are flagged — the
+"inconsistent with the naming style in the file" case of the paper's
+code-quality taxonomy (Section 5.1).
+
+Like the main pattern types, this is an anomaly signal: the checker
+only reports when the file has a clear majority convention and the
+offender is rare.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.lang.moduleir import ModuleIr
+from repro.naming.subtokens import is_splittable, normalize_style
+
+__all__ = ["StyleIssue", "StyleChecker"]
+
+#: identifier roles grouped into style domains
+_DOMAINS = {
+    "object": "value",
+    "param": "value",
+    "func": "value",
+    "attr": "value",
+    "type": "type",
+}
+
+
+@dataclass(frozen=True)
+class StyleIssue:
+    """An identifier written against the file's dominant convention."""
+
+    name: str
+    style: str
+    dominant: str
+    role: str
+    file_path: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.file_path}: '{self.name}' is {self.style} but this file "
+            f"names {self.role}s in {self.dominant}"
+        )
+
+
+class StyleChecker:
+    """Flags minority-convention identifiers per file.
+
+    Args:
+        min_names: Minimum multi-token identifiers per domain before the
+            file is considered to *have* a convention.
+        dominance: Minimum share the majority convention must hold.
+    """
+
+    def __init__(self, min_names: int = 8, dominance: float = 0.8) -> None:
+        self.min_names = min_names
+        self.dominance = dominance
+
+    def check(self, module: ModuleIr) -> list[StyleIssue]:
+        by_domain: dict[str, list[tuple[str, str, str]]] = {"value": [], "type": []}
+        seen: set[tuple[str, str]] = set()
+        for node in module.root.walk():
+            if not node.is_terminal or node.kind != "Ident":
+                continue
+            role = node.meta.get("role", "object")
+            domain = _DOMAINS.get(role)
+            if domain is None or not is_splittable(node.value):
+                continue
+            key = (node.value, domain)
+            if key in seen:
+                continue
+            seen.add(key)
+            by_domain[domain].append((node.value, normalize_style(node.value), role))
+
+        issues: list[StyleIssue] = []
+        for domain, entries in by_domain.items():
+            if len(entries) < self.min_names:
+                continue
+            counts = Counter(style for _, style, _ in entries)
+            dominant, dominant_count = counts.most_common(1)[0]
+            if dominant_count / len(entries) < self.dominance:
+                continue  # no clear convention in this file
+            for name, style, role in entries:
+                if style != dominant:
+                    issues.append(
+                        StyleIssue(
+                            name=name,
+                            style=style,
+                            dominant=dominant,
+                            role=role,
+                            file_path=module.file_path,
+                        )
+                    )
+        return issues

@@ -1,0 +1,110 @@
+"""Splitting identifier names into subtokens.
+
+Step 3 of the AST transformation (Section 3.1) splits every identifier
+into subtokens "based on standard naming conventions such as camelCase
+and snake_case".  Name paths end at individual subtokens, so this module
+is load-bearing for the entire pattern abstraction.
+
+The splitter handles:
+
+* ``snake_case`` and ``SCREAMING_SNAKE_CASE`` (underscore boundaries),
+* ``camelCase`` and ``PascalCase`` (lower-to-upper boundaries),
+* acronym runs (``HTTPServer`` -> ``HTTP``, ``Server``),
+* digit runs (``sha256sum`` -> ``sha``, ``256``, ``sum``),
+* leading/trailing underscores (dunder names keep their bare stem).
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["split_identifier", "join_subtokens", "is_splittable", "normalize_style"]
+
+# A subtoken is one of: an acronym run (possibly ending right before a
+# capitalized word), a capitalized word, a lowercase word, or a digit run.
+_SUBTOKEN_RE = re.compile(
+    r"[A-Z]+(?=[A-Z][a-z0-9]|\b|_|$)"  # acronym run: HTTP in HTTPServer
+    r"|[A-Z][a-z0-9]*"  # capitalized word: Server
+    r"|[a-z0-9]+"  # lowercase word or digit-starting run: server, 2x
+)
+
+_DIGIT_SPLIT_RE = re.compile(r"[0-9]+|[a-zA-Z]+")
+
+
+def split_identifier(name: str) -> list[str]:
+    """Split ``name`` into subtokens, preserving original casing.
+
+    >>> split_identifier("assertTrue")
+    ['assert', 'True']
+    >>> split_identifier("rotate_angle")
+    ['rotate', 'angle']
+    >>> split_identifier("HTTPServer2x")
+    ['HTTP', 'Server', '2', 'x']
+    >>> split_identifier("__init__")
+    ['init']
+    """
+    if not name:
+        return []
+    pieces: list[str] = []
+    for chunk in name.split("_"):
+        if not chunk:
+            continue
+        for match in _SUBTOKEN_RE.finditer(chunk):
+            token = match.group(0)
+            # Separate digit runs from letter runs within a subtoken.
+            if any(ch.isdigit() for ch in token) and not token.isdigit():
+                pieces.extend(_DIGIT_SPLIT_RE.findall(token))
+            else:
+                pieces.append(token)
+    return pieces or [name]
+
+
+def is_splittable(name: str) -> bool:
+    """True when ``name`` splits into more than one subtoken."""
+    return len(split_identifier(name)) > 1
+
+
+def join_subtokens(subtokens: list[str], style: str) -> str:
+    """Reassemble subtokens in the given naming ``style``.
+
+    Used when rendering suggested fixes: when a pattern says the second
+    subtoken of ``assertTrue`` should be ``Equal``, the fixed identifier
+    is rebuilt in the original convention.
+
+    Args:
+        subtokens: Subtokens in order.
+        style: One of ``"snake"``, ``"camel"``, ``"pascal"``.
+    """
+    if not subtokens:
+        return ""
+    if style == "snake":
+        return "_".join(t.lower() for t in subtokens)
+    if style == "pascal":
+        return "".join(_capitalize(t) for t in subtokens)
+    if style == "camel":
+        head, *rest = subtokens
+        return head[0].lower() + head[1:] + "".join(_capitalize(t) for t in rest)
+    raise ValueError(f"unknown naming style: {style!r}")
+
+
+def normalize_style(name: str) -> str:
+    """Infer the naming convention used by ``name``.
+
+    Returns ``"snake"``, ``"camel"``, or ``"pascal"``.  Single-word names
+    default to ``"snake"`` for lowercase and ``"pascal"`` for
+    capitalized names, which keeps fix rendering stable.
+    """
+    if "_" in name.strip("_"):
+        return "snake"
+    if name[:1].isupper():
+        return "pascal"
+    if any(ch.isupper() for ch in name[1:]):
+        return "camel"
+    return "snake"
+
+
+def _capitalize(token: str) -> str:
+    """Capitalize a subtoken, leaving acronyms (all-caps) untouched."""
+    if token.isupper() and len(token) > 1:
+        return token
+    return token[:1].upper() + token[1:]

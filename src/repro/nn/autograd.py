@@ -1,0 +1,315 @@
+"""A small reverse-mode automatic differentiation engine on numpy.
+
+The GGNN and GREAT baselines of Section 5.6 are neural networks; the
+environment has no deep-learning framework, so this module provides the
+substrate: a :class:`Tensor` wrapping a numpy array, a tape of
+operations, and ``backward()`` over the DAG in reverse topological
+order.  The op set is exactly what graph networks and small relational
+transformers need: dense algebra (matmul with broadcasting), pointwise
+nonlinearities, gather/scatter for message passing and embeddings, and
+a fused softmax cross-entropy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+__all__ = ["Tensor", "tensor", "zeros", "stack", "concat"]
+
+
+class Tensor:
+    """A node in the autodiff graph."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn")
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        requires_grad: bool = False,
+        parents: Iterable["Tensor"] = (),
+        backward_fn: Callable[[np.ndarray], None] | None = None,
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = requires_grad
+        self._parents = tuple(parents)
+        self._backward_fn = backward_fn
+
+    # ------------------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(grad, self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Reverse-mode sweep from this tensor."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without grad requires a scalar")
+            grad = np.ones_like(self.data)
+        topo: list[Tensor] = []
+        seen: set[int] = set()
+
+        def visit(t: "Tensor") -> None:
+            stack = [(t, False)]
+            while stack:
+                current, processed = stack.pop()
+                if processed:
+                    topo.append(current)
+                    continue
+                if id(current) in seen:
+                    continue
+                seen.add(id(current))
+                stack.append((current, True))
+                for parent in current._parents:
+                    stack.append((parent, False))
+
+        visit(self)
+        self._accumulate(np.asarray(grad, dtype=np.float64))
+        for node in reversed(topo):
+            if node._backward_fn is not None and node.grad is not None:
+                node._backward_fn(node.grad)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+
+    def __add__(self, other) -> "Tensor":
+        other = _as_tensor(other)
+        out = Tensor(
+            self.data + other.data,
+            requires_grad=self.requires_grad or other.requires_grad,
+            parents=(self, other),
+        )
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad)
+            other._accumulate(grad)
+
+        out._backward_fn = backward
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        out = Tensor(-self.data, self.requires_grad, (self,))
+        out._backward_fn = lambda g: self._accumulate(-g)
+        return out
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-_as_tensor(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return _as_tensor(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = _as_tensor(other)
+        out = Tensor(
+            self.data * other.data,
+            self.requires_grad or other.requires_grad,
+            (self, other),
+        )
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * other.data)
+            other._accumulate(grad * self.data)
+
+        out._backward_fn = backward
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = _as_tensor(other)
+        out = Tensor(
+            self.data / other.data,
+            self.requires_grad or other.requires_grad,
+            (self, other),
+        )
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / other.data)
+            other._accumulate(-grad * self.data / (other.data**2))
+
+        out._backward_fn = backward
+        return out
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = _as_tensor(other)
+        out = Tensor(
+            self.data @ other.data,
+            self.requires_grad or other.requires_grad,
+            (self, other),
+        )
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad @ np.swapaxes(other.data, -1, -2))
+            other._accumulate(np.swapaxes(self.data, -1, -2) @ grad)
+
+        out._backward_fn = backward
+        return out
+
+    __matmul__ = matmul
+
+    def transpose(self, axis1: int = -2, axis2: int = -1) -> "Tensor":
+        out = Tensor(np.swapaxes(self.data, axis1, axis2), self.requires_grad, (self,))
+        out._backward_fn = lambda g: self._accumulate(np.swapaxes(g, axis1, axis2))
+        return out
+
+    def reshape(self, *shape: int) -> "Tensor":
+        original = self.data.shape
+        out = Tensor(self.data.reshape(shape), self.requires_grad, (self,))
+        out._backward_fn = lambda g: self._accumulate(g.reshape(original))
+        return out
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out = Tensor(self.data.sum(axis=axis, keepdims=keepdims), self.requires_grad, (self,))
+
+        def backward(grad: np.ndarray) -> None:
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            self._accumulate(np.broadcast_to(g, self.data.shape))
+
+        out._backward_fn = backward
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        count = self.data.size if axis is None else self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    # ------------------------------------------------------------------
+    # Nonlinearities
+    # ------------------------------------------------------------------
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out = Tensor(self.data * mask, self.requires_grad, (self,))
+        out._backward_fn = lambda g: self._accumulate(g * mask)
+        return out
+
+    def tanh(self) -> "Tensor":
+        value = np.tanh(self.data)
+        out = Tensor(value, self.requires_grad, (self,))
+        out._backward_fn = lambda g: self._accumulate(g * (1.0 - value**2))
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        value = 1.0 / (1.0 + np.exp(-np.clip(self.data, -500, 500)))
+        out = Tensor(value, self.requires_grad, (self,))
+        out._backward_fn = lambda g: self._accumulate(g * value * (1.0 - value))
+        return out
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        value = exp / exp.sum(axis=axis, keepdims=True)
+        out = Tensor(value, self.requires_grad, (self,))
+
+        def backward(grad: np.ndarray) -> None:
+            dot = (grad * value).sum(axis=axis, keepdims=True)
+            self._accumulate(value * (grad - dot))
+
+        out._backward_fn = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Indexing: embeddings and message passing
+    # ------------------------------------------------------------------
+
+    def gather_rows(self, indices: np.ndarray) -> "Tensor":
+        """Select rows: ``out[i] = self[indices[i]]`` (embedding lookup,
+        edge-source selection)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        out = Tensor(self.data[indices], self.requires_grad, (self,))
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, indices, grad)
+            self._accumulate(full)
+
+        out._backward_fn = backward
+        return out
+
+    def scatter_add(self, indices: np.ndarray, num_rows: int) -> "Tensor":
+        """Accumulate rows: ``out[indices[i]] += self[i]`` (message
+        aggregation at edge targets)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        value = np.zeros((num_rows,) + self.data.shape[1:], dtype=np.float64)
+        np.add.at(value, indices, self.data)
+        out = Tensor(value, self.requires_grad, (self,))
+        out._backward_fn = lambda g: self._accumulate(g[indices])
+        return out
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tensor(shape={self.data.shape}, grad={self.requires_grad})"
+
+
+def _as_tensor(value) -> Tensor:
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=np.float64))
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce a broadcasted gradient back to ``shape``."""
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+def tensor(data, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.asarray(data, dtype=np.float64), requires_grad=requires_grad)
+
+
+def zeros(*shape: int, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    value = np.stack([t.data for t in tensors], axis=axis)
+    out = Tensor(value, any(t.requires_grad for t in tensors), tuple(tensors))
+
+    def backward(grad: np.ndarray) -> None:
+        pieces = np.split(grad, len(tensors), axis=axis)
+        for t, piece in zip(tensors, pieces):
+            t._accumulate(np.squeeze(piece, axis=axis))
+
+    out._backward_fn = backward
+    return out
+
+
+def concat(tensors: list[Tensor], axis: int = -1) -> Tensor:
+    value = np.concatenate([t.data for t in tensors], axis=axis)
+    out = Tensor(value, any(t.requires_grad for t in tensors), tuple(tensors))
+    sizes = [t.data.shape[axis] for t in tensors]
+
+    def backward(grad: np.ndarray) -> None:
+        offsets = np.cumsum([0] + sizes)
+        for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(lo, hi)
+            t._accumulate(grad[tuple(slicer)])
+
+    out._backward_fn = backward
+    return out

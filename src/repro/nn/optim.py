@@ -1,0 +1,50 @@
+"""Adam optimizer for the autodiff tensors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+__all__ = ["Adam"]
+
+
+class Adam:
+    """Kingma & Ba's Adam with bias correction."""
+
+    def __init__(
+        self,
+        params: list[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        clip: float | None = 5.0,
+    ) -> None:
+        self.params = params
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.clip = clip
+        self.t = 0
+        self._m = [np.zeros_like(p.data) for p in params]
+        self._v = [np.zeros_like(p.data) for p in params]
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        self.t += 1
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.clip is not None:
+                norm = np.linalg.norm(grad)
+                if norm > self.clip:
+                    grad = grad * (self.clip / norm)
+            self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * grad
+            self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * grad**2
+            m_hat = self._m[i] / (1 - self.beta1**self.t)
+            v_hat = self._v[i] / (1 - self.beta2**self.t)
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

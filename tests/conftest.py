@@ -1,0 +1,54 @@
+"""Shared fixtures: small corpora and a fitted Namer.
+
+Session scope keeps the expensive pieces (corpus generation, mining,
+points-to over every file) to one run for the whole suite.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.namer import Namer, NamerConfig
+from repro.corpus.generator import GeneratorConfig, generate_python_corpus
+from repro.corpus.javagen import generate_java_corpus
+from repro.evaluation.oracle import Oracle
+from repro.evaluation.precision import sample_balanced_training
+from repro.mining.miner import MiningConfig
+
+#: mining thresholds scaled down to the small test corpora
+SMALL_MINING = MiningConfig(min_pattern_support=10, min_path_frequency=5)
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    return generate_python_corpus(
+        GeneratorConfig(num_repos=12, issue_rate=0.15, seed=99)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_java_corpus():
+    return generate_java_corpus(
+        GeneratorConfig(num_repos=10, issue_rate=0.15, seed=99)
+    )
+
+
+@pytest.fixture(scope="session")
+def fitted_namer(small_corpus):
+    """A Namer mined over the small corpus with a trained classifier."""
+    namer = Namer(NamerConfig(mining=SMALL_MINING))
+    namer.mine(small_corpus)
+    oracle = Oracle(small_corpus)
+    violations = namer.all_violations()
+    rng = random.Random(5)
+    training, labels = sample_balanced_training(violations, oracle, 80, rng)
+    if len(set(labels)) > 1:
+        namer.train(training, labels)
+    return namer
+
+
+@pytest.fixture(scope="session")
+def small_oracle(small_corpus):
+    return Oracle(small_corpus)

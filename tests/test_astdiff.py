@@ -1,0 +1,108 @@
+"""Tests for AST diffing and confusing word pair mining."""
+
+from repro.lang.python_frontend import parse_module
+from repro.mining.astdiff import (
+    NameEdit,
+    diff_statements,
+    identifier_edits,
+    subtoken_edit,
+)
+from repro.mining.confusing_pairs import ConfusingPairStore, mine_confusing_pairs
+
+
+def stmts(source):
+    return parse_module(source).statements
+
+
+class TestDiffStatements:
+    def test_pairs_edited_statements(self):
+        before = stmts("x = 1\nself.assertTrue(a, 2)\ny = 3")
+        after = stmts("x = 1\nself.assertEqual(a, 2)\ny = 3")
+        pairs = diff_statements(before, after)
+        assert len(pairs) == 1
+        assert "assertTrue" in pairs[0][0].structural_key()
+
+    def test_identical_files_no_pairs(self):
+        a = stmts("x = 1\ny = 2")
+        b = stmts("x = 1\ny = 2")
+        assert diff_statements(a, b) == []
+
+    def test_insertion_not_paired(self):
+        a = stmts("x = 1")
+        b = stmts("x = 1\ny = 2")
+        assert diff_statements(a, b) == []
+
+
+class TestIdentifierEdits:
+    def test_single_rename(self):
+        a = stmts("self.port = por")[0].root
+        b = stmts("self.port = port")[0].root
+        edits = identifier_edits(a, b)
+        assert edits == [NameEdit(before="por", after="port")]
+
+    def test_structural_change_returns_none(self):
+        a = stmts("x = y")[0].root
+        b = stmts("x = y + 1")[0].root
+        assert identifier_edits(a, b) is None
+
+    def test_no_edits(self):
+        a = stmts("x = y")[0].root
+        b = stmts("x = y")[0].root
+        assert identifier_edits(a, b) == []
+
+    def test_multiple_renames_collected(self):
+        a = stmts("a = b")[0].root
+        b = stmts("c = d")[0].root
+        assert len(identifier_edits(a, b)) == 2
+
+
+class TestSubtokenEdit:
+    def test_single_subtoken_diff(self):
+        assert subtoken_edit("assertTrue", "assertEqual") == ("True", "Equal")
+
+    def test_identical(self):
+        assert subtoken_edit("assertTrue", "assertTrue") is None
+
+    def test_different_lengths(self):
+        assert subtoken_edit("assertTrue", "assertTrueNow") is None
+
+    def test_two_diffs(self):
+        assert subtoken_edit("getUserName", "setHostName") is None
+
+    def test_single_token_typo(self):
+        assert subtoken_edit("por", "port") == ("por", "port")
+
+
+class TestMineConfusingPairs:
+    def parse(self, source):
+        return parse_module(source).statements
+
+    def test_mines_true_equal(self):
+        commits = [
+            ("self.assertTrue(a, 2)\n", "self.assertEqual(a, 2)\n"),
+        ] * 3
+        store = mine_confusing_pairs(commits, self.parse)
+        assert store.counts[("True", "Equal")] == 3
+
+    def test_skips_unparsable(self):
+        commits = [("def broken(:", "def fixed(): pass")]
+        store = mine_confusing_pairs(commits, self.parse)
+        assert len(store) == 0
+
+    def test_correct_words(self):
+        store = ConfusingPairStore()
+        store.add("True", "Equal", 3)
+        store.add("or", "of", 1)
+        assert store.correct_words(min_count=2) == {"Equal"}
+
+    def test_pairs_ordering(self):
+        store = ConfusingPairStore()
+        store.add("a", "b", 1)
+        store.add("c", "d", 5)
+        assert store.pairs()[0] == ("c", "d")
+
+    def test_is_confusing(self):
+        store = ConfusingPairStore()
+        store.add("True", "Equal")
+        assert store.is_confusing("True", "Equal")
+        assert not store.is_confusing("Equal", "True")

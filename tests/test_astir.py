@@ -1,0 +1,85 @@
+"""Unit tests for the neutral AST (repro.lang.astir)."""
+
+from repro.lang.astir import Node, StatementAst, node, terminal
+
+
+def make_tree():
+    return node(
+        "Call",
+        node("NameLoad", terminal("Ident", "self")),
+        node("Num", terminal("NumLit", "90")),
+    )
+
+
+class TestNode:
+    def test_default_value_is_kind(self):
+        assert Node(kind="Call").value == "Call"
+
+    def test_explicit_value(self):
+        assert Node(kind="BinOp", value="BinOpAdd").value == "BinOpAdd"
+
+    def test_terminal_detection(self):
+        tree = make_tree()
+        assert not tree.is_terminal
+        assert terminal("Ident", "x").is_terminal
+
+    def test_add_returns_self(self):
+        n = Node(kind="Call")
+        assert n.add(terminal("Ident", "x")) is n
+        assert len(n.children) == 1
+
+    def test_walk_preorder(self):
+        tree = make_tree()
+        kinds = [n.kind for n in tree.walk()]
+        assert kinds == ["Call", "NameLoad", "Ident", "Num", "NumLit"]
+
+    def test_terminals_left_to_right(self):
+        values = [t.value for t in make_tree().terminals()]
+        assert values == ["self", "90"]
+
+    def test_find(self):
+        hits = list(make_tree().find(lambda n: n.kind == "Ident"))
+        assert len(hits) == 1 and hits[0].value == "self"
+
+    def test_clone_is_deep(self):
+        tree = make_tree()
+        copy = tree.clone()
+        copy.children[0].children[0].value = "other"
+        assert tree.children[0].children[0].value == "self"
+
+    def test_clone_copies_meta(self):
+        tree = make_tree()
+        tree.meta["x"] = 1
+        copy = tree.clone()
+        copy.meta["x"] = 2
+        assert tree.meta["x"] == 1
+
+    def test_size(self):
+        assert make_tree().size() == 5
+
+    def test_depth(self):
+        assert make_tree().depth() == 3
+        assert terminal("Ident", "x").depth() == 1
+
+    def test_structural_key_equal_for_equal_trees(self):
+        assert make_tree().structural_key() == make_tree().structural_key()
+
+    def test_structural_key_differs_on_values(self):
+        other = make_tree()
+        other.children[0].children[0].value = "that"
+        assert other.structural_key() != make_tree().structural_key()
+
+    def test_pretty_contains_all_values(self):
+        text = make_tree().pretty()
+        for piece in ("Call", "self", "90"):
+            assert piece in text
+
+
+class TestStatementAst:
+    def test_structural_key_delegates(self):
+        stmt = StatementAst(root=make_tree())
+        assert stmt.structural_key() == make_tree().structural_key()
+
+    def test_repr_includes_location(self):
+        stmt = StatementAst(root=make_tree(), file_path="a.py", line=3)
+        assert "a.py:3" in repr(stmt)

@@ -1,0 +1,172 @@
+"""Gradient checks for the autodiff engine."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor, concat, stack, tensor, zeros
+
+
+def numeric_gradient(f, x: Tensor, eps: float = 1e-6) -> np.ndarray:
+    grad = np.zeros_like(x.data)
+    it = np.nditer(x.data, flags=["multi_index"])
+    for _ in it:
+        idx = it.multi_index
+        x.data[idx] += eps
+        hi = float(f().data)
+        x.data[idx] -= 2 * eps
+        lo = float(f().data)
+        x.data[idx] += eps
+        grad[idx] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check(f, x: Tensor, atol=1e-6):
+    x.zero_grad()
+    out = f()
+    out.backward()
+    numeric = numeric_gradient(f, x)
+    assert np.allclose(x.grad, numeric, atol=atol), (x.grad, numeric)
+
+
+rng = np.random.default_rng(42)
+
+
+class TestElementwiseOps:
+    def test_add(self):
+        a = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 2)))
+        check(lambda: (a + b).sum(), a)
+
+    def test_mul(self):
+        a = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 2)))
+        check(lambda: (a * b).sum(), a)
+
+    def test_div(self):
+        a = Tensor(rng.normal(size=(4,)) + 3.0, requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)) + 3.0)
+        check(lambda: (b / a).sum(), a)
+
+    def test_sub_neg(self):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        check(lambda: (1.0 - a).sum(), a)
+
+    def test_broadcasting(self):
+        a = Tensor(rng.normal(size=(1, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 4)))
+        check(lambda: (a * b).sum(), a)
+
+    def test_relu(self):
+        a = Tensor(rng.normal(size=(10,)) + 0.01, requires_grad=True)
+        check(lambda: a.relu().sum(), a)
+
+    def test_tanh(self):
+        a = Tensor(rng.normal(size=(5,)), requires_grad=True)
+        w = Tensor(rng.normal(size=5))
+        check(lambda: (a.tanh() * w).sum(), a, atol=1e-5)
+
+    def test_sigmoid(self):
+        a = Tensor(rng.normal(size=(5,)), requires_grad=True)
+        w = Tensor(rng.normal(size=5))
+        check(lambda: (a.sigmoid() * w).sum(), a, atol=1e-5)
+
+
+class TestMatrixOps:
+    def test_matmul(self):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 2)))
+        check(lambda: (a @ b).sum(), a)
+
+    def test_batched_matmul(self):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 4, 3)))
+        check(lambda: (a @ b).sum(), a)
+
+    def test_transpose(self):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        w = Tensor(rng.normal(size=(4, 3)))
+        check(lambda: (a.transpose() * w).sum(), a)
+
+    def test_reshape(self):
+        a = Tensor(rng.normal(size=(6,)), requires_grad=True)
+        w = Tensor(rng.normal(size=(2, 3)))
+        check(lambda: (a.reshape(2, 3) * w).sum(), a)
+
+    def test_softmax(self):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 4)))
+        check(lambda: (a.softmax(axis=-1) * w).sum(), a, atol=1e-5)
+
+    def test_mean(self):
+        a = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        check(lambda: a.mean(), a)
+
+    def test_sum_axis_keepdims(self):
+        a = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        w = Tensor(rng.normal(size=(4, 1)))
+        check(lambda: (a.sum(axis=1, keepdims=True) * w).sum(), a)
+
+
+class TestIndexingOps:
+    def test_gather_rows(self):
+        a = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        idx = np.array([0, 2, 2, 4])
+        w = Tensor(rng.normal(size=(4, 3)))
+        check(lambda: (a.gather_rows(idx) * w).sum(), a)
+
+    def test_scatter_add(self):
+        a = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        idx = np.array([0, 1, 1, 2])
+        w = Tensor(rng.normal(size=(3, 3)))
+        check(lambda: (a.scatter_add(idx, 3) * w).sum(), a)
+
+    def test_gather_then_scatter_roundtrip(self):
+        a = Tensor(rng.normal(size=(5, 2)), requires_grad=True)
+        idx = np.array([1, 3])
+        w = Tensor(rng.normal(size=(5, 2)))
+        check(lambda: (a.gather_rows(idx).scatter_add(idx, 5) * w).sum(), a)
+
+
+class TestStructuralOps:
+    def test_concat(self):
+        a = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 3)))
+        w = Tensor(rng.normal(size=(3, 5)))
+        check(lambda: (concat([a, b], axis=-1) * w).sum(), a)
+
+    def test_stack(self):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)))
+        w = Tensor(rng.normal(size=(2, 3)))
+        check(lambda: (stack([a, b]) * w).sum(), a)
+
+
+class TestApi:
+    def test_backward_requires_scalar(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            a.backward()
+
+    def test_grad_accumulates_across_uses(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        out = (a + a).sum()
+        out.backward()
+        assert np.allclose(a.grad, 2.0)
+
+    def test_detach_breaks_graph(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        out = a.detach().sum()
+        out.backward()
+        assert a.grad is None
+
+    def test_helpers(self):
+        assert zeros(2, 3).shape == (2, 3)
+        assert tensor([1.0, 2.0]).shape == (2,)
+
+    def test_diamond_graph(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        b = a * 3.0
+        c = a * 4.0
+        out = (b + c).sum()
+        out.backward()
+        assert np.allclose(a.grad, 7.0)

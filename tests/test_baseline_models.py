@@ -1,0 +1,94 @@
+"""Tests for the GGNN and GREAT baselines and their trainer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ggnn import GGNNModel
+from repro.baselines.graphs import Vocabulary
+from repro.baselines.great import GreatModel
+from repro.baselines.training import (
+    TrainConfig,
+    detect_real_issues,
+    evaluate_synthetic,
+    train_model,
+)
+from repro.baselines.varmisuse import build_dataset, corpus_graphs
+from repro.corpus.generator import GeneratorConfig, generate_python_corpus
+
+
+@pytest.fixture(scope="module")
+def world():
+    corpus = generate_python_corpus(GeneratorConfig(num_repos=4, seed=13))
+    graphs = corpus_graphs(corpus)
+    vocab = Vocabulary.build(graphs)
+    samples = build_dataset(graphs, seed=2)
+    return graphs, vocab, samples
+
+
+@pytest.mark.parametrize("model_cls", [GGNNModel, GreatModel])
+class TestModels:
+    def test_logits_shape(self, world, model_cls):
+        _, vocab, samples = world
+        model = model_cls(vocab, dim=16)
+        sample = samples[0]
+        logits = model.logits(sample)
+        assert logits.shape == (len(sample.candidates),)
+
+    def test_probs_normalized(self, world, model_cls):
+        _, vocab, samples = world
+        model = model_cls(vocab, dim=16)
+        probs = model.predict_probs(samples[0])
+        assert np.isclose(probs.sum(), 1.0)
+
+    def test_loss_positive_and_differentiable(self, world, model_cls):
+        _, vocab, samples = world
+        model = model_cls(vocab, dim=16)
+        loss = model.loss(samples[0])
+        assert float(loss.data) > 0
+        loss.backward()
+        assert model.embedding.weight.grad is not None
+
+    def test_training_reduces_loss(self, world, model_cls):
+        _, vocab, samples = world
+        model = model_cls(vocab, dim=16)
+        history = train_model(model, samples[:60], TrainConfig(epochs=3, lr=5e-3))
+        assert history[-1] < history[0]
+
+    def test_parameters_nonempty(self, world, model_cls):
+        _, vocab, _ = world
+        assert model_cls(vocab, dim=16).parameters()
+
+
+class TestEvaluation:
+    def test_synthetic_metrics_bounds(self, world):
+        _, vocab, samples = world
+        model = GGNNModel(vocab, dim=16)
+        train_model(model, samples[:60], TrainConfig(epochs=2))
+        metrics = evaluate_synthetic(model, samples[60:90])
+        for value in (metrics.classification, metrics.localization, metrics.repair):
+            assert 0.0 <= value <= 1.0
+
+    def test_trained_beats_chance_on_repair(self, world):
+        _, vocab, samples = world
+        model = GGNNModel(vocab, dim=16)
+        train_model(model, samples[:120], TrainConfig(epochs=3, lr=5e-3))
+        metrics = evaluate_synthetic(model, samples[120:170])
+        assert metrics.repair > 0.4
+
+    def test_detect_real_issues_budget(self, world):
+        graphs, vocab, samples = world
+        model = GGNNModel(vocab, dim=16)
+        train_model(model, samples[:60], TrainConfig(epochs=1))
+        reports = detect_real_issues(model, graphs[:30], target_reports=5)
+        assert len(reports) <= 5
+        for report in reports:
+            assert report.observed != report.suggested
+            assert report.confidence >= 0
+
+    def test_reports_sorted_by_confidence(self, world):
+        graphs, vocab, samples = world
+        model = GGNNModel(vocab, dim=16)
+        train_model(model, samples[:40], TrainConfig(epochs=1))
+        reports = detect_real_issues(model, graphs[:30], target_reports=10)
+        confidences = [r.confidence for r in reports]
+        assert confidences == sorted(confidences, reverse=True)

@@ -1,0 +1,113 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+BUGGY_PROJECT = {
+    "app.py": (
+        "from unittest import TestCase\n"
+        "class TestApp(TestCase):\n"
+        "    def test_size(self):\n"
+        "        app = self.build_app()\n"
+        "        self.assertEqual(app.size, 3)\n"
+        "    def test_count(self):\n"
+        "        app = self.build_app()\n"
+        "        self.assertTrue(app.count, 5)\n"
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli") / "namer.json"
+    code = main(
+        [
+            "mine", "--out", str(out), "--repos", "25",
+            "--min-support", "12", "--min-frequency", "5", "--seed", "3",
+        ]
+    )
+    assert code == 0
+    return out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_mine_defaults(self):
+        args = build_parser().parse_args(["mine"])
+        assert args.out == "namer.json"
+        assert args.language == "python"
+
+    def test_scan_args(self):
+        args = build_parser().parse_args(["scan", "proj", "--fix"])
+        assert args.path == "proj" and args.fix
+
+
+class TestCommands:
+    def test_mine_writes_artifacts(self, artifacts):
+        assert artifacts.exists()
+        assert artifacts.stat().st_size > 1000
+
+    def test_scan_reports(self, artifacts, tmp_path, capsys):
+        project = tmp_path / "proj"
+        project.mkdir()
+        for name, source in BUGGY_PROJECT.items():
+            (project / name).write_text(source)
+        code = main(["scan", str(project), "--artifacts", str(artifacts)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "naming issue(s) reported" in out
+
+    def test_scan_fix_modifies_file(self, artifacts, tmp_path, capsys):
+        project = tmp_path / "fixproj"
+        project.mkdir()
+        target = project / "app.py"
+        target.write_text(BUGGY_PROJECT["app.py"])
+        main(["scan", str(project), "--artifacts", str(artifacts), "--fix"])
+        out = capsys.readouterr().out
+        if "replace 'True'" in out:
+            assert "assertEqual(app.count, 5)" in target.read_text()
+
+    def test_scan_skips_unparsable(self, artifacts, tmp_path, capsys):
+        project = tmp_path / "badproj"
+        project.mkdir()
+        (project / "broken.py").write_text("def broken(:")
+        code = main(["scan", str(project), "--artifacts", str(artifacts)])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "unparsable" in err
+
+    def test_scan_style_flag(self, artifacts, tmp_path, capsys):
+        project = tmp_path / "styleproj"
+        project.mkdir()
+        (project / "mixed.py").write_text(
+            "def load_user_record(user_id, record_key):\n"
+            "    raw_data = fetch_remote_data(user_id)\n"
+            "    parsed_row = parse_data_row(raw_data)\n"
+            "    final_result = merge_row_values(parsed_row, record_key)\n"
+            "    return final_result\n"
+            "def helperMethod(inputValue):\n"
+            "    return inputValue\n"
+        )
+        code = main(
+            ["scan", str(project), "--artifacts", str(artifacts), "--style"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "helperMethod" in out
+
+    def test_eval_prints_table(self, capsys):
+        code = main(
+            [
+                "eval", "--repos", "10", "--sample", "40",
+                "--min-support", "10", "--min-frequency", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Namer" in out and "w/o C" in out

@@ -1,0 +1,136 @@
+"""Tests for the synthetic corpus generators and dedup."""
+
+import pytest
+
+from repro.corpus.dedup import dedup_corpus, dedup_files, prune_forks
+from repro.corpus.generator import GeneratorConfig, generate_python_corpus
+from repro.corpus.javagen import generate_java_corpus
+from repro.corpus.model import Corpus, IssueCategory, Repository, SourceFile
+from repro.corpus.vocabulary import Vocabulary
+from repro.lang import parse_source
+
+import random
+
+
+class TestVocabulary:
+    def test_seeded_determinism(self):
+        a = Vocabulary(random.Random(1))
+        b = Vocabulary(random.Random(1))
+        assert [a.noun() for _ in range(5)] == [b.noun() for _ in range(5)]
+
+    def test_name_styles(self):
+        v = Vocabulary(random.Random(2))
+        assert "_" in v.snake_name(2)
+        camel = v.camel_name(2)
+        assert camel[0].islower() and any(c.isupper() for c in camel)
+        assert v.pascal_name(1)[0].isupper()
+
+    def test_typo_differs(self):
+        v = Vocabulary(random.Random(3))
+        for word in ("port", "label", "fullpath"):
+            assert v.typo(word) != word
+
+    def test_typo_short_word(self):
+        v = Vocabulary(random.Random(4))
+        assert v.typo("ab") == "abb"
+
+
+@pytest.mark.parametrize(
+    "generate, language",
+    [(generate_python_corpus, "python"), (generate_java_corpus, "java")],
+)
+class TestGenerators:
+    def test_deterministic(self, generate, language):
+        a = generate(GeneratorConfig(num_repos=3, seed=42))
+        b = generate(GeneratorConfig(num_repos=3, seed=42))
+        assert [f.source for _, f in a.files()] == [f.source for _, f in b.files()]
+
+    def test_different_seeds_differ(self, generate, language):
+        a = generate(GeneratorConfig(num_repos=3, seed=1))
+        b = generate(GeneratorConfig(num_repos=3, seed=2))
+        assert [f.source for _, f in a.files()] != [f.source for _, f in b.files()]
+
+    def test_all_files_parse(self, generate, language):
+        corpus = generate(GeneratorConfig(num_repos=4, seed=7))
+        for repo, f in corpus.files():
+            parse_source(f.source, language, f.path, repo.name)  # must not raise
+
+    def test_commits_parse(self, generate, language):
+        corpus = generate(GeneratorConfig(num_repos=3, seed=7))
+        assert corpus.commits
+        for commit in corpus.commits:
+            parse_source(commit.before, language)
+            parse_source(commit.after, language)
+
+    def test_ground_truth_points_at_real_lines(self, generate, language):
+        corpus = generate(GeneratorConfig(num_repos=4, seed=7, issue_rate=0.3))
+        assert corpus.ground_truth
+        files = {f.path: f for _, f in corpus.files()}
+        for issue in corpus.ground_truth:
+            source = files[issue.file_path].source.splitlines()
+            assert 1 <= issue.line <= len(source)
+            line_text = source[issue.line - 1]
+            assert issue.observed in line_text or issue.observed in "".join(source)
+
+    def test_issue_rate_scales_truth(self, generate, language):
+        low = generate(GeneratorConfig(num_repos=4, seed=7, issue_rate=0.02))
+        high = generate(GeneratorConfig(num_repos=4, seed=7, issue_rate=0.4))
+        assert len(high.ground_truth) > len(low.ground_truth)
+
+    def test_category_variety(self, generate, language):
+        corpus = generate(GeneratorConfig(num_repos=10, seed=7, issue_rate=0.3))
+        categories = {i.category for i in corpus.ground_truth}
+        assert IssueCategory.SEMANTIC_DEFECT in categories
+        assert len(categories) >= 4
+
+
+class TestCorpusModel:
+    def test_file_count(self):
+        corpus = generate_python_corpus(GeneratorConfig(num_repos=2, seed=1))
+        assert corpus.file_count() == sum(len(r.files) for r in corpus.repositories)
+
+    def test_truth_at(self):
+        corpus = generate_python_corpus(
+            GeneratorConfig(num_repos=4, seed=1, issue_rate=0.5)
+        )
+        issue = corpus.ground_truth[0]
+        assert corpus.truth_at(issue.file_path, issue.line) == issue
+        assert corpus.truth_at("nope.py", 1) is None
+
+
+class TestDedup:
+    def make_corpus(self):
+        f1 = SourceFile(path="a.py", source="x = 1\n")
+        f2 = SourceFile(path="b.py", source="x = 1\n")  # duplicate content
+        f3 = SourceFile(path="c.py", source="y = 2\n")
+        original = Repository(name="orig", files=[f1, f3])
+        fork = Repository(
+            name="fork", files=[SourceFile(path="a.py", source="x = 1\n"),
+                                SourceFile(path="c.py", source="y = 2\n")]
+        )
+        extra = Repository(name="extra", files=[f2])
+        return Corpus(repositories=[original, fork, extra])
+
+    def test_dedup_files(self):
+        corpus = self.make_corpus()
+        prune_forks(corpus)
+        removed = dedup_files(corpus)
+        assert removed >= 1
+        sources = [f.source for _, f in corpus.files()]
+        assert len(sources) == len(set(sources))
+
+    def test_prune_forks(self):
+        corpus = self.make_corpus()
+        removed = prune_forks(corpus)
+        assert removed == 1
+        assert [r.name for r in corpus.repositories] == ["orig", "extra"]
+
+    def test_dedup_corpus(self):
+        corpus = self.make_corpus()
+        forks, files = dedup_corpus(corpus)
+        assert forks == 1 and files == 1
+
+    def test_synthetic_corpus_is_dedup_clean(self):
+        corpus = generate_python_corpus(GeneratorConfig(num_repos=3, seed=1))
+        forks, _ = dedup_corpus(corpus)
+        assert forks == 0

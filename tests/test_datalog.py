@@ -1,0 +1,167 @@
+"""Tests for the Datalog engine."""
+
+import pytest
+
+from repro.datalog.engine import Program, StratificationError
+from repro.datalog.terms import Atom, Bind, Filter, Negation, Rule, Var, atom, var
+
+
+class TestTerms:
+    def test_atom_constructor_variables(self):
+        a = atom("edge", "?X", "node1")
+        assert a.args[0] == Var("X")
+        assert a.args[1] == "node1"
+
+    def test_rule_validates_head_variables(self):
+        with pytest.raises(ValueError):
+            Rule(head=atom("p", "?X"), body=(atom("q", "?Y"),))
+
+    def test_fact_rule_allows_constants(self):
+        Rule(head=atom("p", 1, 2))  # no body, no variables: fine
+
+    def test_bind_binds_head_variable(self):
+        Rule(
+            head=atom("p", "?Y"),
+            body=(atom("q", "?X"), Bind(Var("Y"), lambda x: x + 1, (Var("X"),))),
+        )
+
+
+class TestEvaluation:
+    def test_transitive_closure(self):
+        p = Program()
+        for a, b in [("a", "b"), ("b", "c"), ("c", "d")]:
+            p.fact("edge", a, b)
+        p.rule(atom("path", "?X", "?Y"), atom("edge", "?X", "?Y"))
+        p.rule(atom("path", "?X", "?Z"), atom("path", "?X", "?Y"), atom("edge", "?Y", "?Z"))
+        db = p.solve()
+        assert ("a", "d") in db["path"]
+        assert len(db["path"]) == 6
+
+    def test_cycle_terminates(self):
+        p = Program()
+        p.fact("edge", "a", "b")
+        p.fact("edge", "b", "a")
+        p.rule(atom("path", "?X", "?Y"), atom("edge", "?X", "?Y"))
+        p.rule(atom("path", "?X", "?Z"), atom("path", "?X", "?Y"), atom("edge", "?Y", "?Z"))
+        db = p.solve()
+        assert ("a", "a") in db["path"]
+
+    def test_join_on_shared_variable(self):
+        p = Program()
+        p.fact("parent", "tom", "bob")
+        p.fact("parent", "bob", "ann")
+        p.rule(
+            atom("grandparent", "?X", "?Z"),
+            atom("parent", "?X", "?Y"),
+            atom("parent", "?Y", "?Z"),
+        )
+        assert p.solve()["grandparent"] == {("tom", "ann")}
+
+    def test_constants_in_body(self):
+        p = Program()
+        p.fact("edge", "a", "b")
+        p.fact("edge", "c", "b")
+        p.rule(atom("to_b", "?X"), atom("edge", "?X", "b"))
+        assert p.solve()["to_b"] == {("a",), ("c",)}
+
+    def test_query(self):
+        p = Program()
+        p.fact("edge", "a", "b")
+        p.rule(atom("path", "?X", "?Y"), atom("edge", "?X", "?Y"))
+        results = p.query(atom("path", "a", "?Y"))
+        assert results[0][Var("Y")] == "b"
+
+    def test_empty_program(self):
+        assert Program().solve() == {}
+
+
+class TestNegation:
+    def test_stratified_negation(self):
+        p = Program()
+        p.fact("node", "a")
+        p.fact("node", "b")
+        p.fact("edge", "a", "b")
+        p.rules.append(
+            Rule(
+                head=atom("sink", "?X"),
+                body=(atom("node", "?X"), Negation(atom("edge", "?X", "?Y"))),
+            )
+        )
+        assert p.solve()["sink"] == {("b",)}
+
+    def test_negative_cycle_rejected(self):
+        p = Program()
+        p.fact("n", "a")
+        p.rules.append(
+            Rule(head=atom("p", "?X"), body=(atom("n", "?X"), Negation(atom("q", "?X"))))
+        )
+        p.rules.append(
+            Rule(head=atom("q", "?X"), body=(atom("n", "?X"), Negation(atom("p", "?X"))))
+        )
+        with pytest.raises(StratificationError):
+            p.solve()
+
+    def test_negation_sees_complete_relation(self):
+        p = Program()
+        p.fact("base", "a")
+        p.fact("base", "b")
+        p.rule(atom("derived", "a"), atom("base", "a"))
+        p.rules.append(
+            Rule(
+                head=atom("missing", "?X"),
+                body=(atom("base", "?X"), Negation(atom("derived", "?X"))),
+            )
+        )
+        assert p.solve()["missing"] == {("b",)}
+
+
+class TestBuiltins:
+    def test_bind_computes(self):
+        p = Program()
+        p.fact("n", 1)
+        p.fact("n", 2)
+        p.rule(
+            atom("double", "?Y"),
+            atom("n", "?X"),
+            Bind(Var("Y"), lambda x: x * 2, (Var("X"),)),
+        )
+        assert p.solve()["double"] == {(2,), (4,)}
+
+    def test_bind_truncating_context(self):
+        p = Program()
+        p.fact("start", ())
+        p.fact("site", "s1")
+        p.fact("site", "s2")
+        push = lambda ctx, s: ((s,) + ctx)[:2]
+        p.rule(
+            atom("ctx", "?C2"),
+            atom("start", "?C"),
+            atom("site", "?S"),
+            Bind(Var("C2"), push, (Var("C"), Var("S"))),
+        )
+        p.rule(
+            atom("ctx", "?C2"),
+            atom("ctx", "?C"),
+            atom("site", "?S"),
+            Bind(Var("C2"), push, (Var("C"), Var("S"))),
+        )
+        contexts = {c for (c,) in p.solve()["ctx"]}
+        assert all(len(c) <= 2 for c in contexts)
+        assert ("s1", "s2") in contexts
+
+    def test_filter(self):
+        p = Program()
+        for i in range(5):
+            p.fact("n", i)
+        p.rule(atom("big", "?X"), atom("n", "?X"), Filter(lambda x: x >= 3, (Var("X"),)))
+        assert p.solve()["big"] == {(3,), (4,)}
+
+    def test_bind_conflict_prunes(self):
+        p = Program()
+        p.fact("pair", 1, 2)
+        p.rule(
+            atom("same", "?X", "?Y"),
+            atom("pair", "?X", "?Y"),
+            Bind(Var("Y"), lambda x: x, (Var("X"),)),
+        )
+        assert "same" not in p.solve() or not p.solve()["same"]

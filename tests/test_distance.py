@@ -1,0 +1,54 @@
+"""Tests for edit distance (classifier feature 16)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.naming.distance import edit_distance, normalized_edit_distance
+
+words = st.text(alphabet="abcdef", max_size=12)
+
+
+class TestEditDistance:
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "abd", 1),
+            ("kitten", "sitting", 3),
+            ("", "abc", 3),
+            ("True", "Equal", 4),
+            ("por", "port", 1),
+        ],
+    )
+    def test_known(self, a, b, expected):
+        assert edit_distance(a, b) == expected
+
+    @given(words, words)
+    def test_symmetry(self, a, b):
+        assert edit_distance(a, b) == edit_distance(b, a)
+
+    @given(words)
+    def test_identity(self, a):
+        assert edit_distance(a, a) == 0
+
+    @given(words, words)
+    def test_zero_iff_equal(self, a, b):
+        assert (edit_distance(a, b) == 0) == (a == b)
+
+    @given(words, words, words)
+    def test_triangle_inequality(self, a, b, c):
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+    @given(words, words)
+    def test_bounded_by_longer(self, a, b):
+        assert edit_distance(a, b) <= max(len(a), len(b))
+
+
+class TestNormalizedEditDistance:
+    def test_empty(self):
+        assert normalized_edit_distance("", "") == 0.0
+
+    @given(words, words)
+    def test_in_unit_interval(self, a, b):
+        assert 0.0 <= normalized_edit_distance(a, b) <= 1.0

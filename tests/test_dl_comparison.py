@@ -1,0 +1,78 @@
+"""Smoke test for the Table 10/11 DL-comparison harness."""
+
+import pytest
+
+from repro.baselines.training import TrainConfig
+from repro.evaluation.dl_comparison import inspect_dl_reports, run_dl_comparison
+from repro.baselines.training import DlReport
+from repro.corpus.generator import GeneratorConfig, generate_python_corpus
+from repro.evaluation.oracle import Oracle
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    corpus = generate_python_corpus(GeneratorConfig(num_repos=6, seed=17))
+    return corpus, run_dl_comparison(
+        corpus,
+        namer_report_count=40,
+        train_config=TrainConfig(epochs=1),
+        model_dim=16,
+        max_train_samples=120,
+        max_test_samples=60,
+        seed=2,
+    )
+
+
+class TestRunDlComparison:
+    def test_both_models_present(self, comparison):
+        _, results = comparison
+        assert set(results) == {"GGNN", "GREAT"}
+
+    def test_rows_consistent(self, comparison):
+        _, results = comparison
+        for result in results.values():
+            row = result.row
+            assert (
+                row.semantic_defects + row.code_quality_issues + row.false_positives
+                == row.reports
+            )
+
+    def test_report_budget_respected(self, comparison):
+        _, results = comparison
+        for result in results.values():
+            assert result.row.reports <= 40 // 5
+
+    def test_synthetic_metrics_present(self, comparison):
+        _, results = comparison
+        for result in results.values():
+            assert 0.0 <= result.synthetic.classification <= 1.0
+
+    def test_models_returned(self, comparison):
+        _, results = comparison
+        for result in results.values():
+            assert hasattr(result.model, "predict_probs")
+            assert result.test_samples
+
+
+class TestInspectDlReports:
+    def test_counts_against_oracle(self, comparison):
+        corpus, _ = comparison
+        oracle = Oracle(corpus)
+        truth = corpus.ground_truth[0]
+        reports = [
+            DlReport(
+                file_path=truth.file_path,
+                line=truth.line,
+                observed=truth.observed,
+                suggested=truth.suggested,
+                confidence=1.0,
+            ),
+            DlReport(
+                file_path="nowhere.py", line=1, observed="a", suggested="b",
+                confidence=0.5,
+            ),
+        ]
+        row = inspect_dl_reports("X", reports, oracle)
+        assert row.reports == 2
+        assert row.false_positives == 1
+        assert row.semantic_defects + row.code_quality_issues == 1

@@ -1,0 +1,244 @@
+"""Tests for the evaluation harnesses (oracle, precision, breakdown,
+user study, feature weights, model selection, examples, speed)."""
+
+import random
+
+import pytest
+
+from repro.core.patterns import PatternKind
+from repro.corpus.model import IssueCategory
+from repro.evaluation.breakdown import report_share_by_kind, run_breakdown
+from repro.evaluation.cross_validation import run_model_selection
+from repro.evaluation.examples import collect_example_reports, figure2_walkthrough
+from repro.evaluation.feature_weights import extract_feature_weights
+from repro.evaluation.oracle import Oracle
+from repro.evaluation.precision import (
+    PrecisionRow,
+    run_precision_evaluation,
+    sample_balanced_training,
+)
+from repro.evaluation.speed import measure_analysis_speed
+from repro.evaluation.user_study import STUDY_ISSUES, simulate_user_study
+
+
+class TestOracle:
+    def test_labels_injected_issue(self, small_corpus, fitted_namer, small_oracle):
+        violations = fitted_namer.all_violations()
+        labels = [small_oracle.label(v) for v in violations]
+        assert 0 < sum(labels) < len(labels)
+
+    def test_inspection_categories(self, fitted_namer, small_oracle):
+        for violation in fitted_namer.all_violations():
+            outcome = small_oracle.inspect(violation)
+            if outcome.is_true_issue:
+                assert outcome.category is not None
+                assert outcome.truth is not None
+            else:
+                assert outcome.category is None
+
+    def test_inspect_location_exact(self, small_corpus, small_oracle):
+        issue = small_corpus.ground_truth[0]
+        outcome = small_oracle.inspect_location(
+            issue.file_path, issue.line, {issue.observed}
+        )
+        assert outcome.is_true_issue
+
+    def test_inspect_location_miss(self, small_oracle):
+        assert not small_oracle.inspect_location("nope.py", 1, {"x"}).is_true_issue
+
+    def test_proximity_requires_same_name(self, small_corpus, small_oracle):
+        issue = small_corpus.ground_truth[0]
+        outcome = small_oracle.inspect_location(
+            issue.file_path, issue.line + 2, {"совершенно-unrelated"}
+        )
+        assert not outcome.is_true_issue
+
+
+class TestPrecisionRow:
+    def test_precision_math(self):
+        row = PrecisionRow("x", reports=10, semantic_defects=2,
+                           code_quality_issues=5, false_positives=3)
+        assert row.precision == 0.7
+
+    def test_zero_reports(self):
+        row = PrecisionRow("x", 0, 0, 0, 0)
+        assert row.precision == 0.0
+
+    def test_format(self):
+        row = PrecisionRow("Namer", 10, 2, 5, 3)
+        assert "70%" in row.format()
+
+
+class TestBalancedTraining:
+    def test_respects_half_cap(self, fitted_namer, small_oracle):
+        violations = fitted_namer.all_violations()
+        rng = random.Random(0)
+        chosen, labels = sample_balanced_training(violations, small_oracle, 40, rng)
+        positives = [v for v in violations if small_oracle.label(v) == 1]
+        assert sum(labels) <= len(positives) // 2 + 1
+        assert len(chosen) == len(labels)
+
+
+class TestPrecisionEvaluation:
+    @pytest.fixture(scope="class")
+    def result(self, small_corpus):
+        from repro.core.namer import NamerConfig
+        from tests.conftest import SMALL_MINING
+
+        return run_precision_evaluation(
+            small_corpus,
+            NamerConfig(mining=SMALL_MINING),
+            sample_size=80,
+            training_size=40,
+            seed=3,
+        )
+
+    def test_four_rows(self, result):
+        assert [r.name for r in result.rows] == [
+            "Namer", "w/o C", "w/o A", "w/o C & A",
+        ]
+
+    def test_classifier_reduces_report_count(self, result):
+        # "w/o C" reports every sampled violation; the classifier filters.
+        assert result.row("Namer").reports <= result.row("w/o C").reports
+
+    def test_precisions_are_probabilities(self, result):
+        # The precision *ordering* (Namer > w/o C > ...) is a corpus-scale
+        # property checked by the Table 2 benchmark; at this tiny test
+        # scale only structural invariants are stable.
+        for row in result.rows:
+            assert 0.0 <= row.precision <= 1.0
+            assert (
+                row.semantic_defects + row.code_quality_issues + row.false_positives
+                == row.reports
+            )
+
+    def test_namer_instance_returned(self, result):
+        assert result.namer.matcher is not None
+
+    def test_format_table(self, result):
+        assert "Namer" in result.format_table()
+
+
+class TestBreakdown:
+    def test_breakdown_totals(self, fitted_namer, small_oracle):
+        result = run_breakdown(fitted_namer, small_oracle, per_type=30)
+        for kind in PatternKind:
+            row = result[kind]
+            assert (
+                row.semantic_defects + row.code_quality_issues + row.false_positives
+                == row.inspected
+            )
+
+    def test_quality_categories_counted(self, fitted_namer, small_oracle):
+        result = run_breakdown(fitted_namer, small_oracle, per_type=50)
+        total_categorized = sum(
+            sum(row.quality_categories.values()) for row in result.values()
+        )
+        total_quality = sum(row.code_quality_issues for row in result.values())
+        assert total_categorized == total_quality
+
+    def test_report_share(self, fitted_namer):
+        shares = report_share_by_kind(fitted_namer)
+        assert set(shares) == {"consistency", "confusing_word", "both"}
+        assert all(0.0 <= v <= 1.0 for v in shares.values())
+
+    def test_format(self, fitted_namer, small_oracle):
+        result = run_breakdown(fitted_namer, small_oracle, per_type=10)
+        text = result[PatternKind.CONSISTENCY].format()
+        assert "semantic defects" in text
+
+
+class TestUserStudy:
+    def test_participant_totals(self):
+        rows = simulate_user_study(participants=7, seed=1)
+        for row in rows.values():
+            assert (
+                row.not_accepted + row.ide_plugin + row.pull_request + row.manual_fix
+                == 7
+            )
+
+    def test_five_categories(self):
+        rows = simulate_user_study()
+        assert len(rows) == 5
+        assert set(rows) == set(STUDY_ISSUES)
+
+    def test_deterministic(self):
+        a = simulate_user_study(seed=5)
+        b = simulate_user_study(seed=5)
+        assert all(
+            a[c].manual_fix == b[c].manual_fix for c in a
+        )
+
+    def test_most_issues_accepted(self):
+        """The paper's headline: only 5 of 35 responses rejected."""
+        rows = simulate_user_study(participants=7, seed=1)
+        accepted = sum(r.accepted for r in rows.values())
+        rejected = sum(r.not_accepted for r in rows.values())
+        assert accepted > rejected * 3
+
+    def test_format(self):
+        rows = simulate_user_study()
+        text = rows[IssueCategory.TYPO].format()
+        assert "typo" in text
+
+
+class TestFeatureWeights:
+    def test_weights_table(self, fitted_namer):
+        table = extract_feature_weights(fitted_namer)
+        assert set(table.rows) == {
+            "identical statement", "satisfaction count", "violation count",
+        }
+        # identical statement has no dataset-level feature
+        assert table.rows["identical statement"][2] is None
+
+    def test_all_17_weights_present(self, fitted_namer):
+        table = extract_feature_weights(fitted_namer)
+        assert len(table.all_weights) == 17
+
+    def test_format(self, fitted_namer):
+        text = extract_feature_weights(fitted_namer).format()
+        assert "violation count" in text
+
+    def test_untrained_raises(self, small_corpus):
+        from repro.core.namer import Namer
+
+        with pytest.raises(RuntimeError):
+            extract_feature_weights(Namer())
+
+
+class TestModelSelection:
+    def test_runs_all_candidates(self, fitted_namer, small_oracle):
+        result = run_model_selection(fitted_namer, small_oracle, repeats=5)
+        assert set(result.per_model) == {"svm", "logistic regression", "lda"}
+        assert result.selected in result.per_model
+
+    def test_reasonable_accuracy(self, fitted_namer, small_oracle):
+        result = run_model_selection(fitted_namer, small_oracle, repeats=5)
+        assert result.per_model[result.selected].mean_accuracy > 0.6
+
+    def test_format(self, fitted_namer, small_oracle):
+        result = run_model_selection(fitted_namer, small_oracle, repeats=3)
+        assert "selected" in result.format()
+
+
+class TestExamples:
+    def test_figure2_walkthrough(self):
+        result = figure2_walkthrough()
+        assert "assertTrue" in result["parsed_ast"]
+        assert "TestCase" in result["transformed_ast"]
+        assert any("NumArgs(2)" in p for p in result["name_paths"])
+
+    def test_collect_example_reports(self, fitted_namer, small_oracle):
+        table = collect_example_reports(fitted_namer, small_oracle, per_section=2)
+        assert table.semantic_defects or table.code_quality_issues
+        text = table.format()
+        assert "Semantic defects" in text
+
+
+class TestSpeed:
+    def test_measures(self, small_corpus):
+        report = measure_analysis_speed(small_corpus, max_files=5)
+        assert report.files == 5
+        assert report.ms_per_file > 0
+        assert "ms/file" in str(report)

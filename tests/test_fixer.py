@@ -1,0 +1,72 @@
+"""Tests for fix application."""
+
+import pytest
+
+from repro.core.fixer import apply_fix, apply_fixes
+
+
+@pytest.fixture(scope="module")
+def assert_report(fitted_namer):
+    reports = fitted_namer.classify(fitted_namer.all_violations())
+    for report in reports:
+        if report.observed in ("True", "Equals"):
+            return report
+    pytest.skip("no assert report in this corpus sample")
+
+
+class TestApplyFix:
+    def test_applies_on_reported_line(self, small_corpus, assert_report):
+        files = {f.path: f.source for _, f in small_corpus.files()}
+        source = files[assert_report.file_path]
+        result = apply_fix(source, assert_report)
+        assert result.applied
+        fixed_line = result.source.splitlines()[assert_report.line - 1]
+        assert "assertEqual" in fixed_line
+        assert "assertTrue" not in fixed_line or assert_report.observed == "Equals"
+
+    def test_only_one_line_changes(self, small_corpus, assert_report):
+        files = {f.path: f.source for _, f in small_corpus.files()}
+        source = files[assert_report.file_path]
+        result = apply_fix(source, assert_report)
+        before_lines = source.splitlines()
+        after_lines = result.source.splitlines()
+        diffs = [
+            i for i, (a, b) in enumerate(zip(before_lines, after_lines)) if a != b
+        ]
+        assert diffs == [assert_report.line - 1]
+
+    def test_missing_identifier_not_applied(self, assert_report):
+        result = apply_fix("x = 1\n" * 50, assert_report)
+        assert not result.applied
+        assert result.source == "x = 1\n" * 50
+
+    def test_out_of_range_line(self, assert_report):
+        result = apply_fix("x = 1\n", assert_report)
+        assert not result.applied
+
+    def test_diff_rendering(self, small_corpus, assert_report):
+        files = {f.path: f.source for _, f in small_corpus.files()}
+        result = apply_fix(files[assert_report.file_path], assert_report)
+        diff = result.diff()
+        assert diff.startswith("@@")
+        assert "-" in diff and "+" in diff
+
+    def test_unapplied_diff_empty(self, assert_report):
+        assert apply_fix("y = 2\n", assert_report).diff() == ""
+
+
+class TestApplyFixes:
+    def test_multiple_reports_one_file(self, small_corpus, fitted_namer):
+        reports = fitted_namer.classify(fitted_namer.all_violations())
+        by_file = {}
+        for report in reports:
+            by_file.setdefault(report.file_path, []).append(report)
+        path, file_reports = max(by_file.items(), key=lambda kv: len(kv[1]))
+        files = {f.path: f.source for _, f in small_corpus.files()}
+        fixed, results = apply_fixes(files[path], file_reports)
+        assert len(results) == len(file_reports)
+        assert any(r.applied for r in results)
+
+    def test_empty_reports(self):
+        fixed, results = apply_fixes("x = 1\n", [])
+        assert fixed == "x = 1\n" and results == []

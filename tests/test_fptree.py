@@ -1,0 +1,96 @@
+"""Tests for the FP tree, including the worked example of Figure 3."""
+
+from repro.core.namepath import NamePath, PathStep
+from repro.core.patterns import PatternKind
+from repro.mining.fptree import FPNode, FPTree
+from repro.mining.miner import generate_patterns
+
+
+def np_(name: str) -> NamePath:
+    """Distinct single-step paths standing in for NP1..NP6."""
+    return NamePath(prefix=(PathStep(value=name, index=0),), end=name.lower())
+
+
+NP1, NP2, NP3, NP4, NP5, NP6 = (np_(f"NP{i}") for i in range(1, 7))
+
+
+def figure3_tree() -> FPTree:
+    """Grow the FP tree of Figure 3(a).
+
+    The figure's node counts are illustrative (33 + 32 > 44, so no
+    single transaction multiset yields them exactly); what matters for
+    Algorithm 2 — and what Figure 3(b) derives — are the counts at the
+    ``is_last`` nodes: NP2=33, NP5=15, NP4=14, NP6=13.  We insert the
+    minimal transaction multiset producing exactly those.
+    """
+    tree = FPTree()
+    for _ in range(33):
+        tree.update([NP1, NP2])
+    for _ in range(15):
+        tree.update([NP1, NP3, NP5])
+    for _ in range(13):
+        tree.update([NP1, NP3, NP4, NP6])
+    # One transaction ends at NP4 itself (14 total at the NP4 node).
+    tree.update([NP1, NP3, NP4])
+    return tree
+
+
+class TestFPNode:
+    def test_child_creates_once(self):
+        root = FPNode()
+        a = root.child(NP1)
+        assert root.child(NP1) is a
+
+    def test_walk(self):
+        tree = figure3_tree()
+        assert tree.node_count() == 6
+
+
+class TestFPTree:
+    def test_counts_match_figure3(self):
+        tree = figure3_tree()
+        n1 = tree.root.children[NP1]
+        assert n1.count == 62  # all transactions share the NP1 prefix
+        assert n1.children[NP2].count == 33
+        assert n1.children[NP3].children[NP4].count == 14
+        assert n1.children[NP3].children[NP5].count == 15
+        assert n1.children[NP3].children[NP4].children[NP6].count == 13
+
+    def test_is_last_flags(self):
+        tree = figure3_tree()
+        n1 = tree.root.children[NP1]
+        assert n1.children[NP2].is_last
+        assert n1.children[NP3].children[NP5].is_last
+        assert n1.children[NP3].children[NP4].is_last
+        assert not n1.children[NP3].is_last
+
+    def test_empty_transaction_ignored(self):
+        tree = FPTree()
+        tree.update([])
+        assert tree.transaction_count == 0
+
+    def test_depth(self):
+        assert figure3_tree().depth() == 4
+
+    def test_transaction_count(self):
+        assert figure3_tree().transaction_count == 62
+
+
+class TestGeneratePatternsOnFigure3:
+    def test_extracted_patterns_match_figure3b(self):
+        """Algorithm 2 over Figure 3(a) must produce exactly the four
+        (condition, deduction, count) rows of Figure 3(b)."""
+        tree = figure3_tree()
+        patterns = generate_patterns(
+            tree.root, [], PatternKind.CONFUSING_WORD, condition_subsets="full"
+        )
+        rows = {
+            (tuple(sorted(p.condition)), tuple(p.deduction)[0], p.support)
+            for p in patterns
+            if p.condition  # the lone NP1 transactions have no condition
+        }
+        assert ((NP1,), NP2, 33) in rows
+        assert ((NP1, NP3), NP5, 15) in rows
+        assert ((NP1, NP3), NP4, 14) in rows
+        assert ((NP1, NP3, NP4), NP6, 13) in rows
+        assert len(rows) == 4

@@ -1,0 +1,43 @@
+"""Test for the one-command evaluation report."""
+
+import pytest
+
+from repro.evaluation.full_report import ReportOptions, build_full_report
+
+
+@pytest.fixture(scope="module")
+def document():
+    return build_full_report(
+        ReportOptions(
+            num_repos=10,
+            sample_size=60,
+            training_size=30,
+            include_dl=False,
+            min_pattern_support=10,
+            min_path_frequency=5,
+        )
+    )
+
+
+class TestFullReport:
+    def test_contains_all_sections(self, document):
+        for heading in (
+            "Precision and ablations",
+            "Mining statistics",
+            "Per-pattern-type breakdown",
+            "model selection",
+            "Feature weights",
+            "User study",
+            "Analysis speed",
+        ):
+            assert heading in document
+
+    def test_dl_section_skipped(self, document):
+        assert "Deep-learning comparison" not in document
+
+    def test_rows_present(self, document):
+        assert "Namer" in document and "w/o C & A" in document
+
+    def test_is_markdown(self, document):
+        assert document.startswith("# Namer evaluation report")
+        assert "```" in document

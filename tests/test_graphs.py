@@ -1,0 +1,109 @@
+"""Tests for program graph construction."""
+
+import numpy as np
+
+from repro.baselines.graphs import (
+    EDGE_TYPES,
+    NUM_EDGE_TYPES,
+    ProgramGraph,
+    Vocabulary,
+    build_graphs,
+)
+from repro.lang.python_frontend import parse_module
+
+SOURCE = """
+class Worker:
+    def run(self, task):
+        result = task
+        total = result
+        self.save(total)
+
+def helper(x):
+    y = x
+    return y
+"""
+
+
+def graphs():
+    return build_graphs(parse_module(SOURCE, "w.py", "r"))
+
+
+class TestBuildGraphs:
+    def test_one_graph_per_top_level(self):
+        assert len(graphs()) == 2
+
+    def test_imports_skipped(self):
+        module = parse_module("import os\nx = os")
+        assert all("os" != g.labels[0] for g in build_graphs(module))
+
+    def test_child_edges_form_tree(self):
+        g = graphs()[0]
+        child_edges = [(s, d) for t, s, d in g.edges if EDGE_TYPES[t] == "CHILD"]
+        # every node except the root has exactly one parent
+        targets = [d for _, d in child_edges]
+        assert len(set(targets)) == len(targets)
+        assert len(child_edges) == g.num_nodes - 1
+
+    def test_next_token_chain(self):
+        g = graphs()[1]
+        nt = [(s, d) for t, s, d in g.edges if EDGE_TYPES[t] == "NEXT_TOKEN"]
+        assert nt  # helper has several terminals
+
+    def test_last_use_edges(self):
+        g = graphs()[0]
+        lu = [(s, d) for t, s, d in g.edges if EDGE_TYPES[t] == "LAST_USE"]
+        # 'result' and 'total' are used twice each
+        assert len(lu) >= 2
+
+    def test_last_write_edges(self):
+        g = graphs()[0]
+        lw = [(s, d) for t, s, d in g.edges if EDGE_TYPES[t] == "LAST_WRITE"]
+        assert lw
+
+    def test_computed_from(self):
+        g = graphs()[0]
+        cf = [(s, d) for t, s, d in g.edges if EDGE_TYPES[t] == "COMPUTED_FROM"]
+        assert cf
+
+    def test_var_nodes(self):
+        g = graphs()[0]
+        assert "task" in g.var_nodes and "result" in g.var_nodes
+        for name, nodes in g.var_nodes.items():
+            for node_id in nodes:
+                assert g.labels[node_id] == name
+
+    def test_node_lines_monotone_data(self):
+        g = graphs()[0]
+        assert len(g.node_lines) == g.num_nodes
+        assert max(g.node_lines) >= 2
+
+    def test_max_nodes_filter(self):
+        module = parse_module(SOURCE)
+        assert build_graphs(module, max_nodes=5) == []
+
+    def test_edge_type_matrix(self):
+        g = graphs()[1]
+        matrix = g.edge_type_matrix()
+        assert matrix.shape == (NUM_EDGE_TYPES, g.num_nodes, g.num_nodes)
+        assert matrix.sum() == len(g.edges)
+
+
+class TestVocabulary:
+    def test_build_with_min_count(self):
+        vocab = Vocabulary.build(graphs(), min_count=1)
+        assert len(vocab) > 1
+
+    def test_unknown_maps_to_zero(self):
+        vocab = Vocabulary.build(graphs(), min_count=1)
+        encoded = vocab.encode(["<never-seen-label>"])
+        assert encoded.tolist() == [0]
+
+    def test_encode_known(self):
+        vocab = Vocabulary(["a", "b"])
+        assert vocab.encode(["a", "b", "a"]).tolist() == [1, 2, 1]
+
+    def test_min_count_filters(self):
+        g = ProgramGraph(labels=["x", "x", "rare"], edges=[])
+        vocab = Vocabulary.build([g], min_count=2)
+        assert vocab.encode(["rare"]).tolist() == [0]
+        assert vocab.encode(["x"]).tolist() != [0]

@@ -1,0 +1,47 @@
+"""Integration test: the full Java pipeline end to end."""
+
+import pytest
+
+from repro.core.namer import Namer, NamerConfig
+from repro.evaluation.oracle import Oracle
+from repro.mining.miner import MiningConfig
+
+
+@pytest.fixture(scope="module")
+def java_namer(small_java_corpus):
+    namer = Namer(
+        NamerConfig(mining=MiningConfig(min_pattern_support=8, min_path_frequency=4))
+    )
+    namer.mine(small_java_corpus)
+    return namer
+
+
+def test_java_mining_produces_patterns(java_namer):
+    assert java_namer.summary.num_patterns > 0
+    assert java_namer.summary.total_statements > 0
+
+
+def test_java_confusing_pairs(java_namer):
+    pairs = set(java_namer.pairs.counts)
+    assert ("double", "int") in pairs
+    assert ("get", "print") in pairs or ("Throwable", "Exception") in pairs
+
+
+def test_java_violations_find_injections(small_java_corpus, java_namer):
+    oracle = Oracle(small_java_corpus)
+    violations = java_namer.all_violations()
+    assert violations
+    true_hits = [v for v in violations if oracle.label(v) == 1]
+    assert true_hits, "at least one injected Java issue must be found"
+
+
+def test_java_double_loop_index_detected(java_namer):
+    violations = java_namer.all_violations()
+    found = {(v.observed, v.suggested) for v in violations}
+    assert ("double", "int") in found
+
+
+def test_java_statement_provenance(java_namer):
+    for violation in java_namer.all_violations()[:10]:
+        assert violation.statement.file_path.endswith(".java")
+        assert violation.statement.line >= 1

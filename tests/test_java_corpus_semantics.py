@@ -1,0 +1,83 @@
+"""Java-specific semantic checks over the synthetic corpus: origin
+gating (the checker-class mechanism) and fix rendering for Java
+conventions."""
+
+import pytest
+
+from repro.core.namer import Namer, NamerConfig
+from repro.core.prepare import prepare_file
+from repro.corpus.model import SourceFile
+from repro.mining.miner import MiningConfig
+
+
+@pytest.fixture(scope="module")
+def java_namer(small_java_corpus):
+    namer = Namer(
+        NamerConfig(mining=MiningConfig(min_pattern_support=8, min_path_frequency=4))
+    )
+    namer.mine(small_java_corpus)
+    return namer
+
+
+CHECKER_SOURCE = """
+public class RangeChecker {
+    private int errors;
+    public void assertTrue(int value, int expected) {
+        if (value != expected) {
+            this.errors += 1;
+        }
+    }
+    public void checkAngle(Record record) {
+        this.assertTrue(record.getAngle(), 45);
+    }
+}
+"""
+
+TEST_SOURCE = """
+public class AngleTest extends TestCase {
+    public void testAngle() {
+        Record record = this.buildRecord();
+        this.assertEquals(record.getAngle(), 45);
+    }
+    public void testWidth() {
+        Record record = this.buildRecord();
+        this.assertTrue(record.getWidth(), 45);
+    }
+}
+"""
+
+
+class TestOriginGating:
+    def test_checker_class_not_flagged(self, java_namer):
+        """The custom validator's two-argument assertTrue is correct
+        code; the TestCase-origin condition must exclude it."""
+        prepared = prepare_file(
+            SourceFile(path="RangeChecker.java", source=CHECKER_SOURCE, language="java"),
+            repo="x",
+        )
+        violations = java_namer.violations_in(prepared)
+        assert not [v for v in violations if v.observed == "True"]
+
+    def test_testcase_subclass_flagged(self, java_namer):
+        prepared = prepare_file(
+            SourceFile(path="AngleTest.java", source=TEST_SOURCE, language="java"),
+            repo="x",
+        )
+        violations = java_namer.violations_in(prepared)
+        hits = [v for v in violations if v.observed == "True"]
+        assert hits and hits[0].suggested == "Equals"
+        expected_line = 1 + TEST_SOURCE[: TEST_SOURCE.index("assertTrue")].count("\n")
+        assert hits[0].statement.line == expected_line
+
+
+class TestJavaFixRendering:
+    def test_camel_case_java_fix(self, java_namer):
+        prepared = prepare_file(
+            SourceFile(path="AngleTest.java", source=TEST_SOURCE, language="java"),
+            repo="x",
+        )
+        reports = java_namer.classify(java_namer.violations_in(prepared))
+        named = [r for r in reports if r.observed == "True"]
+        if not named:
+            pytest.skip("classifier filtered the report in this sample")
+        assert named[0].fixed_identifier() == "assertEquals"

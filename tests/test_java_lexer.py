@@ -1,0 +1,118 @@
+"""Tests for the Java lexer."""
+
+import pytest
+
+from repro.lang.java.lexer import JavaLexError, Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_identifiers_and_keywords(self):
+        assert kinds("public class Foo") == [
+            (TokenKind.KEYWORD, "public"),
+            (TokenKind.KEYWORD, "class"),
+            (TokenKind.IDENT, "Foo"),
+        ]
+
+    def test_contextual_keywords_are_identifiers(self):
+        for word in ("record", "var", "yield", "sealed"):
+            assert kinds(word)[0][0] is TokenKind.IDENT
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind is TokenKind.EOF
+
+    def test_dollar_identifiers(self):
+        assert kinds("$var _x")[0] == (TokenKind.IDENT, "$var")
+
+
+class TestNumbers:
+    @pytest.mark.parametrize(
+        "text, kind",
+        [
+            ("42", TokenKind.INT),
+            ("42L", TokenKind.INT),
+            ("0xFF", TokenKind.INT),
+            ("0b1010", TokenKind.INT),
+            ("1_000_000", TokenKind.INT),
+            ("3.14", TokenKind.FLOAT),
+            ("1e10", TokenKind.FLOAT),
+            ("2.5e-3", TokenKind.FLOAT),
+            ("1.0f", TokenKind.FLOAT),
+            ("4d", TokenKind.FLOAT),
+        ],
+    )
+    def test_literals(self, text, kind):
+        token = tokenize(text)[0]
+        assert token.kind is kind and token.text == text
+
+    def test_leading_dot_float(self):
+        assert tokenize(".5")[0].kind is TokenKind.FLOAT
+
+
+class TestStringsAndChars:
+    def test_string(self):
+        token = tokenize('"hello world"')[0]
+        assert token.kind is TokenKind.STRING and token.text == "hello world"
+
+    def test_escaped_quote(self):
+        token = tokenize(r'"a\"b"')[0]
+        assert token.kind is TokenKind.STRING
+
+    def test_char(self):
+        token = tokenize("'x'")[0]
+        assert token.kind is TokenKind.CHAR and token.text == "x"
+
+    def test_text_block(self):
+        token = tokenize('"""line1\nline2"""')[0]
+        assert token.kind is TokenKind.STRING and "line1" in token.text
+
+    def test_unterminated_string(self):
+        with pytest.raises(JavaLexError):
+            tokenize('"open')
+
+
+class TestOperatorsAndComments:
+    def test_longest_match(self):
+        texts = [t.text for t in tokenize("a >>>= b >>> c >> d > e")[:-1]]
+        assert ">>>=" in texts and ">>>" in texts and ">>" in texts
+
+    def test_arrow_and_method_ref(self):
+        texts = [t.text for t in tokenize("x -> y::z")[:-1]]
+        assert "->" in texts and "::" in texts
+
+    def test_line_comment_skipped(self):
+        assert kinds("a // comment\nb") == [
+            (TokenKind.IDENT, "a"),
+            (TokenKind.IDENT, "b"),
+        ]
+
+    def test_block_comment_skipped(self):
+        assert len(kinds("a /* x\ny */ b")) == 2
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(JavaLexError):
+            tokenize("/* open")
+
+    def test_unexpected_character(self):
+        with pytest.raises(JavaLexError):
+            tokenize("a # b")
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+
+class TestTokenHelpers:
+    def test_is_kw(self):
+        token = Token(TokenKind.KEYWORD, "class", 1, 1)
+        assert token.is_kw("class", "enum")
+        assert not token.is_kw("enum")
+
+    def test_is_op_and_sep(self):
+        op = Token(TokenKind.OPERATOR, "+", 1, 1)
+        sep = Token(TokenKind.SEPARATOR, "(", 1, 1)
+        assert op.is_op("+", "-") and not op.is_op("-")
+        assert sep.is_sep("(") and not sep.is_sep(")")

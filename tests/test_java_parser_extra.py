@@ -1,0 +1,123 @@
+"""Additional Java parser coverage: nested and tricky constructs."""
+
+from repro.lang.java.frontend import parse_java
+
+
+def kinds(source):
+    return [s.root.kind for s in parse_java(source).statements]
+
+
+class TestNestedStructures:
+    def test_nested_class(self):
+        source = (
+            "class Outer {\n"
+            "    class Inner {\n"
+            "        void m() { run(); }\n"
+            "    }\n"
+            "}\n"
+        )
+        assert kinds(source).count("ClassDecl") == 2
+
+    def test_static_initializer(self):
+        source = "class A { static { setup(); } }"
+        assert "Call" in kinds(source)
+
+    def test_anonymous_class_body_skipped(self):
+        source = (
+            "class A { void m() {"
+            " Runnable r = new Runnable() { public void run() { } };"
+            " } }"
+        )
+        assert "VarDecl" in kinds(source)
+
+    def test_interface_default_method(self):
+        source = "interface I { default int f() { return 1; } }"
+        assert "Return" in kinds(source)
+
+    def test_deeply_nested_generics(self):
+        source = (
+            "class A { Map<String, List<Map<Integer, Set<String>>>> m() {"
+            " return null; } }"
+        )
+        assert "Return" in kinds(source)
+
+
+class TestTrickyExpressions:
+    def test_cast_vs_parenthesized(self):
+        source = (
+            "class A { void m() {"
+            " int a = (b) + c;"       # parenthesized expr, not a cast
+            " double d = (double) e;"  # cast
+            " } }"
+        )
+        module = parse_java(source)
+        decls = [s.root for s in module.statements if s.root.kind == "VarDecl"]
+        assert len(decls) == 2
+        assert not any(n.kind == "Cast" for n in decls[0].walk())
+        assert any(n.kind == "Cast" for n in decls[1].walk())
+
+    def test_shift_vs_generics(self):
+        source = (
+            "class A { void m() {"
+            " int x = a >> 2;"
+            " List<List<String>> y = build();"
+            " int z = a >>> 3;"
+            " } }"
+        )
+        assert kinds(source).count("VarDecl") == 3
+
+    def test_conditional_chain(self):
+        source = 'class A { String m(int x) { return x > 0 ? "p" : x < 0 ? "n" : "z"; } }'
+        assert "Return" in kinds(source)
+
+    def test_array_of_generics(self):
+        source = "class A { void m() { List<String>[] xs = null; } }"
+        assert "VarDecl" in kinds(source)
+
+    def test_qualified_new_target(self):
+        source = "class A { void m() { Object o = new java.util.ArrayList(); } }"
+        module = parse_java(source)
+        decl = next(s.root for s in module.statements if s.root.kind == "VarDecl")
+        new = next(n for n in decl.walk() if n.kind == "New")
+        # qualified names keep the final segment
+        assert new.children[0].children[0].value == "ArrayList"
+
+    def test_string_switch_arrow(self):
+        source = (
+            "class A { void m(int k) { switch (k) {"
+            " case 1 -> run();"
+            " default -> stop();"
+            " } } }"
+        )
+        assert "Switch" in kinds(source)
+
+    def test_labeled_break_continue(self):
+        source = (
+            "class A { void m() {"
+            " outer: for (int i = 0; i < 3; i++) {"
+            "   while (true) { break outer; }"
+            " } } }"
+        )
+        # labels are lexed as identifier + ':'; parser must not crash —
+        # the label is consumed as an expression statement heuristically
+        try:
+            parse_java(source)
+        except ValueError:
+            # acceptable: labels are outside the modeled subset, but the
+            # failure must be the typed frontend error, not a crash
+            pass
+
+    def test_char_literals_in_expressions(self):
+        source = "class A { boolean m(char c) { return c == 'x'; } }"
+        assert "Return" in kinds(source)
+
+    def test_hex_and_long_literals(self):
+        source = "class A { void m() { long mask = 0xFFL; int b = 0b101; } }"
+        assert kinds(source).count("VarDecl") == 2
+
+    def test_instanceof_pattern_variable(self):
+        source = (
+            "class A { void m(Object o) {"
+            " if (o instanceof String s) { use(s); } } }"
+        )
+        assert "If" in kinds(source)

@@ -1,0 +1,64 @@
+"""Tests for the anchor-indexed pattern matcher."""
+
+from repro.core.namepath import extract_name_paths
+from repro.core.patterns import PatternKind, Relation, check_pattern
+from repro.core.transform import transform_statement
+from repro.lang.python_frontend import parse_statement
+from repro.mining.matcher import PatternMatcher
+from repro.mining.miner import MiningConfig, PatternMiner
+
+
+def build_world():
+    names = ["user", "record", "packet", "widget"]
+    stmts = [
+        transform_statement(
+            parse_statement(f"self.assertEqual({n}.size, {i})"),
+            origins={"self": "TestCase"},
+        )
+        for i, n in enumerate(names * 10)
+    ]
+    miner = PatternMiner(
+        MiningConfig(min_pattern_support=5, min_path_frequency=4),
+        confusing_pairs=[("True", "Equal")],
+    )
+    patterns = miner.mine(stmts, PatternKind.CONFUSING_WORD).patterns
+    return stmts, patterns
+
+
+class TestPatternMatcher:
+    def test_candidates_complete(self):
+        """The anchor filter must never miss a matching pattern."""
+        stmts, patterns = build_world()
+        matcher = PatternMatcher(patterns)
+        for stmt in stmts[:10]:
+            paths = extract_name_paths(stmt, max_paths=10)
+            brute = {
+                id(p)
+                for p in patterns
+                if check_pattern(p, paths) is not Relation.NO_MATCH
+            }
+            filtered = {id(p) for p in matcher.candidates(paths)}
+            assert brute <= filtered
+
+    def test_check_all_excludes_no_match(self):
+        stmts, patterns = build_world()
+        matcher = PatternMatcher(patterns)
+        paths = extract_name_paths(stmts[0], max_paths=10)
+        for _, relation in matcher.check_all(paths):
+            assert relation is not Relation.NO_MATCH
+
+    def test_len(self):
+        _, patterns = build_world()
+        assert len(PatternMatcher(patterns)) == len(patterns)
+
+    def test_merge(self):
+        _, patterns = build_world()
+        a = PatternMatcher(patterns[: len(patterns) // 2])
+        b = PatternMatcher(patterns[len(patterns) // 2 :])
+        merged = PatternMatcher.merge([a, b])
+        assert len(merged) == len(patterns)
+
+    def test_empty_matcher(self):
+        matcher = PatternMatcher([])
+        stmt = transform_statement(parse_statement("x = 1"))
+        assert matcher.violations(stmt, extract_name_paths(stmt)) == []

@@ -1,0 +1,160 @@
+"""Tests for the pattern miner (Algorithms 1 and 2)."""
+
+from repro.core.namepath import extract_name_paths
+from repro.core.patterns import PatternKind, Relation, check_pattern
+from repro.core.transform import transform_statement
+from repro.lang.python_frontend import parse_statement
+from repro.mining.matcher import PatternMatcher
+from repro.mining.miner import MiningConfig, PatternMiner
+
+
+def prepared(source, origins=None):
+    return transform_statement(parse_statement(source), origins)
+
+
+def idiom_corpus(n=40):
+    """Statements establishing the assertEqual idiom with varied args."""
+    names = ["user", "record", "packet", "widget", "signal", "buffer"]
+    attrs = ["size", "count", "level", "state"]
+    stmts = []
+    for i in range(n):
+        noun, attr = names[i % len(names)], attrs[i % len(attrs)]
+        stmts.append(
+            prepared(
+                f"self.assertEqual({noun}.{attr}, {i})", origins={"self": "TestCase"}
+            )
+        )
+    return stmts
+
+
+class TestConfusingWordMining:
+    def setup_method(self):
+        self.miner = PatternMiner(
+            MiningConfig(min_pattern_support=10, min_path_frequency=5),
+            confusing_pairs=[("True", "Equal")],
+        )
+
+    def test_mines_assert_pattern(self):
+        result = self.miner.mine(idiom_corpus(), PatternKind.CONFUSING_WORD)
+        assert result.patterns
+        ends = {d.end for p in result.patterns for d in p.deduction}
+        assert "Equal" in ends
+
+    def test_mined_pattern_catches_bug(self):
+        result = self.miner.mine(idiom_corpus(), PatternKind.CONFUSING_WORD)
+        matcher = PatternMatcher(result.patterns)
+        bug = prepared(
+            "self.assertTrue(picture.rotate_angle, 90)", origins={"self": "TestCase"}
+        )
+        violations = matcher.violations(bug, extract_name_paths(bug, max_paths=10))
+        assert violations
+        assert violations[0].suggested == "Equal"
+
+    def test_idiom_statements_satisfy(self):
+        result = self.miner.mine(idiom_corpus(), PatternKind.CONFUSING_WORD)
+        stmt = idiom_corpus(1)[0]
+        paths = extract_name_paths(stmt, max_paths=10)
+        relations = [check_pattern(p, paths) for p in result.patterns]
+        assert Relation.VIOLATED not in relations
+
+    def test_support_threshold_prunes(self):
+        strict = PatternMiner(
+            MiningConfig(min_pattern_support=10_000, min_path_frequency=5),
+            confusing_pairs=[("True", "Equal")],
+        )
+        assert not strict.mine(idiom_corpus(), PatternKind.CONFUSING_WORD).patterns
+
+    def test_no_pairs_no_patterns(self):
+        empty = PatternMiner(
+            MiningConfig(min_pattern_support=10, min_path_frequency=5),
+            confusing_pairs=[],
+        )
+        assert not empty.mine(idiom_corpus(), PatternKind.CONFUSING_WORD).patterns
+
+    def test_statistics_populated(self):
+        result = self.miner.mine(idiom_corpus(), PatternKind.CONFUSING_WORD)
+        assert result.total_statements == 40
+        assert result.fp_tree_nodes > 0
+        assert result.candidates_before_pruning >= len(result.patterns)
+
+
+class TestConsistencyMining:
+    def make_corpus(self):
+        names = ["alpha", "beta", "gamma", "delta", "epsilon"]
+        stmts = []
+        for name in names * 8:
+            stmts.append(
+                prepared(f"self.{name} = {name}", origins={"self": "Object", name: "Str"})
+            )
+        return stmts
+
+    def test_mines_example_3_8(self):
+        miner = PatternMiner(MiningConfig(min_pattern_support=10, min_path_frequency=5))
+        result = miner.mine(self.make_corpus(), PatternKind.CONSISTENCY)
+        assert result.patterns
+        pattern = result.patterns[0]
+        assert pattern.kind is PatternKind.CONSISTENCY
+        assert all(d.is_symbolic for d in pattern.deduction)
+
+    def test_detects_inconsistency(self):
+        miner = PatternMiner(MiningConfig(min_pattern_support=10, min_path_frequency=5))
+        result = miner.mine(self.make_corpus(), PatternKind.CONSISTENCY)
+        matcher = PatternMatcher(result.patterns)
+        bad = prepared(
+            "self.help = docstring", origins={"self": "Object", "docstring": "Str"}
+        )
+        violations = matcher.violations(bad, extract_name_paths(bad, max_paths=10))
+        assert violations
+
+    def test_satisfaction_ratio_pruning(self):
+        """When violations dominate, pruneUncommon drops the pattern."""
+        corpus = self.make_corpus()[:10]
+        # add many inconsistent statements
+        for i in range(30):
+            corpus.append(
+                prepared(
+                    f"self.field{i} = other{i}",
+                    origins={"self": "Object", f"other{i}": "Str"},
+                )
+            )
+        miner = PatternMiner(MiningConfig(min_pattern_support=10, min_path_frequency=5))
+        result = miner.mine(corpus, PatternKind.CONSISTENCY)
+        matcher = PatternMatcher(result.patterns)
+        bad = prepared(
+            "self.help = docstring", origins={"self": "Object", "docstring": "Str"}
+        )
+        assert not matcher.violations(bad, extract_name_paths(bad, max_paths=10))
+
+
+class TestRegularization:
+    def test_max_paths_cap(self):
+        config = MiningConfig(
+            min_pattern_support=1, min_path_frequency=1, max_paths_per_statement=3
+        )
+        miner = PatternMiner(config, confusing_pairs=[("True", "Equal")])
+        result = miner.mine(idiom_corpus(20), PatternKind.CONFUSING_WORD)
+        for pattern in result.patterns:
+            assert len(pattern.condition) <= 3
+
+    def test_condition_subset_mode_full(self):
+        config = MiningConfig(
+            min_pattern_support=10, min_path_frequency=5, condition_subsets="full"
+        )
+        miner = PatternMiner(config, confusing_pairs=[("True", "Equal")])
+        full = miner.mine(idiom_corpus(), PatternKind.CONFUSING_WORD)
+        config_all = MiningConfig(
+            min_pattern_support=10, min_path_frequency=5, condition_subsets="all"
+        )
+        miner_all = PatternMiner(config_all, confusing_pairs=[("True", "Equal")])
+        subsets = miner_all.mine(idiom_corpus(), PatternKind.CONFUSING_WORD)
+        assert len(subsets.patterns) >= len(full.patterns)
+
+    def test_invalid_subset_mode(self):
+        import pytest
+
+        config = MiningConfig(
+            min_pattern_support=1, min_path_frequency=1, condition_subsets="bogus"
+        )
+        miner = PatternMiner(config, confusing_pairs=[("True", "Equal")])
+        with pytest.raises(ValueError):
+            miner.mine(idiom_corpus(5), PatternKind.CONFUSING_WORD)

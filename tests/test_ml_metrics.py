@@ -1,0 +1,119 @@
+"""Tests for metrics and model selection utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ml.linear import LogisticRegression
+from repro.ml.metrics import (
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision,
+    recall,
+)
+from repro.ml.model_selection import (
+    cross_validate,
+    kfold_indices,
+    repeated_holdout,
+    train_test_split,
+)
+
+labels = st.lists(st.integers(0, 1), min_size=1, max_size=50)
+
+
+class TestMetrics:
+    def test_confusion_matrix(self):
+        m = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 0])
+        assert m.tolist() == [[1, 1], [1, 1]]
+
+    def test_perfect(self):
+        y = [0, 1, 1, 0]
+        report = classification_report(y, y)
+        assert report.accuracy == report.precision == report.recall == report.f1 == 1.0
+
+    def test_all_wrong(self):
+        assert accuracy([0, 1], [1, 0]) == 0.0
+
+    def test_precision_recall_asymmetry(self):
+        y_true = [1, 1, 1, 0]
+        y_pred = [1, 0, 0, 0]
+        assert precision(y_true, y_pred) == 1.0
+        assert recall(y_true, y_pred) == pytest.approx(1 / 3)
+
+    def test_zero_division_guards(self):
+        assert precision([0, 0], [0, 0]) == 0.0
+        assert recall([0, 0], [0, 0]) == 0.0
+        assert f1_score([0, 0], [0, 0]) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy([0, 1], [0])
+
+    @given(labels)
+    def test_accuracy_bounds(self, y):
+        pred = [1 - v for v in y]
+        assert 0.0 <= accuracy(y, pred) <= 1.0
+
+    @given(labels)
+    def test_f1_between_precision_recall_bounds(self, y):
+        rng = np.random.default_rng(0)
+        pred = rng.integers(0, 2, size=len(y))
+        f1 = f1_score(y, pred)
+        assert 0.0 <= f1 <= 1.0
+
+
+class TestSplits:
+    def test_train_test_split_sizes(self):
+        X = np.arange(20).reshape(10, 2)
+        y = np.arange(10)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, 0.3, np.random.default_rng(0))
+        assert len(X_te) == 3 and len(X_tr) == 7
+        assert len(y_te) == 3
+
+    def test_split_partitions(self):
+        X = np.arange(10).reshape(10, 1)
+        y = np.arange(10)
+        X_tr, X_te, _, _ = train_test_split(X, y, 0.2, np.random.default_rng(1))
+        combined = sorted(X_tr.ravel().tolist() + X_te.ravel().tolist())
+        assert combined == list(range(10))
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.ones((4, 1)), np.ones(4), 1.5)
+
+    def test_kfold_covers_everything(self):
+        folds = list(kfold_indices(10, 3, np.random.default_rng(2)))
+        all_test = sorted(np.concatenate([te for _, te in folds]).tolist())
+        assert all_test == list(range(10))
+
+    def test_kfold_disjoint(self):
+        for train, test in kfold_indices(12, 4, np.random.default_rng(3)):
+            assert not set(train) & set(test)
+
+    def test_kfold_invalid_k(self):
+        with pytest.raises(ValueError):
+            list(kfold_indices(3, 10))
+
+
+class TestCrossValidation:
+    def make_data(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(80, 3))
+        y = (X[:, 0] > 0).astype(int)
+        return X, y
+
+    def test_cross_validate(self):
+        X, y = self.make_data()
+        result = cross_validate(LogisticRegression, X, y, k=4, rng=np.random.default_rng(5))
+        assert len(result.folds) == 4
+        assert result.mean_accuracy > 0.8
+
+    def test_repeated_holdout_count(self):
+        X, y = self.make_data()
+        result = repeated_holdout(
+            LogisticRegression, X, y, repeats=5, rng=np.random.default_rng(6)
+        )
+        assert len(result.folds) == 5
+        assert 0.0 <= result.summary().f1 <= 1.0

@@ -1,0 +1,109 @@
+"""Tests for the linear classifiers (SVM, logistic regression, LDA)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.lda import LinearDiscriminantAnalysis
+from repro.ml.linear import LinearSVM, LogisticRegression
+from repro.ml.pipeline import ClassifierPipeline
+
+
+def separable_data(n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    X0 = rng.normal(loc=[-2, -2], scale=0.6, size=(n // 2, 2))
+    X1 = rng.normal(loc=[2, 2], scale=0.6, size=(n // 2, 2))
+    X = np.vstack([X0, X1])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    order = rng.permutation(n)
+    return X[order], y[order]
+
+
+def noisy_data(n=200, seed=1):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    w = np.array([1.5, -2.0, 0.5, 0.0])
+    y = ((X @ w + 0.3 * rng.normal(size=n)) > 0).astype(int)
+    return X, y
+
+
+MODELS = [LinearSVM, LogisticRegression, LinearDiscriminantAnalysis]
+
+
+@pytest.mark.parametrize("model_cls", MODELS)
+class TestAllModels:
+    def test_separable_perfect(self, model_cls):
+        X, y = separable_data()
+        model = model_cls().fit(X, y)
+        assert (model.predict(X) == y).mean() == 1.0
+
+    def test_noisy_above_chance(self, model_cls):
+        X, y = noisy_data()
+        model = model_cls().fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.85
+
+    def test_decision_function_sign_matches_predict(self, model_cls):
+        X, y = separable_data()
+        model = model_cls().fit(X, y)
+        scores = model.decision_function(X)
+        assert np.array_equal(model.predict(X), (scores >= 0).astype(int))
+
+    def test_unfitted_raises(self, model_cls):
+        with pytest.raises(RuntimeError):
+            model_cls().predict(np.ones((2, 2)))
+
+
+class TestLogisticRegression:
+    def test_predict_proba_valid(self):
+        X, y = separable_data()
+        model = LogisticRegression().fit(X, y)
+        probs = model.predict_proba(X)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_confident_on_separable(self):
+        X, y = separable_data()
+        model = LogisticRegression(C=10.0).fit(X, y)
+        probs = model.predict_proba(X)
+        assert probs.max(axis=1).mean() > 0.9
+
+
+class TestLDA:
+    def test_requires_two_classes(self):
+        with pytest.raises(ValueError):
+            LinearDiscriminantAnalysis().fit(np.ones((4, 2)), np.zeros(4))
+
+    def test_weights_direction(self):
+        X, y = separable_data()
+        model = LinearDiscriminantAnalysis().fit(X, y)
+        # class 1 lies toward (+,+): both weights positive
+        assert (model.coef_ > 0).all()
+
+
+class TestPipeline:
+    def test_fit_predict(self):
+        X, y = noisy_data()
+        pipe = ClassifierPipeline(LinearSVM(), n_components=0.99).fit(X, y)
+        assert (pipe.predict(X) == y).mean() > 0.85
+
+    def test_feature_weights_shape(self):
+        X, y = noisy_data()
+        pipe = ClassifierPipeline(LinearSVM(), n_components=3).fit(X, y)
+        assert pipe.feature_weights().shape == (4,)
+
+    def test_feature_weights_without_pca(self):
+        X, y = noisy_data()
+        pipe = ClassifierPipeline(LinearSVM()).fit(X, y)
+        assert pipe.feature_weights().shape == (4,)
+
+    def test_weights_identify_informative_features(self):
+        X, y = noisy_data()
+        pipe = ClassifierPipeline(LogisticRegression()).fit(X, y)
+        w = np.abs(pipe.feature_weights())
+        # feature 3 is pure noise: weakest weight
+        assert w[3] == w.min()
+
+    def test_decision_function(self):
+        X, y = separable_data()
+        pipe = ClassifierPipeline(LinearSVM(), n_components=2).fit(X, y)
+        scores = pipe.decision_function(X)
+        assert np.array_equal(pipe.predict(X), (scores >= 0).astype(int))

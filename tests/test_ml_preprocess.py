@@ -1,0 +1,97 @@
+"""Tests for StandardScaler and PCA."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.preprocess import PCA, StandardScaler
+
+matrices = arrays(
+    np.float64,
+    st.tuples(st.integers(5, 20), st.integers(2, 6)),
+    elements=st.floats(-100, 100),
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5, 3, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1, atol=1e-9)
+
+    def test_constant_feature(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0)
+
+    def test_inverse_transform(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(30, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    @given(matrices)
+    def test_transform_shape_preserved(self, X):
+        Z = StandardScaler().fit_transform(X)
+        assert Z.shape == X.shape
+        assert np.isfinite(Z).all()
+
+
+class TestPCA:
+    def test_reconstruction_with_all_components(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(40, 5))
+        pca = PCA().fit(X)
+        Z = pca.transform(X)
+        assert np.allclose(pca.inverse_transform(Z), X, atol=1e-8)
+
+    def test_component_count(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(40, 6))
+        pca = PCA(n_components=3).fit(X)
+        assert pca.components_.shape == (3, 6)
+        assert pca.transform(X).shape == (40, 3)
+
+    def test_fractional_components(self):
+        rng = np.random.default_rng(4)
+        base = rng.normal(size=(100, 2))
+        # Two dominant directions embedded in 5 dims plus tiny noise.
+        X = np.hstack([base, base @ rng.normal(size=(2, 3))])
+        X += rng.normal(scale=1e-6, size=X.shape)
+        pca = PCA(n_components=0.99).fit(X)
+        assert pca.components_.shape[0] <= 3
+
+    def test_variance_ordering(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(50, 4)) * np.array([10, 5, 1, 0.1])
+        pca = PCA().fit(X)
+        variances = pca.explained_variance_
+        assert all(variances[i] >= variances[i + 1] for i in range(len(variances) - 1))
+
+    def test_ratio_sums_to_one(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(30, 3))
+        pca = PCA().fit(X)
+        assert np.isclose(pca.explained_variance_ratio_.sum(), 1.0)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            PCA(n_components=1.5).fit(np.ones((4, 2)))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PCA().transform(np.ones((2, 2)))
+
+    def test_components_orthonormal(self):
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(50, 4))
+        pca = PCA().fit(X)
+        gram = pca.components_ @ pca.components_.T
+        assert np.allclose(gram, np.eye(len(gram)), atol=1e-8)

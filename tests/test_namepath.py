@@ -1,0 +1,136 @@
+"""Tests for name paths and their relational operators."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.namepath import (
+    EPSILON,
+    NamePath,
+    PathStep,
+    equal,
+    extract_name_paths,
+    paths_by_prefix,
+    similar,
+)
+from repro.core.transform import transform_statement
+from repro.lang.astir import node, terminal
+from repro.lang.python_frontend import parse_statement
+
+
+def path(steps, end):
+    return NamePath(prefix=tuple(PathStep(v, i) for v, i in steps), end=end)
+
+
+class TestOperators:
+    def test_similar_requires_equal_prefixes(self):
+        a = path([("Call", 0)], "x")
+        b = path([("Call", 0)], "y")
+        c = path([("Call", 1)], "x")
+        assert similar(a, b)
+        assert not similar(a, c)
+
+    def test_equal_requires_equal_ends(self):
+        a = path([("Call", 0)], "x")
+        b = path([("Call", 0)], "y")
+        assert not equal(a, b)
+        assert equal(a, a)
+
+    def test_epsilon_equals_anything(self):
+        a = path([("Call", 0)], "x")
+        e = path([("Call", 0)], EPSILON)
+        assert equal(a, e) and equal(e, a)
+
+    def test_example_3_5(self):
+        np1 = path([("Attr", 0)], "True")
+        np2 = path([("Attr", 0)], "Equal")
+        np3 = path([("Attr", 0)], EPSILON)
+        assert similar(np1, np2)
+        assert not equal(np1, np2)
+        assert similar(np1, np3) and equal(np1, np3)
+
+    def test_symbolic_flags(self):
+        assert path([], EPSILON).is_symbolic
+        assert path([], "x").is_concrete
+
+    def test_as_symbolic(self):
+        concrete = path([("A", 0)], "x")
+        assert concrete.as_symbolic().end is EPSILON
+        assert concrete.as_symbolic().prefix == concrete.prefix
+
+    def test_str_renders_epsilon(self):
+        assert str(path([("A", 0)], EPSILON)).endswith("ε")
+
+
+class TestExtraction:
+    def test_extracts_one_path_per_leaf(self):
+        tree = node(
+            "Assign",
+            node("NameStore", terminal("Ident", "x")),
+            node("NameLoad", terminal("Ident", "y")),
+        )
+        paths = extract_name_paths(tree)
+        assert len(paths) == 2
+        assert paths[0].end == "x" and paths[1].end == "y"
+
+    def test_all_concrete(self):
+        t = transform_statement(parse_statement("self.assertTrue(a.b, 90)"))
+        for p in extract_name_paths(t):
+            assert p.is_concrete
+
+    def test_prefixes_all_distinct(self):
+        t = transform_statement(parse_statement("self.assertTrue(a.b, 90)"))
+        paths = extract_name_paths(t)
+        assert len({p.prefix for p in paths}) == len(paths)
+
+    def test_max_paths(self):
+        t = transform_statement(parse_statement("f(a, b, c, d, e, g, h)"))
+        assert len(extract_name_paths(t, max_paths=3)) == 3
+
+    def test_deterministic_order(self):
+        t = transform_statement(parse_statement("self.assertTrue(a.b, 90)"))
+        assert [str(p) for p in extract_name_paths(t)] == [
+            str(p) for p in extract_name_paths(t)
+        ]
+
+    def test_indices_address_children(self):
+        tree = node("P", terminal("Ident", "a"), terminal("Ident", "b"))
+        paths = extract_name_paths(tree)
+        assert paths[0].prefix[0].index == 0
+        assert paths[1].prefix[0].index == 1
+
+    def test_paths_by_prefix(self):
+        t = transform_statement(parse_statement("x = y"))
+        paths = extract_name_paths(t)
+        index = paths_by_prefix(paths)
+        assert len(index) == len(paths)
+        for p in paths:
+            assert index[p.prefix] is p
+
+
+@st.composite
+def random_trees(draw, depth=0):
+    """Random small trees for property tests."""
+    if depth >= 3 or draw(st.booleans()):
+        return terminal("Ident", draw(st.text("abc", min_size=1, max_size=3)))
+    children = draw(st.lists(random_trees(depth=depth + 1), min_size=1, max_size=3))
+    return node(draw(st.sampled_from(["A", "B", "C"])), *children)
+
+
+class TestExtractionProperties:
+    @given(random_trees())
+    def test_path_count_equals_leaf_count(self, tree):
+        leaves = sum(1 for n in tree.walk() if n.is_terminal)
+        assert len(extract_name_paths(tree)) == leaves
+
+    @given(random_trees())
+    def test_prefix_distinctness_property(self, tree):
+        paths = extract_name_paths(tree)
+        assert len({p.prefix for p in paths}) == len(paths)
+
+    @given(random_trees())
+    def test_each_path_resolves_to_its_leaf(self, tree):
+        for p in extract_name_paths(tree):
+            current = tree
+            for step in p.prefix:
+                assert current.value == step.value
+                current = current.children[step.index]
+            assert current.value == p.end

@@ -1,0 +1,117 @@
+"""End-to-end tests for the Namer system."""
+
+import numpy as np
+import pytest
+
+from repro.core.namer import Namer, NamerConfig
+from repro.core.patterns import PatternKind
+from repro.corpus.generator import GeneratorConfig, generate_python_corpus
+from repro.mining.miner import MiningConfig
+
+
+class TestMine:
+    def test_summary_populated(self, fitted_namer):
+        summary = fitted_namer.summary
+        assert summary.num_patterns > 0
+        assert summary.total_statements > 0
+        assert summary.statements_with_violation > 0
+        assert summary.files_with_violation <= summary.total_files
+        assert summary.repos_with_violation <= summary.total_repos
+
+    def test_both_pattern_kinds_mined(self, fitted_namer):
+        kinds = {p.kind for p in fitted_namer.matcher.patterns}
+        assert kinds == {PatternKind.CONSISTENCY, PatternKind.CONFUSING_WORD}
+
+    def test_confusing_pairs_mined(self, fitted_namer):
+        pairs = set(fitted_namer.pairs.counts)
+        assert ("True", "Equal") in pairs
+        assert ("xrange", "range") in pairs
+
+    def test_methods_require_mine(self):
+        namer = Namer()
+        with pytest.raises(RuntimeError):
+            namer.all_violations()
+
+    def test_violations_deduplicated(self, fitted_namer):
+        violations = fitted_namer.all_violations()
+        keys = [
+            (
+                v.statement.file_path,
+                v.statement.line,
+                v.deduction_path.prefix,
+                v.observed,
+                v.suggested,
+            )
+            for v in violations
+        ]
+        assert len(keys) == len(set(keys))
+
+    def test_known_injections_detected(self, small_corpus, fitted_namer, small_oracle):
+        violations = fitted_namer.all_violations()
+        found = {(v.observed, v.suggested) for v in violations}
+        assert ("True", "Equal") in found or ("Equals", "Equal") in found
+        assert ("xrange", "range") in found
+
+
+class TestClassifier:
+    def test_featurize_shape(self, fitted_namer):
+        violation = fitted_namer.all_violations()[0]
+        assert fitted_namer.featurize(violation).shape == (17,)
+
+    def test_classifier_filters(self, fitted_namer):
+        violations = fitted_namer.all_violations()
+        reports = fitted_namer.classify(violations)
+        assert 0 < len(reports) <= len(violations)
+
+    def test_classifier_improves_precision(
+        self, fitted_namer, small_oracle
+    ):
+        violations = fitted_namer.all_violations()
+        raw_precision = np.mean([small_oracle.label(v) for v in violations])
+        reports = fitted_namer.classify(violations)
+        filtered_precision = np.mean(
+            [small_oracle.label(r.violation) for r in reports]
+        )
+        assert filtered_precision >= raw_precision
+
+    def test_ablation_no_classifier_reports_everything(self, small_corpus):
+        from tests.conftest import SMALL_MINING
+
+        namer = Namer(NamerConfig(mining=SMALL_MINING, use_classifier=False))
+        namer.mine(small_corpus)
+        violations = namer.all_violations()
+        assert len(namer.classify(violations)) == len(violations)
+
+    def test_ablation_no_analysis_mines_without_origins(self, small_corpus):
+        from tests.conftest import SMALL_MINING
+
+        namer = Namer(NamerConfig(mining=SMALL_MINING, use_analysis=False))
+        namer.mine(small_corpus)
+        for pf in namer.prepared[:3]:
+            for ps in pf.statements:
+                assert not [n for n in ps.stmt.root.walk() if n.kind == "Origin"]
+
+
+class TestDetect:
+    def test_detect_on_prepared_file(self, fitted_namer):
+        for pf in fitted_namer.prepared:
+            reports = fitted_namer.detect(pf)
+            for report in reports:
+                assert report.file_path == pf.path
+            if reports:
+                return
+        pytest.fail("no file produced any report")
+
+    def test_report_fix_rendering(self, fitted_namer):
+        reports = fitted_namer.classify(fitted_namer.all_violations())
+        named = [r for r in reports if r.observed in ("True", "Equals")]
+        if not named:
+            pytest.skip("no assert reports in this sample")
+        report = named[0]
+        assert report.fixed_identifier() == "assertEqual"
+
+    def test_report_describe(self, fitted_namer):
+        reports = fitted_namer.classify(fitted_namer.all_violations())
+        assert reports
+        text = reports[0].describe()
+        assert reports[0].observed in text

@@ -1,0 +1,155 @@
+"""Tests for layers and the Adam optimizer."""
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import (
+    Embedding,
+    GRUCell,
+    LayerNorm,
+    Linear,
+    Module,
+    RelationalAttention,
+)
+from repro.nn.optim import Adam
+
+rng = np.random.default_rng(7)
+
+
+class TestLinear:
+    def test_shapes(self):
+        layer = Linear(rng, 4, 3)
+        out = layer(Tensor(rng.normal(size=(5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_no_bias(self):
+        layer = Linear(rng, 4, 3, bias=False)
+        assert layer.bias is None
+        zero = layer(Tensor(np.zeros((2, 4))))
+        assert np.allclose(zero.data, 0)
+
+    def test_parameters_registered(self):
+        layer = Linear(rng, 4, 3)
+        assert len(layer.parameters()) == 2
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = Embedding(rng, 10, 4)
+        out = emb(np.array([1, 1, 3]))
+        assert out.shape == (3, 4)
+        assert np.allclose(out.data[0], out.data[1])
+
+    def test_gradient_reaches_rows(self):
+        emb = Embedding(rng, 10, 4)
+        out = emb(np.array([2, 5]))
+        out.sum().backward()
+        grad = emb.weight.grad
+        assert grad[2].sum() != 0 and grad[3].sum() == 0
+
+
+class TestGRUCell:
+    def test_shape(self):
+        cell = GRUCell(rng, 6)
+        h = Tensor(rng.normal(size=(4, 6)))
+        m = Tensor(rng.normal(size=(4, 6)))
+        assert cell(h, m).shape == (4, 6)
+
+    def test_zero_update_gate_keeps_state(self):
+        cell = GRUCell(rng, 4)
+        # Force the update gate closed by biasing w_z strongly negative.
+        cell.w_z.bias.data[:] = -50.0
+        h = Tensor(rng.normal(size=(3, 4)))
+        m = Tensor(rng.normal(size=(3, 4)))
+        out = cell(h, m)
+        assert np.allclose(out.data, h.data, atol=1e-8)
+
+
+class TestLayerNorm:
+    def test_normalizes(self):
+        ln = LayerNorm(8)
+        x = Tensor(rng.normal(5, 3, size=(4, 8)))
+        out = ln(x)
+        assert np.allclose(out.data.mean(axis=-1), 0, atol=1e-8)
+        assert np.allclose(out.data.std(axis=-1), 1, atol=1e-4)
+
+    def test_gradients_flow(self):
+        ln = LayerNorm(4)
+        x = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        ln(x).sum().backward()
+        assert x.grad is not None
+
+
+class TestRelationalAttention:
+    def test_shape_and_bias_grad(self):
+        att = RelationalAttention(rng, 8, num_edge_types=3, heads=2)
+        x = Tensor(rng.normal(size=(5, 8)), requires_grad=True)
+        matrix = (rng.random((3, 5, 5)) < 0.3).astype(float)
+        out = att(x, matrix)
+        assert out.shape == (5, 8)
+        (out * out).sum().backward()
+        assert att.edge_bias.grad is not None
+
+    def test_edge_bias_changes_output(self):
+        att = RelationalAttention(rng, 8, num_edge_types=2, heads=2)
+        x = Tensor(rng.normal(size=(4, 8)))
+        no_edges = np.zeros((2, 4, 4))
+        # A non-uniform edge pattern: softmax is shift-invariant, so the
+        # bias only matters when it differs across key positions.
+        some_edges = np.zeros((2, 4, 4))
+        some_edges[0, :, 0] = 1.0
+        att.edge_bias.data[:] = 5.0
+        a = att(x, no_edges).data
+        b = att(x, some_edges).data
+        assert not np.allclose(a, b)
+
+    def test_dim_divisible_by_heads(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            RelationalAttention(rng, 7, num_edge_types=2, heads=2)
+
+
+class TestModuleRegistry:
+    def test_nested_modules(self):
+        class Outer(Module):
+            def __init__(self):
+                self.inner = Linear(rng, 2, 2)
+                self.blocks = [Linear(rng, 2, 2), Linear(rng, 2, 2)]
+                self.free = Tensor(np.zeros(2), requires_grad=True)
+
+        outer = Outer()
+        assert len(outer.parameters()) == 2 * 3 + 1
+
+    def test_zero_grad(self):
+        layer = Linear(rng, 2, 2)
+        out = layer(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        layer.zero_grad()
+        assert all(p.grad is None for p in layer.parameters())
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        x = Tensor(np.array([5.0, -3.0]), requires_grad=True)
+        optimizer = Adam([x], lr=0.1)
+        for _ in range(300):
+            optimizer.zero_grad()
+            loss = (x * x).sum()
+            loss.backward()
+            optimizer.step()
+        assert np.abs(x.data).max() < 0.05
+
+    def test_clip(self):
+        x = Tensor(np.array([1e6]), requires_grad=True)
+        optimizer = Adam([x], lr=0.1, clip=1.0)
+        optimizer.zero_grad()
+        (x * x).sum().backward()
+        optimizer.step()
+        assert np.isfinite(x.data).all()
+
+    def test_skips_gradless_params(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        optimizer = Adam([x], lr=0.1)
+        optimizer.step()  # no grad: no crash, no change
+        assert np.allclose(x.data, 1.0)

@@ -1,0 +1,134 @@
+"""Tests for name patterns (Definitions 3.6-3.9)."""
+
+import pytest
+
+from repro.core.namepath import EPSILON, extract_name_paths
+from repro.core.patterns import (
+    NamePattern,
+    PatternKind,
+    Relation,
+    check_pattern,
+    confusing_word_pattern,
+    consistency_pattern,
+    find_violation,
+)
+from repro.core.transform import transform_statement
+from repro.lang.python_frontend import parse_statement
+
+
+def prepared(source: str, origins=None):
+    stmt = transform_statement(parse_statement(source), origins)
+    return stmt, extract_name_paths(stmt)
+
+
+def example_3_8_pattern():
+    """The consistency pattern of Example 3.8: self.<n1> = <n2>."""
+    _, paths = prepared("self.name = name", origins={"self": "Object", "name": "Str"})
+    by_end_position = {p.prefix[-1].value + str(p.prefix[1].value): p for p in paths}
+    self_path = next(p for p in paths if p.end == "self")
+    attr_path = next(p for p in paths if p.prefix[1].value == "AttributeStore" and p.end == "name")
+    value_path = next(p for p in paths if p.prefix[1].value == "NameLoad")
+    return consistency_pattern([self_path], attr_path, value_path)
+
+
+def assert_pattern():
+    """Figure 2(e): condition self/assert/NUM, deduction Equal."""
+    _, paths = prepared(
+        "self.assertEqual(picture.rotate_angle, 90)", origins={"self": "TestCase"}
+    )
+    self_path = next(p for p in paths if p.end == "self")
+    assert_path = next(p for p in paths if p.end == "assert")
+    num_path = next(p for p in paths if p.end == "NUM")
+    equal_path = next(p for p in paths if p.end == "Equal")
+    return confusing_word_pattern([self_path, assert_path, num_path], equal_path)
+
+
+class TestConstruction:
+    def test_consistency_requires_two_symbolic(self):
+        _, paths = prepared("self.name = name")
+        with pytest.raises(ValueError):
+            NamePattern(
+                condition=frozenset(),
+                deduction=frozenset({paths[0]}),
+                kind=PatternKind.CONSISTENCY,
+            )
+
+    def test_confusing_requires_concrete(self):
+        _, paths = prepared("self.name = name")
+        with pytest.raises(ValueError):
+            NamePattern(
+                condition=frozenset(),
+                deduction=frozenset({paths[0].as_symbolic()}),
+                kind=PatternKind.CONFUSING_WORD,
+            )
+
+    def test_key_ignores_support(self):
+        p = assert_pattern()
+        assert p.key() == p.with_support(10).key()
+
+    def test_str_renders_both_sections(self):
+        text = str(assert_pattern())
+        assert "Condition:" in text and "Deduction:" in text
+
+
+class TestConfusingWordSemantics:
+    def test_satisfied(self):
+        pattern = assert_pattern()
+        _, paths = prepared(
+            "self.assertEqual(a.b, 5)", origins={"self": "TestCase"}
+        )
+        assert check_pattern(pattern, paths) is Relation.SATISFIED
+
+    def test_violated_by_figure2_bug(self):
+        pattern = assert_pattern()
+        stmt, paths = prepared(
+            "self.assertTrue(picture.rotate_angle, 90)", origins={"self": "TestCase"}
+        )
+        assert check_pattern(pattern, paths) is Relation.VIOLATED
+        violation = find_violation(pattern, stmt, paths)
+        assert violation.observed == "True"
+        assert violation.suggested == "Equal"
+
+    def test_no_match_without_origin(self):
+        pattern = assert_pattern()
+        _, paths = prepared("self.assertTrue(picture.rotate_angle, 90)")
+        assert check_pattern(pattern, paths) is Relation.NO_MATCH
+
+    def test_no_match_different_arity(self):
+        pattern = assert_pattern()
+        _, paths = prepared(
+            "self.assertTrue(flag)", origins={"self": "TestCase"}
+        )
+        assert check_pattern(pattern, paths) is Relation.NO_MATCH
+
+    def test_find_violation_returns_none_when_satisfied(self):
+        pattern = assert_pattern()
+        stmt, paths = prepared("self.assertEqual(a.b, 5)", origins={"self": "TestCase"})
+        assert find_violation(pattern, stmt, paths) is None
+
+
+class TestConsistencySemantics:
+    def test_satisfied(self):
+        pattern = example_3_8_pattern()
+        _, paths = prepared("self.port = port", origins={"self": "Object", "port": "Str"})
+        assert check_pattern(pattern, paths) is Relation.SATISFIED
+
+    def test_violated(self):
+        pattern = example_3_8_pattern()
+        stmt, paths = prepared(
+            "self.help = docstring", origins={"self": "Object", "docstring": "Str"}
+        )
+        assert check_pattern(pattern, paths) is Relation.VIOLATED
+        violation = find_violation(pattern, stmt, paths)
+        assert {violation.observed, violation.suggested} == {"help", "docstring"}
+
+    def test_case_insensitive_satisfaction(self):
+        """Java's ``Intent intent`` idiom: type and variable subtokens
+        match case-insensitively."""
+        pattern = example_3_8_pattern()
+        _, paths = prepared("self.name = Name", origins={"self": "Object", "Name": "Str"})
+        assert check_pattern(pattern, paths) is Relation.SATISFIED
+
+    def test_targets_function_name(self):
+        assert assert_pattern().targets_function_name()
+        assert not example_3_8_pattern().targets_function_name()

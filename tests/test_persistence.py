@@ -1,0 +1,98 @@
+"""Round-trip tests for Namer artifact persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.namer import Namer
+from repro.core.persistence import load_namer, save_namer
+from repro.core.prepare import prepare_file
+from repro.corpus.model import SourceFile
+
+BUGGY = (
+    "from unittest import TestCase\n"
+    "class TestX(TestCase):\n"
+    "    def test_a(self):\n"
+    "        item = self.build_item()\n"
+    "        self.assertEqual(item.size, 3)\n"
+    "    def test_b(self):\n"
+    "        item = self.build_item()\n"
+    "        self.assertTrue(item.count, 5)\n"
+)
+
+
+@pytest.fixture(scope="module")
+def roundtrip(fitted_namer, tmp_path_factory):
+    path = tmp_path_factory.mktemp("artifacts") / "namer.json"
+    save_namer(fitted_namer, path)
+    return fitted_namer, load_namer(path)
+
+
+class TestRoundTrip:
+    def test_pattern_set_identical(self, roundtrip):
+        original, loaded = roundtrip
+        assert {p.key() for p in original.matcher.patterns} == {
+            p.key() for p in loaded.matcher.patterns
+        }
+
+    def test_supports_preserved(self, roundtrip):
+        original, loaded = roundtrip
+        orig = {p.key(): p.support for p in original.matcher.patterns}
+        load = {p.key(): p.support for p in loaded.matcher.patterns}
+        assert orig == load
+
+    def test_pairs_preserved(self, roundtrip):
+        original, loaded = roundtrip
+        assert original.pairs.counts == loaded.pairs.counts
+
+    def test_stats_dataset_level_preserved(self, roundtrip):
+        original, loaded = roundtrip
+        pattern = original.matcher.patterns[0]
+        stmt = original.all_violations()[0].statement
+        assert original.stats.satisfaction_count(
+            pattern, stmt, "dataset"
+        ) == loaded.stats.satisfaction_count(pattern, stmt, "dataset")
+
+    def test_total_statements_preserved(self, roundtrip):
+        original, loaded = roundtrip
+        assert original.stats.total_statements == loaded.stats.total_statements
+
+    def test_classifier_scores_identical(self, roundtrip):
+        original, loaded = roundtrip
+        X = np.vstack(
+            [original.featurize(v) for v in original.all_violations()[:10]]
+        )
+        a = original.classifier.decision_function(X)
+        b = loaded.classifier.decision_function(X)
+        assert np.allclose(a, b)
+
+    def test_loaded_namer_detects(self, roundtrip):
+        _, loaded = roundtrip
+        prepared = prepare_file(
+            SourceFile(path="t.py", source=BUGGY), repo="demo"
+        )
+        violations = loaded.violations_in(prepared)
+        assert any(v.observed == "True" for v in violations)
+
+    def test_same_violations_as_original(self, roundtrip):
+        original, loaded = roundtrip
+        prepared = prepare_file(SourceFile(path="t.py", source=BUGGY), repo="demo")
+        a = {(v.observed, v.suggested) for v in original.violations_in(prepared)}
+        b = {(v.observed, v.suggested) for v in loaded.violations_in(prepared)}
+        assert a == b
+
+
+class TestErrors:
+    def test_save_unmined_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_namer(Namer(), tmp_path / "x.json")
+
+    def test_version_check(self, tmp_path, fitted_namer):
+        import json
+
+        path = tmp_path / "namer.json"
+        save_namer(fitted_namer, path)
+        doc = json.loads(path.read_text())
+        doc["version"] = 999
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError):
+            load_namer(path)

@@ -1,0 +1,104 @@
+"""Tests for the k-call-site-sensitive Andersen points-to analysis."""
+
+from repro.analysis.facts import extract_facts
+from repro.analysis.pointsto import PointsToConfig, analyze_pointsto
+from repro.lang.python_frontend import parse_module
+
+
+def run(source, **kwargs):
+    facts = extract_facts(parse_module(source))
+    return analyze_pointsto(facts, PointsToConfig(**kwargs)), facts
+
+
+class TestBasics:
+    def test_direct_alloc(self):
+        result, facts = run("class C:\n    pass\nx = C()")
+        heaps = result.heaps_of("<module>", "x")
+        assert heaps and all(facts.heap_origin[h] == "C" for h in heaps)
+
+    def test_move_propagates(self):
+        result, facts = run("class C:\n    pass\nx = C()\ny = x")
+        assert result.heaps_of("<module>", "y") == result.heaps_of("<module>", "x")
+
+    def test_interprocedural_return(self):
+        src = (
+            "class C:\n    pass\n"
+            "def make():\n    c = C()\n    return c\n"
+            "def use():\n    obj = make()\n"
+        )
+        result, facts = run(src)
+        heaps = result.heaps_of("use", "obj")
+        assert heaps and all(facts.heap_origin[h] == "C" for h in heaps)
+
+    def test_param_passing(self):
+        src = (
+            "class C:\n    pass\n"
+            "def consume(item):\n    return item\n"
+            "def go():\n    c = C()\n    consume(c)\n"
+        )
+        result, facts = run(src)
+        heaps = result.heaps_of("consume", "item")
+        assert heaps and all(facts.heap_origin[h] == "C" for h in heaps)
+
+    def test_field_store_load(self):
+        src = (
+            "class Box:\n    pass\n"
+            "class C:\n    pass\n"
+            "def go():\n"
+            "    box = Box()\n"
+            "    c = C()\n"
+            "    box.item = c\n"
+            "    out = box.item\n"
+        )
+        result, facts = run(src)
+        heaps = result.heaps_of("go", "out")
+        assert heaps and all(facts.heap_origin[h] == "C" for h in heaps)
+
+    def test_two_call_chain(self):
+        src = (
+            "class C:\n    pass\n"
+            "def inner():\n    return C()\n"
+            "def outer():\n    return inner()\n"
+            "def top():\n    x = outer()\n"
+        )
+        result, facts = run(src)
+        heaps = result.heaps_of("top", "x")
+        assert heaps and all(facts.heap_origin[h] == "C" for h in heaps)
+
+
+class TestContexts:
+    def test_reachability(self):
+        src = "def pub():\n    helper()\ndef helper():\n    pass"
+        result, _ = run(src)
+        assert "helper" in result.reachable_functions
+
+    def test_k_zero_still_sound_enough(self):
+        src = (
+            "class C:\n    pass\n"
+            "def make():\n    return C()\n"
+            "def use():\n    x = make()\n"
+        )
+        result, facts = run(src, k=0)
+        assert result.heaps_of("use", "x")
+
+    def test_used_k_recorded(self):
+        result, _ = run("x = 1", k=3)
+        assert result.used_k == 3
+
+    def test_explosion_fallback(self):
+        """A call chain fan-out with a tiny context budget falls back."""
+        lines = ["class C:", "    pass"]
+        for i in range(6):
+            lines.append(f"def f{i}():")
+            lines.append(f"    return C()" if i == 0 else f"    return f{i-1}()")
+        # many callers of the chain from distinct sites
+        for i in range(8):
+            lines.append(f"def top{i}():")
+            lines.append("    x = f5()")
+        result, _ = run("\n".join(lines), k=5, max_avg_contexts=1.0)
+        assert result.used_k == 0
+
+    def test_call_edges(self):
+        src = "def pub():\n    helper()\ndef helper():\n    pass"
+        result, _ = run(src)
+        assert any(callee == "helper" for _, _, callee in result.call_edges)

@@ -1,0 +1,156 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These pin down algebraic invariants of the core abstractions: the
+relational operators of Definition 3.4, FP-tree count laws, persistence
+round-trips over randomly generated patterns, and transformation
+invariants over generated statements.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.namepath import EPSILON, NamePath, PathStep, equal, similar
+from repro.core.patterns import NamePattern, PatternKind
+from repro.core.persistence import _pattern_from_json, _pattern_to_json
+from repro.core.transform import transform_statement
+from repro.lang.python_frontend import parse_statement
+from repro.mining.fptree import FPTree
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+values = st.sampled_from(["Call", "Assign", "Attr", "NumST(2)", "NameLoad", "Origin"])
+steps = st.builds(PathStep, value=values, index=st.integers(0, 3))
+ends = st.one_of(st.none(), st.sampled_from(["self", "True", "Equal", "x", "NUM"]))
+name_paths = st.builds(
+    NamePath, prefix=st.lists(steps, min_size=1, max_size=4).map(tuple), end=ends
+)
+concrete_paths = st.builds(
+    NamePath,
+    prefix=st.lists(steps, min_size=1, max_size=4).map(tuple),
+    end=st.sampled_from(["self", "True", "Equal", "x"]),
+)
+
+
+class TestRelationalOperatorProperties:
+    @given(name_paths)
+    def test_similar_reflexive(self, p):
+        assert similar(p, p)
+
+    @given(name_paths, name_paths)
+    def test_similar_symmetric(self, a, b):
+        assert similar(a, b) == similar(b, a)
+
+    @given(name_paths)
+    def test_equal_reflexive(self, p):
+        assert equal(p, p)
+
+    @given(name_paths, name_paths)
+    def test_equal_symmetric(self, a, b):
+        assert equal(a, b) == equal(b, a)
+
+    @given(name_paths, name_paths)
+    def test_equal_implies_similar(self, a, b):
+        if equal(a, b):
+            assert similar(a, b)
+
+    @given(name_paths)
+    def test_epsilon_absorbs(self, p):
+        assert equal(p, p.as_symbolic())
+
+    @given(concrete_paths, concrete_paths)
+    def test_equal_concrete_means_same_end(self, a, b):
+        if equal(a, b):
+            assert a.end == b.end
+
+
+class TestFPTreeProperties:
+    @given(st.lists(st.lists(concrete_paths, min_size=1, max_size=4), max_size=20))
+    def test_child_counts_bounded_by_parent(self, transactions):
+        tree = FPTree()
+        for t in transactions:
+            tree.update(t)
+        for node in tree.root.walk():
+            if node is tree.root:
+                continue
+            child_total = sum(c.count for c in node.children.values())
+            assert child_total <= node.count
+
+    @given(st.lists(st.lists(concrete_paths, min_size=1, max_size=4), max_size=20))
+    def test_root_children_sum_to_transactions(self, transactions):
+        tree = FPTree()
+        for t in transactions:
+            tree.update(t)
+        assert sum(c.count for c in tree.root.children.values()) == len(
+            [t for t in transactions if t]
+        )
+
+    @given(st.lists(st.lists(concrete_paths, min_size=1, max_size=4), max_size=20))
+    def test_last_counts_sum_to_transactions(self, transactions):
+        tree = FPTree()
+        for t in transactions:
+            tree.update(t)
+        assert sum(n.last_count for n in tree.root.walk()) == len(
+            [t for t in transactions if t]
+        )
+
+
+@st.composite
+def confusing_patterns(draw):
+    condition = draw(st.lists(concrete_paths, max_size=3, unique=True))
+    deduction = draw(concrete_paths)
+    condition = [c for c in condition if c.prefix != deduction.prefix]
+    return NamePattern(
+        condition=frozenset(condition),
+        deduction=frozenset({deduction}),
+        kind=PatternKind.CONFUSING_WORD,
+        support=draw(st.integers(0, 1000)),
+    )
+
+
+class TestPersistenceProperties:
+    @given(confusing_patterns())
+    @settings(max_examples=50)
+    def test_pattern_roundtrip(self, pattern):
+        data = json.loads(json.dumps(_pattern_to_json(pattern)))
+        restored = _pattern_from_json(data)
+        assert restored.key() == pattern.key()
+        assert restored.support == pattern.support
+
+
+_SNIPPETS = [
+    "self.assertTrue(a.b, 90)",
+    "x = compute_total(items, 5)",
+    "self.rotate_angle = angle",
+    "for item in load_items():",
+    "result = first_value + other_value",
+    "print('message', flag, 3.5)",
+]
+
+
+class TestTransformProperties:
+    @given(st.sampled_from(_SNIPPETS))
+    def test_numargs_matches_arity(self, source):
+        stmt = parse_statement(source)
+        transformed = transform_statement(stmt)
+        for node in transformed.root.walk():
+            if node.kind == "NumArgs":
+                call = node.children[0]
+                if call.kind in ("Call", "MethodCall", "New"):
+                    assert node.value == f"NumArgs({len(call.children) - 1})"
+
+    @given(st.sampled_from(_SNIPPETS))
+    def test_numst_matches_subtoken_count(self, source):
+        transformed = transform_statement(parse_statement(source))
+        for node in transformed.root.walk():
+            if node.kind == "NumST":
+                leaves = sum(1 for _ in node.terminals())
+                assert node.value == f"NumST({leaves})"
+
+    @given(st.sampled_from(_SNIPPETS))
+    def test_no_raw_literals_survive(self, source):
+        transformed = transform_statement(parse_statement(source))
+        for t in transformed.root.terminals():
+            assert not t.value.replace(".", "").isdigit() or t.value in ("NUM",)

@@ -1,0 +1,183 @@
+"""Tests for the Python frontend."""
+
+import pytest
+
+from repro.lang.python_frontend import (
+    PythonFrontendError,
+    parse_module,
+    parse_statement,
+)
+
+
+def kinds_of(source: str) -> list[str]:
+    return [s.root.kind for s in parse_module(source).statements]
+
+
+class TestStatements:
+    def test_assign(self):
+        stmt = parse_statement("x = y")
+        assert stmt.root.kind == "Assign"
+        assert stmt.root.children[0].kind == "NameStore"
+        assert stmt.root.children[1].kind == "NameLoad"
+
+    def test_attribute_assign(self):
+        stmt = parse_statement("self.name = name")
+        target = stmt.root.children[0]
+        assert target.kind == "AttributeStore"
+        assert target.children[1].kind == "Attr"
+
+    def test_call_projection_drops_exprstmt(self):
+        stmt = parse_statement("self.assertTrue(x, 90)")
+        assert stmt.root.kind == "Call"
+
+    def test_call_structure_matches_figure2(self):
+        stmt = parse_statement("self.assertTrue(picture.rotate_angle, 90)")
+        call = stmt.root
+        assert call.children[0].kind == "AttributeLoad"
+        assert call.children[2].kind == "Num"
+        assert call.children[2].children[0].value == "90"
+
+    def test_keyword_argument(self):
+        stmt = parse_statement("f(x, key=value)")
+        kinds = [c.kind for c in stmt.root.children]
+        assert kinds == ["NameLoad", "NameLoad", "Keyword"]
+
+    def test_function_def_registers_signature_only(self):
+        module = parse_module("def f(a, b):\n    return a")
+        header = module.statements[0]
+        assert header.root.kind == "FunctionDef"
+        assert all(c.kind != "Body" for c in header.root.children)
+
+    def test_function_params(self):
+        module = parse_module("def f(a, *args, **kwargs):\n    pass")
+        params = module.statements[0].root.children[1]
+        assert [c.kind for c in params.children] == ["Param", "VarArg", "KwArg"]
+
+    def test_class_def(self):
+        module = parse_module("class A(Base):\n    pass")
+        header = module.statements[0].root
+        assert header.kind == "ClassDef"
+        bases = header.children[1]
+        assert bases.children[0].children[0].value == "Base"
+
+    def test_for_header(self):
+        module = parse_module("for i in range(10):\n    pass")
+        header = module.statements[0].root
+        assert header.kind == "For"
+        assert header.children[0].kind == "NameStore"
+
+    def test_augassign(self):
+        stmt = parse_statement("x += 1")
+        assert stmt.root.value == "AugAssignAdd"
+
+    def test_return(self):
+        module = parse_module("def f():\n    return 1")
+        assert kinds_of("def f():\n    return 1") == ["FunctionDef", "Return"]
+
+    def test_imports(self):
+        module = parse_module("import numpy as np\nfrom os import path")
+        assert [s.root.kind for s in module.statements] == ["Import", "ImportFrom"]
+
+    def test_with(self):
+        assert "With" in kinds_of("with open('f') as fh:\n    pass")
+
+    def test_try_registers_inner_statements(self):
+        source = "try:\n    x = f()\nexcept ValueError as e:\n    y = 1"
+        assert "Assign" in kinds_of(source)
+
+    def test_comprehension(self):
+        stmt = parse_statement("out = [x for x in items if x]")
+        comp = stmt.root.children[1]
+        assert comp.kind == "ListComp"
+
+    def test_lambda(self):
+        stmt = parse_statement("f = lambda a: a + 1")
+        assert stmt.root.children[1].kind == "Lambda"
+
+    def test_fstring(self):
+        stmt = parse_statement('msg = f"{x} ok"')
+        assert stmt.root.children[1].kind == "FString"
+
+    def test_opaque_statement_does_not_crash(self):
+        module = parse_module("async def g():\n    pass")
+        assert module.statements
+
+
+class TestRoles:
+    def test_callee_name_role_is_func(self):
+        stmt = parse_statement("self.assertTrue(x)")
+        attr_ident = stmt.root.children[0].children[1].children[0]
+        assert attr_ident.meta["role"] == "func"
+
+    def test_plain_call_role(self):
+        stmt = parse_statement("range(10)")
+        ident = stmt.root.children[0].children[0]
+        assert ident.meta["role"] == "func"
+
+    def test_object_role(self):
+        stmt = parse_statement("x = y")
+        ident = stmt.root.children[1].children[0]
+        assert ident.meta["role"] == "object"
+
+    def test_param_role(self):
+        module = parse_module("def f(a):\n    pass")
+        param_ident = module.statements[0].root.children[1].children[0].children[0]
+        assert param_ident.meta["role"] == "param"
+
+
+class TestLiterals:
+    @pytest.mark.parametrize(
+        "source, kind",
+        [("x = 1", "Num"), ("x = 'a'", "Str"), ("x = True", "Bool"), ("x = None", "NoneLit")],
+    )
+    def test_literal_kinds(self, source, kind):
+        stmt = parse_statement(source)
+        assert stmt.root.children[1].kind == kind
+
+    def test_bool_is_not_num(self):
+        stmt = parse_statement("x = False")
+        assert stmt.root.children[1].kind == "Bool"
+
+
+class TestErrors:
+    def test_syntax_error(self):
+        with pytest.raises(PythonFrontendError):
+            parse_module("def broken(:")
+
+    def test_empty_statement_error(self):
+        with pytest.raises(PythonFrontendError):
+            parse_statement("")
+
+
+class TestProvenance:
+    def test_lines_and_source(self):
+        module = parse_module("x = 1\ny = 2\n", file_path="m.py", repo="r")
+        assert module.statements[1].line == 2
+        assert module.statements[1].source == "y = 2"
+        assert module.statements[1].file_path == "m.py"
+        assert module.statements[1].repo == "r"
+
+    def test_stmt_index_meta(self):
+        module = parse_module("x = 1\nfor i in y:\n    z = i\n")
+        indices = [s.root.meta.get("stmt_index") for s in module.statements]
+        assert indices == [0, 1, 2]
+
+    def test_moduleir_helpers(self):
+        module = parse_module("class A:\n    def m(self):\n        pass")
+        assert len(module.classes()) == 1
+        assert len(module.functions()) == 1
+
+
+class TestMatchStatement:
+    def test_match_projects_subject(self):
+        source = (
+            "match command:\n"
+            "    case 'start':\n"
+            "        x = begin_run()\n"
+            "    case _:\n"
+            "        x = stop_run()\n"
+        )
+        module = parse_module(source)
+        kinds = [s.root.kind for s in module.statements]
+        assert "Switch" in kinds
+        assert kinds.count("Assign") == 2

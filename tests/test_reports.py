@@ -1,0 +1,51 @@
+"""Tests for report fix rendering."""
+
+from repro.core.namepath import extract_name_paths
+from repro.core.patterns import confusing_word_pattern, find_violation
+from repro.core.reports import render_fixed_identifier
+from repro.core.transform import transform_statement
+from repro.lang.python_frontend import parse_statement
+
+
+def violation_for(source, origins, correct_word, subtoken_position=None):
+    """Build a violation whose deduction targets the callee's subtoken."""
+    stmt = transform_statement(parse_statement(source), origins)
+    paths = extract_name_paths(stmt, max_paths=10)
+    # Pick the deduction target among the name-subtoken paths by its
+    # position in extraction order.
+    observed_paths = [p for p in paths if p.end not in (None, "NUM", "STR", "BOOL")]
+    target = observed_paths[subtoken_position or 0]
+    pattern = confusing_word_pattern(
+        [p for p in paths if p.prefix != target.prefix][:2],
+        target.with_end(correct_word),
+    )
+    return find_violation(pattern, stmt, paths)
+
+
+class TestRenderFixedIdentifier:
+    def test_camel_case_fix(self):
+        violation = violation_for(
+            "self.assertTrue(x, 90)", {"self": "TestCase"}, "Equal",
+            subtoken_position=2,  # paths: self, assert, True, x, NUM
+        )
+        assert violation is not None
+        assert violation.observed == "True"
+        assert render_fixed_identifier(violation) == "assertEqual"
+
+    def test_snake_case_fix(self):
+        violation = violation_for(
+            "num_or_process = 3", {}, "of", subtoken_position=1
+        )
+        assert violation.observed == "or"
+        assert render_fixed_identifier(violation) == "num_of_process"
+
+    def test_single_token_fix(self):
+        violation = violation_for("x = por", {}, "port", subtoken_position=1)
+        assert render_fixed_identifier(violation) == "port"
+
+    def test_first_subtoken_camel(self):
+        violation = violation_for(
+            "getValue()", {}, "set", subtoken_position=0
+        )
+        assert violation.observed == "get"
+        assert render_fixed_identifier(violation) == "setValue"

@@ -1,0 +1,91 @@
+"""Robustness and invariant tests: empty inputs, determinism, summary
+consistency."""
+
+from repro.core.namer import Namer, NamerConfig
+from repro.core.patterns import PatternKind
+from repro.corpus.generator import GeneratorConfig, generate_python_corpus
+from repro.corpus.model import Corpus, Repository, SourceFile
+from repro.mining.miner import MiningConfig, PatternMiner
+
+SMALL = MiningConfig(min_pattern_support=5, min_path_frequency=3)
+
+
+class TestEmptyInputs:
+    def test_empty_corpus(self):
+        namer = Namer(NamerConfig(mining=SMALL))
+        summary = namer.mine(Corpus())
+        assert summary.num_patterns == 0
+        assert namer.all_violations() == []
+
+    def test_corpus_of_unparsable_files(self):
+        corpus = Corpus(
+            repositories=[
+                Repository(
+                    name="r",
+                    files=[SourceFile(path="x.py", source="def broken(:")],
+                )
+            ]
+        )
+        namer = Namer(NamerConfig(mining=SMALL))
+        summary = namer.mine(corpus)
+        assert summary.total_files == 0
+
+    def test_miner_empty_statement_list(self):
+        miner = PatternMiner(SMALL, confusing_pairs=[("a", "b")])
+        result = miner.mine([], PatternKind.CONFUSING_WORD)
+        assert result.patterns == [] and result.total_statements == 0
+
+    def test_commits_only_corpus(self):
+        base = generate_python_corpus(GeneratorConfig(num_repos=2, seed=9))
+        corpus = Corpus(commits=base.commits)
+        namer = Namer(NamerConfig(mining=SMALL))
+        summary = namer.mine(corpus)
+        assert summary.num_confusing_pairs > 0
+        assert summary.num_patterns == 0
+
+
+class TestDeterminism:
+    def test_mining_is_deterministic(self):
+        corpus = generate_python_corpus(GeneratorConfig(num_repos=5, seed=9))
+        keys = []
+        for _ in range(2):
+            namer = Namer(NamerConfig(mining=SMALL))
+            namer.mine(corpus)
+            keys.append(sorted(str(p.key()) for p in namer.matcher.patterns))
+        assert keys[0] == keys[1]
+
+    def test_violations_deterministic(self):
+        corpus = generate_python_corpus(GeneratorConfig(num_repos=5, seed=9))
+        results = []
+        for _ in range(2):
+            namer = Namer(NamerConfig(mining=SMALL))
+            namer.mine(corpus)
+            results.append(
+                [(v.statement.file_path, v.statement.line, v.observed, v.suggested)
+                 for v in namer.all_violations()]
+            )
+        assert results[0] == results[1]
+
+
+class TestSummaryInvariants:
+    def test_summary_bounds(self, fitted_namer):
+        s = fitted_namer.summary
+        assert 0 <= s.statements_with_violation <= s.total_statements
+        assert 0 <= s.files_with_violation <= s.total_files
+        assert 0 <= s.repos_with_violation <= s.total_repos
+        assert s.num_patterns == s.num_consistency + s.num_confusing
+
+    def test_pattern_supports_meet_threshold(self, fitted_namer):
+        threshold = fitted_namer.config.mining.min_pattern_support
+        for pattern in fitted_namer.matcher.patterns:
+            assert pattern.support >= threshold
+
+    def test_all_violations_belong_to_corpus_files(self, fitted_namer):
+        paths = {pf.path for pf in fitted_namer.prepared}
+        for violation in fitted_namer.all_violations():
+            assert violation.statement.file_path in paths
+
+    def test_violation_observed_differs_from_suggested(self, fitted_namer):
+        for violation in fitted_namer.all_violations():
+            if violation.pattern.kind is PatternKind.CONFUSING_WORD:
+                assert violation.observed != violation.suggested

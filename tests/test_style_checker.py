@@ -1,0 +1,70 @@
+"""Tests for the naming-convention style checker (extension)."""
+
+from repro.lang.python_frontend import parse_module
+from repro.naming.style_checker import StyleChecker
+
+SNAKE_FILE = """
+def load_user_record(user_id, record_key):
+    raw_data = fetch_remote_data(user_id)
+    parsed_row = parse_data_row(raw_data)
+    final_result = merge_row_values(parsed_row, record_key)
+    cache_entry = store_cache_entry(final_result)
+    return cache_entry
+"""
+
+MIXED_FILE = SNAKE_FILE + """
+def helperMethod(inputValue):
+    return inputValue
+"""
+
+
+class TestStyleChecker:
+    def test_consistent_file_clean(self):
+        issues = StyleChecker(min_names=5).check(parse_module(SNAKE_FILE, "a.py"))
+        assert issues == []
+
+    def test_minority_convention_flagged(self):
+        issues = StyleChecker(min_names=5).check(parse_module(MIXED_FILE, "a.py"))
+        names = {i.name for i in issues}
+        assert "helperMethod" in names and "inputValue" in names
+        for issue in issues:
+            assert issue.style == "camel" and issue.dominant == "snake"
+
+    def test_no_convention_no_issues(self):
+        half = """
+def snake_name_one(x_value): pass
+def snake_name_two(y_value): pass
+def camelNameOne(xValue): pass
+def camelNameTwo(yValue): pass
+def camelNameSix(zValue): pass
+"""
+        issues = StyleChecker(min_names=4, dominance=0.8).check(
+            parse_module(half, "b.py")
+        )
+        assert issues == []
+
+    def test_small_files_skipped(self):
+        issues = StyleChecker(min_names=50).check(parse_module(MIXED_FILE, "a.py"))
+        assert issues == []
+
+    def test_single_token_names_ignored(self):
+        source = "def run(x):\n    y = x\n    return y\n" + SNAKE_FILE
+        issues = StyleChecker(min_names=5).check(parse_module(source, "c.py"))
+        assert all(i.name not in ("x", "y") for i in issues)
+
+    def test_types_judged_separately(self):
+        """PascalCase classes in a snake_case file are fine: type names
+        live in their own style domain."""
+        source = SNAKE_FILE + "\nclass RemoteDataFetcher:\n    pass\n"
+        issues = StyleChecker(min_names=5).check(parse_module(source, "d.py"))
+        assert all(i.name != "RemoteDataFetcher" for i in issues)
+
+    def test_describe(self):
+        issues = StyleChecker(min_names=5).check(parse_module(MIXED_FILE, "e.py"))
+        text = issues[0].describe()
+        assert "e.py" in text and "snake" in text
+
+    def test_deduplicates_repeated_names(self):
+        source = MIXED_FILE + "\nz = helperMethod(1)\nw = helperMethod(2)\n"
+        issues = StyleChecker(min_names=5).check(parse_module(source, "f.py"))
+        assert sum(1 for i in issues if i.name == "helperMethod") == 1

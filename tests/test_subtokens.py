@@ -1,0 +1,90 @@
+"""Unit and property tests for subtoken splitting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.naming.subtokens import (
+    is_splittable,
+    join_subtokens,
+    normalize_style,
+    split_identifier,
+)
+
+
+class TestSplitIdentifier:
+    @pytest.mark.parametrize(
+        "name, expected",
+        [
+            ("assertTrue", ["assert", "True"]),
+            ("rotate_angle", ["rotate", "angle"]),
+            ("HTTPServer", ["HTTP", "Server"]),
+            ("HTTPServer2x", ["HTTP", "Server", "2", "x"]),
+            ("__init__", ["init"]),
+            ("snake_case_name", ["snake", "case", "name"]),
+            ("PascalCase", ["Pascal", "Case"]),
+            ("SCREAMING_SNAKE", ["SCREAMING", "SNAKE"]),
+            ("x", ["x"]),
+            ("sha256sum", ["sha", "256", "sum"]),
+            ("value2", ["value", "2"]),
+            ("_private", ["private"]),
+        ],
+    )
+    def test_cases(self, name, expected):
+        assert split_identifier(name) == expected
+
+    def test_empty(self):
+        assert split_identifier("") == []
+
+    def test_is_splittable(self):
+        assert is_splittable("assertTrue")
+        assert not is_splittable("self")
+
+    @given(st.from_regex(r"[a-z]{1,8}(_[a-z]{1,8}){0,3}", fullmatch=True))
+    def test_snake_roundtrip(self, name):
+        parts = split_identifier(name)
+        assert join_subtokens(parts, "snake") == name
+
+    @given(st.from_regex(r"[a-zA-Z_][a-zA-Z0-9_]{0,20}", fullmatch=True))
+    def test_split_never_empty_tokens(self, name):
+        for token in split_identifier(name):
+            assert token
+
+
+class TestJoinSubtokens:
+    def test_snake(self):
+        assert join_subtokens(["rotate", "Angle"], "snake") == "rotate_angle"
+
+    def test_camel(self):
+        assert join_subtokens(["assert", "equal"], "camel") == "assertEqual"
+
+    def test_pascal(self):
+        assert join_subtokens(["http", "server"], "pascal") == "HttpServer"
+
+    def test_pascal_keeps_acronyms(self):
+        assert join_subtokens(["HTTP", "server"], "pascal") == "HTTPServer"
+
+    def test_empty(self):
+        assert join_subtokens([], "snake") == ""
+
+    def test_unknown_style(self):
+        with pytest.raises(ValueError):
+            join_subtokens(["a"], "kebab")
+
+
+class TestNormalizeStyle:
+    @pytest.mark.parametrize(
+        "name, style",
+        [
+            ("rotate_angle", "snake"),
+            ("assertTrue", "camel"),
+            ("TestCase", "pascal"),
+            ("lower", "snake"),
+        ],
+    )
+    def test_cases(self, name, style):
+        assert normalize_style(name) == style
+
+    def test_camel_roundtrip_through_style(self):
+        name = "assertTrue"
+        parts = split_identifier(name)
+        assert join_subtokens(parts, normalize_style(name)) == name

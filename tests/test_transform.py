@@ -1,0 +1,131 @@
+"""Tests for the AST+ transformation (Section 3.1 steps 1-4)."""
+
+from repro.core.transform import TransformConfig, transform_statement
+from repro.lang.python_frontend import parse_statement
+
+
+def transformed(source: str, origins=None, config=TransformConfig()):
+    return transform_statement(parse_statement(source), origins, config)
+
+
+def find_values(root, value):
+    return [n for n in root.walk() if n.value == value]
+
+
+class TestLiteralAbstraction:
+    def test_num(self):
+        root = transformed("x = 90").root
+        assert find_values(root, "NUM")
+        assert not find_values(root, "90")
+
+    def test_str(self):
+        assert find_values(transformed("x = 'a'").root, "STR")
+
+    def test_bool(self):
+        assert find_values(transformed("x = True").root, "BOOL")
+
+    def test_literal_gets_numst1(self):
+        root = transformed("x = 90").root
+        num = next(n for n in root.walk() if n.kind == "Num")
+        assert num.children[0].value == "NumST(1)"
+
+
+class TestNumArgs:
+    def test_call_arity(self):
+        root = transformed("self.assertTrue(a, 90)").root
+        assert root.value == "NumArgs(2)"
+
+    def test_zero_args(self):
+        root = transformed("f()").root
+        assert root.value == "NumArgs(0)"
+
+    def test_function_def_params(self):
+        from repro.lang.python_frontend import parse_module
+        from repro.core.transform import transform_statement
+
+        module = parse_module("def f(a, b, c):\n    pass")
+        root = transform_statement(module.statements[0]).root
+        assert root.value == "NumArgs(3)"
+
+    def test_nested_calls(self):
+        root = transformed("f(g(x))").root
+        values = [n.value for n in root.walk() if n.kind == "NumArgs"]
+        assert sorted(values) == ["NumArgs(1)", "NumArgs(1)"]
+
+
+class TestSubtokenSplit:
+    def test_split_counts(self):
+        root = transformed("self.assertTrue(x)").root
+        assert find_values(root, "NumST(2)")  # assert + True
+        assert find_values(root, "assert") and find_values(root, "True")
+
+    def test_subtoken_meta(self):
+        root = transformed("self.assertTrue(x)").root
+        sub = next(n for n in root.walk() if n.value == "True")
+        assert sub.meta["original"] == "assertTrue"
+        assert sub.meta["st_index"] == 1
+
+    def test_long_names_kept_whole(self):
+        config = TransformConfig(max_subtokens=2)
+        root = transformed("a_b_c_d = 1", config=config).root
+        assert find_values(root, "a_b_c_d")
+
+
+class TestOrigins:
+    def test_object_origin_inserted(self):
+        root = transformed("self.run()", origins={"self": "TestCase"}).root
+        origin_nodes = [n for n in root.walk() if n.kind == "Origin"]
+        assert origin_nodes and origin_nodes[0].value == "TestCase"
+
+    def test_receiver_origin_decorates_callee(self):
+        root = transformed(
+            "self.assertTrue(picture.rotate_angle, 90)", origins={"self": "TestCase"}
+        ).root
+        decorated = {
+            n.children[0].value for n in root.walk() if n.kind == "Origin"
+        }
+        assert {"self", "assert", "True"} <= decorated
+
+    def test_argument_receiver_not_decorated(self):
+        root = transformed(
+            "self.assertTrue(picture.rotate_angle, 90)", origins={"self": "TestCase"}
+        ).root
+        decorated = {
+            n.children[0].value for n in root.walk() if n.kind == "Origin"
+        }
+        assert "rotate" not in decorated
+
+    def test_disabled_by_config(self):
+        config = TransformConfig(use_origins=False)
+        root = transformed("self.run()", origins={"self": "TestCase"}, config=config).root
+        assert not [n for n in root.walk() if n.kind == "Origin"]
+
+    def test_missing_origin_leaves_plain(self):
+        root = transformed("other.run()", origins={"self": "TestCase"}).root
+        assert not [n for n in root.walk() if n.kind == "Origin"]
+
+    def test_figure2_paths(self):
+        """The transformed statement yields exactly the Figure 2(d) paths."""
+        from repro.core.namepath import extract_name_paths
+
+        t = transformed(
+            "self.assertTrue(picture.rotate_angle, 90)", origins={"self": "TestCase"}
+        )
+        rendered = [str(p) for p in extract_name_paths(t)]
+        assert (
+            "NumArgs(2) 0 Call 0 AttributeLoad 0 NameLoad 0 NumST(1) 0 TestCase 0 self"
+            in rendered
+        )
+        assert (
+            "NumArgs(2) 0 Call 0 AttributeLoad 1 Attr 0 NumST(2) 1 TestCase 0 True"
+            in rendered
+        )
+        assert "NumArgs(2) 0 Call 2 Num 0 NumST(1) 0 NUM" in rendered
+
+
+class TestIdempotentInput:
+    def test_original_statement_untouched(self):
+        stmt = parse_statement("self.assertTrue(x, 90)")
+        before = stmt.root.structural_key()
+        transform_statement(stmt, origins={"self": "TestCase"})
+        assert stmt.root.structural_key() == before

@@ -1,0 +1,122 @@
+"""Tests for VarMisuse sample construction."""
+
+import random
+
+from repro.baselines.graphs import build_graphs
+from repro.baselines.varmisuse import (
+    build_dataset,
+    candidate_set,
+    corpus_graphs,
+    corrupt,
+    extract_slots,
+    make_sample,
+)
+from repro.corpus.generator import GeneratorConfig, generate_python_corpus
+from repro.lang.python_frontend import parse_module
+
+SOURCE = """
+def process(items, total, count):
+    result = total
+    result = count
+    value = items
+    return result
+"""
+
+
+def graph():
+    return build_graphs(parse_module(SOURCE, "p.py", "r"))[0]
+
+
+class TestSlots:
+    def test_slots_are_reuses(self):
+        g = graph()
+        slots = extract_slots(g)
+        assert slots
+        for node_id, name in slots:
+            assert g.labels[node_id] == name
+            # never the first occurrence
+            assert g.var_nodes[name][0] != node_id
+
+    def test_max_slots(self):
+        assert len(extract_slots(graph(), max_slots=2)) == 2
+
+
+class TestCandidates:
+    def test_slot_name_first(self):
+        g = graph()
+        nodes, names = candidate_set(g, "total", random.Random(0))
+        assert names[0] == "total"
+        assert len(nodes) == len(names)
+
+    def test_candidates_distinct(self):
+        g = graph()
+        _, names = candidate_set(g, "total", random.Random(1))
+        assert len(set(names)) == len(names)
+
+
+class TestCorrupt:
+    def test_only_slot_changes(self):
+        g = graph()
+        (slot, name) = extract_slots(g)[0]
+        bad = corrupt(g, slot, name, "zzz")
+        assert bad.labels[slot] == "zzz"
+        diffs = [i for i, (a, b) in enumerate(zip(g.labels, bad.labels)) if a != b]
+        assert diffs == [slot]
+
+    def test_original_untouched(self):
+        g = graph()
+        (slot, name) = extract_slots(g)[0]
+        corrupt(g, slot, name, "zzz")
+        assert g.labels[slot] == name
+
+
+class TestMakeSample:
+    def test_buggy_sample(self):
+        g = graph()
+        slot, name = extract_slots(g)[0]
+        sample = make_sample(g, slot, name, random.Random(3), bug_probability=1.0)
+        assert sample.is_buggy
+        assert sample.original == name
+        assert sample.observed != name
+        assert sample.candidate_names[sample.label] == name
+        assert sample.graph.labels[sample.slot] == sample.observed
+
+    def test_clean_sample(self):
+        g = graph()
+        slot, name = extract_slots(g)[0]
+        sample = make_sample(g, slot, name, random.Random(3), bug_probability=0.0)
+        assert not sample.is_buggy
+        assert sample.observed == name
+        assert sample.observed_index == sample.label
+
+    def test_probe_on_corrupted_graph(self):
+        g = graph()
+        slot, name = extract_slots(g)[0]
+        bad = corrupt(g, slot, name, sorted(g.var_nodes)[0] if sorted(g.var_nodes)[0] != name else sorted(g.var_nodes)[1])
+        probe = make_sample(bad, slot, name, random.Random(3), bug_probability=0.0)
+        assert probe.is_buggy
+        assert probe.observed == bad.labels[slot]
+        assert probe.observed in probe.candidate_names
+
+
+class TestDataset:
+    def test_build_dataset(self):
+        corpus = generate_python_corpus(GeneratorConfig(num_repos=3, seed=5))
+        graphs = corpus_graphs(corpus)
+        samples = build_dataset(graphs, seed=0, bug_probability=0.5)
+        assert samples
+        buggy = sum(s.is_buggy for s in samples)
+        assert 0 < buggy < len(samples)
+
+    def test_determinism(self):
+        corpus = generate_python_corpus(GeneratorConfig(num_repos=2, seed=5))
+        graphs = corpus_graphs(corpus)
+        a = build_dataset(graphs, seed=7)
+        b = build_dataset(graphs, seed=7)
+        assert [(s.slot, s.observed) for s in a] == [(s.slot, s.observed) for s in b]
+
+    def test_max_files(self):
+        corpus = generate_python_corpus(GeneratorConfig(num_repos=3, seed=5))
+        few = corpus_graphs(corpus, max_files=2)
+        all_ = corpus_graphs(corpus)
+        assert len(few) < len(all_)
