@@ -1,0 +1,60 @@
+"""Performance benchmark: the service's content-hash result cache.
+
+A long-running ``python -m repro serve`` daemon re-analyzes mostly
+unchanged codebases; the engine answers those from the SHA-256 result
+cache instead of re-running parse + points-to + matching + the
+classifier.  This benchmark measures the warm/cold ratio on a
+generated corpus and asserts the cache pays for itself by at least an
+order of magnitude, while returning byte-identical reports.
+"""
+
+import time
+
+import pytest
+from conftest import print_table
+
+from repro.service.engine import AnalysisEngine, AnalysisRequest
+
+pytestmark = pytest.mark.service
+
+
+def test_warm_cache_at_least_10x_faster(python_corpus, python_ablation, benchmark):
+    engine = AnalysisEngine(
+        namer=python_ablation.namer, workers=2, queue_capacity=256, cache_entries=4096
+    )
+    try:
+        requests = [
+            AnalysisRequest(source=source.source, path=source.path, repo=repo.name)
+            for repo, source in python_corpus.files()
+        ][:120]
+
+        start = time.perf_counter()
+        cold = engine.analyze_many(requests)
+        cold_seconds = time.perf_counter() - start
+
+        def warm_pass():
+            return engine.analyze_many(requests)
+
+        warm = benchmark.pedantic(warm_pass, rounds=3, iterations=1)
+        start = time.perf_counter()
+        warm_pass()
+        warm_seconds = time.perf_counter() - start
+        speedup = cold_seconds / max(warm_seconds, 1e-9)
+
+        print_table(
+            "Performance — warm result cache vs cold analysis",
+            f"files: {len(requests)}, "
+            f"violations: {sum(len(r.reports) for r in cold)}\n"
+            f"cold (full pipeline): {cold_seconds * 1000:.0f} ms\n"
+            f"warm (cache hits):    {warm_seconds * 1000:.0f} ms\n"
+            f"speedup: {speedup:.1f}x, "
+            f"hit rate: {engine.cache.stats.hit_rate:.2f}",
+        )
+
+        assert all(not r.cached for r in cold)
+        assert all(r.cached for r in warm)
+        assert [r.reports for r in warm] == [r.reports for r in cold]
+        assert engine.cache.stats.hit_rate > 0.5
+        assert speedup >= 10.0, "warm cache must be >= 10x faster than cold"
+    finally:
+        engine.shutdown(drain=False, timeout=5)

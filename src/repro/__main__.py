@@ -7,12 +7,19 @@ Commands:
 * ``scan``  — load saved artifacts and scan a directory of source
   files, printing reports and (optionally) applying fixes in place.
 * ``eval``  — run the Table 2-style precision evaluation end to end.
+* ``serve`` — run the long-lived analysis daemon (HTTP JSON API).
+* ``analyze-remote`` — send files to a running daemon for analysis.
 
 Example session::
 
     python -m repro mine --out namer.json --repos 30
     python -m repro scan --artifacts namer.json path/to/project
+    python -m repro serve --artifacts namer.json --port 8750
+    python -m repro analyze-remote path/to/project --url http://127.0.0.1:8750
     python -m repro eval --repos 30 --language python
+
+Failures (bad artifact path, unparseable single-file input, unreachable
+daemon) exit nonzero with a one-line message on stderr — no tracebacks.
 """
 
 from __future__ import annotations
@@ -24,7 +31,7 @@ import sys
 
 from repro.core.fixer import apply_fixes
 from repro.core.namer import Namer, NamerConfig
-from repro.core.persistence import load_namer, save_namer
+from repro.core.persistence import PersistenceError, load_namer, save_namer
 from repro.core.prepare import prepare_file
 from repro.corpus.generator import GeneratorConfig, generate_python_corpus
 from repro.corpus.javagen import generate_java_corpus
@@ -34,6 +41,21 @@ from repro.evaluation.precision import run_precision_evaluation, sample_balanced
 from repro.mining.miner import MiningConfig
 
 _SUFFIXES = {".py": "python", ".java": "java"}
+
+
+def _fail(message: str, code: int = 1) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    return code
+
+
+def _load_artifacts(path: str) -> Namer | None:
+    """Load saved artifacts; ``None`` (after an stderr message) when the
+    file is missing, malformed, or from another schema version."""
+    try:
+        return load_namer(path)
+    except PersistenceError as exc:
+        _fail(str(exc))
+        return None
 
 
 def _mining_config(args: argparse.Namespace) -> MiningConfig:
@@ -63,25 +85,39 @@ def cmd_mine(args: argparse.Namespace) -> int:
         if len(set(labels)) > 1:
             namer.train(training, labels)
             print(f"trained classifier on {len(training)} labeled violations")
-    save_namer(namer, args.out)
+    try:
+        save_namer(namer, args.out)
+    except OSError as exc:
+        return _fail(f"cannot write artifacts to {args.out}: {exc}")
     print(f"artifacts saved to {args.out}")
     return 0
 
 
 def cmd_scan(args: argparse.Namespace) -> int:
-    namer = load_namer(args.artifacts)
+    namer = _load_artifacts(args.artifacts)
+    if namer is None:
+        return 2
     root = pathlib.Path(args.path)
-    targets = [root] if root.is_file() else sorted(
+    if not root.exists():
+        return _fail(f"no such file or directory: {root}")
+    single_file = root.is_file()
+    targets = [root] if single_file else sorted(
         p for p in root.rglob("*") if p.suffix in _SUFFIXES
     )
     total = 0
     for path in targets:
         language = _SUFFIXES.get(path.suffix)
         if language is None:
+            if single_file:
+                return _fail(f"unsupported file type: {path}")
             continue
         source = SourceFile(path=str(path), source=path.read_text(), language=language)
         prepared = prepare_file(source, repo=root.name)
         if prepared is None:
+            # A directory scan skips unparsable files like the paper's
+            # corpus pipeline; naming one file explicitly is an error.
+            if single_file:
+                return _fail(f"unparseable {language} source: {path}")
             print(f"[skip] {path}: unparsable", file=sys.stderr)
             continue
         reports = namer.detect(prepared)
@@ -118,6 +154,74 @@ def cmd_eval(args: argparse.Namespace) -> int:
     )
     print(result.format_table())
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.engine import AnalysisEngine
+    from repro.service.server import AnalysisServer
+
+    try:
+        engine = AnalysisEngine(
+            artifact_path=args.artifacts,
+            workers=args.workers,
+            queue_capacity=args.queue_capacity,
+            cache_entries=args.cache_size,
+        )
+    except PersistenceError as exc:
+        return _fail(str(exc), code=2)
+    try:
+        server = AnalysisServer(engine, host=args.host, port=args.port, quiet=False)
+    except OSError as exc:
+        engine.shutdown(drain=False)
+        return _fail(f"cannot bind {args.host}:{args.port}: {exc}")
+    health = engine.health()
+    print(
+        f"serving {health['patterns']} patterns from {args.artifacts} "
+        f"on {server.url} ({args.workers} workers, "
+        f"cache {args.cache_size}, queue {args.queue_capacity})"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\ndraining in-flight requests ...", file=sys.stderr)
+    finally:
+        server.stop(drain=True)
+    return 0
+
+
+def cmd_analyze_remote(args: argparse.Namespace) -> int:
+    from repro.service.client import HttpClient, ServiceError, load_paths
+
+    root = pathlib.Path(args.path)
+    if not root.exists():
+        return _fail(f"no such file or directory: {root}")
+    paths = [root] if root.is_file() else sorted(
+        p for p in root.rglob("*") if p.suffix in _SUFFIXES
+    )
+    entries = load_paths(paths)
+    if not entries:
+        return _fail(f"no analyzable files under {root}")
+    client = HttpClient(args.url, timeout=args.timeout)
+    try:
+        results = client.analyze_files(entries)
+    except ServiceError as exc:
+        return _fail(str(exc))
+    total = 0
+    failed = 0
+    for result in results:
+        if result.get("error"):
+            failed += 1
+            print(f"[skip] {result['path']}: {result['error']}", file=sys.stderr)
+            continue
+        for report in result["reports"]:
+            total += 1
+            print(report["message"])
+    cached = sum(1 for r in results if r.get("cached"))
+    print(
+        f"{total} naming issue(s) reported across {len(results)} file(s) "
+        f"({cached} served from cache)"
+    )
+    return 1 if failed == len(results) else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -159,6 +263,28 @@ def build_parser() -> argparse.ArgumentParser:
     common(evaluate)
     evaluate.add_argument("--sample", type=int, default=300)
     evaluate.set_defaults(fn=cmd_eval)
+
+    serve = sub.add_parser("serve", help="run the analysis daemon (HTTP JSON API)")
+    serve.add_argument("--artifacts", default="namer.json")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8750)
+    serve.add_argument("--workers", type=int, default=4, help="analysis worker threads")
+    serve.add_argument(
+        "--cache-size", type=int, default=1024, help="result cache entries (0 disables)"
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=64,
+        help="pending requests before 503 backpressure",
+    )
+    serve.set_defaults(fn=cmd_serve)
+
+    remote = sub.add_parser(
+        "analyze-remote", help="analyze files via a running daemon"
+    )
+    remote.add_argument("path", help="file or directory to analyze")
+    remote.add_argument("--url", default="http://127.0.0.1:8750")
+    remote.add_argument("--timeout", type=float, default=120.0)
+    remote.set_defaults(fn=cmd_analyze_remote)
 
     report = sub.add_parser(
         "report", help="regenerate the paper's full evaluation as markdown"

@@ -216,6 +216,46 @@ class Namer:
             found.extend(self.matcher.violations(ps.stmt, ps.paths))
         return _dedup_violations(found)
 
+    def classify_many(
+        self,
+        violation_groups: list[list[Violation]],
+        local_stats: list[StatsIndex | None] | None = None,
+    ) -> list[list[Report]]:
+        """Run the defect classifier over several groups of violations
+        (typically one group per file) in a single pass.
+
+        Feature vectors from every group are stacked into one matrix and
+        scored with one ``decision_function`` call, so the scaler / PCA /
+        SVM work is shared across the whole batch instead of being paid
+        per violation.  With the classifier disabled (w/o C) every
+        violation becomes a report.
+        """
+        if local_stats is None:
+            local_stats = [None] * len(violation_groups)
+        featurized: list[list[np.ndarray]] = [
+            [self.featurize(v, local_stats=stats) for v in group]
+            for group, stats in zip(violation_groups, local_stats)
+        ]
+        flat = [f for group in featurized for f in group]
+        use_clf = self.config.use_classifier and self.classifier is not None
+        if flat and use_clf:
+            scores = self.classifier.decision_function(np.vstack(flat))
+        else:
+            scores = np.zeros(len(flat))
+
+        reports: list[list[Report]] = []
+        cursor = 0
+        for group, features in zip(violation_groups, featurized):
+            rows: list[Report] = []
+            for violation, feats in zip(group, features):
+                score = float(scores[cursor])
+                cursor += 1
+                if use_clf and score < 0.0:
+                    continue
+                rows.append(Report(violation=violation, features=feats, score=score))
+            reports.append(rows)
+        return reports
+
     def classify(
         self,
         violations: list[Violation],
@@ -223,17 +263,26 @@ class Namer:
     ) -> list[Report]:
         """Run the defect classifier over violations; with the
         classifier disabled (w/o C) every violation becomes a report."""
-        reports: list[Report] = []
-        for violation in violations:
-            features = self.featurize(violation, local_stats=local_stats)
-            if self.config.use_classifier and self.classifier is not None:
-                score = float(self.classifier.decision_function(features[None, :])[0])
-                if score < 0.0:
-                    continue
-            else:
-                score = 0.0
-            reports.append(Report(violation=violation, features=features, score=score))
-        return reports
+        return self.classify_many([violations], [local_stats])[0]
+
+    def detect_many(self, files: list[PreparedFile]) -> list[list[Report]]:
+        """Full inference on a batch of prepared files.
+
+        Pattern matching and the local statistics index stay per file,
+        but featurization and classification are shared across the batch
+        (one classifier pass) — the hot path for the long-running
+        analysis service in :mod:`repro.service`.
+        """
+        if self.matcher is None or self.stats is None:
+            raise RuntimeError("call mine() first")
+        groups = [self.violations_in(pf) for pf in files]
+        local_stats: list[StatsIndex | None] = [
+            StatsIndex.build(
+                self.matcher, ((ps.stmt, ps.paths) for ps in pf.statements)
+            )
+            for pf in files
+        ]
+        return self.classify_many(groups, local_stats)
 
     def detect(self, prepared: PreparedFile) -> list[Report]:
         """Full inference on one prepared file.
@@ -242,12 +291,7 @@ class Namer:
         file/repo-level features are meaningful even when the file was
         not part of the mining corpus.
         """
-        if self.matcher is None or self.stats is None:
-            raise RuntimeError("call mine() first")
-        local = StatsIndex.build(
-            self.matcher, ((ps.stmt, ps.paths) for ps in prepared.statements)
-        )
-        return self.classify(self.violations_in(prepared), local_stats=local)
+        return self.detect_many([prepared])[0]
 
     # ------------------------------------------------------------------
 

@@ -26,9 +26,21 @@ from repro.ml.linear import LinearSVM
 from repro.ml.pipeline import ClassifierPipeline
 from repro.ml.preprocess import PCA, StandardScaler
 
-__all__ = ["save_namer", "load_namer"]
+__all__ = ["save_namer", "load_namer", "PersistenceError", "SCHEMA_VERSION"]
 
-FORMAT_VERSION = 1
+#: Version stamp written into every artifact document.  Bumped whenever
+#: the JSON layout changes incompatibly; ``load_namer`` (and therefore
+#: the service's hot ``/reload``) refuses artifacts from another era.
+SCHEMA_VERSION = 2
+
+
+class PersistenceError(ValueError):
+    """Raised when an artifact file cannot be loaded.
+
+    Subclasses :class:`ValueError` so callers that predate the explicit
+    error type keep working, but carries a user-facing message instead
+    of a raw ``KeyError``/``JSONDecodeError``.
+    """
 
 
 # ----------------------------------------------------------------------
@@ -192,7 +204,7 @@ def save_namer(namer: Namer, path: str | Path) -> None:
         raise ValueError("mine() the Namer before saving it")
     patterns = namer.matcher.patterns
     document: dict[str, Any] = {
-        "version": FORMAT_VERSION,
+        "schema_version": SCHEMA_VERSION,
         "config": {
             "use_analysis": namer.config.use_analysis,
             "use_classifier": namer.config.use_classifier,
@@ -207,26 +219,62 @@ def save_namer(namer: Namer, path: str | Path) -> None:
 
 
 def load_namer(path: str | Path) -> Namer:
-    """Reconstruct a fitted Namer from :func:`save_namer` output."""
-    document = json.loads(Path(path).read_text())
-    if document.get("version") != FORMAT_VERSION:
-        raise ValueError(f"unsupported artifact version: {document.get('version')}")
+    """Reconstruct a fitted Namer from :func:`save_namer` output.
 
-    config = document["config"]
-    namer = Namer(
-        NamerConfig(
-            mining=MiningConfig(
-                max_paths_per_statement=config["max_paths_per_statement"]
-            ),
-            use_analysis=config["use_analysis"],
-            use_classifier=config["use_classifier"],
+    Raises :class:`PersistenceError` for anything that is not a
+    well-formed artifact of the current :data:`SCHEMA_VERSION` —
+    unreadable files, invalid JSON, a missing or mismatched version
+    stamp, or truncated documents.
+    """
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise PersistenceError(f"cannot read artifact file {path}: {exc}") from exc
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"artifact file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise PersistenceError(f"artifact file {path} is not a JSON object")
+    # Pre-versioning documents used the key "version"; either way a
+    # stamp must be present and must match.
+    version = document.get("schema_version", document.get("version"))
+    if version is None:
+        raise PersistenceError(
+            f"artifact file {path} has no schema_version stamp; "
+            "re-run `python -m repro mine` to regenerate it"
         )
-    )
-    patterns = [_pattern_from_json(p) for p in document["patterns"]]
-    namer.matcher = PatternMatcher(patterns)
-    namer.pairs = ConfusingPairStore()
-    for mistaken, correct, count in document["pairs"]:
-        namer.pairs.add(mistaken, correct, count)
-    namer.stats = _stats_from_json(document["stats"], patterns)
-    namer.classifier = _classifier_from_json(document["classifier"])
+    if version != SCHEMA_VERSION:
+        raise PersistenceError(
+            f"artifact file {path} has schema_version {version!r}, "
+            f"but this build reads version {SCHEMA_VERSION}"
+        )
+
+    try:
+        config = document["config"]
+    except KeyError as exc:
+        raise PersistenceError(f"artifact file {path} is missing 'config'") from exc
+    try:
+        namer = Namer(
+            NamerConfig(
+                mining=MiningConfig(
+                    max_paths_per_statement=config["max_paths_per_statement"]
+                ),
+                use_analysis=config["use_analysis"],
+                use_classifier=config["use_classifier"],
+            )
+        )
+        patterns = [_pattern_from_json(p) for p in document["patterns"]]
+        namer.matcher = PatternMatcher(patterns)
+        namer.pairs = ConfusingPairStore()
+        for mistaken, correct, count in document["pairs"]:
+            namer.pairs.add(mistaken, correct, count)
+        namer.stats = _stats_from_json(document["stats"], patterns)
+        namer.classifier = _classifier_from_json(document["classifier"])
+    except (KeyError, IndexError, TypeError, ValueError) as exc:
+        if isinstance(exc, PersistenceError):
+            raise
+        raise PersistenceError(
+            f"artifact file {path} is truncated or malformed: {exc!r}"
+        ) from exc
     return namer

@@ -15,7 +15,7 @@ import numpy as np
 from repro.core.patterns import PatternKind, Violation
 from repro.naming.subtokens import join_subtokens, normalize_style, split_identifier
 
-__all__ = ["Report", "render_fixed_identifier"]
+__all__ = ["Report", "render_fixed_identifier", "report_to_json"]
 
 
 @dataclass
@@ -61,6 +61,34 @@ class Report:
             f"'{self.suggested}' ({original} -> {self.fixed_identifier()}) "
             f"in: {self.source}"
         )
+
+    def to_json(self) -> dict:
+        """Plain-JSON row for the analysis service's wire format.
+
+        Everything a remote consumer needs to render or apply the fix;
+        the feature vector stays server-side (it is an implementation
+        detail of the classifier, and large).
+        """
+        return {
+            "file": self.file_path,
+            "line": self.line,
+            "source": self.source,
+            "observed": self.observed,
+            "suggested": self.suggested,
+            "identifier": _original_identifier(self.violation),
+            "fixed_identifier": self.fixed_identifier(),
+            "kind": self.pattern_kind.value,
+            # rounded so batched and single-file classifier passes (which
+            # differ in the last ulps of their BLAS reductions) serialize
+            # identically
+            "score": round(self.score, 9),
+            "message": self.describe(),
+        }
+
+
+def report_to_json(report: Report) -> dict:
+    """Module-level alias of :meth:`Report.to_json`."""
+    return report.to_json()
 
 
 def render_fixed_identifier(violation: Violation) -> str:

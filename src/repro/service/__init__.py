@@ -1,0 +1,51 @@
+"""Long-running analysis service over a persisted Namer.
+
+Mining is the expensive one-time step; this package is the cheap
+repeated-inference side grown into a real deployment surface: a daemon
+that loads the artifacts once and serves analysis requests with
+batching (``Namer.detect_many``), a content-hash result cache, a
+bounded request queue, and a stdlib JSON HTTP front end.
+
+    python -m repro serve --artifacts namer.json --port 8750
+    python -m repro analyze-remote src/ --url http://127.0.0.1:8750
+
+Layering: :mod:`~repro.service.engine` owns the pipeline;
+:mod:`~repro.service.cache` and :mod:`~repro.service.queue` are its
+storage and concurrency substrates; :mod:`~repro.service.server` and
+:mod:`~repro.service.client` are the wire.
+"""
+
+from repro.service.cache import CacheStats, ResultCache, content_key
+from repro.service.client import HttpClient, InProcessClient, ServiceError, load_paths
+from repro.service.engine import AnalysisEngine, AnalysisRequest, AnalysisResult
+from repro.service.metrics import LatencyWindow, ServiceMetrics
+from repro.service.queue import (
+    QueueFullError,
+    RequestQueue,
+    RequestTimeout,
+    ServiceClosed,
+    Ticket,
+)
+from repro.service.server import AnalysisServer, serve
+
+__all__ = [
+    "AnalysisEngine",
+    "AnalysisRequest",
+    "AnalysisResult",
+    "AnalysisServer",
+    "CacheStats",
+    "HttpClient",
+    "InProcessClient",
+    "LatencyWindow",
+    "QueueFullError",
+    "RequestQueue",
+    "RequestTimeout",
+    "ResultCache",
+    "ServiceClosed",
+    "ServiceError",
+    "ServiceMetrics",
+    "Ticket",
+    "content_key",
+    "load_paths",
+    "serve",
+]

@@ -1,0 +1,117 @@
+"""Content-addressed result cache for the analysis service.
+
+Analysis is a pure function of the source text (plus language and the
+loaded artifact), so the service caches finished results under the
+SHA-256 of their input.  Re-analyzing an unchanged file is then an
+O(1) dictionary hit instead of a parse + points-to + match + classify
+pass — the property that makes a long-running daemon worthwhile for
+continuously-scanned, slowly-changing codebases.
+
+The cache is a bounded LRU with hit/miss/eviction accounting and
+explicit invalidation (used by ``POST /reload``: a new artifact gives
+different answers, so every cached result must go).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["CacheStats", "ResultCache", "content_key"]
+
+
+def content_key(source: str, language: str = "python", path: str = "") -> str:
+    """SHA-256 key over everything that can change an analysis result.
+
+    The file path participates because report rows embed it; two
+    identical sources under different paths produce distinct rows.
+    """
+    digest = hashlib.sha256()
+    for part in (language, path, source):
+        digest.update(part.encode("utf-8", "surrogatepass"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed verbatim under ``GET /metrics``."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class ResultCache:
+    """Thread-safe LRU mapping content keys to finished analysis results.
+
+    ``max_entries <= 0`` disables caching entirely (every lookup is a
+    miss and nothing is stored) — useful for benchmarking the cold path.
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> Any | None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            self.stats.misses += 1
+            return None
+
+    def put(self, key: str, value: Any) -> None:
+        if self.max_entries <= 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry; returns whether it was present."""
+        with self._lock:
+            present = self._entries.pop(key, None) is not None
+            if present:
+                self.stats.invalidations += 1
+            return present
+
+    def clear(self) -> int:
+        """Drop everything (artifact reload); returns entries dropped."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.stats.invalidations += dropped
+            return dropped

@@ -1,0 +1,136 @@
+"""Clients for the analysis service.
+
+Two interchangeable flavours behind one interface:
+
+* :class:`HttpClient` — talks to a running ``python -m repro serve``
+  daemon over HTTP (stdlib ``urllib``; no third-party deps).
+* :class:`InProcessClient` — same calls routed straight into an
+  :class:`~repro.service.engine.AnalysisEngine`, for tests and for
+  embedding the service without sockets.
+
+The CLI's ``analyze-remote`` command and the service tests are written
+against this interface, so they run identically in either mode.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.service.engine import AnalysisEngine, AnalysisRequest
+
+__all__ = ["ServiceError", "HttpClient", "InProcessClient", "load_paths"]
+
+_SUFFIX_LANGUAGES = {".py": "python", ".java": "java"}
+
+
+class ServiceError(RuntimeError):
+    """A request the service answered with an error status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"service error {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+def load_paths(paths: list[str | Path]) -> list[dict]:
+    """Read source files into analyze-payload entries, inferring the
+    language from the suffix; unknown suffixes are skipped."""
+    entries = []
+    for raw in paths:
+        path = Path(raw)
+        language = _SUFFIX_LANGUAGES.get(path.suffix)
+        if language is None:
+            continue
+        entries.append(
+            {"path": str(path), "source": path.read_text(), "language": language}
+        )
+    return entries
+
+
+class HttpClient:
+    """Minimal JSON-over-HTTP client for the analysis daemon."""
+
+    def __init__(self, base_url: str, timeout: float = 120.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+
+    def _call(self, method: str, path: str, payload: dict | None = None) -> dict:
+        data = json.dumps(payload).encode("utf-8") if payload is not None else None
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", exc.reason)
+            except (json.JSONDecodeError, ValueError):
+                message = str(exc.reason)
+            raise ServiceError(exc.code, message) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, f"cannot reach {self.base_url}: {exc.reason}") from exc
+
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._call("GET", "/health")
+
+    def metrics(self) -> dict:
+        return self._call("GET", "/metrics")
+
+    def analyze(
+        self, source: str, path: str = "<memory>", language: str | None = None
+    ) -> dict:
+        payload: dict = {"source": source, "path": path}
+        if language is not None:
+            payload["language"] = language
+        return self._call("POST", "/analyze", payload)
+
+    def analyze_files(self, entries: list[dict]) -> list[dict]:
+        """``entries`` as produced by :func:`load_paths`."""
+        return self._call("POST", "/analyze", {"files": entries})["results"]
+
+    def reload(self, artifact_path: str | Path) -> dict:
+        return self._call("POST", "/reload", {"artifacts": str(artifact_path)})
+
+
+class InProcessClient:
+    """The same interface served by a local engine — no sockets."""
+
+    def __init__(self, engine: AnalysisEngine) -> None:
+        self.engine = engine
+
+    def health(self) -> dict:
+        return self.engine.health()
+
+    def metrics(self) -> dict:
+        return self.engine.metrics_json()
+
+    def analyze(
+        self, source: str, path: str = "<memory>", language: str | None = None
+    ) -> dict:
+        request = AnalysisRequest(source=source, path=path, language=language)
+        return self.engine.analyze(request).to_json()
+
+    def analyze_files(self, entries: list[dict]) -> list[dict]:
+        requests = [
+            AnalysisRequest(
+                source=e["source"],
+                path=e.get("path", "<memory>"),
+                language=e.get("language"),
+            )
+            for e in entries
+        ]
+        return [r.to_json() for r in self.engine.analyze_many(requests)]
+
+    def reload(self, artifact_path: str | Path) -> dict:
+        return self.engine.reload(str(artifact_path))

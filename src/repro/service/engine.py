@@ -1,0 +1,298 @@
+"""The analysis engine: a loaded Namer behind a cache and worker pool.
+
+The paper's deployment split (mine once, infer many times) is realized
+here as a long-lived object: the expensive artifacts are loaded exactly
+once, then every analysis request pays only inference — and unchanged
+sources pay only a cache lookup.  Layering (bottom-up):
+
+``Namer.detect_many``  — batch inference, one classifier pass
+:class:`ResultCache`   — content-hash LRU over finished results
+:class:`RequestQueue`  — bounded worker pool with backpressure
+:class:`AnalysisEngine`— ties the three together; the HTTP server and
+                         the in-process client both talk to this.
+
+Batches fan per-file preparation (parse, points-to, transform) out over
+the worker pool, then classify all uncached files in a single
+``detect_many`` call.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.core.namer import Namer
+from repro.core.persistence import load_namer
+from repro.core.prepare import PreparedFile, prepare_file
+from repro.corpus.model import SourceFile
+from repro.service.cache import ResultCache, content_key
+from repro.service.metrics import ServiceMetrics
+from repro.service.queue import QueueFullError, RequestQueue
+
+__all__ = ["AnalysisRequest", "AnalysisResult", "AnalysisEngine"]
+
+_SUFFIX_LANGUAGES = {".py": "python", ".java": "java"}
+
+
+def _infer_language(path: str) -> str:
+    for suffix, language in _SUFFIX_LANGUAGES.items():
+        if path.endswith(suffix):
+            return language
+    return "python"
+
+
+@dataclass(frozen=True)
+class AnalysisRequest:
+    """One source file to analyze."""
+
+    source: str
+    path: str = "<memory>"
+    language: str | None = None
+    repo: str = ""
+
+    @property
+    def resolved_language(self) -> str:
+        return self.language or _infer_language(self.path)
+
+    def cache_key(self) -> str:
+        return content_key(self.source, self.resolved_language, self.path)
+
+
+@dataclass
+class AnalysisResult:
+    """The analysis of one file, as served over the wire."""
+
+    path: str
+    reports: list[dict] = field(default_factory=list)
+    cached: bool = False
+    error: str | None = None
+    elapsed_ms: float = 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "reports": self.reports,
+            "cached": self.cached,
+            "error": self.error,
+            "elapsed_ms": round(self.elapsed_ms, 3),
+        }
+
+
+class AnalysisEngine:
+    """Long-lived analysis service over one loaded Namer artifact."""
+
+    def __init__(
+        self,
+        namer: Namer | None = None,
+        artifact_path: str | None = None,
+        *,
+        workers: int = 4,
+        queue_capacity: int = 64,
+        cache_entries: int = 1024,
+        request_timeout: float = 60.0,
+    ) -> None:
+        if namer is None:
+            if artifact_path is None:
+                raise ValueError("AnalysisEngine needs a namer or an artifact_path")
+            namer = load_namer(artifact_path)
+        self._namer = namer
+        self.artifact_path = artifact_path
+        self.request_timeout = request_timeout
+        self.cache = ResultCache(cache_entries)
+        self.queue = RequestQueue(capacity=queue_capacity, workers=workers)
+        self.metrics = ServiceMetrics()
+        self._reload_lock = threading.Lock()
+        #: bumped on reload; in-flight results from the old artifact must
+        #: not repopulate the freshly-cleared cache
+        self._generation = 0
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+
+    def analyze(
+        self, request: AnalysisRequest, timeout: float | None = None
+    ) -> AnalysisResult:
+        """Analyze one file through the queue (cache-aware).
+
+        Raises :class:`QueueFullError` under backpressure and
+        :class:`RequestTimeout` past the deadline; both are counted.
+        """
+        started = time.perf_counter()
+        try:
+            ticket = self.queue.submit(lambda: self._analyze_uncounted(request))
+        except QueueFullError:
+            self.metrics.record_rejected()
+            raise
+        try:
+            result = ticket.result(timeout or self.request_timeout)
+        except TimeoutError:
+            self.metrics.record_timeout()
+            raise
+        self._count(result, time.perf_counter() - started)
+        return result
+
+    def analyze_many(
+        self, requests: list[AnalysisRequest], timeout: float | None = None
+    ) -> list[AnalysisResult]:
+        """Analyze a batch: cache hits answered inline, misses prepared
+        in parallel on the worker pool, then classified in one shared
+        ``detect_many`` pass."""
+        started = time.perf_counter()
+        generation = self._generation
+        namer = self._namer
+        results: list[AnalysisResult | None] = [None] * len(requests)
+        misses: list[int] = []
+        for i, request in enumerate(requests):
+            hit = self.cache.get(request.cache_key())
+            if hit is not None:
+                results[i] = AnalysisResult(
+                    path=request.path, reports=hit.reports, cached=True,
+                    error=hit.error,
+                )
+            else:
+                misses.append(i)
+
+        # Fan preparation out over the pool; under backpressure fall
+        # back to preparing inline rather than failing the batch.
+        tickets: dict[int, object] = {}
+        for i in misses:
+            try:
+                tickets[i] = self.queue.submit(
+                    lambda req=requests[i]: self._prepare(req)
+                )
+            except QueueFullError:
+                pass
+        prepared: dict[int, PreparedFile | None] = {}
+        deadline = timeout or self.request_timeout
+        for i in misses:
+            ticket = tickets.get(i)
+            if ticket is not None:
+                prepared[i] = ticket.result(deadline)
+            else:
+                prepared[i] = self._prepare(requests[i])
+
+        analyzable = [i for i in misses if prepared[i] is not None]
+        report_groups = namer.detect_many([prepared[i] for i in analyzable])
+        for i, reports in zip(analyzable, report_groups):
+            results[i] = self._finish(
+                requests[i], [r.to_json() for r in reports], None, generation
+            )
+        for i in misses:
+            if prepared[i] is None:
+                results[i] = self._finish(
+                    requests[i], [], f"unparsable {requests[i].resolved_language} source",
+                    generation,
+                )
+        final = [r for r in results if r is not None]
+        self._count_batch(final, time.perf_counter() - started)
+        return final
+
+    # ------------------------------------------------------------------
+
+    def _prepare(self, request: AnalysisRequest) -> PreparedFile | None:
+        source = SourceFile(
+            path=request.path,
+            source=request.source,
+            language=request.resolved_language,
+        )
+        return prepare_file(source, repo=request.repo or "service")
+
+    def _analyze_uncounted(self, request: AnalysisRequest) -> AnalysisResult:
+        """Cache-aware single-file analysis (runs on a worker thread);
+        metrics are recorded by the caller, who sees queue wait too."""
+        key = request.cache_key()
+        hit = self.cache.get(key)
+        if hit is not None:
+            return AnalysisResult(
+                path=request.path, reports=hit.reports, cached=True, error=hit.error
+            )
+        generation = self._generation
+        namer = self._namer
+        prepared = self._prepare(request)
+        if prepared is None:
+            return self._finish(
+                request, [], f"unparsable {request.resolved_language} source",
+                generation,
+            )
+        reports = namer.detect(prepared)
+        return self._finish(request, [r.to_json() for r in reports], None, generation)
+
+    def _finish(
+        self,
+        request: AnalysisRequest,
+        reports: list[dict],
+        error: str | None,
+        generation: int,
+    ) -> AnalysisResult:
+        result = AnalysisResult(path=request.path, reports=reports, error=error)
+        if generation == self._generation:
+            self.cache.put(request.cache_key(), result)
+        return result
+
+    def _count(self, result: AnalysisResult, seconds: float) -> None:
+        result.elapsed_ms = seconds * 1000
+        self.metrics.record_request(
+            files=1, violations=len(result.reports), seconds=seconds
+        )
+        if result.error is not None:
+            self.metrics.record_error()
+
+    def _count_batch(self, results: list[AnalysisResult], seconds: float) -> None:
+        for result in results:
+            result.elapsed_ms = seconds * 1000
+        self.metrics.record_request(
+            files=len(results),
+            violations=sum(len(r.reports) for r in results),
+            seconds=seconds,
+        )
+        for result in results:
+            if result.error is not None:
+                self.metrics.record_error()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def reload(self, artifact_path: str) -> dict:
+        """Hot-swap the loaded artifact (``POST /reload``).
+
+        The new file is fully loaded and schema-checked *before* the
+        swap, so a bad artifact leaves the running service untouched.
+        In-flight requests finish on the old artifact but cannot write
+        into the new cache (generation fencing).
+        """
+        namer = load_namer(artifact_path)  # raises PersistenceError on bad input
+        with self._reload_lock:
+            self._namer = namer
+            self.artifact_path = artifact_path
+            self._generation += 1
+            dropped = self.cache.clear()
+        self.metrics.record_reload()
+        return {"artifacts": artifact_path, "cache_entries_dropped": dropped}
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "artifacts": self.artifact_path,
+            "patterns": len(self._namer.matcher.patterns) if self._namer.matcher else 0,
+            "classifier": self._namer.classifier is not None,
+            "workers": self.queue.workers,
+            "pending": self.queue.pending,
+        }
+
+    def metrics_json(self) -> dict:
+        body = self.metrics.to_json()
+        body["cache"] = self.cache.stats.to_json()
+        body["cache"]["entries"] = len(self.cache)
+        body["queue"] = {
+            "capacity": self.queue.capacity,
+            "pending": self.queue.pending,
+            "in_flight": self.queue.in_flight,
+        }
+        return body
+
+    def shutdown(self, drain: bool = True, timeout: float | None = 30.0) -> None:
+        """Drain (or abort) the queue and stop the workers."""
+        self.queue.shutdown(drain=drain, timeout=timeout)

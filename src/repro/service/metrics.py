@@ -1,0 +1,106 @@
+"""Service observability: request counters and latency percentiles.
+
+Everything here is cheap enough to update on every request (a deque
+append and a few integer increments) and is surfaced as one JSON
+document under ``GET /metrics``.  Latency percentiles are computed over
+a sliding window of the most recent samples — a long-lived daemon must
+not let month-old latencies dilute today's picture.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+__all__ = ["LatencyWindow", "ServiceMetrics"]
+
+
+class LatencyWindow:
+    """Sliding window of request latencies with percentile summaries."""
+
+    def __init__(self, window: int = 2048) -> None:
+        self._samples: deque[float] = deque(maxlen=window)
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(seconds)
+            self.count += 1
+            self.total += seconds
+
+    def percentile(self, q: float) -> float:
+        """q in [0, 100]; nearest-rank over the current window."""
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return 0.0
+        rank = min(len(samples) - 1, max(0, round(q / 100.0 * (len(samples) - 1))))
+        return samples[rank]
+
+    def to_json(self) -> dict:
+        with self._lock:
+            mean = self.total / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "mean_ms": round(mean * 1000, 3),
+            "p50_ms": round(self.percentile(50) * 1000, 3),
+            "p90_ms": round(self.percentile(90) * 1000, 3),
+            "p99_ms": round(self.percentile(99) * 1000, 3),
+        }
+
+
+class ServiceMetrics:
+    """All counters the service reports, in one thread-safe bundle."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.started_at = time.monotonic()
+        self.requests_total = 0
+        self.files_analyzed = 0
+        self.errors = 0
+        self.rejected = 0
+        self.timeouts = 0
+        self.violations_reported = 0
+        self.reloads = 0
+        self.latency = LatencyWindow()
+
+    def record_request(self, files: int, violations: int, seconds: float) -> None:
+        with self._lock:
+            self.requests_total += 1
+            self.files_analyzed += files
+            self.violations_reported += violations
+        self.latency.observe(seconds)
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_timeout(self) -> None:
+        with self._lock:
+            self.timeouts += 1
+
+    def record_reload(self) -> None:
+        with self._lock:
+            self.reloads += 1
+
+    def to_json(self) -> dict:
+        with self._lock:
+            body = {
+                "uptime_s": round(time.monotonic() - self.started_at, 3),
+                "requests_total": self.requests_total,
+                "files_analyzed": self.files_analyzed,
+                "errors": self.errors,
+                "rejected": self.rejected,
+                "timeouts": self.timeouts,
+                "violations_reported": self.violations_reported,
+                "reloads": self.reloads,
+            }
+        body["latency"] = self.latency.to_json()
+        return body

@@ -1,0 +1,168 @@
+"""Bounded request queue with backpressure, timeouts, and drain.
+
+The service must degrade predictably under overload: rather than
+accepting unbounded work and blowing up memory/latency, the queue
+rejects submissions once ``capacity`` requests are waiting
+(:class:`QueueFullError`, surfaced as HTTP 503), bounds how long a
+caller will wait for a result (:class:`RequestTimeout`, HTTP 504), and
+on shutdown finishes in-flight work before the workers exit.
+
+The queue doubles as the engine's worker pool: ``workers`` daemon
+threads pull jobs (plain callables) and resolve their tickets.
+"""
+
+from __future__ import annotations
+
+import queue as _stdlib_queue
+import threading
+from typing import Any, Callable
+
+__all__ = ["QueueFullError", "RequestTimeout", "ServiceClosed", "Ticket", "RequestQueue"]
+
+
+class QueueFullError(RuntimeError):
+    """Backpressure: the queue is at capacity; retry later."""
+
+
+class RequestTimeout(TimeoutError):
+    """The caller's deadline passed before the job finished."""
+
+
+class ServiceClosed(RuntimeError):
+    """The queue is shutting down and no longer accepts work."""
+
+
+class Ticket:
+    """Handle to one queued job; ``result()`` blocks until it resolves."""
+
+    def __init__(self) -> None:
+        self._done = threading.Event()
+        self._value: Any = None
+        self._error: BaseException | None = None
+
+    def resolve(self, value: Any) -> None:
+        self._value = value
+        self._done.set()
+
+    def reject(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> Any:
+        """The job's return value; raises its exception if it failed,
+        :class:`RequestTimeout` if it misses the deadline.  The job
+        itself keeps running after a timeout (its result still lands in
+        the cache) — only this caller gives up on waiting.
+        """
+        if not self._done.wait(timeout):
+            raise RequestTimeout(f"request did not finish within {timeout}s")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class RequestQueue:
+    """Bounded queue + fixed worker pool executing submitted callables."""
+
+    _SENTINEL = object()
+
+    def __init__(self, capacity: int = 64, workers: int = 4) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.capacity = capacity
+        self._queue: _stdlib_queue.Queue = _stdlib_queue.Queue(maxsize=capacity)
+        self._closed = False
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._idle = threading.Condition(self._lock)
+        self._workers = [
+            threading.Thread(target=self._worker, name=f"repro-worker-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # ------------------------------------------------------------------
+
+    def submit(self, job: Callable[[], Any]) -> Ticket:
+        """Enqueue ``job``; raises :class:`QueueFullError` when at
+        capacity and :class:`ServiceClosed` after shutdown began."""
+        ticket = Ticket()
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("request queue is shut down")
+            try:
+                self._queue.put_nowait((job, ticket))
+            except _stdlib_queue.Full:
+                raise QueueFullError(
+                    f"request queue is full ({self.capacity} pending)"
+                ) from None
+        return ticket
+
+    def run(self, job: Callable[[], Any], timeout: float | None = None) -> Any:
+        """Submit and wait: convenience for synchronous callers."""
+        return self.submit(job).result(timeout)
+
+    @property
+    def pending(self) -> int:
+        return self._queue.qsize()
+
+    @property
+    def workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    # ------------------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is self._SENTINEL:
+                self._queue.task_done()
+                return
+            job, ticket = item
+            with self._lock:
+                self._in_flight += 1
+            try:
+                ticket.resolve(job())
+            except BaseException as exc:  # resolve *every* ticket
+                ticket.reject(exc)
+            finally:
+                with self._idle:
+                    self._in_flight -= 1
+                    self._idle.notify_all()
+                self._queue.task_done()
+
+    def shutdown(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop accepting work and wind the pool down.
+
+        With ``drain=True`` every already-queued job still runs to
+        completion before the workers exit; with ``drain=False`` queued
+        (not yet started) jobs are rejected with :class:`ServiceClosed`
+        and only in-flight jobs finish.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if not drain:
+                while True:
+                    try:
+                        _, ticket = self._queue.get_nowait()
+                    except _stdlib_queue.Empty:
+                        break
+                    ticket.reject(ServiceClosed("request queue shut down"))
+                    self._queue.task_done()
+        for _ in self._workers:
+            self._queue.put(self._SENTINEL)
+        for thread in self._workers:
+            thread.join(timeout)

@@ -1,0 +1,220 @@
+"""Stdlib-only JSON HTTP front end for the analysis engine.
+
+Endpoints:
+
+* ``GET  /health``  — liveness + loaded-artifact summary.
+* ``GET  /metrics`` — request counts, latency percentiles, cache hit
+  rate, queue depth, violations reported.
+* ``POST /analyze`` — ``{"source": ..., "path": ..., "language": ...}``
+  for one file, or ``{"files": [...]}`` for a batch; returns report
+  rows (see :meth:`repro.core.reports.Report.to_json`).
+* ``POST /reload``  — ``{"artifacts": path}``; hot-swaps the artifact.
+
+Overload maps onto status codes: a full queue answers 503 (retry
+later), a missed deadline 504, a bad artifact or malformed body 400.
+``ThreadingHTTPServer`` gives one thread per connection; actual
+analysis work still funnels through the engine's bounded queue, so
+concurrency is governed in exactly one place.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.core.persistence import PersistenceError
+from repro.service.engine import AnalysisEngine, AnalysisRequest
+from repro.service.queue import QueueFullError, RequestTimeout, ServiceClosed
+
+__all__ = ["AnalysisServer", "serve"]
+
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+class _BadRequest(ValueError):
+    """Client error; message goes into the 400 response body."""
+
+
+def _parse_requests(body: dict) -> tuple[list[AnalysisRequest], bool]:
+    """The analyze payload: one file object or ``{"files": [...]}``."""
+    if not isinstance(body, dict):
+        raise _BadRequest("request body must be a JSON object")
+    if "files" in body:
+        files = body["files"]
+        if not isinstance(files, list) or not files:
+            raise _BadRequest("'files' must be a non-empty list")
+        return [_parse_one(f) for f in files], True
+    return [_parse_one(body)], False
+
+
+def _parse_one(entry: object) -> AnalysisRequest:
+    if not isinstance(entry, dict) or not isinstance(entry.get("source"), str):
+        raise _BadRequest("each file needs a string 'source' field")
+    language = entry.get("language")
+    if language is not None and language not in ("python", "java"):
+        raise _BadRequest(f"unsupported language: {language!r}")
+    return AnalysisRequest(
+        source=entry["source"],
+        path=str(entry.get("path", "<memory>")),
+        language=language,
+        repo=str(entry.get("repo", "")),
+    )
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-namer/1.0"
+    protocol_version = "HTTP/1.1"
+    engine: AnalysisEngine  # injected by AnalysisServer
+    quiet = True
+
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        if self.path == "/health":
+            self._reply(200, self.engine.health())
+        elif self.path == "/metrics":
+            self._reply(200, self.engine.metrics_json())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            body = self._read_json()
+            if self.path == "/analyze":
+                self._handle_analyze(body)
+            elif self.path == "/reload":
+                self._handle_reload(body)
+            else:
+                self._reply(404, {"error": f"unknown path {self.path}"})
+        except _BadRequest as exc:
+            self._reply(400, {"error": str(exc)})
+        except PersistenceError as exc:
+            self._reply(400, {"error": str(exc)})
+        except QueueFullError as exc:
+            self._reply(503, {"error": str(exc), "retry": True})
+        except RequestTimeout as exc:
+            self._reply(504, {"error": str(exc)})
+        except ServiceClosed as exc:
+            self._reply(503, {"error": str(exc), "retry": False})
+        except Exception as exc:  # last-resort: never drop the connection
+            self.engine.metrics.record_error()
+            self._reply(500, {"error": f"internal error: {exc!r}"})
+
+    def _handle_analyze(self, body: dict) -> None:
+        requests, batch = _parse_requests(body)
+        if batch:
+            results = self.engine.analyze_many(requests)
+            self._reply(200, {"results": [r.to_json() for r in results]})
+        else:
+            self._reply(200, self.engine.analyze(requests[0]).to_json())
+
+    def _handle_reload(self, body: dict) -> None:
+        if not isinstance(body, dict) or not isinstance(body.get("artifacts"), str):
+            raise _BadRequest("reload needs an 'artifacts' path")
+        self._reply(200, self.engine.reload(body["artifacts"]))
+
+    # ------------------------------------------------------------------
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise _BadRequest("missing request body")
+        if length > MAX_BODY_BYTES:
+            raise _BadRequest(f"request body over {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise _BadRequest(f"invalid JSON body: {exc}") from exc
+
+    def _reply(self, status: int, payload: dict) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format: str, *args) -> None:
+        if not self.quiet:
+            super().log_message(format, *args)
+
+
+class _Listener(ThreadingHTTPServer):
+    # The stdlib default listen(5) backlog resets connections under
+    # request bursts; overload policy belongs to the bounded request
+    # queue (503), not the TCP accept queue.
+    request_queue_size = 128
+
+
+class AnalysisServer:
+    """Owns the HTTP listener; binds an engine to a host/port.
+
+    ``port=0`` binds an ephemeral port (tests); read it back from
+    :attr:`port` after construction.
+    """
+
+    def __init__(
+        self,
+        engine: AnalysisEngine,
+        host: str = "127.0.0.1",
+        port: int = 8750,
+        quiet: bool = True,
+    ) -> None:
+        self.engine = engine
+        handler = type("BoundHandler", (_Handler,), {"engine": engine, "quiet": quiet})
+        self.httpd = _Listener((host, port), handler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "AnalysisServer":
+        """Serve on a daemon thread (tests, embedding)."""
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, name="repro-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI path)."""
+        self.httpd.serve_forever()
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop accepting connections, then drain the analysis queue."""
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self.engine.shutdown(drain=drain)
+
+
+def serve(
+    artifact_path: str,
+    host: str = "127.0.0.1",
+    port: int = 8750,
+    *,
+    workers: int = 4,
+    queue_capacity: int = 64,
+    cache_entries: int = 1024,
+    quiet: bool = False,
+) -> AnalysisServer:
+    """Build an engine from saved artifacts and bind the HTTP server."""
+    engine = AnalysisEngine(
+        artifact_path=artifact_path,
+        workers=workers,
+        queue_capacity=queue_capacity,
+        cache_entries=cache_entries,
+    )
+    return AnalysisServer(engine, host=host, port=port, quiet=quiet)

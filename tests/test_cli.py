@@ -47,6 +47,16 @@ class TestParser:
         args = build_parser().parse_args(["scan", "proj", "--fix"])
         assert args.path == "proj" and args.fix
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8750 and args.workers == 4
+        assert args.cache_size == 1024 and args.queue_capacity == 64
+
+    def test_analyze_remote_defaults(self):
+        args = build_parser().parse_args(["analyze-remote", "proj"])
+        assert args.path == "proj"
+        assert args.url == "http://127.0.0.1:8750"
+
 
 class TestCommands:
     def test_mine_writes_artifacts(self, artifacts):
@@ -101,6 +111,25 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "helperMethod" in out
 
+    def test_analyze_remote_round_trip(self, artifacts, tmp_path, capsys):
+        from repro.service.engine import AnalysisEngine
+        from repro.service.server import AnalysisServer
+
+        server = AnalysisServer(
+            AnalysisEngine(artifact_path=str(artifacts), workers=1), port=0
+        ).start()
+        try:
+            project = tmp_path / "remoteproj"
+            project.mkdir()
+            for name, source in BUGGY_PROJECT.items():
+                (project / name).write_text(source)
+            code = main(["analyze-remote", str(project), "--url", server.url])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "naming issue(s) reported" in out
+        finally:
+            server.stop()
+
     def test_eval_prints_table(self, capsys):
         code = main(
             [
@@ -111,3 +140,55 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "Namer" in out and "w/o C" in out
+
+
+class TestFailureExitCodes:
+    """Failures exit nonzero with a message on stderr, not a traceback."""
+
+    def test_scan_missing_artifacts(self, tmp_path, capsys):
+        code = main(
+            ["scan", str(tmp_path), "--artifacts", str(tmp_path / "missing.json")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_scan_corrupt_artifacts(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code = main(["scan", str(tmp_path), "--artifacts", str(bad)])
+        assert code == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_scan_nonexistent_path(self, artifacts, tmp_path, capsys):
+        code = main(
+            ["scan", str(tmp_path / "nowhere"), "--artifacts", str(artifacts)]
+        )
+        assert code == 1
+        assert "no such file" in capsys.readouterr().err
+
+    def test_scan_single_unparseable_file_fails(self, artifacts, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:")
+        code = main(["scan", str(bad), "--artifacts", str(artifacts)])
+        assert code == 1
+        assert "unparseable" in capsys.readouterr().err
+
+    def test_serve_missing_artifacts(self, tmp_path, capsys):
+        code = main(["serve", "--artifacts", str(tmp_path / "missing.json")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_analyze_remote_unreachable_daemon(self, tmp_path, capsys):
+        target = tmp_path / "app.py"
+        target.write_text("x = 1\n")
+        code = main(
+            ["analyze-remote", str(target), "--url", "http://127.0.0.1:9",
+             "--timeout", "2"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_analyze_remote_nonexistent_path(self, capsys):
+        code = main(["analyze-remote", "/nonexistent/path"])
+        assert code == 1
+        assert "no such file" in capsys.readouterr().err

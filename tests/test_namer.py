@@ -115,3 +115,27 @@ class TestDetect:
         assert reports
         text = reports[0].describe()
         assert reports[0].observed in text
+
+    def test_detect_many_matches_per_file_detect(self, fitted_namer):
+        files = fitted_namer.prepared[:6]
+        batched = fitted_namer.detect_many(files)
+        assert len(batched) == len(files)
+        for pf, group in zip(files, batched):
+            single = fitted_namer.detect(pf)
+            assert [(r.observed, r.suggested) for r in group] == [
+                (r.observed, r.suggested) for r in single
+            ]
+            # batched BLAS ops round differently in the last ulps
+            assert [r.score for r in group] == pytest.approx(
+                [r.score for r in single]
+            )
+
+    def test_report_to_json_round_trips_through_json(self, fitted_namer):
+        import json
+
+        reports = fitted_namer.classify(fitted_namer.all_violations())
+        assert reports
+        row = json.loads(json.dumps(reports[0].to_json()))
+        assert row["observed"] == reports[0].observed
+        assert row["file"] == reports[0].file_path
+        assert row["kind"] in ("consistency", "confusing_word")

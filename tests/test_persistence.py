@@ -1,10 +1,17 @@
 """Round-trip tests for Namer artifact persistence."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.core.namer import Namer
-from repro.core.persistence import load_namer, save_namer
+from repro.core.persistence import (
+    SCHEMA_VERSION,
+    PersistenceError,
+    load_namer,
+    save_namer,
+)
 from repro.core.prepare import prepare_file
 from repro.corpus.model import SourceFile
 
@@ -86,13 +93,52 @@ class TestErrors:
         with pytest.raises(ValueError):
             save_namer(Namer(), tmp_path / "x.json")
 
-    def test_version_check(self, tmp_path, fitted_namer):
-        import json
-
+    def test_schema_version_stamped(self, tmp_path, fitted_namer):
         path = tmp_path / "namer.json"
         save_namer(fitted_namer, path)
         doc = json.loads(path.read_text())
-        doc["version"] = 999
+        assert doc["schema_version"] == SCHEMA_VERSION
+
+    def test_mismatched_version_raises(self, tmp_path, fitted_namer):
+        path = tmp_path / "namer.json"
+        save_namer(fitted_namer, path)
+        doc = json.loads(path.read_text())
+        doc["schema_version"] = 999
         path.write_text(json.dumps(doc))
-        with pytest.raises(ValueError):
+        with pytest.raises(PersistenceError, match="schema_version 999"):
+            load_namer(path)
+
+    def test_missing_version_raises(self, tmp_path, fitted_namer):
+        path = tmp_path / "namer.json"
+        save_namer(fitted_namer, path)
+        doc = json.loads(path.read_text())
+        del doc["schema_version"]
+        path.write_text(json.dumps(doc))
+        with pytest.raises(PersistenceError, match="no schema_version stamp"):
+            load_namer(path)
+
+    def test_persistence_error_is_a_value_error(self):
+        # Callers written against the pre-PersistenceError API caught
+        # ValueError; they must keep working.
+        assert issubclass(PersistenceError, ValueError)
+
+    def test_missing_file_raises_persistence_error(self, tmp_path):
+        with pytest.raises(PersistenceError, match="cannot read"):
+            load_namer(tmp_path / "does-not-exist.json")
+
+    def test_invalid_json_raises_persistence_error(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        with pytest.raises(PersistenceError, match="not valid JSON"):
+            load_namer(path)
+
+    def test_truncated_document_raises_persistence_error(
+        self, tmp_path, fitted_namer
+    ):
+        path = tmp_path / "namer.json"
+        save_namer(fitted_namer, path)
+        doc = json.loads(path.read_text())
+        del doc["stats"]
+        path.write_text(json.dumps(doc))
+        with pytest.raises(PersistenceError, match="truncated or malformed"):
             load_namer(path)

@@ -1,0 +1,379 @@
+"""Tests for the analysis service layer (`repro.service`).
+
+Covers each layer in isolation — result cache, bounded request queue —
+and the assembled stack: engine batching, hot reload, and a real HTTP
+round-trip over localhost including cache-hit metrics.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.persistence import PersistenceError, save_namer
+from repro.core.prepare import prepare_file
+from repro.service.cache import ResultCache, content_key
+from repro.service.client import HttpClient, InProcessClient, ServiceError
+from repro.service.engine import AnalysisEngine, AnalysisRequest
+from repro.service.queue import (
+    QueueFullError,
+    RequestQueue,
+    RequestTimeout,
+    ServiceClosed,
+)
+from repro.service.server import AnalysisServer
+
+pytestmark = pytest.mark.service
+
+UNPARSABLE = "def broken(:"
+
+
+# ----------------------------------------------------------------------
+# Shared fixtures
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def artifact_file(fitted_namer, tmp_path_factory):
+    path = tmp_path_factory.mktemp("service") / "namer.json"
+    save_namer(fitted_namer, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def report_source(fitted_namer, small_corpus):
+    """A corpus file on which the full pipeline reports at least one
+    violation (so HTTP assertions have something to check)."""
+    for repo, source in small_corpus.files():
+        prepared = prepare_file(source, repo=repo.name)
+        if prepared is not None and fitted_namer.detect(prepared):
+            return source
+    pytest.fail("no corpus file produced a report")
+
+
+@pytest.fixture()
+def engine(fitted_namer):
+    engine = AnalysisEngine(
+        namer=fitted_namer, workers=2, queue_capacity=8, cache_entries=32
+    )
+    yield engine
+    engine.shutdown(drain=False, timeout=5)
+
+
+@pytest.fixture(scope="module")
+def server(artifact_file):
+    server = AnalysisServer(
+        AnalysisEngine(
+            artifact_path=str(artifact_file),
+            workers=2,
+            queue_capacity=8,
+            cache_entries=32,
+        ),
+        port=0,
+    ).start()
+    yield server
+    server.stop(drain=True)
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return HttpClient(server.url, timeout=30)
+
+
+# ----------------------------------------------------------------------
+# Result cache
+# ----------------------------------------------------------------------
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache(max_entries=4)
+        key = content_key("x = 1", "python", "a.py")
+        assert cache.get(key) is None
+        cache.put(key, "value")
+        assert cache.get(key) == "value"
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_content_key_sensitivity(self):
+        base = content_key("x = 1", "python", "a.py")
+        assert content_key("x = 2", "python", "a.py") != base
+        assert content_key("x = 1", "java", "a.py") != base
+        assert content_key("x = 1", "python", "b.py") != base
+
+    def test_lru_eviction_drops_oldest(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b becomes LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_invalidate_and_clear(self):
+        cache = ResultCache(max_entries=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.invalidate("a")
+        assert not cache.invalidate("a")
+        assert cache.get("a") is None
+        assert cache.clear() == 1
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 2
+
+    def test_zero_capacity_disables_caching(self):
+        cache = ResultCache(max_entries=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+
+
+# ----------------------------------------------------------------------
+# Request queue
+# ----------------------------------------------------------------------
+
+
+class TestRequestQueue:
+    def test_runs_jobs_and_returns_results(self):
+        q = RequestQueue(capacity=4, workers=2)
+        try:
+            assert q.run(lambda: 21 * 2, timeout=5) == 42
+        finally:
+            q.shutdown()
+
+    def test_job_exceptions_propagate(self):
+        q = RequestQueue(capacity=4, workers=1)
+        try:
+            with pytest.raises(ValueError, match="boom"):
+                q.run(lambda: (_ for _ in ()).throw(ValueError("boom")), timeout=5)
+        finally:
+            q.shutdown()
+
+    def test_backpressure_rejects_when_full(self):
+        release = threading.Event()
+        q = RequestQueue(capacity=1, workers=1)
+        try:
+            started = threading.Event()
+
+            def blocker():
+                started.set()
+                release.wait(10)
+
+            q.submit(blocker)
+            started.wait(5)  # worker busy; capacity now measures the backlog
+            q.submit(lambda: None)  # fills the single queue slot
+            with pytest.raises(QueueFullError):
+                q.submit(lambda: None)
+        finally:
+            release.set()
+            q.shutdown()
+
+    def test_per_request_timeout(self):
+        release = threading.Event()
+        q = RequestQueue(capacity=2, workers=1)
+        try:
+            ticket = q.submit(lambda: release.wait(10))
+            with pytest.raises(RequestTimeout):
+                ticket.result(timeout=0.05)
+        finally:
+            release.set()
+            q.shutdown()
+
+    def test_graceful_shutdown_drains_in_flight(self):
+        q = RequestQueue(capacity=4, workers=1)
+        done = []
+        gate = threading.Event()
+
+        def slow(i):
+            gate.wait(5)
+            time.sleep(0.01)
+            done.append(i)
+            return i
+
+        tickets = [q.submit(lambda i=i: slow(i)) for i in range(3)]
+        gate.set()
+        q.shutdown(drain=True, timeout=10)
+        assert sorted(done) == [0, 1, 2]
+        assert [t.result(0) for t in tickets] == [0, 1, 2]
+        with pytest.raises(ServiceClosed):
+            q.submit(lambda: None)
+
+    def test_abort_shutdown_rejects_queued_jobs(self):
+        release = threading.Event()
+        q = RequestQueue(capacity=4, workers=1)
+        started = threading.Event()
+
+        def blocker():
+            started.set()
+            release.wait(10)
+            return "in-flight"
+
+        first = q.submit(blocker)
+        started.wait(5)
+        queued = q.submit(lambda: "never")
+        # Release the blocker only after shutdown has begun (and has
+        # already rejected the queued job); shutdown blocks on the join.
+        threading.Timer(0.2, release.set).start()
+        q.shutdown(drain=False, timeout=10)
+        assert first.result(5) == "in-flight"  # in-flight work still finishes
+        with pytest.raises(ServiceClosed):
+            queued.result(0)
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+
+
+class TestAnalysisEngine:
+    def test_cache_miss_then_hit(self, engine, report_source):
+        request = AnalysisRequest(source=report_source.source, path=report_source.path)
+        first = engine.analyze(request)
+        second = engine.analyze(request)
+        assert not first.cached and second.cached
+        assert second.reports == first.reports
+        assert engine.cache.stats.hits >= 1
+
+    def test_invalidation_forces_reanalysis(self, engine, report_source):
+        request = AnalysisRequest(source=report_source.source, path=report_source.path)
+        engine.analyze(request)
+        assert engine.cache.invalidate(request.cache_key())
+        assert not engine.analyze(request).cached
+
+    def test_batch_matches_single_file_analysis(self, engine, small_corpus):
+        sources = [source for _, source in small_corpus.files()][:4]
+        requests = [
+            AnalysisRequest(source=s.source, path=s.path, repo="service")
+            for s in sources
+        ]
+        batch = engine.analyze_many(requests)
+        assert [r.path for r in batch] == [s.path for s in sources]
+        for request, result in zip(requests, batch):
+            engine.cache.invalidate(request.cache_key())
+            assert engine.analyze(request).reports == result.reports
+
+    def test_batch_reuses_cache(self, engine, report_source):
+        requests = [
+            AnalysisRequest(source=report_source.source, path=report_source.path)
+        ]
+        engine.analyze_many(requests)
+        again = engine.analyze_many(requests)
+        assert again[0].cached
+
+    def test_unparsable_source_reports_error(self, engine):
+        result = engine.analyze(AnalysisRequest(source=UNPARSABLE, path="bad.py"))
+        assert result.error is not None and result.reports == []
+        assert engine.metrics.errors == 1
+
+    def test_detect_many_parity_with_detect(self, fitted_namer, report_source):
+        prepared = prepare_file(report_source, repo="service")
+        single = fitted_namer.detect(prepared)
+        batch = fitted_namer.detect_many([prepared, prepared])
+        for group in batch:
+            assert [(r.observed, r.suggested) for r in group] == [
+                (r.observed, r.suggested) for r in single
+            ]
+            assert [r.score for r in group] == pytest.approx(
+                [r.score for r in single]
+            )
+
+    def test_reload_swaps_artifact_and_clears_cache(
+        self, engine, artifact_file, report_source
+    ):
+        request = AnalysisRequest(source=report_source.source, path=report_source.path)
+        engine.analyze(request)
+        outcome = engine.reload(str(artifact_file))
+        assert outcome["cache_entries_dropped"] >= 1
+        assert len(engine.cache) == 0
+        assert engine.metrics.reloads == 1
+        assert not engine.analyze(request).cached
+
+    def test_reload_rejects_bad_artifact(self, engine, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        with pytest.raises(PersistenceError):
+            engine.reload(str(bad))
+
+    def test_in_process_client_round_trip(self, engine, report_source):
+        client = InProcessClient(engine)
+        assert client.health()["status"] == "ok"
+        result = client.analyze(report_source.source, path=report_source.path)
+        assert result["reports"]
+        assert client.metrics()["requests_total"] >= 1
+
+
+# ----------------------------------------------------------------------
+# HTTP server: end-to-end over localhost
+# ----------------------------------------------------------------------
+
+
+class TestHttpService:
+    def test_health(self, client, artifact_file):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["artifacts"] == str(artifact_file)
+        assert health["patterns"] > 0
+
+    def test_analyze_round_trip_with_correct_violations(
+        self, client, fitted_namer, report_source
+    ):
+        expected = {
+            (r.observed, r.suggested)
+            for r in fitted_namer.detect(prepare_file(report_source, repo="service"))
+        }
+        result = client.analyze(
+            report_source.source, path=report_source.path, language="python"
+        )
+        assert result["error"] is None
+        got = {(r["observed"], r["suggested"]) for r in result["reports"]}
+        assert got == expected
+        for row in result["reports"]:
+            assert row["file"] == report_source.path
+            assert row["line"] >= 1
+            assert row["fixed_identifier"]
+
+    def test_second_submission_hits_cache(self, client, report_source):
+        client.analyze(report_source.source, path=report_source.path)
+        result = client.analyze(report_source.source, path=report_source.path)
+        assert result["cached"] is True
+        metrics = client.metrics()
+        assert metrics["cache"]["hit_rate"] > 0
+        assert metrics["cache"]["hits"] >= 1
+
+    def test_metrics_counters_and_latency(self, client, report_source):
+        client.analyze(report_source.source, path=report_source.path)
+        metrics = client.metrics()
+        assert metrics["requests_total"] >= 1
+        assert metrics["violations_reported"] >= 1
+        assert metrics["latency"]["count"] >= 1
+        assert metrics["latency"]["p50_ms"] >= 0
+        assert metrics["queue"]["capacity"] == 8
+
+    def test_batch_analyze_over_http(self, client, report_source):
+        results = client.analyze_files(
+            [
+                {"path": report_source.path, "source": report_source.source},
+                {"path": "broken.py", "source": UNPARSABLE},
+            ]
+        )
+        assert len(results) == 2
+        assert results[0]["reports"]
+        assert results[1]["error"] is not None
+
+    def test_reload_over_http(self, client, artifact_file):
+        outcome = client.reload(artifact_file)
+        assert outcome["artifacts"] == str(artifact_file)
+
+    def test_bad_requests_are_4xx(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.analyze_files([{"path": "x.py"}])  # no source
+        assert exc.value.status == 400
+        with pytest.raises(ServiceError) as exc:
+            client._call("POST", "/analyze", {"source": "x=1", "language": "cobol"})
+        assert exc.value.status == 400
+        with pytest.raises(ServiceError) as exc:
+            client._call("GET", "/nope")
+        assert exc.value.status == 404
+        with pytest.raises(ServiceError) as exc:
+            client.reload("/nonexistent/namer.json")
+        assert exc.value.status == 400
