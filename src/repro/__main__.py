@@ -26,18 +26,16 @@ from __future__ import annotations
 
 import argparse
 import pathlib
-import random
 import sys
 
 from repro.core.fixer import apply_fixes
 from repro.core.namer import Namer, NamerConfig
-from repro.core.persistence import PersistenceError, load_namer, save_namer
+from repro.core.persistence import PersistenceError, load_namer
 from repro.core.prepare import prepare_file
 from repro.corpus.generator import GeneratorConfig, generate_python_corpus
 from repro.corpus.javagen import generate_java_corpus
 from repro.corpus.model import SourceFile
-from repro.evaluation.oracle import Oracle
-from repro.evaluation.precision import run_precision_evaluation, sample_balanced_training
+from repro.evaluation.precision import run_precision_evaluation
 from repro.mining.miner import MiningConfig
 
 _SUFFIXES = {".py": "python", ".java": "java"}
@@ -64,32 +62,54 @@ def _mining_config(args: argparse.Namespace) -> MiningConfig:
     )
 
 
-def cmd_mine(args: argparse.Namespace) -> int:
-    generate = generate_java_corpus if args.language == "java" else generate_python_corpus
-    corpus = generate(
-        GeneratorConfig(num_repos=args.repos, issue_rate=0.12, seed=args.seed)
-    )
-    namer = Namer(NamerConfig(mining=_mining_config(args)))
-    summary = namer.mine(corpus)
-    print(
-        f"mined {summary.num_patterns} patterns "
-        f"({summary.num_confusing_pairs} confusing pairs) "
-        f"from {summary.total_files} files"
-    )
-    if not args.no_classifier:
-        oracle = Oracle(corpus)
-        violations = namer.all_violations()
-        training, labels = sample_balanced_training(
-            violations, oracle, 120, random.Random(args.seed)
-        )
-        if len(set(labels)) > 1:
-            namer.train(training, labels)
-            print(f"trained classifier on {len(training)} labeled violations")
+def _arm_fault_plan(path: str | None) -> bool:
+    """Arm a fault-injection plan from a JSON file, if one was given."""
+    if path is None:
+        return True
+    from repro.resilience.faults import FAULTS, FaultPlan
+
     try:
-        save_namer(namer, args.out)
+        plan = FaultPlan.load(path)
+    except (OSError, ValueError, KeyError) as exc:
+        _fail(f"cannot load fault plan {path}: {exc}")
+        return False
+    FAULTS.arm(plan)
+    print(
+        f"fault injection armed: {len(plan.specs)} spec(s), seed {plan.seed}",
+        file=sys.stderr,
+    )
+    return True
+
+
+def cmd_mine(args: argparse.Namespace) -> int:
+    from repro.resilience.faults import InjectedFault
+    from repro.resilience.pipeline import run_mine_pipeline
+
+    if not _arm_fault_plan(args.fault_plan):
+        return 2
+    generate = generate_java_corpus if args.language == "java" else generate_python_corpus
+
+    def corpus_factory():
+        return generate(
+            GeneratorConfig(num_repos=args.repos, issue_rate=0.12, seed=args.seed)
+        )
+
+    try:
+        run_mine_pipeline(
+            corpus_factory=corpus_factory,
+            namer_config=NamerConfig(mining=_mining_config(args)),
+            out=args.out,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            train=not args.no_classifier,
+            seed=args.seed,
+            keep_checkpoints=args.keep_checkpoints,
+            log=print,
+        )
+    except InjectedFault as exc:
+        return _fail(f"injected fault tripped at {exc.site}: {exc}", code=3)
     except OSError as exc:
         return _fail(f"cannot write artifacts to {args.out}: {exc}")
-    print(f"artifacts saved to {args.out}")
     return 0
 
 
@@ -105,13 +125,26 @@ def cmd_scan(args: argparse.Namespace) -> int:
         p for p in root.rglob("*") if p.suffix in _SUFFIXES
     )
     total = 0
+    attempted = 0
+    failed = 0
     for path in targets:
         language = _SUFFIXES.get(path.suffix)
         if language is None:
             if single_file:
                 return _fail(f"unsupported file type: {path}")
             continue
-        source = SourceFile(path=str(path), source=path.read_text(), language=language)
+        attempted += 1
+        try:
+            text = path.read_text()
+        except (OSError, UnicodeDecodeError) as exc:
+            # An unreadable or non-UTF-8 file costs one warning line,
+            # never the scan (mirrors mining's per-file quarantine).
+            failed += 1
+            if single_file:
+                return _fail(f"cannot read {path}: {exc}")
+            print(f"[skip] {path}: cannot read ({exc})", file=sys.stderr)
+            continue
+        source = SourceFile(path=str(path), source=text, language=language)
         prepared = prepare_file(source, repo=root.name)
         if prepared is None:
             # A directory scan skips unparsable files like the paper's
@@ -136,6 +169,10 @@ def cmd_scan(args: argparse.Namespace) -> int:
             if applied:
                 path.write_text(fixed)
                 print(f"[fixed] {path}: {applied} change(s) applied")
+    if failed and failed == attempted:
+        return _fail(f"all {failed} file(s) under {root} were unreadable")
+    if failed:
+        print(f"[skip] {failed} unreadable file(s) skipped", file=sys.stderr)
     print(f"{total} naming issue(s) reported")
     return 0
 
@@ -166,6 +203,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             queue_capacity=args.queue_capacity,
             cache_entries=args.cache_size,
+            degraded_ok=not args.strict_artifacts,
         )
     except PersistenceError as exc:
         return _fail(str(exc), code=2)
@@ -175,6 +213,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         engine.shutdown(drain=False)
         return _fail(f"cannot bind {args.host}:{args.port}: {exc}")
     health = engine.health()
+    if health["degraded"]:
+        for reason in health["degraded_reasons"]:
+            print(f"warning: {reason}", file=sys.stderr)
+        print(
+            "warning: serving DEGRADED (pattern-only) results; "
+            "re-mine or reload a healthy artifact",
+            file=sys.stderr,
+        )
     print(
         f"serving {health['patterns']} patterns from {args.artifacts} "
         f"on {server.url} ({args.workers} workers, "
@@ -190,6 +236,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze_remote(args: argparse.Namespace) -> int:
+    from repro.resilience.retry import CircuitOpenError, RetryPolicy
     from repro.service.client import HttpClient, ServiceError, load_paths
 
     root = pathlib.Path(args.path)
@@ -201,10 +248,19 @@ def cmd_analyze_remote(args: argparse.Namespace) -> int:
     entries = load_paths(paths)
     if not entries:
         return _fail(f"no analyzable files under {root}")
-    client = HttpClient(args.url, timeout=args.timeout)
+    retry = RetryPolicy(
+        max_attempts=max(1, args.retries + 1), base_delay=args.backoff
+    )
+    client = HttpClient(args.url, timeout=args.timeout, retry=retry)
     try:
         results = client.analyze_files(entries)
-    except ServiceError as exc:
+    except (ServiceError, CircuitOpenError) as exc:
+        if client.stats.retries:
+            print(
+                f"gave up after {client.stats.attempts} attempt(s), "
+                f"{client.stats.backoff_seconds:.1f}s of backoff",
+                file=sys.stderr,
+            )
         return _fail(str(exc))
     total = 0
     failed = 0
@@ -244,6 +300,22 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument(
         "--no-classifier", action="store_true", help="skip classifier training"
     )
+    mine.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted run from its stage checkpoints",
+    )
+    mine.add_argument(
+        "--checkpoint-dir", default=None,
+        help="where stage checkpoints live (default: <out>.ckpt/)",
+    )
+    mine.add_argument(
+        "--keep-checkpoints", action="store_true",
+        help="keep stage checkpoints after a successful run",
+    )
+    mine.add_argument(
+        "--fault-plan", default=None, metavar="PLAN_JSON",
+        help="arm a fault-injection plan (testing/chaos runs)",
+    )
     mine.set_defaults(fn=cmd_mine)
 
     scan = sub.add_parser("scan", help="scan sources with saved artifacts")
@@ -276,6 +348,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--queue-capacity", type=int, default=64,
         help="pending requests before 503 backpressure",
     )
+    serve.add_argument(
+        "--strict-artifacts", action="store_true",
+        help="refuse to start on a corrupt classifier section instead "
+        "of serving degraded pattern-only results",
+    )
     serve.set_defaults(fn=cmd_serve)
 
     remote = sub.add_parser(
@@ -284,6 +361,14 @@ def build_parser() -> argparse.ArgumentParser:
     remote.add_argument("path", help="file or directory to analyze")
     remote.add_argument("--url", default="http://127.0.0.1:8750")
     remote.add_argument("--timeout", type=float, default=120.0)
+    remote.add_argument(
+        "--retries", type=int, default=3,
+        help="retry attempts for transient failures (0 disables)",
+    )
+    remote.add_argument(
+        "--backoff", type=float, default=0.1,
+        help="base delay in seconds for exponential backoff",
+    )
     remote.set_defaults(fn=cmd_analyze_remote)
 
     report = sub.add_parser(

@@ -41,6 +41,8 @@ from repro.mining.miner import MiningConfig, PatternMiner
 from repro.ml.linear import LinearSVM
 from repro.ml.pipeline import ClassifierPipeline
 from repro.lang import parse_source
+from repro.resilience.faults import fault_check
+from repro.resilience.quarantine import Quarantine
 
 __all__ = ["NamerConfig", "Namer", "MiningSummary"]
 
@@ -74,6 +76,9 @@ class MiningSummary:
     total_statements: int = 0
     total_files: int = 0
     total_repos: int = 0
+    #: files skipped with a structured error record instead of
+    #: aborting the run (full records on ``Namer.quarantine``)
+    quarantined_files: int = 0
 
 
 class Namer:
@@ -87,20 +92,22 @@ class Namer:
         self.classifier: ClassifierPipeline | None = None
         self.prepared: list[PreparedFile] = []
         self.summary = MiningSummary()
+        #: per-file failures captured (not raised) during mine()
+        self.quarantine = Quarantine()
+        #: populated by a degraded artifact load (see persistence)
+        self.degraded_reasons: list[str] = []
 
     # ------------------------------------------------------------------
     # Learning step (i): unsupervised mining from Big Code
     # ------------------------------------------------------------------
 
-    def mine(self, corpus: Corpus) -> MiningSummary:
-        """Mine name patterns and build the statistics index."""
+    def prepare(
+        self, corpus: Corpus, quarantine: Quarantine | None = None
+    ) -> list[PreparedFile]:
+        """Prepare a corpus exactly as :meth:`mine` would (also used to
+        restore ``self.prepared`` when resuming from a checkpoint)."""
         cfg = self.config
-        self.pairs = mine_confusing_pairs(
-            ((c.before, c.after) for c in corpus.commits),
-            parse=lambda src: parse_source(src, corpus.language).statements,
-        )
-
-        self.prepared = prepare_corpus(
+        return prepare_corpus(
             corpus,
             use_analysis=cfg.use_analysis,
             transform_config=TransformConfig(
@@ -109,7 +116,24 @@ class Namer:
             ),
             pointsto_config=cfg.pointsto,
             max_paths=cfg.mining.max_paths_per_statement,
+            quarantine=quarantine,
         )
+
+    def mine(self, corpus: Corpus) -> MiningSummary:
+        """Mine name patterns and build the statistics index.
+
+        Per-file parse/analyze/transform failures are quarantined (one
+        :class:`~repro.resilience.quarantine.ErrorRecord` each, counted
+        in the summary) rather than aborting the run.
+        """
+        cfg = self.config
+        self.quarantine = Quarantine()
+        self.pairs = mine_confusing_pairs(
+            ((c.before, c.after) for c in corpus.commits),
+            parse=lambda src: parse_source(src, corpus.language).statements,
+        )
+
+        self.prepared = self.prepare(corpus, quarantine=self.quarantine)
         statements = [ps.stmt for pf in self.prepared for ps in pf.statements]
 
         miner = PatternMiner(
@@ -152,6 +176,7 @@ class Namer:
             total_statements=sum(len(pf.statements) for pf in self.prepared),
             total_files=len(self.prepared),
             total_repos=len(corpus.repositories),
+            quarantined_files=len(self.quarantine),
         )
 
     # ------------------------------------------------------------------
@@ -220,6 +245,7 @@ class Namer:
         self,
         violation_groups: list[list[Violation]],
         local_stats: list[StatsIndex | None] | None = None,
+        quarantine: Quarantine | None = None,
     ) -> list[list[Report]]:
         """Run the defect classifier over several groups of violations
         (typically one group per file) in a single pass.
@@ -229,13 +255,25 @@ class Namer:
         SVM work is shared across the whole batch instead of being paid
         per violation.  With the classifier disabled (w/o C) every
         violation becomes a report.
+
+        With a ``quarantine``, a group whose featurization fails is
+        captured and yields no reports instead of failing the batch.
         """
         if local_stats is None:
             local_stats = [None] * len(violation_groups)
-        featurized: list[list[np.ndarray]] = [
-            [self.featurize(v, local_stats=stats) for v in group]
-            for group, stats in zip(violation_groups, local_stats)
-        ]
+        featurized: list[list[np.ndarray]] = []
+        for group, stats in zip(violation_groups, local_stats):
+            path = group[0].statement.file_path if group else "<empty>"
+            try:
+                fault_check("core.featurize", key=path)
+                featurized.append(
+                    [self.featurize(v, local_stats=stats) for v in group]
+                )
+            except Exception as exc:
+                if quarantine is None:
+                    raise
+                quarantine.capture(path, "featurize", exc)
+                featurized.append([])
         flat = [f for group in featurized for f in group]
         use_clf = self.config.use_classifier and self.classifier is not None
         if flat and use_clf:
@@ -265,24 +303,41 @@ class Namer:
         classifier disabled (w/o C) every violation becomes a report."""
         return self.classify_many([violations], [local_stats])[0]
 
-    def detect_many(self, files: list[PreparedFile]) -> list[list[Report]]:
+    def detect_many(
+        self,
+        files: list[PreparedFile],
+        quarantine: Quarantine | None = None,
+    ) -> list[list[Report]]:
         """Full inference on a batch of prepared files.
 
         Pattern matching and the local statistics index stay per file,
         but featurization and classification are shared across the batch
         (one classifier pass) — the hot path for the long-running
         analysis service in :mod:`repro.service`.
+
+        With a ``quarantine``, per-file matching/featurization failures
+        are captured as error records (the file contributes no reports)
+        instead of failing the whole batch.
         """
         if self.matcher is None or self.stats is None:
             raise RuntimeError("call mine() first")
-        groups = [self.violations_in(pf) for pf in files]
-        local_stats: list[StatsIndex | None] = [
-            StatsIndex.build(
-                self.matcher, ((ps.stmt, ps.paths) for ps in pf.statements)
-            )
-            for pf in files
-        ]
-        return self.classify_many(groups, local_stats)
+        groups: list[list[Violation]] = []
+        local_stats: list[StatsIndex | None] = []
+        for pf in files:
+            try:
+                fault_check("core.detect", key=pf.path)
+                group = self.violations_in(pf)
+                stats = StatsIndex.build(
+                    self.matcher, ((ps.stmt, ps.paths) for ps in pf.statements)
+                )
+            except Exception as exc:
+                if quarantine is None:
+                    raise
+                quarantine.capture(pf.path, "detect", exc, repo=pf.repo)
+                group, stats = [], None
+            groups.append(group)
+            local_stats.append(stats)
+        return self.classify_many(groups, local_stats, quarantine=quarantine)
 
     def detect(self, prepared: PreparedFile) -> list[Report]:
         """Full inference on one prepared file.

@@ -25,13 +25,24 @@ from repro.mining.miner import MiningConfig
 from repro.ml.linear import LinearSVM
 from repro.ml.pipeline import ClassifierPipeline
 from repro.ml.preprocess import PCA, StandardScaler
+from repro.resilience.checkpoint import atomic_write_text, document_checksum
+from repro.resilience.faults import fault_check
 
-__all__ = ["save_namer", "load_namer", "PersistenceError", "SCHEMA_VERSION"]
+__all__ = [
+    "save_namer",
+    "load_namer",
+    "namer_to_document",
+    "namer_from_document",
+    "save_document",
+    "PersistenceError",
+    "SCHEMA_VERSION",
+]
 
 #: Version stamp written into every artifact document.  Bumped whenever
 #: the JSON layout changes incompatibly; ``load_namer`` (and therefore
 #: the service's hot ``/reload``) refuses artifacts from another era.
-SCHEMA_VERSION = 2
+#: v3 added the mandatory SHA-256 ``checksum`` stamp.
+SCHEMA_VERSION = 3
 
 
 class PersistenceError(ValueError):
@@ -192,18 +203,13 @@ def _classifier_from_json(data: dict | None) -> ClassifierPipeline | None:
 # ----------------------------------------------------------------------
 
 
-def save_namer(namer: Namer, path: str | Path) -> None:
-    """Serialize a fitted Namer's artifacts to ``path`` (JSON).
-
-    The prepared corpus itself is not saved — it is an input, not an
-    artifact — so a loaded Namer supports inference
-    (:meth:`~repro.core.namer.Namer.violations_in` /
-    :meth:`~repro.core.namer.Namer.detect`) but not re-mining.
-    """
+def namer_to_document(namer: Namer) -> dict[str, Any]:
+    """The artifact JSON document for a mined Namer (no checksum yet;
+    :func:`save_document` stamps it at write time)."""
     if namer.matcher is None or namer.stats is None:
         raise ValueError("mine() the Namer before saving it")
     patterns = namer.matcher.patterns
-    document: dict[str, Any] = {
+    return {
         "schema_version": SCHEMA_VERSION,
         "config": {
             "use_analysis": namer.config.use_analysis,
@@ -215,21 +221,102 @@ def save_namer(namer: Namer, path: str | Path) -> None:
         "stats": _stats_to_json(namer.stats, patterns),
         "classifier": _classifier_to_json(namer.classifier),
     }
-    Path(path).write_text(json.dumps(document))
 
 
-def load_namer(path: str | Path) -> Namer:
+def save_document(document: dict[str, Any], path: str | Path) -> None:
+    """Stamp the document's SHA-256 checksum (next to ``schema_version``)
+    and write it atomically — readers only ever see complete artifacts,
+    and ``load_namer`` can prove the bytes are the ones that were saved
+    (a truncated-but-still-valid-JSON file no longer loads silently)."""
+    fault_check("persistence.write", key=str(path))
+    stamped: dict[str, Any] = {
+        "schema_version": document["schema_version"],
+        "checksum": document_checksum(document),
+    }
+    stamped.update((k, v) for k, v in document.items() if k != "schema_version")
+    atomic_write_text(path, json.dumps(stamped))
+
+
+def save_namer(namer: Namer, path: str | Path) -> None:
+    """Serialize a fitted Namer's artifacts to ``path`` (JSON).
+
+    The prepared corpus itself is not saved — it is an input, not an
+    artifact — so a loaded Namer supports inference
+    (:meth:`~repro.core.namer.Namer.violations_in` /
+    :meth:`~repro.core.namer.Namer.detect`) but not re-mining.
+    """
+    save_document(namer_to_document(namer), path)
+
+
+def namer_from_document(
+    document: dict[str, Any], label: str = "<document>", degraded_ok: bool = False
+) -> Namer:
+    """Decode an artifact document into a Namer.
+
+    With ``degraded_ok`` a corrupt ``classifier`` section is dropped
+    instead of failing the load: the Namer comes back pattern-only with
+    the reason recorded in ``namer.degraded_reasons`` (the service layer
+    surfaces it as ``degraded: true``).  Corrupt patterns/stats always
+    raise — there is nothing useful to serve without them.
+    """
+    try:
+        config = document["config"]
+    except (KeyError, TypeError) as exc:
+        raise PersistenceError(f"artifact {label} is missing 'config'") from exc
+    try:
+        namer = Namer(
+            NamerConfig(
+                mining=MiningConfig(
+                    max_paths_per_statement=config["max_paths_per_statement"]
+                ),
+                use_analysis=config["use_analysis"],
+                use_classifier=config["use_classifier"],
+            )
+        )
+        patterns = [_pattern_from_json(p) for p in document["patterns"]]
+        namer.matcher = PatternMatcher(patterns)
+        namer.pairs = ConfusingPairStore()
+        for mistaken, correct, count in document["pairs"]:
+            namer.pairs.add(mistaken, correct, count)
+        namer.stats = _stats_from_json(document["stats"], patterns)
+    except (KeyError, IndexError, TypeError, ValueError) as exc:
+        if isinstance(exc, PersistenceError):
+            raise
+        raise PersistenceError(
+            f"artifact {label} is truncated or malformed: {exc!r}"
+        ) from exc
+    try:
+        namer.classifier = _classifier_from_json(document.get("classifier"))
+    except (KeyError, IndexError, TypeError, ValueError) as exc:
+        if not degraded_ok:
+            raise PersistenceError(
+                f"artifact {label} has a corrupt classifier section: {exc!r}"
+            ) from exc
+        namer.classifier = None
+        namer.degraded_reasons.append(
+            f"classifier section is corrupt ({exc!r}); serving pattern-only results"
+        )
+    return namer
+
+
+def load_namer(path: str | Path, *, degraded_ok: bool = False) -> Namer:
     """Reconstruct a fitted Namer from :func:`save_namer` output.
 
     Raises :class:`PersistenceError` for anything that is not a
     well-formed artifact of the current :data:`SCHEMA_VERSION` —
     unreadable files, invalid JSON, a missing or mismatched version
-    stamp, or truncated documents.
+    stamp, a failed checksum, or truncated documents.
+
+    ``degraded_ok`` relaxes exactly the classifier half: if the
+    patterns, pairs, and statistics decode cleanly but the classifier
+    section (or the checksum covering it) is bad, the Namer is returned
+    pattern-only with ``degraded_reasons`` populated.
     """
     try:
         text = Path(path).read_text()
     except OSError as exc:
         raise PersistenceError(f"cannot read artifact file {path}: {exc}") from exc
+    fault_check("persistence.read", key=str(path))
     try:
         document = json.loads(text)
     except json.JSONDecodeError as exc:
@@ -250,31 +337,27 @@ def load_namer(path: str | Path) -> Namer:
             f"but this build reads version {SCHEMA_VERSION}"
         )
 
-    try:
-        config = document["config"]
-    except KeyError as exc:
-        raise PersistenceError(f"artifact file {path} is missing 'config'") from exc
-    try:
-        namer = Namer(
-            NamerConfig(
-                mining=MiningConfig(
-                    max_paths_per_statement=config["max_paths_per_statement"]
-                ),
-                use_analysis=config["use_analysis"],
-                use_classifier=config["use_classifier"],
-            )
+    checksum_error: PersistenceError | None = None
+    stamped = document.get("checksum")
+    if stamped is None:
+        checksum_error = PersistenceError(
+            f"artifact file {path} has no checksum stamp; "
+            "re-run `python -m repro mine` to regenerate it"
         )
-        patterns = [_pattern_from_json(p) for p in document["patterns"]]
-        namer.matcher = PatternMatcher(patterns)
-        namer.pairs = ConfusingPairStore()
-        for mistaken, correct, count in document["pairs"]:
-            namer.pairs.add(mistaken, correct, count)
-        namer.stats = _stats_from_json(document["stats"], patterns)
-        namer.classifier = _classifier_from_json(document["classifier"])
-    except (KeyError, IndexError, TypeError, ValueError) as exc:
-        if isinstance(exc, PersistenceError):
-            raise
-        raise PersistenceError(
-            f"artifact file {path} is truncated or malformed: {exc!r}"
-        ) from exc
+    elif stamped != document_checksum(document):
+        checksum_error = PersistenceError(
+            f"artifact file {path} failed its SHA-256 content check "
+            "(truncated or tampered with)"
+        )
+    if checksum_error is not None and not degraded_ok:
+        raise checksum_error
+
+    namer = namer_from_document(
+        document, label=f"file {path}", degraded_ok=degraded_ok
+    )
+    if checksum_error is not None:
+        # Patterns/stats decoded despite the bad stamp; serve them, but
+        # drop the classifier and say why.
+        namer.classifier = None
+        namer.degraded_reasons.append(str(checksum_error))
     return namer

@@ -4,6 +4,14 @@ Every stage of Namer — mining, statistics, detection — operates on
 transformed statement ASTs plus their name paths.  This module runs the
 frontends and (optionally) the static analyses over a corpus once and
 caches the results as :class:`PreparedStatement` rows.
+
+Failure contract: at corpus scale some files are always broken, so a
+per-file failure must cost exactly that file.  :func:`prepare_file`
+returns ``None`` for such files (legacy API); callers that need to know
+*why* use :func:`prepare_file_checked`, which raises a structured
+:class:`PrepareError`, or pass a
+:class:`~repro.resilience.quarantine.Quarantine` to
+:func:`prepare_corpus` to collect the records.
 """
 
 from __future__ import annotations
@@ -18,8 +26,17 @@ from repro.corpus.model import Corpus, SourceFile
 from repro.lang import parse_source
 from repro.lang.astir import StatementAst
 from repro.lang.moduleir import ModuleIr
+from repro.resilience.faults import InjectedFault, fault_check
+from repro.resilience.quarantine import ErrorRecord, Quarantine
 
-__all__ = ["PreparedStatement", "PreparedFile", "prepare_corpus", "prepare_file"]
+__all__ = [
+    "PreparedStatement",
+    "PreparedFile",
+    "PrepareError",
+    "prepare_corpus",
+    "prepare_file",
+    "prepare_file_checked",
+]
 
 
 @dataclass
@@ -46,6 +63,54 @@ class PreparedFile:
         return self.module.repo
 
 
+class PrepareError(ValueError):
+    """One file failed to prepare; carries where and at which stage."""
+
+    def __init__(self, path: str, stage: str, cause: BaseException) -> None:
+        super().__init__(f"cannot prepare {path}: {stage} failed: {cause}")
+        self.path = path
+        self.stage = stage
+        self.cause = cause
+
+
+def prepare_file_checked(
+    source: SourceFile,
+    repo: str = "",
+    use_analysis: bool = True,
+    transform_config: TransformConfig = TransformConfig(),
+    pointsto_config: PointsToConfig = PointsToConfig(),
+    max_paths: int = 10,
+) -> PreparedFile:
+    """Parse, analyze and transform one file; raises :class:`PrepareError`
+    with the failing stage on any per-file problem."""
+    try:
+        fault_check("corpus.prepare_file", key=source.path)
+        module = parse_source(source.source, source.language, source.path, repo)
+    except (ValueError, InjectedFault) as exc:
+        raise PrepareError(source.path, "parse", exc) from exc
+
+    try:
+        if use_analysis and transform_config.use_origins:
+            origins = compute_origins(module, pointsto_config).per_statement
+        else:
+            origins = [None] * len(module.statements)
+    except (ValueError, KeyError, RecursionError, InjectedFault) as exc:
+        raise PrepareError(source.path, "analyze", exc) from exc
+
+    try:
+        prepared = PreparedFile(module=module)
+        for stmt, env in zip(module.statements, origins):
+            transformed = transform_statement(stmt, env, transform_config)
+            paths = extract_name_paths(transformed, max_paths=max_paths)
+            if paths:
+                prepared.statements.append(
+                    PreparedStatement(stmt=transformed, paths=paths)
+                )
+    except (ValueError, KeyError, RecursionError, InjectedFault) as exc:
+        raise PrepareError(source.path, "transform", exc) from exc
+    return prepared
+
+
 def prepare_file(
     source: SourceFile,
     repo: str = "",
@@ -56,26 +121,20 @@ def prepare_file(
 ) -> PreparedFile | None:
     """Parse, analyze and transform one file.
 
-    Returns ``None`` for unparsable files — a large corpus always
+    Returns ``None`` for unpreparable files — a large corpus always
     contains some (the paper simply skips them too).
     """
     try:
-        module = parse_source(source.source, source.language, source.path, repo)
-    except ValueError:
+        return prepare_file_checked(
+            source,
+            repo=repo,
+            use_analysis=use_analysis,
+            transform_config=transform_config,
+            pointsto_config=pointsto_config,
+            max_paths=max_paths,
+        )
+    except PrepareError:
         return None
-
-    if use_analysis and transform_config.use_origins:
-        origins = compute_origins(module, pointsto_config).per_statement
-    else:
-        origins = [None] * len(module.statements)
-
-    prepared = PreparedFile(module=module)
-    for stmt, env in zip(module.statements, origins):
-        transformed = transform_statement(stmt, env, transform_config)
-        paths = extract_name_paths(transformed, max_paths=max_paths)
-        if paths:
-            prepared.statements.append(PreparedStatement(stmt=transformed, paths=paths))
-    return prepared
 
 
 def prepare_corpus(
@@ -85,12 +144,14 @@ def prepare_corpus(
     pointsto_config: PointsToConfig = PointsToConfig(),
     max_paths: int = 10,
     workers: int = 1,
+    quarantine: Quarantine | None = None,
 ) -> list[PreparedFile]:
-    """Prepare every file of a corpus; unparsable files are skipped.
+    """Prepare every file of a corpus; unpreparable files are skipped.
 
     Files are analyzed independently (the paper parallelizes this stage
     across all 28 cores of its test server); ``workers > 1`` fans the
-    per-file work out over a process pool, preserving file order.
+    per-file work out over a process pool, preserving file order.  A
+    ``quarantine`` receives one :class:`ErrorRecord` per skipped file.
     """
     if transform_config is None:
         transform_config = TransformConfig(use_origins=use_analysis)
@@ -105,17 +166,34 @@ def prepare_corpus(
 
         with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
             results = list(pool.map(_prepare_task, tasks, chunksize=8))
-    return [prepared for prepared in results if prepared is not None]
+    out: list[PreparedFile] = []
+    for prepared, error in results:
+        if prepared is not None:
+            out.append(prepared)
+        elif error is not None and quarantine is not None:
+            quarantine.add(error)
+    return out
 
 
-def _prepare_task(task) -> PreparedFile | None:
-    """Process-pool entry point (must be module-level for pickling)."""
+def _prepare_task(task) -> tuple[PreparedFile | None, ErrorRecord | None]:
+    """Process-pool entry point (must be module-level for pickling);
+    failures come back as picklable :class:`ErrorRecord` rows."""
     source, repo, use_analysis, transform_config, pointsto_config, max_paths = task
-    return prepare_file(
-        source,
-        repo=repo,
-        use_analysis=use_analysis,
-        transform_config=transform_config,
-        pointsto_config=pointsto_config,
-        max_paths=max_paths,
-    )
+    try:
+        prepared = prepare_file_checked(
+            source,
+            repo=repo,
+            use_analysis=use_analysis,
+            transform_config=transform_config,
+            pointsto_config=pointsto_config,
+            max_paths=max_paths,
+        )
+    except PrepareError as exc:
+        return None, ErrorRecord(
+            path=exc.path,
+            stage=exc.stage,
+            kind=type(exc.cause).__name__,
+            message=str(exc.cause),
+            repo=repo,
+        )
+    return prepared, None

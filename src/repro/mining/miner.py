@@ -27,6 +27,7 @@ from repro.core.patterns import NamePattern, PatternKind, Relation, check_patter
 from repro.lang.astir import StatementAst
 from repro.mining.fptree import FPNode, FPTree
 from repro.mining.matcher import PatternMatcher
+from repro.resilience.faults import fault_check
 
 __all__ = ["MiningConfig", "PatternMiner", "MiningResult", "generate_patterns"]
 
@@ -106,6 +107,7 @@ class PatternMiner:
         ``statements`` must already be AST+ transformed; the miner only
         extracts paths and grows the tree.
         """
+        fault_check("mining.mine", key=kind.value)
         cfg = self.config
         path_lists = [
             extract_name_paths(s, max_paths=cfg.max_paths_per_statement)

@@ -1,0 +1,56 @@
+"""Resilience primitives for the Namer pipeline.
+
+At the paper's corpus scale (§5: ~1M Python / 4M Java files) partial
+failure is the steady state, not the exception.  This package holds the
+machinery that keeps the pipeline and the serving layer standing:
+
+* :mod:`~repro.resilience.faults` — seeded, deterministic fault
+  injection behind named sites, so every failure path is testable;
+* :mod:`~repro.resilience.quarantine` — structured per-file error
+  capture instead of run-aborting exceptions;
+* :mod:`~repro.resilience.checkpoint` — atomic writes and SHA-256
+  checksummed stage checkpoints;
+* :mod:`~repro.resilience.pipeline` — the checkpointed
+  mine → train → save flow behind ``repro mine --resume``;
+* :mod:`~repro.resilience.retry` — exponential backoff with jitter and
+  a circuit breaker for the service client.
+"""
+
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    CheckpointStore,
+    atomic_write_bytes,
+    atomic_write_text,
+    document_checksum,
+    sha256_of,
+)
+from repro.resilience.faults import (
+    FAULTS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    fault_check,
+)
+from repro.resilience.quarantine import ErrorRecord, Quarantine
+from repro.resilience.retry import CircuitBreaker, CircuitOpenError, RetryPolicy
+
+__all__ = [
+    "FAULTS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "fault_check",
+    "ErrorRecord",
+    "Quarantine",
+    "CheckpointError",
+    "CheckpointStore",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "document_checksum",
+    "sha256_of",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "RetryPolicy",
+]

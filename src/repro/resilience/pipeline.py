@@ -1,0 +1,147 @@
+"""The checkpointed mine → train → save pipeline.
+
+Mining a paper-scale corpus (~1M Python / 4M Java files) runs for
+hours; a process killed at hour three must not restart at minute zero.
+:func:`run_mine_pipeline` wraps the end-to-end learning flow of
+``python -m repro mine`` with stage-level checkpoints:
+
+* ``mine``  — the artifact document right after pattern mining
+  (patterns, confusing pairs, statistics; no classifier yet);
+* ``train`` — the complete document including the trained classifier.
+
+Each checkpoint is written atomically with a SHA-256 stamp
+(:class:`~repro.resilience.checkpoint.CheckpointStore`), so a resumed
+run never trusts torn state.  Resuming replays only the missing stages,
+and — because corpus generation, mining, and training are all seeded —
+produces an artifact **byte-identical** to an uninterrupted run
+(asserted in ``tests/test_resilience.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.core.namer import MiningSummary, Namer, NamerConfig
+from repro.core.persistence import (
+    namer_from_document,
+    namer_to_document,
+    save_document,
+)
+from repro.corpus.model import Corpus
+from repro.resilience.checkpoint import CheckpointError, CheckpointStore
+from repro.resilience.faults import fault_check
+
+__all__ = ["MinePipelineResult", "run_mine_pipeline"]
+
+
+@dataclass
+class MinePipelineResult:
+    """What a pipeline run did, for CLI reporting."""
+
+    out: str
+    summary: MiningSummary | None = None
+    trained_on: int | None = None
+    resumed_stages: list[str] = field(default_factory=list)
+    quarantined_files: int = 0
+
+
+def run_mine_pipeline(
+    *,
+    corpus_factory: Callable[[], Corpus],
+    namer_config: NamerConfig,
+    out: str | Path,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
+    train: bool = True,
+    training_size: int = 120,
+    seed: int = 7,
+    keep_checkpoints: bool = False,
+    log: Callable[[str], None] = lambda message: None,
+) -> MinePipelineResult:
+    """Run (or resume) mine → train → save, checkpointing each stage.
+
+    ``corpus_factory`` is called lazily — a resume that finds a valid
+    ``train`` checkpoint never rebuilds the corpus at all; one that
+    finds only ``mine`` rebuilds it just to re-prepare files for
+    classifier training (pattern mining itself is skipped).
+    """
+    out = str(out)
+    store = CheckpointStore(checkpoint_dir or f"{out}.ckpt")
+    result = MinePipelineResult(out=out)
+
+    corpus: Corpus | None = None
+
+    def get_corpus() -> Corpus:
+        nonlocal corpus
+        if corpus is None:
+            corpus = corpus_factory()
+        return corpus
+
+    def load_stage(stage: str) -> dict | None:
+        if not resume:
+            return None
+        try:
+            return store.load(stage)
+        except CheckpointError as exc:
+            log(f"ignoring unusable checkpoint: {exc}")
+            return None
+
+    final_document = load_stage("train")
+    if final_document is not None:
+        result.resumed_stages.append("train")
+        log("resumed from checkpoint 'train' (mining and training skipped)")
+    else:
+        namer: Namer
+        mine_document = load_stage("mine")
+        if mine_document is not None:
+            namer = namer_from_document(mine_document, label="checkpoint 'mine'")
+            result.resumed_stages.append("mine")
+            log("resumed from checkpoint 'mine' (pattern mining skipped)")
+        else:
+            namer = Namer(namer_config)
+            result.summary = namer.mine(get_corpus())
+            result.quarantined_files = result.summary.quarantined_files
+            store.save("mine", namer_to_document(namer))
+            log(
+                f"mined {result.summary.num_patterns} patterns "
+                f"({result.summary.num_confusing_pairs} confusing pairs) "
+                f"from {result.summary.total_files} files"
+            )
+            if result.summary.quarantined_files:
+                log(
+                    f"quarantined {result.summary.quarantined_files} "
+                    "unpreparable file(s)"
+                )
+        fault_check("pipeline.after_mine", key=out)
+
+        if train:
+            from repro.evaluation.oracle import Oracle
+            from repro.evaluation.precision import sample_balanced_training
+
+            if not namer.prepared:
+                # Resumed from the mine checkpoint: the prepared corpus
+                # is an input, not an artifact, so rebuild it (seeded —
+                # identical to the original run) for training.
+                namer.prepared = namer.prepare(get_corpus(), namer.quarantine)
+            oracle = Oracle(get_corpus())
+            violations = namer.all_violations()
+            training, labels = sample_balanced_training(
+                violations, oracle, training_size, random.Random(seed)
+            )
+            if len(set(labels)) > 1:
+                namer.train(training, labels)
+                result.trained_on = len(training)
+                log(f"trained classifier on {len(training)} labeled violations")
+
+        final_document = namer_to_document(namer)
+        store.save("train", final_document)
+        fault_check("pipeline.after_train", key=out)
+
+    save_document(final_document, out)
+    if not keep_checkpoints:
+        store.clear()
+    log(f"artifacts saved to {out}")
+    return result

@@ -1,0 +1,103 @@
+"""Per-file error quarantine.
+
+The paper's corpus scale (~1M Python / 4M Java files) guarantees
+malformed inputs; the pipeline's contract is that one broken file costs
+exactly one quarantine record, never the run.  A :class:`Quarantine`
+collects structured :class:`ErrorRecord` rows at the per-file boundary
+of mining (:meth:`repro.core.namer.Namer.mine`) and batch inference
+(:meth:`~repro.core.namer.Namer.detect_many`), and is surfaced through
+``MiningSummary`` and the service's ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+__all__ = ["ErrorRecord", "Quarantine"]
+
+
+@dataclass(frozen=True)
+class ErrorRecord:
+    """One captured per-file failure."""
+
+    path: str
+    stage: str  # "parse", "transform", "detect", "read", ...
+    kind: str  # exception class name
+    message: str
+    repo: str = ""
+
+    @classmethod
+    def capture(
+        cls, path: str, stage: str, error: BaseException, repo: str = ""
+    ) -> "ErrorRecord":
+        return cls(
+            path=path,
+            stage=stage,
+            kind=type(error).__name__,
+            message=str(error),
+            repo=repo,
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "stage": self.stage,
+            "kind": self.kind,
+            "message": self.message,
+            "repo": self.repo,
+        }
+
+    def describe(self) -> str:
+        return f"[quarantined] {self.path}: {self.stage} failed: {self.message}"
+
+    def brief(self) -> str:
+        """The wire-format error string for analysis results."""
+        return f"{self.stage} failed: {self.message}"
+
+
+class Quarantine:
+    """Bounded, thread-safe collector of :class:`ErrorRecord` rows.
+
+    ``total`` counts every quarantined failure; only the first
+    ``max_records`` keep their full record (a million-file run with a
+    systematic failure must not buffer a million tracebacks).
+    """
+
+    def __init__(self, max_records: int = 1000) -> None:
+        self.max_records = max_records
+        self.records: list[ErrorRecord] = []
+        self.total = 0
+        self._lock = threading.Lock()
+
+    def add(self, record: ErrorRecord) -> None:
+        with self._lock:
+            self.total += 1
+            if len(self.records) < self.max_records:
+                self.records.append(record)
+
+    def capture(
+        self, path: str, stage: str, error: BaseException, repo: str = ""
+    ) -> ErrorRecord:
+        record = ErrorRecord.capture(path, stage, error, repo=repo)
+        self.add(record)
+        return record
+
+    def paths(self) -> list[str]:
+        with self._lock:
+            return [r.path for r in self.records]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self.total
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def to_json(self) -> dict:
+        with self._lock:
+            return {
+                "total": self.total,
+                "records": [r.to_json() for r in self.records],
+                "truncated": self.total > len(self.records),
+            }

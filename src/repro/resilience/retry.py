@@ -1,0 +1,121 @@
+"""Retry with exponential backoff + jitter, and a circuit breaker.
+
+The service client must survive the transient failures a production
+deployment sees daily — a daemon restarting, a queue momentarily full
+(HTTP 503), a connection reset — without hammering a struggling server.
+:class:`RetryPolicy` computes a capped exponential backoff schedule with
+deterministic (seedable) jitter; :class:`CircuitBreaker` stops a client
+from burning its retry budget against a server that is down hard, and
+probes it again after a cooldown (the classic closed → open → half-open
+state machine).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "CircuitBreaker", "CircuitOpenError"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule for transient failures.
+
+    ``max_attempts`` counts the first try: 4 attempts = 1 try + 3
+    retries.  Delay before retry *n* (1-based) is
+    ``min(max_delay, base_delay * multiplier**(n-1))``, jittered
+    uniformly in ``[1 - jitter, 1]`` so a fleet of clients does not
+    retry in lockstep.  A fixed ``seed`` makes the schedule
+    reproducible in tests.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.1
+    multiplier: float = 2.0
+    max_delay: float = 10.0
+    jitter: float = 0.5
+    seed: int | None = None
+
+    def delays(self) -> list[float]:
+        """The full jittered backoff schedule (``max_attempts - 1``
+        sleeps)."""
+        rng = random.Random(self.seed)
+        out = []
+        for retry in range(self.max_attempts - 1):
+            raw = min(self.max_delay, self.base_delay * self.multiplier**retry)
+            scale = 1.0 - self.jitter * rng.random()
+            out.append(raw * scale)
+        return out
+
+
+class CircuitOpenError(RuntimeError):
+    """The breaker is open: the server failed repeatedly and the
+    cooldown has not elapsed; fail fast instead of queueing more pain."""
+
+
+class CircuitBreaker:
+    """Closed → open after ``failure_threshold`` consecutive failures;
+    open → half-open after ``reset_timeout`` seconds; one half-open
+    probe closes it on success or reopens it on failure."""
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self.opens = 0  # lifetime count, for observability
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = self.HALF_OPEN
+
+    def allow(self) -> bool:
+        """Whether a request may proceed right now."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state != self.OPEN
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._state = self.CLOSED
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == self.HALF_OPEN:
+                self._trip()
+                return
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._trip()
+
+    def _trip(self) -> None:
+        self._state = self.OPEN
+        self._opened_at = self._clock()
+        self._failures = 0
+        self.opens += 1

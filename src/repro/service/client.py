@@ -15,13 +15,24 @@ against this interface, so they run identically in either mode.
 from __future__ import annotations
 
 import json
+import sys
+import time
 import urllib.error
 import urllib.request
+from dataclasses import dataclass
 from pathlib import Path
 
+from repro.resilience.faults import InjectedFault, fault_check
+from repro.resilience.retry import CircuitBreaker, CircuitOpenError, RetryPolicy
 from repro.service.engine import AnalysisEngine, AnalysisRequest
 
-__all__ = ["ServiceError", "HttpClient", "InProcessClient", "load_paths"]
+__all__ = [
+    "ServiceError",
+    "ClientStats",
+    "HttpClient",
+    "InProcessClient",
+    "load_paths",
+]
 
 _SUFFIX_LANGUAGES = {".py": "python", ".java": "java"}
 
@@ -34,38 +45,124 @@ class ServiceError(RuntimeError):
         self.status = status
         self.message = message
 
+    @property
+    def transient(self) -> bool:
+        """Whether a retry could plausibly succeed: connection-level
+        failures (status 0) and backpressure/overload answers."""
+        return self.status in (0, 503, 504)
+
+
+@dataclass
+class ClientStats:
+    """Client-side view of the retry machinery, for observability."""
+
+    attempts: int = 0
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    circuit_rejections: int = 0
+
+    def to_json(self) -> dict:
+        return {
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "backoff_seconds": round(self.backoff_seconds, 3),
+            "circuit_rejections": self.circuit_rejections,
+        }
+
 
 def load_paths(paths: list[str | Path]) -> list[dict]:
     """Read source files into analyze-payload entries, inferring the
-    language from the suffix; unknown suffixes are skipped."""
+    language from the suffix.  Unknown suffixes and unreadable or
+    non-UTF-8 files are skipped (the latter with a stderr warning) —
+    one broken file must not sink the batch."""
     entries = []
     for raw in paths:
         path = Path(raw)
         language = _SUFFIX_LANGUAGES.get(path.suffix)
         if language is None:
             continue
-        entries.append(
-            {"path": str(path), "source": path.read_text(), "language": language}
-        )
+        try:
+            source = path.read_text()
+        except (OSError, UnicodeDecodeError) as exc:
+            print(f"[skip] {path}: cannot read ({exc})", file=sys.stderr)
+            continue
+        entries.append({"path": str(path), "source": source, "language": language})
     return entries
 
 
 class HttpClient:
-    """Minimal JSON-over-HTTP client for the analysis daemon."""
+    """JSON-over-HTTP client for the analysis daemon, with retries.
 
-    def __init__(self, base_url: str, timeout: float = 120.0) -> None:
+    Transient failures — connection errors, 503 backpressure, 504
+    deadline misses — are retried with exponential backoff + jitter
+    (:class:`RetryPolicy`); a server that fails repeatedly trips the
+    :class:`CircuitBreaker` so subsequent calls fail fast until the
+    cooldown elapses.  Retried requests carry an ``X-Repro-Retry``
+    header that the daemon counts (``retried_requests`` in
+    ``/metrics``), so client backoff is observable server-side.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 120.0,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        sleep=time.sleep,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.stats = ClientStats()
+        self._sleep = sleep
 
     # ------------------------------------------------------------------
 
     def _call(self, method: str, path: str, payload: dict | None = None) -> dict:
+        delays = self.retry.delays()
+        attempts = max(1, self.retry.max_attempts)
+        for attempt in range(attempts):
+            if not self.breaker.allow():
+                self.stats.circuit_rejections += 1
+                raise CircuitOpenError(
+                    f"circuit open for {self.base_url} after repeated failures; "
+                    f"retrying after {self.breaker.reset_timeout}s cooldown"
+                )
+            self.stats.attempts += 1
+            try:
+                body = self._call_once(method, path, payload, attempt)
+            except (ServiceError, InjectedFault) as exc:
+                transient = (
+                    exc.transient if isinstance(exc, ServiceError) else True
+                )
+                if transient:
+                    self.breaker.record_failure()
+                else:
+                    # The server answered coherently (4xx); it is up.
+                    self.breaker.record_success()
+                if not transient or attempt >= attempts - 1:
+                    raise
+                delay = delays[attempt] if attempt < len(delays) else 0.0
+                self.stats.retries += 1
+                self.stats.backoff_seconds += delay
+                if delay > 0:
+                    self._sleep(delay)
+                continue
+            self.breaker.record_success()
+            return body
+        raise AssertionError("unreachable: retry loop exits via return or raise")
+
+    def _call_once(
+        self, method: str, path: str, payload: dict | None, attempt: int
+    ) -> dict:
+        fault_check("client.request", key=path)
         data = json.dumps(payload).encode("utf-8") if payload is not None else None
+        headers = {"Content-Type": "application/json"}
+        if attempt > 0:
+            headers["X-Repro-Retry"] = str(attempt)
         request = urllib.request.Request(
-            self.base_url + path,
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"},
+            self.base_url + path, data=data, method=method, headers=headers
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
@@ -78,6 +175,8 @@ class HttpClient:
             raise ServiceError(exc.code, message) from exc
         except urllib.error.URLError as exc:
             raise ServiceError(0, f"cannot reach {self.base_url}: {exc.reason}") from exc
+        except TimeoutError as exc:
+            raise ServiceError(0, f"timed out waiting for {self.base_url}") from exc
 
     # ------------------------------------------------------------------
 

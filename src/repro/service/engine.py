@@ -23,9 +23,11 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.namer import Namer
-from repro.core.persistence import load_namer
-from repro.core.prepare import PreparedFile, prepare_file
+from repro.core.persistence import PersistenceError, load_namer
+from repro.core.prepare import PreparedFile, PrepareError, prepare_file_checked
 from repro.corpus.model import SourceFile
+from repro.resilience.faults import InjectedFault, fault_check
+from repro.resilience.quarantine import ErrorRecord, Quarantine
 from repro.service.cache import ResultCache, content_key
 from repro.service.metrics import ServiceMetrics
 from repro.service.queue import QueueFullError, RequestQueue
@@ -68,6 +70,9 @@ class AnalysisResult:
     cached: bool = False
     error: str | None = None
     elapsed_ms: float = 0.0
+    #: True when served pattern-only because the classifier artifact
+    #: was missing or corrupt (see AnalysisEngine degraded mode)
+    degraded: bool = False
 
     def to_json(self) -> dict:
         return {
@@ -76,6 +81,7 @@ class AnalysisResult:
             "cached": self.cached,
             "error": self.error,
             "elapsed_ms": round(self.elapsed_ms, 3),
+            "degraded": self.degraded,
         }
 
 
@@ -91,12 +97,14 @@ class AnalysisEngine:
         queue_capacity: int = 64,
         cache_entries: int = 1024,
         request_timeout: float = 60.0,
+        degraded_ok: bool = True,
     ) -> None:
         if namer is None:
             if artifact_path is None:
                 raise ValueError("AnalysisEngine needs a namer or an artifact_path")
-            namer = load_namer(artifact_path)
+            namer = load_namer(artifact_path, degraded_ok=degraded_ok)
         self._namer = namer
+        self.degraded_ok = degraded_ok
         self.artifact_path = artifact_path
         self.request_timeout = request_timeout
         self.cache = ResultCache(cache_entries)
@@ -149,7 +157,7 @@ class AnalysisEngine:
             if hit is not None:
                 results[i] = AnalysisResult(
                     path=request.path, reports=hit.reports, cached=True,
-                    error=hit.error,
+                    error=hit.error, degraded=self.degraded,
                 )
             else:
                 misses.append(i)
@@ -164,7 +172,7 @@ class AnalysisEngine:
                 )
             except QueueFullError:
                 pass
-        prepared: dict[int, PreparedFile | None] = {}
+        prepared: dict[int, PreparedFile | ErrorRecord] = {}
         deadline = timeout or self.request_timeout
         for i in misses:
             ticket = tickets.get(i)
@@ -173,31 +181,64 @@ class AnalysisEngine:
             else:
                 prepared[i] = self._prepare(requests[i])
 
-        analyzable = [i for i in misses if prepared[i] is not None]
-        report_groups = namer.detect_many([prepared[i] for i in analyzable])
+        analyzable = [i for i in misses if isinstance(prepared[i], PreparedFile)]
+        quarantine = Quarantine()
+        report_groups = namer.detect_many(
+            [prepared[i] for i in analyzable], quarantine=quarantine
+        )
+        detect_errors = {record.path: record for record in quarantine.records}
         for i, reports in zip(analyzable, report_groups):
+            record = None
+            if not reports:
+                record = detect_errors.get(requests[i].path)
             results[i] = self._finish(
-                requests[i], [r.to_json() for r in reports], None, generation
+                requests[i],
+                [r.to_json() for r in reports],
+                record.brief() if record is not None else None,
+                generation,
             )
         for i in misses:
-            if prepared[i] is None:
+            if not isinstance(prepared[i], PreparedFile):
+                record = prepared[i]
+                quarantine.add(record)
                 results[i] = self._finish(
-                    requests[i], [], f"unparsable {requests[i].resolved_language} source",
-                    generation,
+                    requests[i], [], record.brief(), generation
                 )
+        if len(quarantine):
+            self.metrics.record_quarantined(len(quarantine))
         final = [r for r in results if r is not None]
         self._count_batch(final, time.perf_counter() - started)
         return final
 
     # ------------------------------------------------------------------
 
-    def _prepare(self, request: AnalysisRequest) -> PreparedFile | None:
+    def _prepare(self, request: AnalysisRequest) -> PreparedFile | ErrorRecord:
+        """Parse/analyze/transform one request; failures come back as
+        structured records (quarantine), never as exceptions."""
         source = SourceFile(
             path=request.path,
             source=request.source,
             language=request.resolved_language,
         )
-        return prepare_file(source, repo=request.repo or "service")
+        try:
+            fault_check("engine.prepare", key=request.path)
+            return prepare_file_checked(source, repo=request.repo or "service")
+        except PrepareError as exc:
+            if exc.stage == "parse":
+                # Preserve the long-standing wire message for the
+                # overwhelmingly common case.
+                message = f"unparsable {request.resolved_language} source"
+            else:
+                message = str(exc.cause)
+            return ErrorRecord(
+                path=request.path, stage=exc.stage,
+                kind=type(exc.cause).__name__, message=message,
+                repo=request.repo,
+            )
+        except InjectedFault as exc:
+            return ErrorRecord.capture(
+                request.path, "prepare", exc, repo=request.repo
+            )
 
     def _analyze_uncounted(self, request: AnalysisRequest) -> AnalysisResult:
         """Cache-aware single-file analysis (runs on a worker thread);
@@ -206,17 +247,22 @@ class AnalysisEngine:
         hit = self.cache.get(key)
         if hit is not None:
             return AnalysisResult(
-                path=request.path, reports=hit.reports, cached=True, error=hit.error
+                path=request.path, reports=hit.reports, cached=True,
+                error=hit.error, degraded=self.degraded,
             )
         generation = self._generation
         namer = self._namer
         prepared = self._prepare(request)
-        if prepared is None:
+        if not isinstance(prepared, PreparedFile):
+            self.metrics.record_quarantined()
+            return self._finish(request, [], prepared.brief(), generation)
+        quarantine = Quarantine()
+        reports = namer.detect_many([prepared], quarantine=quarantine)[0]
+        if quarantine.records:
+            self.metrics.record_quarantined(len(quarantine))
             return self._finish(
-                request, [], f"unparsable {request.resolved_language} source",
-                generation,
+                request, [], quarantine.records[0].brief(), generation
             )
-        reports = namer.detect(prepared)
         return self._finish(request, [r.to_json() for r in reports], None, generation)
 
     def _finish(
@@ -226,7 +272,10 @@ class AnalysisEngine:
         error: str | None,
         generation: int,
     ) -> AnalysisResult:
-        result = AnalysisResult(path=request.path, reports=reports, error=error)
+        result = AnalysisResult(
+            path=request.path, reports=reports, error=error,
+            degraded=self.degraded,
+        )
         if generation == self._generation:
             self.cache.put(request.cache_key(), result)
         return result
@@ -255,35 +304,54 @@ class AnalysisEngine:
     # Lifecycle
     # ------------------------------------------------------------------
 
+    @property
+    def degraded(self) -> bool:
+        """True when serving pattern-only results because the classifier
+        half of the artifact was missing or corrupt."""
+        return bool(self._namer.degraded_reasons)
+
     def reload(self, artifact_path: str) -> dict:
         """Hot-swap the loaded artifact (``POST /reload``).
 
         The new file is fully loaded and schema-checked *before* the
         swap, so a bad artifact leaves the running service untouched.
+        With ``degraded_ok`` (the default), an artifact whose patterns
+        decode but whose classifier section is corrupt is still swapped
+        in — pattern-only, flagged ``degraded`` — because stale-but-full
+        artifacts and fresh-but-degraded ones are both better than 500s.
         In-flight requests finish on the old artifact but cannot write
         into the new cache (generation fencing).
         """
-        namer = load_namer(artifact_path)  # raises PersistenceError on bad input
+        # Raises PersistenceError when even a degraded load is impossible.
+        namer = load_namer(artifact_path, degraded_ok=self.degraded_ok)
         with self._reload_lock:
             self._namer = namer
             self.artifact_path = artifact_path
             self._generation += 1
             dropped = self.cache.clear()
         self.metrics.record_reload()
-        return {"artifacts": artifact_path, "cache_entries_dropped": dropped}
+        return {
+            "artifacts": artifact_path,
+            "cache_entries_dropped": dropped,
+            "degraded": self.degraded,
+        }
 
     def health(self) -> dict:
+        namer = self._namer
         return {
-            "status": "ok",
+            "status": "degraded" if self.degraded else "ok",
             "artifacts": self.artifact_path,
-            "patterns": len(self._namer.matcher.patterns) if self._namer.matcher else 0,
-            "classifier": self._namer.classifier is not None,
+            "patterns": len(namer.matcher.patterns) if namer.matcher else 0,
+            "classifier": namer.classifier is not None,
+            "degraded": self.degraded,
+            "degraded_reasons": list(namer.degraded_reasons),
             "workers": self.queue.workers,
             "pending": self.queue.pending,
         }
 
     def metrics_json(self) -> dict:
         body = self.metrics.to_json()
+        body["degraded"] = self.degraded
         body["cache"] = self.cache.stats.to_json()
         body["cache"]["entries"] = len(self.cache)
         body["queue"] = {

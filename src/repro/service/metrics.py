@@ -65,6 +65,12 @@ class ServiceMetrics:
         self.timeouts = 0
         self.violations_reported = 0
         self.reloads = 0
+        #: files whose analysis failed and was captured as a structured
+        #: error record instead of failing the request
+        self.quarantined_files = 0
+        #: requests that arrived flagged as client-side retries
+        #: (``X-Repro-Retry`` header) — backoff made visible server-side
+        self.retried_requests = 0
         self.latency = LatencyWindow()
 
     def record_request(self, files: int, violations: int, seconds: float) -> None:
@@ -90,6 +96,14 @@ class ServiceMetrics:
         with self._lock:
             self.reloads += 1
 
+    def record_quarantined(self, files: int = 1) -> None:
+        with self._lock:
+            self.quarantined_files += files
+
+    def record_retried(self) -> None:
+        with self._lock:
+            self.retried_requests += 1
+
     def to_json(self) -> dict:
         with self._lock:
             body = {
@@ -101,6 +115,8 @@ class ServiceMetrics:
                 "timeouts": self.timeouts,
                 "violations_reported": self.violations_reported,
                 "reloads": self.reloads,
+                "quarantined_files": self.quarantined_files,
+                "retried_requests": self.retried_requests,
             }
         body["latency"] = self.latency.to_json()
         return body

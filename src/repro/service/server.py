@@ -71,6 +71,7 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._count_retry_header()
         if self.path == "/health":
             self._reply(200, self.engine.health())
         elif self.path == "/metrics":
@@ -79,6 +80,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(404, {"error": f"unknown path {self.path}"})
 
     def do_POST(self) -> None:  # noqa: N802
+        self._count_retry_header()
         try:
             body = self._read_json()
             if self.path == "/analyze":
@@ -115,6 +117,12 @@ class _Handler(BaseHTTPRequestHandler):
         self._reply(200, self.engine.reload(body["artifacts"]))
 
     # ------------------------------------------------------------------
+
+    def _count_retry_header(self) -> None:
+        # Client backoff made visible server-side: retried attempts
+        # carry X-Repro-Retry (see HttpClient), surfaced in /metrics.
+        if self.headers.get("X-Repro-Retry"):
+            self.engine.metrics.record_retried()
 
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)

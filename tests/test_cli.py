@@ -56,6 +56,21 @@ class TestParser:
         args = build_parser().parse_args(["analyze-remote", "proj"])
         assert args.path == "proj"
         assert args.url == "http://127.0.0.1:8750"
+        assert args.retries == 3 and args.backoff == 0.1
+
+    def test_mine_resilience_flags(self):
+        args = build_parser().parse_args(
+            ["mine", "--resume", "--checkpoint-dir", "ck",
+             "--keep-checkpoints", "--fault-plan", "plan.json"]
+        )
+        assert args.resume and args.keep_checkpoints
+        assert args.checkpoint_dir == "ck"
+        assert args.fault_plan == "plan.json"
+
+    def test_serve_strict_artifacts_flag(self):
+        args = build_parser().parse_args(["serve", "--strict-artifacts"])
+        assert args.strict_artifacts
+        assert not build_parser().parse_args(["serve"]).strict_artifacts
 
 
 class TestCommands:
@@ -91,6 +106,55 @@ class TestCommands:
         assert code == 0
         err = capsys.readouterr().err
         assert "unparsable" in err
+
+    def test_scan_skips_undecodable_file(self, artifacts, tmp_path, capsys):
+        project = tmp_path / "mixedproj"
+        project.mkdir()
+        (project / "good.py").write_text(BUGGY_PROJECT["app.py"])
+        (project / "bad.py").write_bytes(b"\xff\xfe\x00junk")
+        code = main(["scan", str(project), "--artifacts", str(artifacts)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "cannot read" in captured.err
+        assert "naming issue(s) reported" in captured.out
+
+    def test_scan_fails_when_every_file_is_unreadable(
+        self, artifacts, tmp_path, capsys
+    ):
+        project = tmp_path / "allbad"
+        project.mkdir()
+        (project / "only.py").write_bytes(b"\xff\xfe\x00junk")
+        code = main(["scan", str(project), "--artifacts", str(artifacts)])
+        assert code != 0
+        assert "unreadable" in capsys.readouterr().err
+
+    def test_mine_resume_round_trip(self, tmp_path, capsys):
+        import json
+
+        from repro.resilience.faults import FAULTS
+
+        base = ["--repos", "6", "--min-support", "12", "--min-frequency", "5"]
+        out_a = tmp_path / "a.json"
+        assert main(["mine", "--out", str(out_a), *base]) == 0
+
+        plan = tmp_path / "kill.json"
+        plan.write_text(json.dumps({
+            "seed": 0,
+            "specs": [{"site": "pipeline.after_train", "max_trips": 1}],
+        }))
+        out_b = tmp_path / "b.json"
+        try:
+            code = main(
+                ["mine", "--out", str(out_b), "--fault-plan", str(plan), *base]
+            )
+        finally:
+            FAULTS.disarm()  # the CLI arms the process-wide injector
+        assert code == 3 and not out_b.exists()
+        assert (tmp_path / "b.json.ckpt" / "train.ckpt.json").exists()
+
+        assert main(["mine", "--out", str(out_b), "--resume", *base]) == 0
+        assert "resumed from checkpoint" in capsys.readouterr().out
+        assert out_b.read_bytes() == out_a.read_bytes()
 
     def test_scan_style_flag(self, artifacts, tmp_path, capsys):
         project = tmp_path / "styleproj"

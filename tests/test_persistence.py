@@ -132,13 +132,113 @@ class TestErrors:
         with pytest.raises(PersistenceError, match="not valid JSON"):
             load_namer(path)
 
-    def test_truncated_document_raises_persistence_error(
-        self, tmp_path, fitted_namer
-    ):
+    def test_truncated_document_fails_checksum(self, tmp_path, fitted_namer):
+        # Deleting a section leaves valid JSON; the SHA-256 stamp is
+        # what catches it (the pre-checksum failure mode this fixes).
         path = tmp_path / "namer.json"
         save_namer(fitted_namer, path)
         doc = json.loads(path.read_text())
         del doc["stats"]
         path.write_text(json.dumps(doc))
+        with pytest.raises(PersistenceError, match="SHA-256"):
+            load_namer(path)
+
+    def test_truncated_document_with_restamped_checksum(
+        self, tmp_path, fitted_namer
+    ):
+        # Even a re-stamped (checksum-consistent) but incomplete
+        # document fails with the decode-layer error.
+        from repro.resilience.checkpoint import document_checksum
+
+        path = tmp_path / "namer.json"
+        save_namer(fitted_namer, path)
+        doc = json.loads(path.read_text())
+        del doc["stats"]
+        del doc["checksum"]
+        doc = {"schema_version": doc["schema_version"],
+               "checksum": document_checksum(doc),
+               **{k: v for k, v in doc.items() if k != "schema_version"}}
+        path.write_text(json.dumps(doc))
         with pytest.raises(PersistenceError, match="truncated or malformed"):
             load_namer(path)
+
+    def test_checksum_stamped_next_to_schema_version(self, tmp_path, fitted_namer):
+        path = tmp_path / "namer.json"
+        save_namer(fitted_namer, path)
+        doc = json.loads(path.read_text())
+        keys = list(doc.keys())
+        assert keys[:2] == ["schema_version", "checksum"]
+        assert len(doc["checksum"]) == 64
+
+    def test_missing_checksum_raises(self, tmp_path, fitted_namer):
+        path = tmp_path / "namer.json"
+        save_namer(fitted_namer, path)
+        doc = json.loads(path.read_text())
+        del doc["checksum"]
+        path.write_text(json.dumps(doc))
+        with pytest.raises(PersistenceError, match="no checksum stamp"):
+            load_namer(path)
+
+    def test_single_flipped_value_fails_checksum(self, tmp_path, fitted_namer):
+        path = tmp_path / "namer.json"
+        save_namer(fitted_namer, path)
+        doc = json.loads(path.read_text())
+        doc["patterns"][0]["support"] += 1
+        path.write_text(json.dumps(doc))
+        with pytest.raises(PersistenceError, match="SHA-256"):
+            load_namer(path)
+
+
+class TestDegradedLoad:
+    """`degraded_ok` keeps the pattern half alive through a corrupt
+    classifier section (the serving layer's no-500s guarantee)."""
+
+    def _corrupt_classifier(self, path):
+        from repro.resilience.checkpoint import document_checksum
+
+        doc = json.loads(path.read_text())
+        doc["classifier"] = {"scaler_mean": "garbage"}
+        del doc["checksum"]
+        doc["checksum"] = document_checksum(doc)
+        path.write_text(json.dumps(doc))
+
+    def test_strict_load_rejects_corrupt_classifier(self, tmp_path, fitted_namer):
+        path = tmp_path / "namer.json"
+        save_namer(fitted_namer, path)
+        self._corrupt_classifier(path)
+        with pytest.raises(PersistenceError, match="classifier"):
+            load_namer(path)
+
+    def test_degraded_load_drops_classifier_keeps_patterns(
+        self, tmp_path, fitted_namer
+    ):
+        path = tmp_path / "namer.json"
+        save_namer(fitted_namer, path)
+        self._corrupt_classifier(path)
+        loaded = load_namer(path, degraded_ok=True)
+        assert loaded.classifier is None
+        assert loaded.degraded_reasons
+        assert {p.key() for p in loaded.matcher.patterns} == {
+            p.key() for p in fitted_namer.matcher.patterns
+        }
+
+    def test_degraded_load_survives_bad_checksum(self, tmp_path, fitted_namer):
+        path = tmp_path / "namer.json"
+        save_namer(fitted_namer, path)
+        doc = json.loads(path.read_text())
+        doc["checksum"] = "0" * 64
+        path.write_text(json.dumps(doc))
+        loaded = load_namer(path, degraded_ok=True)
+        assert loaded.classifier is None  # untrusted bytes: pattern-only
+        assert any("SHA-256" in r for r in loaded.degraded_reasons)
+
+    def test_degraded_load_still_rejects_corrupt_patterns(
+        self, tmp_path, fitted_namer
+    ):
+        path = tmp_path / "namer.json"
+        save_namer(fitted_namer, path)
+        doc = json.loads(path.read_text())
+        doc["patterns"] = "nonsense"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(PersistenceError):
+            load_namer(path, degraded_ok=True)

@@ -377,3 +377,118 @@ class TestHttpService:
         with pytest.raises(ServiceError) as exc:
             client.reload("/nonexistent/namer.json")
         assert exc.value.status == 400
+
+
+# ----------------------------------------------------------------------
+# Races: shutdown vs. in-flight submits, reload vs. in-flight analyze
+# ----------------------------------------------------------------------
+
+
+class TestServiceRaces:
+    """Concurrency seams exercised with delay faults from the
+    resilience harness (`repro.resilience.faults`): every request is
+    either served completely or rejected cleanly — never half-done,
+    never a hang."""
+
+    def test_shutdown_drains_under_concurrent_submits(self, fitted_namer):
+        from repro.resilience.faults import FAULTS, FaultPlan, FaultSpec
+
+        engine = AnalysisEngine(
+            namer=fitted_namer, workers=2, queue_capacity=16, cache_entries=0
+        )
+        # Each prepare sleeps a little so shutdown overlaps live work.
+        plan = FaultPlan(
+            [FaultSpec(site="engine.prepare", delay=0.02, raises=None)]
+        )
+        outcomes: list[str] = []
+        lock = threading.Lock()
+
+        def submit(i: int) -> None:
+            try:
+                result = engine.analyze(
+                    AnalysisRequest(source="x = 1\n", path=f"race_{i}.py"),
+                    timeout=10,
+                )
+                with lock:
+                    outcomes.append("done" if result.error is None else "error")
+            except (ServiceClosed, QueueFullError):
+                with lock:
+                    outcomes.append("rejected")
+
+        with FAULTS.armed(plan):
+            threads = [
+                threading.Thread(target=submit, args=(i,)) for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            time.sleep(0.01)
+            engine.shutdown(drain=True, timeout=30)
+            for t in threads:
+                t.join(timeout=10)
+        assert not any(t.is_alive() for t in threads), "a submit hung"
+        # every request got exactly one clean outcome, and the work the
+        # queue accepted before close was drained, not dropped
+        assert len(outcomes) == 8
+        assert set(outcomes) <= {"done", "rejected"}
+        with pytest.raises(ServiceClosed):
+            engine.queue.submit(lambda: None)
+
+    def test_reload_races_inflight_analyze(
+        self, client, artifact_file, report_source
+    ):
+        from repro.resilience.faults import FAULTS, FaultPlan, FaultSpec
+
+        # Slow down exactly the in-flight request so /reload lands while
+        # it is being prepared on a worker thread.
+        plan = FaultPlan(
+            [FaultSpec(site="engine.prepare", match="inflight_race.py",
+                       delay=0.3, raises=None)]
+        )
+        box: dict[str, dict] = {}
+
+        def analyze() -> None:
+            box["result"] = client.analyze(
+                report_source.source, path="inflight_race.py"
+            )
+
+        with FAULTS.armed(plan):
+            thread = threading.Thread(target=analyze)
+            thread.start()
+            time.sleep(0.1)
+            outcome = client.reload(artifact_file)
+            thread.join(timeout=30)
+        assert not thread.is_alive(), "in-flight analyze hung across reload"
+        assert outcome["artifacts"] == str(artifact_file)
+        result = box["result"]
+        assert result["error"] is None and result["reports"]
+        # Generation fencing: the in-flight result must not have seeded
+        # the post-reload cache, so the same request misses once ...
+        again = client.analyze(report_source.source, path="inflight_race.py")
+        assert again["cached"] is False
+        # ... and only then is cached as usual.
+        third = client.analyze(report_source.source, path="inflight_race.py")
+        assert third["cached"] is True
+
+    def test_concurrent_analyze_during_reload_storm(
+        self, client, artifact_file, report_source
+    ):
+        errors: list[Exception] = []
+
+        def analyze_loop() -> None:
+            for i in range(5):
+                try:
+                    client.analyze(
+                        report_source.source, path=f"storm_{i % 2}.py"
+                    )
+                except Exception as exc:  # noqa: BLE001 - collected for assert
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=analyze_loop) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for _ in range(3):
+            client.reload(artifact_file)
+        for t in threads:
+            t.join(timeout=60)
+        assert not any(t.is_alive() for t in threads)
+        assert errors == []
