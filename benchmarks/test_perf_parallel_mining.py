@@ -1,0 +1,162 @@
+"""Performance benchmark: sharded parallel mining.
+
+Times the miner's frequency/growth/prune passes serially and over a
+4-worker process pool on the same prepared statements, asserts the two
+produce identical patterns (the bit-identity contract of
+``src/repro/parallel/``), and writes the measurements — including the
+per-phase profiler rows — to ``BENCH_mining.json`` at the repo root.
+
+The speedup floor is only enforced when the machine actually has the
+benchmark's worker count available (CI runners do); a 1-core box still
+runs the equivalence check and emits the JSON.  Override the floor with
+``REPRO_BENCH_MIN_SPEEDUP`` for noisy runners.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from conftest import print_table
+
+from repro.core.namer import Namer, NamerConfig
+from repro.core.patterns import PatternKind
+from repro.corpus.generator import GeneratorConfig, generate_python_corpus
+from repro.mining.miner import MiningConfig, PatternMiner
+from repro.parallel.executor import ShardExecutor, default_workers
+from repro.parallel.profiler import PhaseProfiler, format_phase_table
+from repro.parallel.sharding import pack_spans, spans_by_group
+
+BENCH_WORKERS = 4
+BENCH_OUT = pathlib.Path(__file__).resolve().parents[1] / "BENCH_mining.json"
+MINING = MiningConfig(min_pattern_support=20, min_path_frequency=8)
+
+
+@pytest.fixture(scope="module")
+def mining_input():
+    """Prepared statements and paths plus the per-repo shard plan."""
+    # Large enough that shard compute dwarfs the fixed pool overhead
+    # (fork, task dispatch, merging) on a 4-core runner.
+    corpus = generate_python_corpus(
+        GeneratorConfig(num_repos=90, issue_rate=0.12, seed=7)
+    )
+    namer = Namer(NamerConfig(mining=MINING))
+    prepared = namer.prepare(corpus)
+    statements = [ps.stmt for pf in prepared for ps in pf.statements]
+    paths = [ps.paths for pf in prepared for ps in pf.statements]
+    spans = spans_by_group((pf.repo, len(pf.statements)) for pf in prepared)
+    return statements, paths, spans
+
+
+def _fingerprint(results):
+    return [(p.key(), p.support) for r in results for p in r.patterns]
+
+
+def _mine_both_kinds(miner, statements, paths, *, executor, spans, profiler):
+    return [
+        miner.mine(
+            statements,
+            kind,
+            paths=paths,
+            spans=spans,
+            profiler=profiler,
+            executor=executor,
+        )
+        for kind in (PatternKind.CONSISTENCY, PatternKind.CONFUSING_WORD)
+    ]
+
+
+ROUNDS = 2  # best-of: the first parallel round pays fork/copy-on-write warm-up
+
+
+def test_parallel_mining_speedup(mining_input):
+    statements, paths, repo_spans = mining_input
+    # One miner per arm: the frequency memo (kind-independent path
+    # counts) is per-instance, so each arm warms only itself and the
+    # best-of rounds stay comparable across arms.
+    serial_miner = PatternMiner(MINING, confusing_pairs=[("True", "Equal")])
+    parallel_miner = PatternMiner(MINING, confusing_pairs=[("True", "Equal")])
+
+    serial_seconds = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        with ShardExecutor(1) as executor:
+            serial = _mine_both_kinds(
+                serial_miner,
+                statements,
+                paths,
+                executor=executor,
+                spans=None,
+                profiler=PhaseProfiler(),
+            )
+        serial_seconds = min(serial_seconds, time.perf_counter() - start)
+
+    parallel_seconds = float("inf")
+    for _ in range(ROUNDS):
+        profiler = PhaseProfiler()
+        start = time.perf_counter()
+        with ShardExecutor(BENCH_WORKERS) as executor:
+            spans = pack_spans(repo_spans, executor.shard_hint(len(statements)))
+            parallel = _mine_both_kinds(
+                parallel_miner,
+                statements,
+                paths,
+                executor=executor,
+                spans=spans,
+                profiler=profiler,
+            )
+        parallel_seconds = min(parallel_seconds, time.perf_counter() - start)
+
+    assert _fingerprint(parallel) == _fingerprint(serial), (
+        "sharded mining must be bit-identical to serial mining"
+    )
+
+    speedup = serial_seconds / max(parallel_seconds, 1e-9)
+    phases = profiler.to_json()
+    assert {row["phase"] for row in phases} == {
+        "frequency",
+        "growth",
+        "generate",
+        "prune",
+    }, "miner must fill the caller's profiler"
+    BENCH_OUT.write_text(
+        json.dumps(
+            {
+                "workers": BENCH_WORKERS,
+                "shards": len(spans),
+                "statements": len(statements),
+                "patterns": len(_fingerprint(serial)),
+                "serial_seconds": round(serial_seconds, 3),
+                "parallel_seconds": round(parallel_seconds, 3),
+                "speedup": round(speedup, 2),
+                "phases": phases,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    print_table(
+        f"Performance — sharded mining at {BENCH_WORKERS} workers",
+        f"statements: {len(statements)}, shards: {len(spans)}\n"
+        f"serial: {serial_seconds:.2f} s\n"
+        f"parallel: {parallel_seconds:.2f} s\n"
+        f"speedup: {speedup:.2f}x\n\n"
+        + format_phase_table(phases),
+    )
+
+    min_speedup = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "1.5"))
+    if default_workers() >= BENCH_WORKERS:
+        assert speedup >= min_speedup, (
+            f"expected >= {min_speedup}x at {BENCH_WORKERS} workers, "
+            f"got {speedup:.2f}x"
+        )
+    else:
+        print(
+            f"[skip] speedup floor not enforced: only {default_workers()} "
+            f"core(s) available"
+        )

@@ -82,6 +82,9 @@ def _arm_fault_plan(path: str | None) -> bool:
 
 
 def cmd_mine(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.parallel.profiler import format_phase_table
     from repro.resilience.faults import InjectedFault
     from repro.resilience.pipeline import run_mine_pipeline
 
@@ -94,10 +97,11 @@ def cmd_mine(args: argparse.Namespace) -> int:
             GeneratorConfig(num_repos=args.repos, issue_rate=0.12, seed=args.seed)
         )
 
+    workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
     try:
-        run_mine_pipeline(
+        result = run_mine_pipeline(
             corpus_factory=corpus_factory,
-            namer_config=NamerConfig(mining=_mining_config(args)),
+            namer_config=NamerConfig(mining=_mining_config(args), workers=workers),
             out=args.out,
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
@@ -110,6 +114,12 @@ def cmd_mine(args: argparse.Namespace) -> int:
         return _fail(f"injected fault tripped at {exc.site}: {exc}", code=3)
     except OSError as exc:
         return _fail(f"cannot write artifacts to {args.out}: {exc}")
+    if args.profile:
+        if result.summary is not None and result.summary.phase_timings:
+            print(f"phase timings ({workers} worker(s)):")
+            print(format_phase_table(result.summary.phase_timings))
+        else:
+            print("no phase timings (run resumed from checkpoints)")
     return 0
 
 
@@ -315,6 +325,15 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument(
         "--fault-plan", default=None, metavar="PLAN_JSON",
         help="arm a fault-injection plan (testing/chaos runs)",
+    )
+    mine.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool size for preparation and sharded mining "
+        "(default: all cores; results are identical for any N)",
+    )
+    mine.add_argument(
+        "--profile", action="store_true",
+        help="print a per-phase wall-time table after mining",
     )
     mine.set_defaults(fn=cmd_mine)
 

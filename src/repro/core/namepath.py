@@ -55,6 +55,29 @@ class NamePath:
     prefix: tuple[PathStep, ...]
     end: Optional[str]
 
+    def __hash__(self) -> int:
+        # Name paths are hashed constantly (frequency counters, FP-tree
+        # children, pattern sets, prefix indexes); hashing the PathStep
+        # tuple each time dominates those passes, so the first result is
+        # cached on the instance.  The cache lives outside the dataclass
+        # fields: equality and ordering never see it.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.prefix, self.end))
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __getstate__(self) -> dict:
+        # Never pickle the cached hash: string hashing is per-process
+        # (PYTHONHASHSEED), so a cached value shipped to a pool worker
+        # would disagree with the hashes the worker computes itself.
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     @property
     def is_symbolic(self) -> bool:
         return self.end is EPSILON

@@ -23,7 +23,7 @@ decoration ("w/o A").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -41,6 +41,9 @@ from repro.mining.miner import MiningConfig, PatternMiner
 from repro.ml.linear import LinearSVM
 from repro.ml.pipeline import ClassifierPipeline
 from repro.lang import parse_source
+from repro.parallel.executor import ShardExecutor
+from repro.parallel.profiler import PhaseProfiler
+from repro.parallel.sharding import pack_spans, spans_by_group
 from repro.resilience.faults import fault_check
 from repro.resilience.quarantine import Quarantine
 
@@ -60,6 +63,9 @@ class NamerConfig:
     min_pair_count: int = 2
     #: PCA components kept in the classifier pipeline
     pca_components: float = 0.99
+    #: process-pool size for corpus preparation and the sharded mining
+    #: passes; 1 runs everything inline (output is identical either way)
+    workers: int = 1
 
 
 @dataclass
@@ -79,6 +85,11 @@ class MiningSummary:
     #: files skipped with a structured error record instead of
     #: aborting the run (full records on ``Namer.quarantine``)
     quarantined_files: int = 0
+    #: wall-time/input-size rows from the :class:`PhaseProfiler`, one
+    #: per pipeline phase (prepare, pairs, frequency, growth, generate,
+    #: prune, stats, train); surfaced by ``repro mine --profile`` and
+    #: the service ``/metrics`` endpoint
+    phase_timings: list[dict] = field(default_factory=list)
 
 
 class Namer:
@@ -92,6 +103,8 @@ class Namer:
         self.classifier: ClassifierPipeline | None = None
         self.prepared: list[PreparedFile] = []
         self.summary = MiningSummary()
+        #: phase timings of the most recent mine()/train() run
+        self.profiler = PhaseProfiler()
         #: per-file failures captured (not raised) during mine()
         self.quarantine = Quarantine()
         #: populated by a degraded artifact load (see persistence)
@@ -102,10 +115,18 @@ class Namer:
     # ------------------------------------------------------------------
 
     def prepare(
-        self, corpus: Corpus, quarantine: Quarantine | None = None
+        self,
+        corpus: Corpus,
+        quarantine: Quarantine | None = None,
+        workers: int | None = None,
     ) -> list[PreparedFile]:
         """Prepare a corpus exactly as :meth:`mine` would (also used to
-        restore ``self.prepared`` when resuming from a checkpoint)."""
+        restore ``self.prepared`` when resuming from a checkpoint).
+
+        ``workers`` defaults to ``config.workers`` and fans the per-file
+        parse/analyze/transform work over a process pool; file order
+        (and therefore every downstream result) is preserved.
+        """
         cfg = self.config
         return prepare_corpus(
             corpus,
@@ -116,6 +137,7 @@ class Namer:
             ),
             pointsto_config=cfg.pointsto,
             max_paths=cfg.mining.max_paths_per_statement,
+            workers=cfg.workers if workers is None else workers,
             quarantine=quarantine,
         )
 
@@ -125,30 +147,76 @@ class Namer:
         Per-file parse/analyze/transform failures are quarantined (one
         :class:`~repro.resilience.quarantine.ErrorRecord` each, counted
         in the summary) rather than aborting the run.
+
+        With ``config.workers > 1`` the preparation and the miner's
+        frequency/growth/prune passes fan out over a process pool on a
+        deterministic per-repo shard plan; the mined patterns, supports,
+        and order are bit-identical to a serial run.  Every phase is
+        timed by a :class:`~repro.parallel.profiler.PhaseProfiler` whose
+        rows land on ``MiningSummary.phase_timings``.
         """
         cfg = self.config
         self.quarantine = Quarantine()
-        self.pairs = mine_confusing_pairs(
-            ((c.before, c.after) for c in corpus.commits),
-            parse=lambda src: parse_source(src, corpus.language).statements,
-        )
+        self.profiler = profiler = PhaseProfiler()
 
-        self.prepared = self.prepare(corpus, quarantine=self.quarantine)
+        with profiler.phase("pairs", items=len(corpus.commits)):
+            self.pairs = mine_confusing_pairs(
+                ((c.before, c.after) for c in corpus.commits),
+                parse=lambda src: parse_source(src, corpus.language).statements,
+            )
+
+        total_files = sum(1 for _ in corpus.files())
+        with profiler.phase("prepare", items=total_files):
+            self.prepared = self.prepare(corpus, quarantine=self.quarantine)
         statements = [ps.stmt for pf in self.prepared for ps in pf.statements]
+        # The prepared corpus already holds every statement's extracted
+        # paths; handing them to the miner spares it (and every shard
+        # worker) the re-extraction, which dominates each pass.
+        paths = [ps.paths for pf in self.prepared for ps in pf.statements]
 
         miner = PatternMiner(
             cfg.mining, confusing_pairs=self.pairs.pairs(cfg.min_pair_count)
         )
-        consistency = miner.mine(statements, PatternKind.CONSISTENCY)
-        confusing = miner.mine(statements, PatternKind.CONFUSING_WORD)
+        with ShardExecutor(cfg.workers) as executor:
+            # Shards are whole repositories, packed into contiguous
+            # balanced spans — deterministic, and repo-aligned so shard
+            # results never split a repo's statements.
+            spans = pack_spans(
+                spans_by_group(
+                    (pf.repo, len(pf.statements)) for pf in self.prepared
+                ),
+                executor.shard_hint(len(statements)),
+            )
+            consistency = miner.mine(
+                statements,
+                PatternKind.CONSISTENCY,
+                paths=paths,
+                spans=spans,
+                profiler=profiler,
+                executor=executor,
+            )
+            confusing = miner.mine(
+                statements,
+                PatternKind.CONFUSING_WORD,
+                paths=paths,
+                spans=spans,
+                profiler=profiler,
+                executor=executor,
+            )
         patterns = consistency.patterns + confusing.patterns
         self.matcher = PatternMatcher(patterns)
 
-        self.stats = StatsIndex.build(
-            self.matcher,
-            ((ps.stmt, ps.paths) for pf in self.prepared for ps in pf.statements),
-        )
+        with profiler.phase("stats", items=len(statements)):
+            self.stats = StatsIndex.build(
+                self.matcher,
+                (
+                    (ps.stmt, ps.paths)
+                    for pf in self.prepared
+                    for ps in pf.statements
+                ),
+            )
         self.summary = self._summarize(consistency, confusing, corpus)
+        self.summary.phase_timings = profiler.to_json()
         return self.summary
 
     def _summarize(self, consistency, confusing, corpus: Corpus) -> MiningSummary:
@@ -210,13 +278,15 @@ class Namer:
         ``labels`` are 1 for a true naming issue, 0 for a false
         positive; the paper labels 120 violations per language.
         """
-        X = np.vstack([self.featurize(v) for v in violations])
-        y = np.asarray(labels)
-        classifier = make_classifier() if make_classifier else LinearSVM()
-        self.classifier = ClassifierPipeline(
-            classifier, n_components=self.config.pca_components
-        )
-        self.classifier.fit(X, y)
+        with self.profiler.phase("train", items=len(violations)):
+            X = np.vstack([self.featurize(v) for v in violations])
+            y = np.asarray(labels)
+            classifier = make_classifier() if make_classifier else LinearSVM()
+            self.classifier = ClassifierPipeline(
+                classifier, n_components=self.config.pca_components
+            )
+            self.classifier.fit(X, y)
+        self.summary.phase_timings = self.profiler.to_json()
 
     # ------------------------------------------------------------------
     # Inference

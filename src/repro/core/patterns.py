@@ -148,10 +148,25 @@ class Violation:
         )
 
 
-def matches(pattern: NamePattern, paths: Sequence[NamePath]) -> bool:
+#: Type of the shared statement index: path prefix -> path.
+PrefixIndex = dict
+
+
+def matches(
+    pattern: NamePattern,
+    paths: Sequence[NamePath],
+    index: PrefixIndex | None = None,
+) -> bool:
     """Definition 3.6 match: ``C`` subset of ``A`` (up to epsilon) and
-    every deduction prefix present in ``A``."""
-    index = paths_by_prefix(paths)
+    every deduction prefix present in ``A``.
+
+    ``index`` is the statement's :func:`paths_by_prefix` mapping; pass
+    it when checking many patterns against one statement so the index
+    is built once, not once per pattern (the matcher and the miner's
+    prune pass both do).
+    """
+    if index is None:
+        index = paths_by_prefix(paths)
     for c in pattern.condition:
         candidate = index.get(c.prefix)
         if candidate is None or not equal(c, candidate):
@@ -162,17 +177,28 @@ def matches(pattern: NamePattern, paths: Sequence[NamePath]) -> bool:
     return True
 
 
-def check_pattern(pattern: NamePattern, paths: Sequence[NamePath]) -> Relation:
+def check_pattern(
+    pattern: NamePattern,
+    paths: Sequence[NamePath],
+    index: PrefixIndex | None = None,
+) -> Relation:
     """Classify the statement/pattern relationship."""
-    if not matches(pattern, paths):
+    if index is None:
+        index = paths_by_prefix(paths)
+    if not matches(pattern, paths, index):
         return Relation.NO_MATCH
-    if _satisfies(pattern, paths):
+    if _satisfies(pattern, paths, index):
         return Relation.SATISFIED
     return Relation.VIOLATED
 
 
-def _satisfies(pattern: NamePattern, paths: Sequence[NamePath]) -> bool:
-    index = paths_by_prefix(paths)
+def _satisfies(
+    pattern: NamePattern,
+    paths: Sequence[NamePath],
+    index: PrefixIndex | None = None,
+) -> bool:
+    if index is None:
+        index = paths_by_prefix(paths)
     if pattern.kind is PatternKind.CONSISTENCY:
         d1, d2 = sorted(pattern.deduction)
         a1, a2 = index.get(d1.prefix), index.get(d2.prefix)
@@ -190,12 +216,14 @@ def find_violation(
     pattern: NamePattern,
     stmt: StatementAst,
     paths: Sequence[NamePath],
+    index: PrefixIndex | None = None,
 ) -> Optional[Violation]:
     """Return the :class:`Violation` for ``stmt`` against ``pattern``,
     or ``None`` when the statement does not match or satisfies it."""
-    if check_pattern(pattern, paths) is not Relation.VIOLATED:
+    if index is None:
+        index = paths_by_prefix(paths)
+    if check_pattern(pattern, paths, index) is not Relation.VIOLATED:
         return None
-    index = paths_by_prefix(paths)
     if pattern.kind is PatternKind.CONSISTENCY:
         d1, d2 = sorted(pattern.deduction)
         a1, a2 = index[d1.prefix], index[d2.prefix]

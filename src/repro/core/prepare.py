@@ -159,13 +159,15 @@ def prepare_corpus(
         (source, repo.name, use_analysis, transform_config, pointsto_config, max_paths)
         for repo, source in corpus.files()
     ]
-    if workers <= 1:
+    workers = min(workers, len(tasks))
+    if workers <= 1 or len(tasks) < 4:
         results = [_prepare_task(task) for task in tasks]
     else:
         import concurrent.futures
 
+        chunksize = max(1, len(tasks) // (workers * 4))
         with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(_prepare_task, tasks, chunksize=8))
+            results = list(pool.map(_prepare_task, tasks, chunksize=chunksize))
     out: list[PreparedFile] = []
     for prepared, error in results:
         if prepared is not None:

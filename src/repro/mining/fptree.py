@@ -67,15 +67,28 @@ class FPTree:
     def update(self, transaction: Sequence[NamePath]) -> None:
         """Insert one transaction, incrementing counts along its path and
         flagging the final node (Algorithm 1, line 7)."""
-        if not transaction:
+        self.update_counted(transaction, 1)
+
+    def update_counted(self, transaction: Sequence[NamePath], count: int) -> None:
+        """Insert ``count`` occurrences of one transaction at once.
+
+        This is how sharded mining replays merged per-shard transaction
+        counts into a single tree: node counts are additive, so
+        replaying each *distinct* transaction once with its total count
+        — in first-occurrence order — produces a tree bit-identical to
+        ``count`` separate :meth:`update` calls interleaved in corpus
+        order (child dict order included, since a child is created by
+        the first transaction through it either way).
+        """
+        if not transaction or count <= 0:
             return
-        self.transaction_count += 1
+        self.transaction_count += count
         current = self.root
         for path in transaction:
             current = current.child(path)
-            current.count += 1
+            current.count += count
         current.is_last = True
-        current.last_count += 1
+        current.last_count += count
 
     def node_count(self) -> int:
         """Total number of nodes (excluding the root)."""

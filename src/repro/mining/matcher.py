@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Iterable, Iterator, Sequence
 
-from repro.core.namepath import NamePath, PathStep
+from repro.core.namepath import NamePath, PathStep, paths_by_prefix
 from repro.core.patterns import (
     NamePattern,
     Relation,
@@ -53,9 +53,15 @@ class PatternMatcher:
     def check_all(
         self, paths: Sequence[NamePath]
     ) -> Iterator[tuple[NamePattern, Relation]]:
-        """Yield (pattern, relation) for every candidate that matches."""
+        """Yield (pattern, relation) for every candidate that matches.
+
+        The statement's prefix index is built once here and shared by
+        every per-pattern check — with dozens of candidate patterns per
+        statement, rebuilding it per pattern used to dominate the pass.
+        """
+        index = paths_by_prefix(paths)
         for pattern in self.candidates(paths):
-            relation = check_pattern(pattern, paths)
+            relation = check_pattern(pattern, paths, index)
             if relation is not Relation.NO_MATCH:
                 yield pattern, relation
 
@@ -63,9 +69,10 @@ class PatternMatcher:
         self, stmt: StatementAst, paths: Sequence[NamePath]
     ) -> list[Violation]:
         """All pattern violations triggered by one statement."""
+        index = paths_by_prefix(paths)
         found = []
         for pattern in self.candidates(paths):
-            violation = find_violation(pattern, stmt, paths)
+            violation = find_violation(pattern, stmt, paths, index)
             if violation is not None:
                 found.append(violation)
         return found

@@ -13,6 +13,15 @@ The miner runs in four phases:
 4. **Pruning** — keep only patterns whose satisfaction/match ratio over
    the dataset is at least ``min_satisfaction_ratio`` (0.8 in the
    paper) and whose support clears ``min_pattern_support``.
+
+The frequency, growth, and prune passes are data-parallel over the
+statement sequence: each contiguous shard produces a small mergeable
+summary (a path counter, an ordered transaction-count dict, a pair of
+match/satisfaction counters — see :mod:`repro.parallel.merge`) and the
+merged result replays into exactly the state a serial pass would have
+built.  Generation runs on the single merged tree.  ``workers > 1``
+fans the shard work over a process pool; the output is **bit-identical**
+to serial mining either way (``tests/test_parallel.py``).
 """
 
 from __future__ import annotations
@@ -22,11 +31,20 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.core.namepath import EPSILON, NamePath, extract_name_paths
+from repro.core.namepath import (
+    EPSILON,
+    NamePath,
+    extract_name_paths,
+    paths_by_prefix,
+)
 from repro.core.patterns import NamePattern, PatternKind, Relation, check_pattern
 from repro.lang.astir import StatementAst
 from repro.mining.fptree import FPNode, FPTree
 from repro.mining.matcher import PatternMatcher
+from repro.parallel.executor import ShardExecutor, SharedSlice, resolve_shard
+from repro.parallel.merge import merge_count_pairs, merge_counters
+from repro.parallel.profiler import PhaseProfiler
+from repro.parallel.sharding import Span, even_spans
 from repro.resilience.faults import fault_check
 
 __all__ = ["MiningConfig", "PatternMiner", "MiningResult", "generate_patterns"]
@@ -92,6 +110,18 @@ class PatternMiner:
         self.correct_words: dict[str, set[str]] = {}
         for mistaken, correct in confusing_pairs:
             self.correct_words.setdefault(correct, set()).add(mistaken)
+        #: memo of the last frequency pass — path counts are independent
+        #: of the pattern kind, so mining both kinds over one dataset
+        #: pays for the pass once.  Holds the statements to pin identity
+        #: (and keep the id stable); never pickled into shard tasks.
+        self._frequency_memo: tuple[
+            Sequence[StatementAst], Counter[NamePath]
+        ] | None = None
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_frequency_memo"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Algorithm 1
@@ -101,51 +131,223 @@ class PatternMiner:
         self,
         statements: Sequence[StatementAst],
         kind: PatternKind,
+        *,
+        paths: Sequence[Sequence[NamePath]] | None = None,
+        workers: int = 1,
+        spans: Sequence[Span] | None = None,
+        profiler: PhaseProfiler | None = None,
+        executor: ShardExecutor | None = None,
     ) -> MiningResult:
         """Mine patterns of ``kind`` from transformed statement ASTs.
 
-        ``statements`` must already be AST+ transformed; the miner only
-        extracts paths and grows the tree.
+        ``statements`` must already be AST+ transformed.  ``paths`` may
+        supply the statements' already-extracted name paths (one list
+        per statement, as a prepared corpus holds them); without it the
+        miner extracts them itself — path extraction is the single most
+        expensive part of every pass, so callers that have the paths
+        should always hand them over.
+
+        ``spans`` is an optional contiguous shard plan over the
+        statement sequence (e.g. the per-repo plan ``Namer.mine``
+        builds); with none given, statements are split evenly.  An
+        ``executor`` may be shared across calls so one worker pool
+        serves both pattern kinds; otherwise one is created from
+        ``workers``.  Output does not depend on either: sharded and
+        serial mining produce identical results.
         """
         fault_check("mining.mine", key=kind.value)
         cfg = self.config
-        path_lists = [
-            extract_name_paths(s, max_paths=cfg.max_paths_per_statement)
-            for s in statements
-        ]
-        frequent = self._frequent_paths(path_lists)
+        if paths is not None and len(paths) != len(statements):
+            raise ValueError("paths must align one-to-one with statements")
+        if profiler is None:
+            profiler = PhaseProfiler()
+        own_executor = executor is None
+        if executor is None:
+            executor = ShardExecutor(workers)
+        try:
+            n = len(statements)
+            if spans is None:
+                spans = even_spans(n, executor.shard_hint(n))
+            parallel = executor.parallel and len(spans) > 1
+            for index in range(len(spans)):
+                fault_check("mining.shard", key=f"{kind.value}:{index}")
+            # Parallel shards travel as fork-shared slices where
+            # possible (see executor.shard_payloads): workers resolve
+            # given paths straight out of inherited memory, or extract
+            # from their statement shard (cached across passes).  Serial
+            # runs keep one set of path lists in this process.
+            has_paths = paths is not None
+            if parallel:
+                shards = executor.shard_payloads(
+                    paths if has_paths else statements, spans
+                )
+            else:
+                shards = []
+            path_lists: Sequence[Sequence[NamePath]] | None = None
 
-        tree = FPTree()
+            with profiler.phase("frequency", items=n):
+                memo = self._frequency_memo
+                memo_hit = memo is not None and memo[0] is statements
+                if not parallel:
+                    path_lists = (
+                        paths
+                        if has_paths
+                        else _extract_path_lists(
+                            statements, cfg.max_paths_per_statement
+                        )
+                    )
+                if memo_hit:
+                    counts = memo[1]
+                elif parallel:
+                    counts = merge_counters(
+                        executor.map(
+                            _frequency_shard,
+                            [(self, shard, has_paths) for shard in shards],
+                        )
+                    )
+                else:
+                    counts = _count_paths(path_lists)
+                self._frequency_memo = (statements, counts)
+                frequent = {
+                    p for p, c in counts.items() if c >= cfg.min_path_frequency
+                }
+
+            with profiler.phase("growth", items=n):
+                # Each shard's distinct transactions replay into the
+                # tree in span order — for contiguous shards that is the
+                # global first-occurrence order, so the tree (child dict
+                # order included) is bit-identical to per-statement
+                # serial insertion.
+                tree = FPTree()
+                if parallel:
+                    shard_transactions = executor.map(
+                        _growth_shard,
+                        [
+                            (self, shard, has_paths, frequent, kind)
+                            for shard in shards
+                        ],
+                    )
+                else:
+                    assert path_lists is not None
+                    shard_transactions = [
+                        self._transaction_counts(path_lists, frequent, kind)
+                    ]
+                for transactions in shard_transactions:
+                    for transaction, count in transactions.items():
+                        tree.update_counted(transaction, count)
+
+            fp_nodes = tree.node_count()
+            with profiler.phase("generate", items=fp_nodes):
+                candidates = generate_patterns(
+                    tree.root,
+                    [],
+                    kind,
+                    max_condition_paths=cfg.max_condition_paths,
+                    condition_subsets=cfg.condition_subsets,
+                    max_combinations=cfg.max_condition_combinations,
+                )
+                merged = _merge_duplicates(candidates)
+
+            with profiler.phase("prune", items=n):
+                supported = [
+                    p for p in merged if p.support >= cfg.min_pattern_support
+                ]
+                if supported:
+                    if parallel:
+                        match_counts, sat_counts = merge_count_pairs(
+                            executor.map(
+                                _prune_shard,
+                                [
+                                    (self, shard, has_paths, supported)
+                                    for shard in shards
+                                ],
+                            )
+                        )
+                    else:
+                        assert path_lists is not None
+                        match_counts, sat_counts = self._match_counts(
+                            path_lists, supported
+                        )
+                    pruned = self._prune_uncommon(
+                        supported, match_counts, sat_counts
+                    )
+                else:
+                    pruned = []
+
+            return MiningResult(
+                patterns=pruned,
+                total_statements=n,
+                total_transactions=tree.transaction_count,
+                fp_tree_nodes=fp_nodes,
+                candidates_before_pruning=len(merged),
+            )
+        finally:
+            if own_executor:
+                executor.close()
+
+    # ------------------------------------------------------------------
+    # Mergeable per-shard passes
+    # ------------------------------------------------------------------
+
+    def _transaction_counts(
+        self,
+        path_lists: list[list[NamePath]],
+        frequent: set[NamePath],
+        kind: PatternKind,
+    ) -> dict[tuple[NamePath, ...], int]:
+        """Growth pass over one shard: FP-tree transactions with counts,
+        keyed in first-occurrence order (the replay order)."""
+        transactions: dict[tuple[NamePath, ...], int] = {}
         for paths in path_lists:
             kept = [p for p in paths if p in frequent]
             for cond, deduct in self._split_paths(kept, kind):
-                transaction = sorted(cond) + sorted(deduct)
-                tree.update(transaction)
+                transaction = tuple(sorted(cond) + sorted(deduct))
+                if transaction:
+                    transactions[transaction] = (
+                        transactions.get(transaction, 0) + 1
+                    )
+        return transactions
 
-        candidates = generate_patterns(
-            tree.root,
-            [],
-            kind,
-            max_condition_paths=cfg.max_condition_paths,
-            condition_subsets=cfg.condition_subsets,
-            max_combinations=cfg.max_condition_combinations,
-        )
-        merged = _merge_duplicates(candidates)
-        pruned = self._prune_uncommon(merged, path_lists)
-        return MiningResult(
-            patterns=pruned,
-            total_statements=len(statements),
-            total_transactions=tree.transaction_count,
-            fp_tree_nodes=tree.node_count(),
-            candidates_before_pruning=len(merged),
-        )
-
-    def _frequent_paths(self, path_lists: list[list[NamePath]]) -> set[NamePath]:
-        """First pass: the set of paths above the frequency threshold."""
-        counts: Counter[NamePath] = Counter()
+    def _match_counts(
+        self,
+        path_lists: list[list[NamePath]],
+        supported: list[NamePattern],
+    ) -> tuple[Counter[int], Counter[int]]:
+        """Prune pass over one shard: per-pattern match / satisfaction
+        counts, keyed by index into ``supported``.  The anchor index is
+        built once per shard and the statement prefix index once per
+        statement — both shared across every candidate check."""
+        matcher = PatternMatcher(supported)
+        match_counts: Counter[int] = Counter()
+        sat_counts: Counter[int] = Counter()
         for paths in path_lists:
-            counts.update(paths)
-        return {p for p, c in counts.items() if c >= self.config.min_path_frequency}
+            index = paths_by_prefix(paths)
+            for idx in matcher.candidate_indices(paths):
+                relation = check_pattern(supported[idx], paths, index)
+                if relation is Relation.NO_MATCH:
+                    continue
+                match_counts[idx] += 1
+                if relation is Relation.SATISFIED:
+                    sat_counts[idx] += 1
+        return match_counts, sat_counts
+
+    def _prune_uncommon(
+        self,
+        supported: list[NamePattern],
+        match_counts: Counter[int],
+        sat_counts: Counter[int],
+    ) -> list[NamePattern]:
+        """pruneUncommon (Algorithm 1, line 9): keep patterns commonly
+        *satisfied* where they match."""
+        threshold = self.config.min_satisfaction_ratio
+        kept = []
+        for idx, pattern in enumerate(supported):
+            m = match_counts[idx]
+            if m == 0:
+                continue
+            if sat_counts[idx] / m >= threshold:
+                kept.append(pattern)
+        return kept
 
     # ------------------------------------------------------------------
     # splitPaths (Algorithm 1, line 6)
@@ -200,39 +402,73 @@ class PatternMiner:
             ]
             yield cond, [a]
 
-    # ------------------------------------------------------------------
-    # pruneUncommon (Algorithm 1, line 9)
-    # ------------------------------------------------------------------
 
-    def _prune_uncommon(
-        self,
-        candidates: list[NamePattern],
-        path_lists: list[list[NamePath]],
-    ) -> list[NamePattern]:
-        """Keep patterns commonly *satisfied* where they match."""
-        cfg = self.config
-        supported = [p for p in candidates if p.support >= cfg.min_pattern_support]
-        if not supported:
-            return []
-        matcher = PatternMatcher(supported)
-        match_counts: Counter[int] = Counter()
-        sat_counts: Counter[int] = Counter()
-        for paths in path_lists:
-            for idx in matcher.candidate_indices(paths):
-                relation = check_pattern(supported[idx], paths)
-                if relation is Relation.NO_MATCH:
-                    continue
-                match_counts[idx] += 1
-                if relation is Relation.SATISFIED:
-                    sat_counts[idx] += 1
-        kept = []
-        for idx, pattern in enumerate(supported):
-            m = match_counts[idx]
-            if m == 0:
-                continue
-            if sat_counts[idx] / m >= cfg.min_satisfaction_ratio:
-                kept.append(pattern)
-        return kept
+# ----------------------------------------------------------------------
+# Shard tasks (module-level for process-pool pickling).  Each receives
+# the miner itself — a frozen config plus the confusing-pair map, both
+# cheap to pickle — and a shard payload (a fork-shared slice handle or
+# the statements themselves), and returns only the shard's mergeable
+# summary.  A worker keeps the paths it extracted for a shared shard so
+# the growth and prune passes reuse the frequency pass's work whenever
+# the pool routes them to the same process.
+# ----------------------------------------------------------------------
+
+_PATH_CACHE: dict[tuple[SharedSlice, int], list[list["NamePath"]]] = {}
+
+
+def _extract_path_lists(
+    statements: Sequence[StatementAst], max_paths: int
+) -> list[list[NamePath]]:
+    return [extract_name_paths(s, max_paths=max_paths) for s in statements]
+
+
+def _shard_path_lists(
+    payload, has_paths: bool, max_paths: int
+) -> Sequence[Sequence[NamePath]]:
+    if has_paths:
+        # The payload already IS the shard's path lists (resolved from
+        # fork-inherited memory or shipped directly) — nothing to do.
+        return resolve_shard(payload)
+    if isinstance(payload, SharedSlice):
+        cache_key = (payload, max_paths)
+        cached = _PATH_CACHE.get(cache_key)
+        if cached is None:
+            cached = _extract_path_lists(resolve_shard(payload), max_paths)
+            _PATH_CACHE[cache_key] = cached
+        return cached
+    return _extract_path_lists(payload, max_paths)
+
+
+def _count_paths(path_lists: list[list[NamePath]]) -> Counter[NamePath]:
+    counts: Counter[NamePath] = Counter()
+    for paths in path_lists:
+        counts.update(paths)
+    return counts
+
+
+def _frequency_shard(task) -> Counter[NamePath]:
+    miner, payload, has_paths = task
+    return _count_paths(
+        _shard_path_lists(
+            payload, has_paths, miner.config.max_paths_per_statement
+        )
+    )
+
+
+def _growth_shard(task) -> dict[tuple[NamePath, ...], int]:
+    miner, payload, has_paths, frequent, kind = task
+    path_lists = _shard_path_lists(
+        payload, has_paths, miner.config.max_paths_per_statement
+    )
+    return miner._transaction_counts(path_lists, frequent, kind)
+
+
+def _prune_shard(task) -> tuple[Counter[int], Counter[int]]:
+    miner, payload, has_paths, supported = task
+    path_lists = _shard_path_lists(
+        payload, has_paths, miner.config.max_paths_per_statement
+    )
+    return miner._match_counts(path_lists, supported)
 
 
 # ----------------------------------------------------------------------
@@ -248,38 +484,41 @@ def generate_patterns(
     condition_subsets: str = "full",
     max_combinations: int = 32,
 ) -> list[NamePattern]:
-    """Recursive FP-tree traversal emitting a pattern per is_last node.
+    """FP-tree traversal emitting a pattern per is_last node.
 
     ``visited`` is the list of name paths from the root to the current
-    node (Algorithm 2's ``paths`` argument).
+    node (Algorithm 2's ``paths`` argument).  The traversal is
+    pre-order over an explicit stack rather than recursion: an FP tree
+    over long transactions is as deep as its longest transaction, and a
+    paper-scale corpus builds chains far past Python's recursion limit
+    (the regression test drives a ~3000-node chain through here).
     """
     patterns: list[NamePattern] = []
-    if node.path is not None:
-        visited.append(node.path)
-    try:
-        if node.is_last and node.path is not None:
+    depth = len(visited)
+    #: (node, entering) — entering pushes the node's path and emits; the
+    #: second visit pops it after the whole subtree is done.
+    stack: list[tuple[FPNode, bool]] = [(node, True)]
+    while stack:
+        current, entering = stack.pop()
+        if not entering:
+            if current.path is not None:
+                visited.pop()
+            continue
+        if current.path is not None:
+            visited.append(current.path)
+        stack.append((current, False))
+        if current.is_last and current.path is not None:
             deduct, conds = _get_deduction_and_conditions(visited, kind)
             if deduct is not None:
                 for cond in _condition_combinations(
                     conds, max_condition_paths, condition_subsets, max_combinations
                 ):
-                    pattern = _build_pattern(cond, deduct, kind, node.count)
+                    pattern = _build_pattern(cond, deduct, kind, current.count)
                     if pattern is not None:
                         patterns.append(pattern)
-        for child in node.children.values():
-            patterns.extend(
-                generate_patterns(
-                    child,
-                    visited,
-                    kind,
-                    max_condition_paths,
-                    condition_subsets,
-                    max_combinations,
-                )
-            )
-    finally:
-        if node.path is not None:
-            visited.pop()
+        for child in reversed(list(current.children.values())):
+            stack.append((child, True))
+    del visited[depth:]  # restore the caller's list, as recursion did
     return patterns
 
 

@@ -1,0 +1,167 @@
+"""Shard task execution: inline for one worker, process pool otherwise.
+
+The miner's shard tasks are pure functions of picklable inputs, so the
+executor's contract is tiny: ``map(fn, tasks)`` returns one result per
+task, **in task order**, whatever the backend.  With ``workers <= 1``
+(or a single task) everything runs inline in the calling process — no
+fork, no pickling, and byte-identical behavior to the pre-sharding
+serial code.  With more workers a ``ProcessPoolExecutor`` is created
+lazily on first use and reused across phases (and across the two
+per-kind mine passes), so one ``Namer.mine`` pays process start-up at
+most once.
+
+Shipping a shard's statements to a worker costs more than the shard
+work itself (megabytes of AST pickle per phase), so the executor also
+offers *fork-shared sequences*: :meth:`ShardExecutor.shard_payloads`
+registers a sequence in module-level memory **before** the pool forks
+and hands out :class:`SharedSlice` handles — a ``(key, start, stop)``
+triple a worker resolves against its inherited copy for free.  When
+inheritance cannot work (pool already forked without the sequence, or a
+spawn-based platform), it silently falls back to shipping real slices;
+results are identical either way, only the pickling bill changes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+__all__ = [
+    "ShardExecutor",
+    "SharedSlice",
+    "default_workers",
+    "resolve_shard",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Shards per worker the default plans aim for: enough slack that one
+#: slow shard does not idle the pool, few enough that per-shard overhead
+#: stays a rounding error.
+SHARDS_PER_WORKER = 2
+
+#: Sequences published for fork inheritance, keyed by registration
+#: number.  Entries added before a pool forks are visible (copy-on-
+#: write) in every worker of that pool.
+_SHARED: dict[int, Sequence] = {}
+_SHARED_KEYS = itertools.count(1)
+
+
+def default_workers() -> int:
+    """Worker count when the caller does not choose: every core the
+    scheduler lets this process use."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def _fork_available() -> bool:
+    import multiprocessing
+
+    return multiprocessing.get_start_method(allow_none=True) in (None, "fork") and hasattr(os, "fork")
+
+
+@dataclass(frozen=True)
+class SharedSlice:
+    """A picklable handle to ``_SHARED[key][start:stop]``.
+
+    Hashable on purpose: workers key their per-shard caches on it.
+    """
+
+    key: int
+    start: int
+    stop: int
+
+
+def resolve_shard(payload):
+    """Materialize a shard payload inside a worker (or inline): either
+    a :class:`SharedSlice` into fork-inherited memory, or the real
+    slice that was shipped as a fallback."""
+    if isinstance(payload, SharedSlice):
+        return _SHARED[payload.key][payload.start : payload.stop]
+    return payload
+
+
+class ShardExecutor:
+    """Order-preserving ``map`` over shard tasks.
+
+    Usable as a context manager; the underlying pool (if one was ever
+    created) is shut down on exit.  Safe to enter with ``workers=1`` —
+    no pool is created and ``map`` is a list comprehension.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        self.workers = max(1, int(workers))
+        self._pool = None
+        self._shared_keys: list[int] = []
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 1
+
+    def shard_hint(self, num_items: int) -> int:
+        """How many shards a plan should aim for at this worker count."""
+        if not self.parallel:
+            return 1
+        return max(1, min(num_items, self.workers * SHARDS_PER_WORKER))
+
+    def shard_payloads(self, seq: Sequence, spans: Sequence[tuple[int, int]]) -> list:
+        """Per-span payloads over ``seq`` for worker tasks.
+
+        Registers ``seq`` for fork inheritance when the pool has not
+        forked yet (or returns the existing registration — the two
+        per-kind mine passes share one sequence), yielding cheap
+        :class:`SharedSlice` handles; otherwise ships real slices.
+        """
+        key = self._share(seq)
+        if key is None:
+            return [seq[start:stop] for start, stop in spans]
+        return [SharedSlice(key, start, stop) for start, stop in spans]
+
+    def _share(self, seq: Sequence) -> int | None:
+        for key in self._shared_keys:
+            if _SHARED.get(key) is seq:
+                return key
+        if self._pool is not None or not _fork_available():
+            return None
+        key = next(_SHARED_KEYS)
+        _SHARED[key] = seq
+        self._shared_keys.append(key)
+        return key
+
+    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+        """Run ``fn`` over ``tasks``, returning results in task order.
+
+        Falls back to inline execution for trivial workloads (one task
+        or one worker) where a pool could only add overhead.
+        """
+        if not self.parallel or len(tasks) <= 1:
+            return [fn(task) for task in tasks]
+        return list(self._ensure_pool().map(fn, tasks))
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import concurrent.futures
+
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        for key in self._shared_keys:
+            _SHARED.pop(key, None)
+        self._shared_keys.clear()
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,64 @@
+"""Order-preserving merges of per-shard mining results.
+
+Every sharded phase of the miner returns a small, picklable, mergeable
+summary instead of raw data:
+
+* frequency pass  — ``Counter[NamePath]`` of path occurrences;
+* growth pass     — an insertion-ordered ``dict[transaction, count]``
+  of FP-tree transactions (first-seen order within the shard);
+* prune pass      — a ``(match_counts, sat_counts)`` pair of
+  ``Counter[int]`` keyed by pattern index.
+
+Merging is done with explicit first-seen-order loops rather than
+``Counter.__add__`` (which reorders keys and drops non-positive
+entries): for contiguous in-order shards, iterating shard results in
+shard order reproduces exactly the first-seen order a serial pass over
+the whole sequence would produce — the property the FP-tree replay
+relies on for bit-identical output.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Iterable, Mapping, TypeVar
+
+__all__ = ["merge_counters", "merge_ordered_counts", "merge_count_pairs"]
+
+K = TypeVar("K", bound=Hashable)
+
+
+def merge_counters(counters: Iterable[Mapping[K, int]]) -> Counter[K]:
+    """Sum counters, keeping first-seen key order across shards."""
+    merged: Counter[K] = Counter()
+    for counter in counters:
+        for key, count in counter.items():
+            merged[key] += count
+    return merged
+
+
+def merge_ordered_counts(counts: Iterable[Mapping[K, int]]) -> dict[K, int]:
+    """Sum plain dicts of counts, keeping first-seen key order.
+
+    For contiguous shards merged in span order this equals the
+    first-occurrence order of a serial scan — new keys appear exactly
+    when the serial scan would first meet them.
+    """
+    merged: dict[K, int] = {}
+    for shard in counts:
+        for key, count in shard.items():
+            merged[key] = merged.get(key, 0) + count
+    return merged
+
+
+def merge_count_pairs(
+    pairs: Iterable[tuple[Mapping[int, int], Mapping[int, int]]],
+) -> tuple[Counter[int], Counter[int]]:
+    """Merge per-shard (match_counts, satisfaction_counts) pairs."""
+    matches: Counter[int] = Counter()
+    satisfactions: Counter[int] = Counter()
+    for match_counts, sat_counts in pairs:
+        for idx, count in match_counts.items():
+            matches[idx] += count
+        for idx, count in sat_counts.items():
+            satisfactions[idx] += count
+    return matches, satisfactions

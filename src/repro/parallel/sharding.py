@@ -1,0 +1,109 @@
+"""Deterministic, order-preserving shard plans.
+
+A *span* is a half-open ``(start, stop)`` index range over a sequence
+of work items (statements, files).  A *shard plan* is a list of spans
+that partitions the sequence into contiguous, in-order pieces; each
+shard is processed independently and its mergeable result is combined
+in span order.
+
+Contiguity is what makes sharding invisible to the mining output:
+scanning shard 0 fully, then shard 1, ... visits items in exactly the
+original order, so first-seen orderings (FP-tree child creation,
+transaction replay order) are preserved for *any* contiguous plan —
+one shard, two, or twenty-eight.  ``tests/test_parallel.py`` asserts
+this bit-identity across shard counts.
+
+Per-repo sharding (the plan :meth:`repro.core.namer.Namer.mine` uses)
+additionally keeps every repository inside one shard, so shard results
+can later grow per-repo aggregates without cross-shard reconciliation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, TypeVar
+
+__all__ = ["Span", "spans_by_group", "pack_spans", "even_spans", "slice_spans"]
+
+T = TypeVar("T")
+
+#: One contiguous half-open index range ``(start, stop)``.
+Span = tuple[int, int]
+
+
+def spans_by_group(group_sizes: Iterable[tuple[str, int]]) -> list[Span]:
+    """Item spans for consecutive runs of equal group keys.
+
+    ``group_sizes`` yields ``(group_key, item_count)`` rows in corpus
+    order — e.g. one row per prepared file with its repo name and
+    statement count.  Consecutive rows sharing a key collapse into one
+    span, so a corpus ordered repo-by-repo yields one span per repo.
+    Empty runs (zero total items) produce no span.
+    """
+    spans: list[Span] = []
+    current_key: str | None = None
+    start = 0
+    cursor = 0
+    for key, size in group_sizes:
+        if current_key is None or key != current_key:
+            if cursor > start:
+                spans.append((start, cursor))
+            current_key = key
+            start = cursor
+        cursor += size
+    if cursor > start:
+        spans.append((start, cursor))
+    return spans
+
+
+def pack_spans(spans: Sequence[Span], num_shards: int) -> list[Span]:
+    """Pack atomic spans into at most ``num_shards`` contiguous shards.
+
+    Greedy in-order packing balanced by item count: a shard closes once
+    it reaches the ideal ``total / num_shards`` share.  Atomic spans are
+    never split, so a single huge repo yields a single large shard
+    rather than a broken repo boundary.  The result is a function of
+    ``(spans, num_shards)`` only — no randomness, no hashing.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    spans = [s for s in spans if s[1] > s[0]]
+    if not spans:
+        return []
+    total = sum(stop - start for start, stop in spans)
+    target = total / num_shards
+    packed: list[Span] = []
+    shard_start = spans[0][0]
+    filled = 0
+    for start, stop in spans:
+        filled += stop - start
+        # Close the current shard once the cumulative item count reaches
+        # its fair share, keeping room for the remaining shards.
+        if len(packed) < num_shards - 1 and filled >= target * (len(packed) + 1):
+            packed.append((shard_start, stop))
+            shard_start = stop
+    if shard_start < spans[-1][1]:
+        packed.append((shard_start, spans[-1][1]))
+    return packed
+
+
+def even_spans(num_items: int, num_shards: int) -> list[Span]:
+    """Split ``range(num_items)`` into at most ``num_shards`` contiguous
+    near-equal spans (the repo-agnostic default plan)."""
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if num_items <= 0:
+        return []
+    num_shards = min(num_shards, num_items)
+    base, extra = divmod(num_items, num_shards)
+    spans: list[Span] = []
+    start = 0
+    for i in range(num_shards):
+        stop = start + base + (1 if i < extra else 0)
+        spans.append((start, stop))
+        start = stop
+    return spans
+
+
+def slice_spans(items: Sequence[T], spans: Sequence[Span]) -> list[Sequence[T]]:
+    """Materialize the shard slices of ``items`` for a plan."""
+    return [items[start:stop] for start, stop in spans]

@@ -110,6 +110,7 @@ class AnalysisEngine:
         self.cache = ResultCache(cache_entries)
         self.queue = RequestQueue(capacity=queue_capacity, workers=workers)
         self.metrics = ServiceMetrics()
+        self.metrics.set_mining_phases(namer.summary.phase_timings)
         self._reload_lock = threading.Lock()
         #: bumped on reload; in-flight results from the old artifact must
         #: not repopulate the freshly-cleared cache
@@ -330,6 +331,7 @@ class AnalysisEngine:
             self._generation += 1
             dropped = self.cache.clear()
         self.metrics.record_reload()
+        self.metrics.set_mining_phases(namer.summary.phase_timings)
         return {
             "artifacts": artifact_path,
             "cache_entries_dropped": dropped,

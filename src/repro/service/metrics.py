@@ -71,6 +71,11 @@ class ServiceMetrics:
         #: requests that arrived flagged as client-side retries
         #: (``X-Repro-Retry`` header) — backoff made visible server-side
         self.retried_requests = 0
+        #: phase-timing rows of the mining run behind the loaded
+        #: artifact (``MiningSummary.phase_timings``); empty when the
+        #: artifact was mined in another process — wall-clock timings
+        #: are never persisted, they describe a run, not an artifact
+        self.mining_phases: list[dict] = []
         self.latency = LatencyWindow()
 
     def record_request(self, files: int, violations: int, seconds: float) -> None:
@@ -104,6 +109,10 @@ class ServiceMetrics:
         with self._lock:
             self.retried_requests += 1
 
+    def set_mining_phases(self, rows: list[dict]) -> None:
+        with self._lock:
+            self.mining_phases = [dict(row) for row in rows]
+
     def to_json(self) -> dict:
         with self._lock:
             body = {
@@ -117,6 +126,7 @@ class ServiceMetrics:
                 "reloads": self.reloads,
                 "quarantined_files": self.quarantined_files,
                 "retried_requests": self.retried_requests,
+                "mining_phases": [dict(row) for row in self.mining_phases],
             }
         body["latency"] = self.latency.to_json()
         return body

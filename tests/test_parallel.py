@@ -1,0 +1,408 @@
+"""Sharded mining must be bit-identical to serial mining.
+
+The contract under test (see ``src/repro/parallel/``): for *any*
+contiguous shard plan and *any* worker count, the mined patterns — their
+sets, supports, and order — and the saved artifact bytes are identical
+to a serial run.  The determinism holds under fault injection too: a
+seeded fault plan trips on the same (site, key) pairs whether the check
+runs inline or inside a pool worker.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.namepath import NamePath, PathStep
+from repro.core.namer import Namer, NamerConfig
+from repro.core.patterns import PatternKind
+from repro.corpus.generator import GeneratorConfig, generate_python_corpus
+from repro.mining.fptree import FPTree
+from repro.mining.miner import MiningConfig, PatternMiner, generate_patterns
+from repro.parallel.executor import ShardExecutor, default_workers
+from repro.parallel.merge import (
+    merge_count_pairs,
+    merge_counters,
+    merge_ordered_counts,
+)
+from repro.parallel.profiler import PhaseProfiler, format_phase_table
+from repro.parallel.sharding import (
+    even_spans,
+    pack_spans,
+    slice_spans,
+    spans_by_group,
+)
+from repro.resilience.faults import (
+    FAULTS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
+
+from .test_miner import idiom_corpus
+
+SMALL = MiningConfig(min_pattern_support=10, min_path_frequency=5)
+
+
+# ----------------------------------------------------------------------
+# Shard plans
+# ----------------------------------------------------------------------
+
+
+class TestSharding:
+    def test_even_spans_partition(self):
+        spans = even_spans(10, 3)
+        assert spans == [(0, 4), (4, 7), (7, 10)]
+
+    def test_even_spans_more_shards_than_items(self):
+        assert even_spans(2, 5) == [(0, 1), (1, 2)]
+        assert even_spans(0, 4) == []
+
+    def test_spans_by_group_collapses_runs(self):
+        rows = [("a", 2), ("a", 3), ("b", 1), ("c", 0), ("c", 4)]
+        assert spans_by_group(rows) == [(0, 5), (5, 6), (6, 10)]
+
+    def test_spans_by_group_skips_empty_runs(self):
+        assert spans_by_group([("a", 0), ("b", 2)]) == [(0, 2)]
+        assert spans_by_group([]) == []
+
+    def test_pack_spans_balances_without_splitting(self):
+        spans = [(0, 4), (4, 8), (8, 10)]
+        assert pack_spans(spans, 3) == [(0, 4), (4, 8), (8, 10)]
+        assert pack_spans(spans, 2) == [(0, 8), (8, 10)]
+        assert pack_spans(spans, 1) == [(0, 10)]
+
+    def test_pack_spans_never_exceeds_span_count(self):
+        spans = [(0, 9), (9, 10)]
+        packed = pack_spans(spans, 5)
+        assert packed == [(0, 9), (9, 10)]
+
+    def test_pack_spans_covers_contiguously(self):
+        spans = spans_by_group((str(i % 7), 1 + i % 3) for i in range(50))
+        for shards in (1, 2, 3, 8):
+            packed = pack_spans(spans, shards)
+            assert packed[0][0] == spans[0][0]
+            assert packed[-1][1] == spans[-1][1]
+            for (_, stop), (start, _) in zip(packed, packed[1:]):
+                assert stop == start
+
+    def test_slice_spans(self):
+        items = list(range(10))
+        assert slice_spans(items, [(0, 3), (3, 10)]) == [
+            [0, 1, 2],
+            [3, 4, 5, 6, 7, 8, 9],
+        ]
+
+
+# ----------------------------------------------------------------------
+# Mergeable summaries
+# ----------------------------------------------------------------------
+
+
+class TestMerge:
+    def test_merge_counters_keeps_first_seen_order(self):
+        merged = merge_counters([{"b": 1, "a": 2}, {"c": 1, "a": 3}])
+        assert list(merged) == ["b", "a", "c"]
+        assert merged["a"] == 5
+
+    def test_merge_ordered_counts_matches_serial_first_occurrence(self):
+        stream = ["x", "y", "x", "z", "y", "w"]
+        shard1, shard2 = stream[:3], stream[3:]
+
+        def count(items):
+            out = {}
+            for item in items:
+                out[item] = out.get(item, 0) + 1
+            return out
+
+        merged = merge_ordered_counts([count(shard1), count(shard2)])
+        assert merged == count(stream)
+        assert list(merged) == list(count(stream))
+
+    def test_merge_count_pairs(self):
+        m, s = merge_count_pairs([({0: 2, 1: 1}, {0: 1}), ({1: 4}, {1: 2})])
+        assert m == {0: 2, 1: 5}
+        assert s == {0: 1, 1: 2}
+
+
+# ----------------------------------------------------------------------
+# Profiler
+# ----------------------------------------------------------------------
+
+
+class TestProfiler:
+    def test_phase_accumulates_same_name(self):
+        ticks = iter(range(100))
+        profiler = PhaseProfiler(clock=lambda: next(ticks))
+        with profiler.phase("growth", items=5):
+            pass
+        with profiler.phase("growth", items=7):
+            pass
+        (row,) = profiler.rows()
+        assert (row.phase, row.items, row.calls) == ("growth", 12, 2)
+        assert row.seconds == 2.0
+
+    def test_phase_records_on_exception(self):
+        profiler = PhaseProfiler()
+        with pytest.raises(RuntimeError):
+            with profiler.phase("prepare"):
+                raise RuntimeError("boom")
+        assert profiler.rows()[0].phase == "prepare"
+
+    def test_json_roundtrip(self):
+        profiler = PhaseProfiler()
+        profiler.record("stats", 1.5, items=10)
+        rows = profiler.to_json()
+        restored = PhaseProfiler.from_json(rows)
+        assert restored.to_json() == rows
+        assert restored.seconds_for("stats") == 1.5
+
+    def test_empty_profiler_is_truthy(self):
+        # Guards the ``profiler or PhaseProfiler()`` idiom: an empty
+        # profiler handed to the miner must be filled, not replaced.
+        assert PhaseProfiler()
+
+    def test_miner_fills_caller_profiler(self):
+        profiler = PhaseProfiler()
+        miner = PatternMiner(SMALL, confusing_pairs=[("True", "Equal")])
+        miner.mine(idiom_corpus(20), PatternKind.CONFUSING_WORD, profiler=profiler)
+        assert {row.phase for row in profiler.rows()} == {
+            "frequency",
+            "growth",
+            "generate",
+            "prune",
+        }
+
+    def test_format_phase_table(self):
+        table = format_phase_table(
+            [{"phase": "growth", "seconds": 1.0, "items": 3, "calls": 2}]
+        )
+        assert "growth" in table and "100.0%" in table
+        assert format_phase_table([]) == ""
+
+
+# ----------------------------------------------------------------------
+# Executor
+# ----------------------------------------------------------------------
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestShardExecutor:
+    def test_inline_when_single_worker(self):
+        with ShardExecutor(1) as executor:
+            assert not executor.parallel
+            assert executor.map(_square, [1, 2, 3]) == [1, 4, 9]
+            assert executor._pool is None
+
+    def test_pool_map_preserves_order(self):
+        with ShardExecutor(2) as executor:
+            assert executor.map(_square, list(range(20))) == [
+                x * x for x in range(20)
+            ]
+
+    def test_shard_hint_bounds(self):
+        executor = ShardExecutor(4)
+        assert executor.shard_hint(100) == 8
+        assert executor.shard_hint(3) == 3
+        assert ShardExecutor(1).shard_hint(100) == 1
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+# ----------------------------------------------------------------------
+# Cached NamePath hashes must not leak across processes
+# ----------------------------------------------------------------------
+
+
+class TestNamePathHashCache:
+    def test_hash_cached_and_stable(self):
+        p = NamePath(prefix=(PathStep("Call", 0),), end="size")
+        assert hash(p) == hash(p)
+        assert hash(p) == hash(NamePath(prefix=(PathStep("Call", 0),), end="size"))
+
+    def test_pickle_strips_cached_hash(self):
+        p = NamePath(prefix=(PathStep("Call", 0),), end="size")
+        hash(p)  # populate the cache
+        assert "_hash" in p.__dict__
+        payload = pickle.dumps(p)
+        assert b"_hash" not in payload
+        restored = pickle.loads(payload)
+        assert "_hash" not in restored.__dict__
+        assert restored == p and hash(restored) == hash(p)
+
+
+# ----------------------------------------------------------------------
+# Bit-identity: sharded mining == serial mining
+# ----------------------------------------------------------------------
+
+
+def _fingerprint(result):
+    return [
+        (p.key(), p.support, p.kind) for p in result.patterns
+    ], (
+        result.total_statements,
+        result.total_transactions,
+        result.fp_tree_nodes,
+        result.candidates_before_pruning,
+    )
+
+
+class TestShardedMiningEquivalence:
+    @pytest.fixture(scope="class")
+    def statements(self):
+        return idiom_corpus(60)
+
+    @pytest.fixture(scope="class")
+    def miner(self):
+        return PatternMiner(SMALL, confusing_pairs=[("True", "Equal")])
+
+    @pytest.fixture(scope="class")
+    def serial(self, miner, statements):
+        return _fingerprint(
+            miner.mine(statements, PatternKind.CONFUSING_WORD, workers=1)
+        )
+
+    @pytest.mark.parametrize("shards", [1, 2, 7])
+    def test_shard_plan_invisible(self, miner, statements, serial, shards):
+        spans = even_spans(len(statements), shards)
+        with ShardExecutor(2) as executor:
+            result = miner.mine(
+                statements,
+                PatternKind.CONFUSING_WORD,
+                spans=spans,
+                executor=executor,
+            )
+        assert _fingerprint(result) == serial
+        assert serial[0], "equivalence is vacuous without patterns"
+
+    def test_workers_invisible(self, miner, statements, serial):
+        result = miner.mine(statements, PatternKind.CONFUSING_WORD, workers=2)
+        assert _fingerprint(result) == serial
+
+    def test_empty_statements(self, miner):
+        result = miner.mine([], PatternKind.CONFUSING_WORD, workers=2)
+        assert result.patterns == []
+        assert result.total_statements == 0
+
+
+# ----------------------------------------------------------------------
+# Namer-level: byte-identical artifacts, identical quarantine
+# ----------------------------------------------------------------------
+
+
+def _mine_corpus():
+    return generate_python_corpus(
+        GeneratorConfig(num_repos=8, issue_rate=0.15, seed=31)
+    )
+
+
+class TestNamerParallelEquivalence:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return _mine_corpus()
+
+    def _summary_key(self, summary):
+        return {
+            k: v for k, v in summary.__dict__.items() if k != "phase_timings"
+        }
+
+    def test_artifacts_byte_identical(self, corpus, tmp_path_factory):
+        from repro.core.persistence import namer_to_document, save_document
+
+        out = tmp_path_factory.mktemp("artifacts")
+        namers = {}
+        for workers in (1, 2):
+            namer = Namer(NamerConfig(mining=SMALL, workers=workers))
+            namer.mine(corpus)
+            save_document(namer_to_document(namer), out / f"w{workers}.json")
+            namers[workers] = namer
+        assert (out / "w1.json").read_bytes() == (out / "w2.json").read_bytes()
+        assert namers[1].matcher.patterns, "corpus mined no patterns"
+        assert self._summary_key(namers[1].summary) == self._summary_key(
+            namers[2].summary
+        )
+
+    def test_phase_timings_cover_pipeline(self, corpus):
+        namer = Namer(NamerConfig(mining=SMALL, workers=2))
+        summary = namer.mine(corpus)
+        phases = [row["phase"] for row in summary.phase_timings]
+        assert phases == [
+            "pairs",
+            "prepare",
+            "frequency",
+            "growth",
+            "generate",
+            "prune",
+            "stats",
+        ]
+        # The four miner passes ran once per pattern kind.
+        by_name = {row["phase"]: row for row in summary.phase_timings}
+        assert by_name["frequency"]["calls"] == 2
+        assert all(row["seconds"] >= 0.0 for row in summary.phase_timings)
+
+    def test_quarantine_identical_under_faults(self, corpus):
+        plan_spec = dict(site="corpus.prepare_file", rate=0.4)
+        results = {}
+        for workers in (1, 2):
+            with FAULTS.armed(FaultPlan([FaultSpec(**plan_spec)], seed=3)):
+                namer = Namer(NamerConfig(mining=SMALL, workers=workers))
+                namer.mine(corpus)
+            results[workers] = (
+                [(r.path, r.stage) for r in namer.quarantine.records],
+                [(p.key(), p.support) for p in namer.matcher.patterns],
+            )
+        assert results[1] == results[2]
+        assert results[1][0], "fault plan tripped nothing — test is vacuous"
+
+    def test_shard_fault_site_deterministic(self, corpus):
+        plan = FaultPlan(
+            [FaultSpec(site="mining.shard", match="consistency:0")], seed=1
+        )
+        for workers in (1, 2):
+            with FAULTS.armed(plan):
+                namer = Namer(NamerConfig(mining=SMALL, workers=workers))
+                with pytest.raises(InjectedFault):
+                    namer.mine(corpus)
+
+
+# ----------------------------------------------------------------------
+# Deep FP trees must not hit the recursion limit
+# ----------------------------------------------------------------------
+
+
+class TestDeepTree:
+    def test_generate_patterns_on_deep_chain(self):
+        depth = 3000
+        chain = [
+            NamePath(prefix=(PathStep("Call", i),), end="word")
+            for i in range(depth)
+        ]
+        tree = FPTree()
+        tree.update(chain)
+        patterns = generate_patterns(
+            tree.root,
+            [],
+            PatternKind.CONFUSING_WORD,
+            max_condition_paths=3,
+            condition_subsets="full",
+        )
+        assert len(patterns) == 1
+        (pattern,) = patterns
+        assert len(pattern.condition) == 3
+        assert pattern.support == 1
+
+    def test_visited_list_restored(self):
+        chain = [
+            NamePath(prefix=(PathStep("Call", i),), end="word") for i in range(5)
+        ]
+        tree = FPTree()
+        tree.update(chain)
+        visited = [NamePath(prefix=(PathStep("Outer", 0),), end="ctx")]
+        before = list(visited)
+        generate_patterns(tree.root, visited, PatternKind.CONFUSING_WORD)
+        assert visited == before
