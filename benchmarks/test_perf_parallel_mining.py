@@ -7,9 +7,12 @@ produce identical patterns (the bit-identity contract of
 per-phase profiler rows — to ``BENCH_mining.json`` at the repo root.
 
 The speedup floor is only enforced when the machine actually has the
-benchmark's worker count available (CI runners do); a 1-core box still
-runs the equivalence check and emits the JSON.  Override the floor with
-``REPRO_BENCH_MIN_SPEEDUP`` for noisy runners.
+benchmark's worker count available; a 1-core box still runs the
+equivalence check and emits the JSON.  ``REPRO_BENCH_MIN_SPEEDUP``
+overrides the floor, and ``REPRO_BENCH_ENFORCE_SPEEDUP=0`` demotes a
+miss to an advisory message — what shared CI runners with noisy
+neighbours use, reserving the hard floor for dedicated perf machines.
+The equivalence assertion is never relaxed by either variable.
 """
 
 from __future__ import annotations
@@ -150,13 +153,19 @@ def test_parallel_mining_speedup(mining_input):
     )
 
     min_speedup = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "1.5"))
-    if default_workers() >= BENCH_WORKERS:
-        assert speedup >= min_speedup, (
-            f"expected >= {min_speedup}x at {BENCH_WORKERS} workers, "
-            f"got {speedup:.2f}x"
-        )
-    else:
+    enforce = os.environ.get("REPRO_BENCH_ENFORCE_SPEEDUP", "1") != "0"
+    if default_workers() < BENCH_WORKERS:
         print(
             f"[skip] speedup floor not enforced: only {default_workers()} "
             f"core(s) available"
         )
+    elif speedup < min_speedup:
+        message = (
+            f"expected >= {min_speedup}x at {BENCH_WORKERS} workers, "
+            f"got {speedup:.2f}x"
+        )
+        if enforce:
+            pytest.fail(message)
+        # Shared runners with noisy neighbours report instead of flaking;
+        # the bit-identity assertion above is never relaxed.
+        print(f"[advisory] {message} (floor disabled on this runner)")

@@ -82,8 +82,7 @@ def _arm_fault_plan(path: str | None) -> bool:
 
 
 def cmd_mine(args: argparse.Namespace) -> int:
-    import os
-
+    from repro.parallel.executor import default_workers
     from repro.parallel.profiler import format_phase_table
     from repro.resilience.faults import InjectedFault
     from repro.resilience.pipeline import run_mine_pipeline
@@ -97,7 +96,7 @@ def cmd_mine(args: argparse.Namespace) -> int:
             GeneratorConfig(num_repos=args.repos, issue_rate=0.12, seed=args.seed)
         )
 
-    workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
+    workers = args.workers if args.workers is not None else default_workers()
     try:
         result = run_mine_pipeline(
             corpus_factory=corpus_factory,
@@ -329,7 +328,8 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="process-pool size for preparation and sharded mining "
-        "(default: all cores; results are identical for any N)",
+        "(default: every core the scheduler allows this process; "
+        "results are identical for any N)",
     )
     mine.add_argument(
         "--profile", action="store_true",

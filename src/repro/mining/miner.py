@@ -149,7 +149,9 @@ class PatternMiner:
 
         ``spans`` is an optional contiguous shard plan over the
         statement sequence (e.g. the per-repo plan ``Namer.mine``
-        builds); with none given, statements are split evenly.  An
+        builds); it must partition ``[0, len(statements))`` exactly
+        (``ValueError`` otherwise); with none given, statements are
+        split evenly.  An
         ``executor`` may be shared across calls so one worker pool
         serves both pattern kinds; otherwise one is created from
         ``workers``.  Output does not depend on either: sharded and
@@ -168,6 +170,8 @@ class PatternMiner:
             n = len(statements)
             if spans is None:
                 spans = even_spans(n, executor.shard_hint(n))
+            else:
+                _validate_spans(spans, n)
             parallel = executor.parallel and len(spans) > 1
             for index in range(len(spans)):
                 fault_check("mining.shard", key=f"{kind.value}:{index}")
@@ -414,6 +418,27 @@ class PatternMiner:
 # ----------------------------------------------------------------------
 
 _PATH_CACHE: dict[tuple[SharedSlice, int], list[list["NamePath"]]] = {}
+
+
+def _validate_spans(spans: Sequence[Span], n: int) -> None:
+    """A caller-supplied shard plan must contiguously partition
+    ``[0, n)``: gaps silently drop statements and overlaps double-count
+    them in the sharded passes — bit-identity violations — so malformed
+    plans error instead.  Validated in serial mode too (where spans are
+    otherwise unused) so a bad plan never passes silently."""
+    cursor = 0
+    for span in spans:
+        start, stop = span
+        if start != cursor or stop < start:
+            raise ValueError(
+                f"shard plan must contiguously partition [0, {n}): "
+                f"span {span!r} does not start at index {cursor}"
+            )
+        cursor = stop
+    if cursor != n:
+        raise ValueError(
+            f"shard plan covers [0, {cursor}) but there are {n} statement(s)"
+        )
 
 
 def _extract_path_lists(

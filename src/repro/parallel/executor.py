@@ -59,10 +59,22 @@ def default_workers() -> int:
         return max(1, os.cpu_count() or 1)
 
 
-def _fork_available() -> bool:
+def _resolved_start_method() -> str:
+    """The start method a pool created now would actually use: the
+    configured one, or the platform default when none is set yet.
+    ``get_start_method(allow_none=True)`` returns ``None`` until first
+    resolution — on macOS (spawn) and Python 3.14+ Linux (forkserver)
+    that default is *not* fork even though ``os.fork`` exists."""
     import multiprocessing
 
-    return multiprocessing.get_start_method(allow_none=True) in (None, "fork") and hasattr(os, "fork")
+    method = multiprocessing.get_start_method(allow_none=True)
+    if method is None:
+        method = multiprocessing.get_context().get_start_method()
+    return method
+
+
+def _fork_available() -> bool:
+    return hasattr(os, "fork") and _resolved_start_method() == "fork"
 
 
 @dataclass(frozen=True)
@@ -146,9 +158,19 @@ class ShardExecutor:
     def _ensure_pool(self):
         if self._pool is None:
             import concurrent.futures
+            import multiprocessing
 
+            # Once SharedSlice handles are out, workers MUST inherit
+            # _SHARED: pin the pool to the fork context so a start-
+            # method change between shard_payloads() and map() cannot
+            # strand handles in non-forking workers.
+            ctx = (
+                multiprocessing.get_context("fork")
+                if self._shared_keys
+                else None
+            )
             self._pool = concurrent.futures.ProcessPoolExecutor(
-                max_workers=self.workers
+                max_workers=self.workers, mp_context=ctx
             )
         return self._pool
 

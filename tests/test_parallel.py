@@ -191,6 +191,12 @@ def _square(x: int) -> int:
     return x * x
 
 
+def _sum_shard(payload) -> int:
+    from repro.parallel.executor import resolve_shard
+
+    return sum(resolve_shard(payload))
+
+
 class TestShardExecutor:
     def test_inline_when_single_worker(self):
         with ShardExecutor(1) as executor:
@@ -212,6 +218,41 @@ class TestShardExecutor:
 
     def test_default_workers_positive(self):
         assert default_workers() >= 1
+
+    def test_fork_unavailable_when_default_is_not_fork(self, monkeypatch):
+        # An *unset* start method must resolve to the platform default,
+        # not be assumed fork-capable (macOS defaults to spawn, Python
+        # 3.14+ Linux to forkserver, with os.fork present on both).
+        from repro.parallel import executor as ex
+
+        monkeypatch.setattr(ex, "_resolved_start_method", lambda: "spawn")
+        assert not ex._fork_available()
+        monkeypatch.setattr(ex, "_resolved_start_method", lambda: "forkserver")
+        assert not ex._fork_available()
+
+    def test_non_fork_platform_ships_real_slices(self, monkeypatch):
+        # With fork unavailable, shard_payloads must fall back to real
+        # slices that pool workers can consume without inherited memory.
+        from repro.parallel import executor as ex
+
+        monkeypatch.setattr(ex, "_fork_available", lambda: False)
+        with ShardExecutor(2) as executor:
+            payloads = executor.shard_payloads(list(range(10)), [(0, 5), (5, 10)])
+            assert payloads == [[0, 1, 2, 3, 4], [5, 6, 7, 8, 9]]
+            assert executor.map(_sum_shard, payloads) == [10, 35]
+
+    def test_pool_pinned_to_fork_when_slices_shared(self):
+        from repro.parallel import executor as ex
+        from repro.parallel.executor import SharedSlice
+
+        if not ex._fork_available():
+            pytest.skip("fork start method unavailable on this platform")
+        with ShardExecutor(2) as executor:
+            payloads = executor.shard_payloads(list(range(6)), [(0, 3), (3, 6)])
+            assert all(isinstance(p, SharedSlice) for p in payloads)
+            assert executor.map(_sum_shard, payloads) == [3, 12]
+            pool_method = executor._pool._mp_context.get_start_method()
+            assert pool_method == "fork"
 
 
 # ----------------------------------------------------------------------
@@ -288,6 +329,54 @@ class TestShardedMiningEquivalence:
         result = miner.mine([], PatternKind.CONFUSING_WORD, workers=2)
         assert result.patterns == []
         assert result.total_statements == 0
+
+
+class TestSpanValidation:
+    """A malformed caller-supplied plan must error, never silently drop
+    (gap) or double-count (overlap) statements — see miner._validate_spans."""
+
+    @pytest.fixture(scope="class")
+    def statements(self):
+        return idiom_corpus(10)
+
+    @pytest.fixture(scope="class")
+    def miner(self):
+        return PatternMiner(SMALL, confusing_pairs=[("True", "Equal")])
+
+    def _mine(self, miner, statements, spans, workers=2):
+        return miner.mine(
+            statements, PatternKind.CONFUSING_WORD, spans=spans, workers=workers
+        )
+
+    def test_gap_rejected(self, miner, statements):
+        n = len(statements)
+        with pytest.raises(ValueError, match="contiguously partition"):
+            self._mine(miner, statements, [(0, 3), (4, n)])
+
+    def test_overlap_rejected(self, miner, statements):
+        n = len(statements)
+        with pytest.raises(ValueError, match="contiguously partition"):
+            self._mine(miner, statements, [(0, 5), (4, n)])
+
+    def test_nonzero_start_rejected(self, miner, statements):
+        n = len(statements)
+        with pytest.raises(ValueError, match="contiguously partition"):
+            self._mine(miner, statements, [(1, n)])
+
+    def test_short_coverage_rejected(self, miner, statements):
+        n = len(statements)
+        with pytest.raises(ValueError, match=f"there are {n}"):
+            self._mine(miner, statements, [(0, n - 1)])
+
+    def test_serial_mode_validates_too(self, miner, statements):
+        n = len(statements)
+        with pytest.raises(ValueError, match=f"there are {n}"):
+            self._mine(miner, statements, [(0, n - 1)], workers=1)
+
+    def test_exact_partition_accepted(self, miner, statements):
+        n = len(statements)
+        result = self._mine(miner, statements, [(0, 4), (4, 4), (4, n)])
+        assert result.total_statements == n
 
 
 # ----------------------------------------------------------------------
