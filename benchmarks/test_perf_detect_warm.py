@@ -1,0 +1,106 @@
+"""Performance benchmark: persistent detect cache across engine restarts.
+
+Runs a batch of files through a fresh :class:`AnalysisEngine` with
+``cache_dir`` set (cold: full prepare + detect per file), then builds a
+*new* engine over the same cache directory — its in-memory LRU is
+empty, so every answer comes off disk — and writes the measurements to
+``BENCH_detect.json`` at the repo root.
+
+The report-equality assertion is hard; the >= 5x warm floor follows the
+usual protocol (``REPRO_BENCH_MIN_WARM_SPEEDUP`` overrides it,
+``REPRO_BENCH_ENFORCE_SPEEDUP=0`` demotes a miss to an advisory).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from conftest import BENCH_CONFIG, print_table
+
+from repro.core.namer import Namer
+from repro.service.engine import AnalysisEngine, AnalysisRequest
+
+BENCH_OUT = pathlib.Path(__file__).resolve().parents[1] / "BENCH_detect.json"
+
+
+@pytest.fixture(scope="module")
+def detect_setup():
+    from repro.corpus.generator import GeneratorConfig, generate_python_corpus
+
+    corpus = generate_python_corpus(
+        GeneratorConfig(num_repos=30, issue_rate=0.12, seed=7)
+    )
+    namer = Namer(BENCH_CONFIG)
+    namer.mine(corpus)
+    requests = [
+        AnalysisRequest(source=source.source, path=source.path, repo=repo.name)
+        for repo, source in corpus.files()
+    ]
+    return namer, requests
+
+
+def _run(namer, requests, cache_dir) -> tuple[list, float]:
+    engine = AnalysisEngine(namer=namer, workers=2, cache_dir=str(cache_dir))
+    try:
+        start = time.perf_counter()
+        results = engine.analyze_many(requests)
+        return results, time.perf_counter() - start
+    finally:
+        engine.shutdown(drain=False, timeout=10)
+
+
+def test_detect_warm_cache_speedup(detect_setup, tmp_path):
+    namer, requests = detect_setup
+    cache_dir = tmp_path / "detect-cache"
+
+    cold, cold_seconds = _run(namer, requests, cache_dir)
+    warm, warm_seconds = _run(namer, requests, cache_dir)
+
+    assert [r.reports for r in warm] == [r.reports for r in cold], (
+        "disk-served reports must match the cold analysis exactly"
+    )
+    served_from_disk = sum(1 for r in warm if r.cache_level == "disk")
+    clean = sum(1 for r in cold if r.error is None)
+    assert served_from_disk == clean, (
+        "every error-free file must be served from disk on the warm run"
+    )
+
+    speedup = cold_seconds / max(warm_seconds, 1e-9)
+    BENCH_OUT.write_text(
+        json.dumps(
+            {
+                "files": len(requests),
+                "violations": sum(len(r.reports) for r in cold),
+                "served_from_disk": served_from_disk,
+                "cold_seconds": round(cold_seconds, 3),
+                "warm_seconds": round(warm_seconds, 3),
+                "speedup": round(speedup, 2),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    print_table(
+        "Performance — persistent detect cache (engine restart)",
+        f"files: {len(requests)}, served from disk: {served_from_disk}\n"
+        f"cold: {cold_seconds:.2f} s\n"
+        f"warm: {warm_seconds:.2f} s\n"
+        f"speedup: {speedup:.1f}x",
+    )
+
+    min_speedup = float(os.environ.get("REPRO_BENCH_MIN_WARM_SPEEDUP", "5"))
+    enforce = os.environ.get("REPRO_BENCH_ENFORCE_SPEEDUP", "1") != "0"
+    if speedup < min_speedup:
+        message = (
+            f"expected warm detect >= {min_speedup}x faster than cold, "
+            f"got {speedup:.2f}x"
+        )
+        if enforce:
+            pytest.fail(message)
+        print(f"[advisory] {message} (floor disabled on this runner)")

@@ -97,10 +97,13 @@ def cmd_mine(args: argparse.Namespace) -> int:
         )
 
     workers = args.workers if args.workers is not None else default_workers()
+    cache_dir = None if args.no_cache else (args.cache_dir or f"{args.out}.cache")
     try:
         result = run_mine_pipeline(
             corpus_factory=corpus_factory,
-            namer_config=NamerConfig(mining=_mining_config(args), workers=workers),
+            namer_config=NamerConfig(
+                mining=_mining_config(args), workers=workers, cache_dir=cache_dir
+            ),
             out=args.out,
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
@@ -212,6 +215,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             queue_capacity=args.queue_capacity,
             cache_entries=args.cache_size,
+            cache_dir=args.cache_dir,
             degraded_ok=not args.strict_artifacts,
         )
     except PersistenceError as exc:
@@ -286,6 +290,9 @@ def cmd_analyze_remote(args: argparse.Namespace) -> int:
         f"{total} naming issue(s) reported across {len(results)} file(s) "
         f"({cached} served from cache)"
     )
+    disposition = client.last_headers.get("X-Repro-Cache")
+    if disposition:
+        print(f"cache: {disposition}")
     return 1 if failed == len(results) else 0
 
 
@@ -335,6 +342,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="print a per-phase wall-time table after mining",
     )
+    mine.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed warm cache for incremental re-mining "
+        "(default: <out>.cache/)",
+    )
+    mine.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the warm cache; every run recomputes from scratch",
+    )
     mine.set_defaults(fn=cmd_mine)
 
     scan = sub.add_parser("scan", help="scan sources with saved artifacts")
@@ -366,6 +382,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--queue-capacity", type=int, default=64,
         help="pending requests before 503 backpressure",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist analysis results on disk, keyed by artifact "
+        "fingerprint + file content (survives restarts)",
     )
     serve.add_argument(
         "--strict-artifacts", action="store_true",

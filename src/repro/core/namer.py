@@ -28,13 +28,21 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis.pointsto import PointsToConfig
+from repro.cache import (
+    CACHE_SHARD_TARGET,
+    ContentCache,
+    config_fingerprint,
+    fingerprint_of,
+    pattern_fingerprint,
+    shard_content_keys,
+)
 from repro.core.features import extract_features
 from repro.core.prepare import PreparedFile, prepare_corpus
 from repro.core.patterns import PatternKind, Violation
 from repro.core.reports import Report
 from repro.core.stats_index import StatsIndex
 from repro.core.transform import TransformConfig
-from repro.corpus.model import Corpus
+from repro.corpus.model import Corpus, Repository
 from repro.mining.confusing_pairs import ConfusingPairStore, mine_confusing_pairs
 from repro.mining.matcher import PatternMatcher
 from repro.mining.miner import MiningConfig, PatternMiner
@@ -66,6 +74,12 @@ class NamerConfig:
     #: process-pool size for corpus preparation and the sharded mining
     #: passes; 1 runs everything inline (output is identical either way)
     workers: int = 1
+    #: directory for the content-addressed warm cache; ``None`` (the
+    #: library default) disables caching.  A warm re-mine recomputes
+    #: only the shards whose files (or config) changed; mined patterns
+    #: and artifacts are byte-identical with the cache on, off, cold,
+    #: or warm.
+    cache_dir: str | None = None
 
 
 @dataclass
@@ -90,6 +104,10 @@ class MiningSummary:
     #: prune, stats, train); surfaced by ``repro mine --profile`` and
     #: the service ``/metrics`` endpoint
     phase_timings: list[dict] = field(default_factory=list)
+    #: per-level hit/miss/store/eviction/corrupt counters of the
+    #: content-addressed cache (empty without ``config.cache_dir``);
+    #: surfaced alongside the phase timings
+    cache_stats: dict = field(default_factory=dict)
 
 
 class Namer:
@@ -109,6 +127,10 @@ class Namer:
         self.quarantine = Quarantine()
         #: populated by a degraded artifact load (see persistence)
         self.degraded_reasons: list[str] = []
+        #: content-addressed warm cache (None without config.cache_dir)
+        self.content_cache: ContentCache | None = (
+            ContentCache(config.cache_dir) if config.cache_dir else None
+        )
 
     # ------------------------------------------------------------------
     # Learning step (i): unsupervised mining from Big Code
@@ -126,19 +148,110 @@ class Namer:
         ``workers`` defaults to ``config.workers`` and fans the per-file
         parse/analyze/transform work over a process pool; file order
         (and therefore every downstream result) is preserved.
+
+        With ``config.cache_dir`` set, prepared files are served from
+        the content cache by (repo, path, language, source bytes,
+        prepare-relevant config): only changed or new files are
+        re-prepared.  Failures are never cached, so a warm run
+        re-prepares (and re-quarantines) them identically to a cold
+        run.
         """
+        cfg = self.config
+        cache = self.content_cache
+        if cache is None:
+            return self._prepare_uncached(corpus, quarantine, workers)
+
+        salt = self._prepare_salt()
+        keyed = [
+            (repo, source, self._file_key(repo.name, source, salt))
+            for repo, source in corpus.files()
+        ]
+        cached = {
+            key: entry
+            for _, _, key in keyed
+            if (entry := cache.get("prepare", key)) is not None
+        }
+        # Re-prepare only the misses, batched through the normal pool
+        # fan-out.  corpus.files() yields repo-by-repo, so grouping
+        # consecutive misses preserves corpus order and repo grouping.
+        missing_repos: list[Repository] = []
+        for repo, source, key in keyed:
+            if key in cached:
+                continue
+            if missing_repos and missing_repos[-1].name == repo.name:
+                missing_repos[-1].files.append(source)
+            else:
+                missing_repos.append(Repository(name=repo.name, files=[source]))
+        fresh: dict[tuple[str, str], PreparedFile] = {}
+        if missing_repos:
+            prepared_missing = self._prepare_uncached(
+                Corpus(repositories=missing_repos, language=corpus.language),
+                quarantine,
+                workers,
+            )
+            fresh = {(pf.repo, pf.path): pf for pf in prepared_missing}
+
+        out: list[PreparedFile] = []
+        for repo, source, key in keyed:
+            entry = cached.get(key)
+            if entry is None:
+                entry = fresh.get((repo.name, source.path))
+                if entry is None:
+                    continue  # failed to prepare: quarantined, not cached
+                cache.put("prepare", key, entry)
+            out.append(entry)
+        return out
+
+    def _prepare_uncached(
+        self,
+        corpus: Corpus,
+        quarantine: Quarantine | None,
+        workers: int | None,
+    ) -> list[PreparedFile]:
         cfg = self.config
         return prepare_corpus(
             corpus,
             use_analysis=cfg.use_analysis,
-            transform_config=TransformConfig(
-                use_origins=cfg.use_analysis and cfg.transform.use_origins,
-                max_subtokens=cfg.transform.max_subtokens,
-            ),
+            transform_config=self._transform_config(),
             pointsto_config=cfg.pointsto,
             max_paths=cfg.mining.max_paths_per_statement,
             workers=cfg.workers if workers is None else workers,
             quarantine=quarantine,
+        )
+
+    def _transform_config(self) -> TransformConfig:
+        cfg = self.config
+        return TransformConfig(
+            use_origins=cfg.use_analysis and cfg.transform.use_origins,
+            max_subtokens=cfg.transform.max_subtokens,
+        )
+
+    def _prepare_salt(self) -> str:
+        """The prepare-relevant config fields, fingerprinted.
+
+        Deliberately *not* ``repr(self.config)``: knobs that cannot
+        change a prepared file (pattern support thresholds, worker
+        count, the cache directory itself) must not invalidate
+        prepared-file entries.
+        """
+        cfg = self.config
+        return config_fingerprint(
+            cfg.use_analysis,
+            self._transform_config(),
+            cfg.pointsto,
+            cfg.mining.max_paths_per_statement,
+        )
+
+    @staticmethod
+    def _file_key(repo_name: str, source, salt: str) -> str:
+        """Content key of one corpus file: identity + bytes + config.
+
+        The path is part of the key on purpose — statements carry their
+        file path into violations and artifacts, so a renamed file with
+        identical bytes must be re-prepared.
+        """
+        return ContentCache.key(
+            repo_name, source.path, source.language, source.source, salt
         )
 
     def mine(self, corpus: Corpus) -> MiningSummary:
@@ -156,14 +269,37 @@ class Namer:
         rows land on ``MiningSummary.phase_timings``.
         """
         cfg = self.config
+        cache = self.content_cache
         self.quarantine = Quarantine()
         self.profiler = profiler = PhaseProfiler()
 
         with profiler.phase("pairs", items=len(corpus.commits)):
-            self.pairs = mine_confusing_pairs(
-                ((c.before, c.after) for c in corpus.commits),
-                parse=lambda src: parse_source(src, corpus.language).statements,
-            )
+            # Confusing-pair counts are a pure function of the commit
+            # texts and language; the store pickles losslessly (its
+            # Counter keeps insertion order), so a cached load feeds
+            # the miner the exact pair order a fresh mine would.
+            pairs_key = None
+            pairs = None
+            if cache is not None:
+                pairs_key = ContentCache.key(
+                    corpus.language,
+                    *(
+                        text
+                        for c in corpus.commits
+                        for text in (c.before, c.after)
+                    ),
+                )
+                pairs = cache.get("pairs", pairs_key)
+            if pairs is None:
+                pairs = mine_confusing_pairs(
+                    ((c.before, c.after) for c in corpus.commits),
+                    parse=lambda src: parse_source(
+                        src, corpus.language
+                    ).statements,
+                )
+                if cache is not None:
+                    cache.put("pairs", pairs_key, pairs)
+            self.pairs = pairs
 
         total_files = sum(1 for _ in corpus.files())
         with profiler.phase("prepare", items=total_files):
@@ -177,16 +313,40 @@ class Namer:
         miner = PatternMiner(
             cfg.mining, confusing_pairs=self.pairs.pairs(cfg.min_pair_count)
         )
+        file_keys: list[str] | None = None
         with ShardExecutor(cfg.workers) as executor:
             # Shards are whole repositories, packed into contiguous
             # balanced spans — deterministic, and repo-aligned so shard
-            # results never split a repo's statements.
+            # results never split a repo's statements.  With the cache
+            # on, the plan aims for at least CACHE_SHARD_TARGET shards
+            # so one changed file invalidates a small slice of the
+            # corpus, not half of it.
+            target = executor.shard_hint(len(statements))
+            if cache is not None:
+                target = max(target, CACHE_SHARD_TARGET)
             spans = pack_spans(
                 spans_by_group(
                     (pf.repo, len(pf.statements)) for pf in self.prepared
                 ),
-                executor.shard_hint(len(statements)),
+                target,
             )
+            shard_keys = None
+            if cache is not None:
+                source_by_id = {
+                    (repo.name, f.path): f for repo, f in corpus.files()
+                }
+                salt = self._prepare_salt()
+                file_keys = [
+                    self._file_key(
+                        pf.repo, source_by_id[(pf.repo, pf.path)], salt
+                    )
+                    for pf in self.prepared
+                ]
+                shard_keys = shard_content_keys(
+                    spans,
+                    [len(pf.statements) for pf in self.prepared],
+                    file_keys,
+                )
             consistency = miner.mine(
                 statements,
                 PatternKind.CONSISTENCY,
@@ -194,6 +354,8 @@ class Namer:
                 spans=spans,
                 profiler=profiler,
                 executor=executor,
+                cache=cache,
+                shard_keys=shard_keys,
             )
             confusing = miner.mine(
                 statements,
@@ -202,24 +364,140 @@ class Namer:
                 spans=spans,
                 profiler=profiler,
                 executor=executor,
+                cache=cache,
+                shard_keys=shard_keys,
             )
         patterns = consistency.patterns + confusing.patterns
         self.matcher = PatternMatcher(patterns)
 
         with profiler.phase("stats", items=len(statements)):
-            self.stats = StatsIndex.build(
-                self.matcher,
-                (
-                    (ps.stmt, ps.paths)
-                    for pf in self.prepared
-                    for ps in pf.statements
-                ),
-            )
-        self.summary = self._summarize(consistency, confusing, corpus)
+            # The statistics index and the summary's violation scan are
+            # both pure functions of (prepared files, mined patterns).
+            # With an aligned shard plan the index is cached per
+            # statement shard — a one-file edit re-counts only that
+            # file's shard — and merged in shard order, which keeps the
+            # counter ordering (and so the serialized artifact)
+            # byte-identical to a single global build.
+            if cache is not None and shard_keys is not None:
+                stats_salt = fingerprint_of(
+                    pattern_fingerprint(p) for p in patterns
+                )
+                # Corpus-level memo over the shard entries: a zero-change
+                # warm run loads the already-merged index in one read.
+                merged_key = ContentCache.key(
+                    fingerprint_of(shard_keys), stats_salt
+                )
+                merged = cache.get("stats", merged_key)
+                if merged is not None:
+                    self.stats, violation_counts = merged
+                else:
+                    shard_entries = []
+                    offsets = []
+                    pos = 0
+                    for pf in self.prepared:
+                        offsets.append(pos)
+                        pos += len(pf.statements)
+                    for (start, stop), shard_key in zip(spans, shard_keys):
+                        entry_key = ContentCache.key(shard_key, stats_salt)
+                        entry = cache.get("stats", entry_key)
+                        if entry is None:
+                            shard_files = [
+                                pf
+                                for pf, offset in zip(self.prepared, offsets)
+                                if start <= offset < stop and pf.statements
+                            ]
+                            entry = self._stats_shard(shard_files)
+                            cache.put("stats", entry_key, entry)
+                        shard_entries.append(entry)
+                    self.stats = StatsIndex.merge(
+                        e[0] for e in shard_entries
+                    )
+                    # Sets union across shards exactly as the global
+                    # scan's sets accumulate across files, so the
+                    # summary tallies match a fresh build (including
+                    # path collisions across repos, which dedupe the
+                    # same way).
+                    violation_counts = (
+                        sum(e[1] for e in shard_entries),
+                        len(set().union(*(e[2] for e in shard_entries))),
+                        len(set().union(*(e[3] for e in shard_entries))),
+                    )
+                    cache.put(
+                        "stats", merged_key, (self.stats, violation_counts)
+                    )
+            elif cache is not None:
+                # No aligned shard plan (a span split a file): fall back
+                # to one corpus-wide entry keyed by every file key.
+                stats_key = ContentCache.key(
+                    fingerprint_of(file_keys),
+                    fingerprint_of(
+                        pattern_fingerprint(p) for p in patterns
+                    ),
+                )
+                stats_entry = cache.get("stats", stats_key)
+                if stats_entry is None:
+                    self.stats = self._build_stats()
+                    violation_counts = self._violation_counts()
+                    cache.put(
+                        "stats", stats_key, (self.stats, violation_counts)
+                    )
+                else:
+                    self.stats, violation_counts = stats_entry
+            else:
+                self.stats = self._build_stats()
+                violation_counts = self._violation_counts()
+        self.summary = self._summarize(
+            consistency, confusing, corpus, violation_counts
+        )
         self.summary.phase_timings = profiler.to_json()
+        if cache is not None:
+            self.summary.cache_stats = cache.stats_json()
         return self.summary
 
-    def _summarize(self, consistency, confusing, corpus: Corpus) -> MiningSummary:
+    def _build_stats(self) -> StatsIndex:
+        """One-pass global statistics index over the prepared corpus."""
+        assert self.matcher is not None
+        return StatsIndex.build(
+            self.matcher,
+            (
+                (ps.stmt, ps.paths)
+                for pf in self.prepared
+                for ps in pf.statements
+            ),
+        )
+
+    def _stats_shard(
+        self, prepared_files: list
+    ) -> tuple[StatsIndex, int, set, set]:
+        """Shard-local statistics plus the violation-scan partials that
+        merge into :meth:`_violation_counts`' tallies: (index, violating
+        statement count, violating file paths, violating repo names)."""
+        assert self.matcher is not None
+        index = StatsIndex.build(
+            self.matcher,
+            (
+                (ps.stmt, ps.paths)
+                for pf in prepared_files
+                for ps in pf.statements
+            ),
+        )
+        stmts_with = 0
+        files_with = set()
+        repos_with = set()
+        for pf in prepared_files:
+            file_hit = False
+            for ps in pf.statements:
+                if self.matcher.violations(ps.stmt, ps.paths):
+                    stmts_with += 1
+                    file_hit = True
+            if file_hit:
+                files_with.add(pf.path)
+                repos_with.add(pf.repo)
+        return index, stmts_with, files_with, repos_with
+
+    def _violation_counts(self) -> tuple[int, int, int]:
+        """Scan the mined corpus for the summary's violation tallies:
+        (statements, files, repos) with at least one violation."""
         assert self.matcher is not None
         files_with = set()
         repos_with = set()
@@ -233,14 +511,25 @@ class Namer:
             if file_hit:
                 files_with.add(pf.path)
                 repos_with.add(pf.repo)
+        return stmts_with, len(files_with), len(repos_with)
+
+    def _summarize(
+        self,
+        consistency,
+        confusing,
+        corpus: Corpus,
+        violation_counts: tuple[int, int, int],
+    ) -> MiningSummary:
+        assert self.matcher is not None
+        stmts_with, files_with, repos_with = violation_counts
         return MiningSummary(
             num_patterns=len(self.matcher.patterns),
             num_consistency=len(consistency.patterns),
             num_confusing=len(confusing.patterns),
             num_confusing_pairs=len(self.pairs),
             statements_with_violation=stmts_with,
-            files_with_violation=len(files_with),
-            repos_with_violation=len(repos_with),
+            files_with_violation=files_with,
+            repos_with_violation=repos_with,
             total_statements=sum(len(pf.statements) for pf in self.prepared),
             total_files=len(self.prepared),
             total_repos=len(corpus.repositories),

@@ -58,6 +58,26 @@ class StatsIndex:
             index.add_statement(matcher, stmt, paths)
         return index
 
+    @classmethod
+    def merge(cls, indices: Iterable["StatsIndex"]) -> "StatsIndex":
+        """Concatenate shard-local indexes into one corpus-wide index.
+
+        ``Counter.update`` preserves first-seen insertion order, so
+        merging contiguous shard indexes in shard order reproduces the
+        exact counter ordering of a single :meth:`build` pass over the
+        same statements — serialized output stays byte-identical.
+        """
+        merged = cls()
+        for index in indices:
+            for name in ("matches", "satisfactions", "violations"):
+                target = getattr(merged, name)
+                for level, counter in getattr(index, name).items():
+                    target[level].update(counter)
+            for level, counter in index.statement_counts.items():
+                merged.statement_counts[level].update(counter)
+            merged.total_statements += index.total_statements
+        return merged
+
     def add_statement(
         self,
         matcher: PatternMatcher,

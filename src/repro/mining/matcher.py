@@ -58,9 +58,15 @@ class PatternMatcher:
         The statement's prefix index is built once here and shared by
         every per-pattern check — with dozens of candidate patterns per
         statement, rebuilding it per pattern used to dominate the pass.
+        It is also built *lazily*, on the first candidate: against a
+        small pattern slice (the pattern-partitioned prune pass) most
+        statements have no candidates at all, and skipping the index
+        build for them is most of that pass's win.
         """
-        index = paths_by_prefix(paths)
+        index = None
         for pattern in self.candidates(paths):
+            if index is None:
+                index = paths_by_prefix(paths)
             relation = check_pattern(pattern, paths, index)
             if relation is not Relation.NO_MATCH:
                 yield pattern, relation
@@ -69,9 +75,11 @@ class PatternMatcher:
         self, stmt: StatementAst, paths: Sequence[NamePath]
     ) -> list[Violation]:
         """All pattern violations triggered by one statement."""
-        index = paths_by_prefix(paths)
+        index = None
         found = []
         for pattern in self.candidates(paths):
+            if index is None:
+                index = paths_by_prefix(paths)
             violation = find_violation(pattern, stmt, paths, index)
             if violation is not None:
                 found.append(violation)

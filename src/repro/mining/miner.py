@@ -27,10 +27,17 @@ to serial mining either way (``tests/test_parallel.py``).
 from __future__ import annotations
 
 import itertools
+import time
 from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Callable, Sequence, Iterable
 
+from repro.cache.contentcache import ContentCache
+from repro.cache.incremental import (
+    config_fingerprint,
+    fingerprint_of,
+    pattern_fingerprint,
+)
 from repro.core.namepath import (
     EPSILON,
     NamePath,
@@ -42,7 +49,11 @@ from repro.lang.astir import StatementAst
 from repro.mining.fptree import FPNode, FPTree
 from repro.mining.matcher import PatternMatcher
 from repro.parallel.executor import ShardExecutor, SharedSlice, resolve_shard
-from repro.parallel.merge import merge_count_pairs, merge_counters
+from repro.parallel.merge import (
+    merge_count_pairs,
+    merge_counters,
+    merge_offset_count_pairs,
+)
 from repro.parallel.profiler import PhaseProfiler
 from repro.parallel.sharding import Span, even_spans
 from repro.resilience.faults import fault_check
@@ -123,6 +134,23 @@ class PatternMiner:
         state["_frequency_memo"] = None
         return state
 
+    def _kind_salt(self, kind: PatternKind) -> str:
+        """Cache salt for everything kind-dependent in this miner.
+
+        The confusing-pair list steers transaction splitting for the
+        confusing-word kind, so it rides in that kind's salt; the
+        consistency kind ignores it, keeping consistency cache entries
+        stable across pair-list changes.
+        """
+        salt = config_fingerprint(self.config, kind.value)
+        if kind is PatternKind.CONFUSING_WORD:
+            pairs = sorted(
+                (correct, tuple(sorted(mistaken)))
+                for correct, mistaken in self.correct_words.items()
+            )
+            salt += "|" + fingerprint_of(pairs)
+        return salt
+
     # ------------------------------------------------------------------
     # Algorithm 1
     # ------------------------------------------------------------------
@@ -137,6 +165,8 @@ class PatternMiner:
         spans: Sequence[Span] | None = None,
         profiler: PhaseProfiler | None = None,
         executor: ShardExecutor | None = None,
+        cache: ContentCache | None = None,
+        shard_keys: Sequence[str] | None = None,
     ) -> MiningResult:
         """Mine patterns of ``kind`` from transformed statement ASTs.
 
@@ -156,6 +186,16 @@ class PatternMiner:
         serves both pattern kinds; otherwise one is created from
         ``workers``.  Output does not depend on either: sharded and
         serial mining produce identical results.
+
+        With a ``cache`` plus one content key per span (``shard_keys``,
+        see :func:`repro.cache.incremental.shard_content_keys`), the
+        frequency/growth/prune passes run per shard through the cache:
+        a shard whose content key and upstream state are unchanged
+        loads its mergeable summary instead of recomputing it.  The
+        merge is the same contiguous in-order merge either way, so
+        cached, cold-cached, and uncached mining are all bit-identical.
+        A whole-kind memo above the shard levels returns the final
+        :class:`MiningResult` outright when nothing at all changed.
         """
         fault_check("mining.mine", key=kind.value)
         cfg = self.config
@@ -173,6 +213,22 @@ class PatternMiner:
             else:
                 _validate_spans(spans, n)
             parallel = executor.parallel and len(spans) > 1
+            use_cache = cache is not None and shard_keys is not None
+            if use_cache and len(shard_keys) != len(spans):
+                raise ValueError("shard_keys must align one-to-one with spans")
+            if use_cache:
+                # Whole-kind memo: the final MiningResult is a pure
+                # function of the corpus content (every shard key, in
+                # order), the config, the kind, and — for confusing
+                # words — the mined pair list.  A zero-change warm run
+                # answers here and skips every pass below; any change
+                # falls through to the per-shard caches.
+                mine_key = cache.key(
+                    fingerprint_of(shard_keys), self._kind_salt(kind)
+                )
+                memo_result = cache.get("mine", mine_key)
+                if memo_result is not None:
+                    return memo_result
             for index in range(len(spans)):
                 fault_check("mining.shard", key=f"{kind.value}:{index}")
             # Parallel shards travel as fork-shared slices where
@@ -202,6 +258,33 @@ class PatternMiner:
                     )
                 if memo_hit:
                     counts = memo[1]
+                elif use_cache:
+                    # Path counts depend only on the shard's own files
+                    # and the config — the one pass whose salt has no
+                    # upstream state, so a k-file edit recomputes
+                    # exactly k shards.
+                    freq_salt = config_fingerprint(cfg)
+
+                    def compute_frequency(missing: list[int]) -> list:
+                        if parallel:
+                            return executor.map(
+                                _frequency_shard,
+                                [(self, shards[i], has_paths) for i in missing],
+                            )
+                        return [
+                            _count_paths(path_lists[spans[i][0] : spans[i][1]])
+                            for i in missing
+                        ]
+
+                    counts = merge_counters(
+                        _through_cache(
+                            cache,
+                            "frequency",
+                            shard_keys,
+                            freq_salt,
+                            compute_frequency,
+                        )
+                    )
                 elif parallel:
                     counts = merge_counters(
                         executor.map(
@@ -223,7 +306,42 @@ class PatternMiner:
                 # order included) is bit-identical to per-statement
                 # serial insertion.
                 tree = FPTree()
-                if parallel:
+                if use_cache:
+                    # A shard's transactions depend on the *global*
+                    # frequent-path set, so it rides in the salt: any
+                    # corpus change that shifts path frequencies over
+                    # the threshold invalidates every growth shard.
+                    # (The kind salt also carries the confusing-pair
+                    # list — transaction splitting consults it for the
+                    # confusing-word kind.)
+                    growth_salt = (
+                        self._kind_salt(kind)
+                        + "|"
+                        + fingerprint_of(sorted(frequent))
+                    )
+
+                    def compute_growth(missing: list[int]) -> list:
+                        if parallel:
+                            return executor.map(
+                                _growth_shard,
+                                [
+                                    (self, shards[i], has_paths, frequent, kind)
+                                    for i in missing
+                                ],
+                            )
+                        return [
+                            self._transaction_counts(
+                                path_lists[spans[i][0] : spans[i][1]],
+                                frequent,
+                                kind,
+                            )
+                            for i in missing
+                        ]
+
+                    shard_transactions = _through_cache(
+                        cache, "growth", shard_keys, growth_salt, compute_growth
+                    )
+                elif parallel:
                     shard_transactions = executor.map(
                         _growth_shard,
                         [
@@ -256,35 +374,51 @@ class PatternMiner:
                 supported = [
                     p for p in merged if p.support >= cfg.min_pattern_support
                 ]
-                if supported:
-                    if parallel:
-                        match_counts, sat_counts = merge_count_pairs(
-                            executor.map(
-                                _prune_shard,
-                                [
-                                    (self, shard, has_paths, supported)
-                                    for shard in shards
-                                ],
-                            )
+                if not supported:
+                    pruned = []
+                else:
+                    if use_cache:
+                        match_counts, sat_counts = self._cached_prune(
+                            cache,
+                            shard_keys,
+                            spans,
+                            shards,
+                            path_lists,
+                            supported,
+                            parallel=parallel,
+                            has_paths=has_paths,
+                            executor=executor,
+                            profiler=profiler,
+                        )
+                    elif parallel:
+                        match_counts, sat_counts = self._parallel_prune(
+                            supported,
+                            shards,
+                            paths,
+                            n,
+                            has_paths=has_paths,
+                            executor=executor,
+                            profiler=profiler,
                         )
                     else:
                         assert path_lists is not None
-                        match_counts, sat_counts = self._match_counts(
+                        match_counts, sat_counts = _count_matches(
                             path_lists, supported
                         )
                     pruned = self._prune_uncommon(
                         supported, match_counts, sat_counts
                     )
-                else:
-                    pruned = []
 
-            return MiningResult(
+            result = MiningResult(
                 patterns=pruned,
                 total_statements=n,
                 total_transactions=tree.transaction_count,
                 fp_tree_nodes=fp_nodes,
                 candidates_before_pruning=len(merged),
             )
+            if use_cache:
+                cache.put("mine", mine_key, result)
+            return result
         finally:
             if own_executor:
                 executor.close()
@@ -317,23 +451,132 @@ class PatternMiner:
         path_lists: list[list[NamePath]],
         supported: list[NamePattern],
     ) -> tuple[Counter[int], Counter[int]]:
-        """Prune pass over one shard: per-pattern match / satisfaction
-        counts, keyed by index into ``supported``.  The anchor index is
-        built once per shard and the statement prefix index once per
-        statement — both shared across every candidate check."""
-        matcher = PatternMatcher(supported)
-        match_counts: Counter[int] = Counter()
-        sat_counts: Counter[int] = Counter()
-        for paths in path_lists:
-            index = paths_by_prefix(paths)
-            for idx in matcher.candidate_indices(paths):
-                relation = check_pattern(supported[idx], paths, index)
-                if relation is Relation.NO_MATCH:
-                    continue
-                match_counts[idx] += 1
-                if relation is Relation.SATISFIED:
-                    sat_counts[idx] += 1
+        """Prune pass over one statement shard (see
+        :func:`_count_matches`; kept as a method for callers that have
+        a miner in hand)."""
+        return _count_matches(path_lists, supported)
+
+    def _parallel_prune(
+        self,
+        supported: list[NamePattern],
+        shards: list,
+        paths: Sequence[Sequence[NamePath]] | None,
+        n: int,
+        *,
+        has_paths: bool,
+        executor: ShardExecutor,
+        profiler: PhaseProfiler,
+    ) -> tuple[Counter[int], Counter[int]]:
+        """Fan the prune pass over the pool, preferring the
+        pattern-partitioned layout.
+
+        Statement-sharded pruning ships the *whole* candidate list to
+        every shard task — with thousands of candidates that pickling
+        (plus one anchor index build per shard over all of them) costs
+        more than the matching itself, which is how parallel pruning
+        used to lose to serial.  When the statements' paths are already
+        fork-shared, the roles flip: each worker gets a cheap handle to
+        *all* statements plus only a slice of the candidate list, so
+        the candidate set is pickled and indexed exactly once across
+        the pool.  Per-pattern counts are independent of how patterns
+        are partitioned, so the merged counts (shifted back to global
+        indices) are bit-identical to a serial pass.
+
+        Worker-side seconds are accumulated into a ``prune_shard``
+        profiler row (items = shard tasks fanned out), separating real
+        shard compute from the orchestration total in ``prune``.
+        """
+        full_payload = None
+        if has_paths:
+            assert paths is not None
+            full_payload = executor.shard_payloads(paths, [(0, n)])[0]
+        if isinstance(full_payload, SharedSlice):
+            pattern_spans = even_spans(
+                len(supported), executor.shard_hint(len(supported))
+            )
+            results = executor.map(
+                _prune_pattern_shard,
+                [
+                    (full_payload, supported[start:stop])
+                    for start, stop in pattern_spans
+                ],
+            )
+            match_counts, sat_counts = merge_offset_count_pairs(
+                [(match, sat) for match, sat, _ in results],
+                [start for start, _ in pattern_spans],
+            )
+        else:
+            # No fork-shared paths to lean on (extract-in-worker mode,
+            # or a spawn platform shipping real slices): statement
+            # sharding at least keeps the path extraction distributed.
+            results = executor.map(
+                _prune_shard,
+                [(self, shard, has_paths, supported) for shard in shards],
+            )
+            match_counts, sat_counts = merge_count_pairs(
+                [(match, sat) for match, sat, _ in results]
+            )
+        profiler.record(
+            "prune_shard",
+            sum(seconds for _, _, seconds in results),
+            items=len(results),
+        )
         return match_counts, sat_counts
+
+    def _cached_prune(
+        self,
+        cache: ContentCache,
+        shard_keys: Sequence[str],
+        spans: Sequence[Span],
+        shards: list,
+        path_lists: Sequence[Sequence[NamePath]] | None,
+        supported: list[NamePattern],
+        *,
+        parallel: bool,
+        has_paths: bool,
+        executor: ShardExecutor,
+        profiler: PhaseProfiler,
+    ) -> tuple[Counter[int], Counter[int]]:
+        """Prune through the per-statement-shard cache.
+
+        Cache entries must be a pure function of a shard's files (plus
+        global state in the salt), so caching keeps the statement-
+        sharded layout — the candidate list fingerprint rides in the
+        salt because the counts are keyed by index into it.  Only the
+        *recomputed* shards contribute to the ``prune_shard`` row,
+        which makes the row double as an incrementality probe: a warm
+        run records none, a one-file edit records one shard per kind.
+        """
+        salt = config_fingerprint(
+            self.config, "prune"
+        ) + "|" + fingerprint_of(pattern_fingerprint(p) for p in supported)
+        entries = [
+            cache.get("prune", cache.key(key, salt)) for key in shard_keys
+        ]
+        missing = [i for i, entry in enumerate(entries) if entry is None]
+        if missing:
+            if parallel:
+                computed = executor.map(
+                    _prune_shard,
+                    [(self, shards[i], has_paths, supported) for i in missing],
+                )
+            else:
+                assert path_lists is not None
+                computed = [
+                    _timed_count_matches(
+                        path_lists[spans[i][0] : spans[i][1]], supported
+                    )
+                    for i in missing
+                ]
+            for i, (match, sat, _) in zip(missing, computed):
+                entries[i] = (match, sat)
+                cache.put("prune", cache.key(shard_keys[i], salt), (match, sat))
+            profiler.record(
+                "prune_shard",
+                sum(seconds for _, _, seconds in computed),
+                items=len(missing),
+            )
+        return merge_count_pairs(entries)
 
     def _prune_uncommon(
         self,
@@ -488,12 +731,83 @@ def _growth_shard(task) -> dict[tuple[NamePath, ...], int]:
     return miner._transaction_counts(path_lists, frequent, kind)
 
 
-def _prune_shard(task) -> tuple[Counter[int], Counter[int]]:
+def _count_matches(
+    path_lists: Sequence[Sequence[NamePath]],
+    supported: list[NamePattern],
+) -> tuple[Counter[int], Counter[int]]:
+    """Prune pass over one shard: per-pattern match / satisfaction
+    counts, keyed by index into ``supported``.  The anchor index is
+    built once per shard; the statement prefix index is built lazily on
+    the first candidate and shared across that statement's checks —
+    against a small pattern slice most statements have no candidates,
+    so the index build is usually skipped entirely."""
+    matcher = PatternMatcher(supported)
+    match_counts: Counter[int] = Counter()
+    sat_counts: Counter[int] = Counter()
+    for paths in path_lists:
+        index = None
+        for idx in matcher.candidate_indices(paths):
+            if index is None:
+                index = paths_by_prefix(paths)
+            relation = check_pattern(supported[idx], paths, index)
+            if relation is Relation.NO_MATCH:
+                continue
+            match_counts[idx] += 1
+            if relation is Relation.SATISFIED:
+                sat_counts[idx] += 1
+    return match_counts, sat_counts
+
+
+def _timed_count_matches(
+    path_lists: Sequence[Sequence[NamePath]],
+    supported: list[NamePattern],
+) -> tuple[Counter[int], Counter[int], float]:
+    started = time.perf_counter()
+    match_counts, sat_counts = _count_matches(path_lists, supported)
+    return match_counts, sat_counts, time.perf_counter() - started
+
+
+def _prune_shard(task) -> tuple[Counter[int], Counter[int], float]:
+    """Statement-sharded prune task: all candidates, one statement
+    shard.  Returns the counts plus worker-side seconds."""
     miner, payload, has_paths, supported = task
+    started = time.perf_counter()
     path_lists = _shard_path_lists(
         payload, has_paths, miner.config.max_paths_per_statement
     )
-    return miner._match_counts(path_lists, supported)
+    match_counts, sat_counts = _count_matches(path_lists, supported)
+    return match_counts, sat_counts, time.perf_counter() - started
+
+
+def _prune_pattern_shard(task) -> tuple[Counter[int], Counter[int], float]:
+    """Pattern-partitioned prune task: one candidate slice, all
+    statements (resolved from fork-inherited memory for free).  Counts
+    come back keyed by index into the *slice*; the caller shifts them
+    by the slice offset (:func:`merge_offset_count_pairs`)."""
+    payload, patterns = task
+    started = time.perf_counter()
+    path_lists = resolve_shard(payload)
+    match_counts, sat_counts = _count_matches(path_lists, patterns)
+    return match_counts, sat_counts, time.perf_counter() - started
+
+
+def _through_cache(
+    cache: ContentCache,
+    level: str,
+    keys: Sequence[str],
+    salt: str,
+    compute: Callable[[list[int]], list],
+) -> list:
+    """Per-shard results through the content cache: load what's there,
+    call ``compute(missing_indices)`` for the rest (results in that
+    order), store them, and return one entry per key in key order."""
+    entries = [cache.get(level, cache.key(key, salt)) for key in keys]
+    missing = [i for i, entry in enumerate(entries) if entry is None]
+    if missing:
+        for i, value in zip(missing, compute(missing)):
+            entries[i] = value
+            cache.put(level, cache.key(keys[i], salt), value)
+    return entries
 
 
 # ----------------------------------------------------------------------

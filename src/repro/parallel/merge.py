@@ -22,7 +22,12 @@ from __future__ import annotations
 from collections import Counter
 from typing import Hashable, Iterable, Mapping, TypeVar
 
-__all__ = ["merge_counters", "merge_ordered_counts", "merge_count_pairs"]
+__all__ = [
+    "merge_counters",
+    "merge_ordered_counts",
+    "merge_count_pairs",
+    "merge_offset_count_pairs",
+]
 
 K = TypeVar("K", bound=Hashable)
 
@@ -61,4 +66,26 @@ def merge_count_pairs(
             matches[idx] += count
         for idx, count in sat_counts.items():
             satisfactions[idx] += count
+    return matches, satisfactions
+
+
+def merge_offset_count_pairs(
+    pairs: Iterable[tuple[Mapping[int, int], Mapping[int, int]]],
+    offsets: Iterable[int],
+) -> tuple[Counter[int], Counter[int]]:
+    """Merge count pairs whose indices are shard-local.
+
+    The pattern-partitioned prune pass hands each worker a *slice* of
+    the candidate list, so its counters are keyed ``0..len(slice)``;
+    shifting by the slice's start offset recovers global pattern
+    indices.  Unlike the statement-sharded merge, indices never collide
+    across shards — each pattern is counted by exactly one worker.
+    """
+    matches: Counter[int] = Counter()
+    satisfactions: Counter[int] = Counter()
+    for (match_counts, sat_counts), offset in zip(pairs, offsets):
+        for idx, count in match_counts.items():
+            matches[idx + offset] += count
+        for idx, count in sat_counts.items():
+            satisfactions[idx + offset] += count
     return matches, satisfactions

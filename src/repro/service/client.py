@@ -115,6 +115,9 @@ class HttpClient:
         self.retry = retry if retry is not None else RetryPolicy()
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.stats = ClientStats()
+        #: Response headers from the most recent successful call —
+        #: ``X-Repro-Cache`` here tells the CLI how the batch was served.
+        self.last_headers: dict[str, str] = {}
         self._sleep = sleep
 
     # ------------------------------------------------------------------
@@ -166,7 +169,9 @@ class HttpClient:
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read())
+                body = json.loads(response.read())
+                self.last_headers = dict(response.headers.items())
+                return body
         except urllib.error.HTTPError as exc:
             try:
                 message = json.loads(exc.read()).get("error", exc.reason)
@@ -207,6 +212,7 @@ class InProcessClient:
 
     def __init__(self, engine: AnalysisEngine) -> None:
         self.engine = engine
+        self.last_headers: dict[str, str] = {}
 
     def health(self) -> dict:
         return self.engine.health()
@@ -221,6 +227,8 @@ class InProcessClient:
         return self.engine.analyze(request).to_json()
 
     def analyze_files(self, entries: list[dict]) -> list[dict]:
+        from repro.service.server import cache_disposition
+
         requests = [
             AnalysisRequest(
                 source=e["source"],
@@ -229,7 +237,9 @@ class InProcessClient:
             )
             for e in entries
         ]
-        return [r.to_json() for r in self.engine.analyze_many(requests)]
+        results = self.engine.analyze_many(requests)
+        self.last_headers = {"X-Repro-Cache": cache_disposition(results)}
+        return [r.to_json() for r in results]
 
     def reload(self, artifact_path: str | Path) -> dict:
         return self.engine.reload(str(artifact_path))

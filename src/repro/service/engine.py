@@ -22,6 +22,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.cache import ContentCache
 from repro.core.namer import Namer
 from repro.core.persistence import PersistenceError, load_namer
 from repro.core.prepare import PreparedFile, PrepareError, prepare_file_checked
@@ -73,6 +74,9 @@ class AnalysisResult:
     #: True when served pattern-only because the classifier artifact
     #: was missing or corrupt (see AnalysisEngine degraded mode)
     degraded: bool = False
+    #: which cache answered: "memory" (LRU), "disk" (persistent
+    #: content cache), or None for a full analysis
+    cache_level: str | None = None
 
     def to_json(self) -> dict:
         return {
@@ -82,6 +86,7 @@ class AnalysisResult:
             "error": self.error,
             "elapsed_ms": round(self.elapsed_ms, 3),
             "degraded": self.degraded,
+            "cache_level": self.cache_level,
         }
 
 
@@ -98,6 +103,7 @@ class AnalysisEngine:
         cache_entries: int = 1024,
         request_timeout: float = 60.0,
         degraded_ok: bool = True,
+        cache_dir: str | None = None,
     ) -> None:
         if namer is None:
             if artifact_path is None:
@@ -108,6 +114,13 @@ class AnalysisEngine:
         self.artifact_path = artifact_path
         self.request_timeout = request_timeout
         self.cache = ResultCache(cache_entries)
+        #: persistent result cache surviving restarts, keyed by
+        #: (artifact fingerprint, request content) — a restarted or
+        #: reloaded daemon skips detection for unchanged files
+        self.content_cache = ContentCache(cache_dir) if cache_dir else None
+        self._artifact_fp = (
+            self._artifact_fingerprint(namer) if self.content_cache else None
+        )
         self.queue = RequestQueue(capacity=queue_capacity, workers=workers)
         self.metrics = ServiceMetrics()
         self.metrics.set_mining_phases(namer.summary.phase_timings)
@@ -159,9 +172,14 @@ class AnalysisEngine:
                 results[i] = AnalysisResult(
                     path=request.path, reports=hit.reports, cached=True,
                     error=hit.error, degraded=self.degraded,
+                    cache_level="memory",
                 )
-            else:
-                misses.append(i)
+                continue
+            disk = self._disk_get(request)
+            if disk is not None:
+                results[i] = disk
+                continue
+            misses.append(i)
 
         # Fan preparation out over the pool; under backpressure fall
         # back to preparing inline rather than failing the batch.
@@ -250,7 +268,11 @@ class AnalysisEngine:
             return AnalysisResult(
                 path=request.path, reports=hit.reports, cached=True,
                 error=hit.error, degraded=self.degraded,
+                cache_level="memory",
             )
+        disk = self._disk_get(request)
+        if disk is not None:
+            return disk
         generation = self._generation
         namer = self._namer
         prepared = self._prepare(request)
@@ -279,7 +301,53 @@ class AnalysisEngine:
         )
         if generation == self._generation:
             self.cache.put(request.cache_key(), result)
+            # Persist clean results only: errors stay uncached so a
+            # transient failure is re-analyzed, and the generation
+            # fence guarantees the fingerprint still matches the
+            # artifact that produced these reports.
+            if error is None and self.content_cache is not None:
+                fp = self._artifact_fp
+                if fp is not None:
+                    self.content_cache.put(
+                        "detect",
+                        ContentCache.key(fp, request.cache_key()),
+                        reports,
+                    )
         return result
+
+    def _disk_get(self, request: AnalysisRequest) -> AnalysisResult | None:
+        """Serve one request from the persistent content cache.
+
+        Keys include the loaded artifact's content fingerprint, so
+        entries written under a different artifact (or schema) can
+        never answer — no invalidation protocol, just different keys.
+        A hit also warms the in-memory LRU.
+        """
+        cache = self.content_cache
+        fp = self._artifact_fp
+        if cache is None or fp is None:
+            return None
+        reports = cache.get("detect", ContentCache.key(fp, request.cache_key()))
+        if reports is None:
+            return None
+        result = AnalysisResult(
+            path=request.path, reports=reports, cached=True,
+            degraded=self.degraded, cache_level="disk",
+        )
+        self.cache.put(request.cache_key(), result)
+        return result
+
+    @staticmethod
+    def _artifact_fingerprint(namer: Namer) -> str | None:
+        """Content checksum of the loaded artifact (None disables the
+        persistent cache — e.g. a namer that was never mined)."""
+        from repro.core.persistence import namer_to_document
+        from repro.resilience.checkpoint import document_checksum
+
+        try:
+            return document_checksum(namer_to_document(namer))
+        except Exception:
+            return None
 
     def _count(self, result: AnalysisResult, seconds: float) -> None:
         result.elapsed_ms = seconds * 1000
@@ -328,6 +396,9 @@ class AnalysisEngine:
         with self._reload_lock:
             self._namer = namer
             self.artifact_path = artifact_path
+            self._artifact_fp = (
+                self._artifact_fingerprint(namer) if self.content_cache else None
+            )
             self._generation += 1
             dropped = self.cache.clear()
         self.metrics.record_reload()
@@ -361,6 +432,15 @@ class AnalysisEngine:
             "pending": self.queue.pending,
             "in_flight": self.queue.in_flight,
         }
+        # Incremental-cache observability: the persistent detect cache
+        # and the mining run's per-level counters (empty when the
+        # artifact was mined without a cache directory).
+        body["content_cache"] = (
+            self.content_cache.stats_json()
+            if self.content_cache is not None
+            else {}
+        )
+        body["mining_cache"] = dict(self._namer.summary.cache_stats)
         return body
 
     def shutdown(self, drain: bool = True, timeout: float | None = 30.0) -> None:

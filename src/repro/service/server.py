@@ -24,10 +24,19 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.core.persistence import PersistenceError
-from repro.service.engine import AnalysisEngine, AnalysisRequest
+from repro.service.engine import AnalysisEngine, AnalysisRequest, AnalysisResult
 from repro.service.queue import QueueFullError, RequestTimeout, ServiceClosed
 
-__all__ = ["AnalysisServer", "serve"]
+__all__ = ["AnalysisServer", "cache_disposition", "serve"]
+
+
+def cache_disposition(results: list[AnalysisResult]) -> str:
+    """The ``X-Repro-Cache`` header value: how this response's files
+    were answered (in-memory LRU hit, persistent disk hit, or a full
+    analysis)."""
+    memory = sum(1 for r in results if r.cache_level == "memory")
+    disk = sum(1 for r in results if r.cache_level == "disk")
+    return f"memory={memory} disk={disk} miss={len(results) - memory - disk}"
 
 MAX_BODY_BYTES = 32 * 1024 * 1024
 
@@ -107,9 +116,18 @@ class _Handler(BaseHTTPRequestHandler):
         requests, batch = _parse_requests(body)
         if batch:
             results = self.engine.analyze_many(requests)
-            self._reply(200, {"results": [r.to_json() for r in results]})
+            self._reply(
+                200,
+                {"results": [r.to_json() for r in results]},
+                headers={"X-Repro-Cache": cache_disposition(results)},
+            )
         else:
-            self._reply(200, self.engine.analyze(requests[0]).to_json())
+            result = self.engine.analyze(requests[0])
+            self._reply(
+                200,
+                result.to_json(),
+                headers={"X-Repro-Cache": cache_disposition([result])},
+            )
 
     def _handle_reload(self, body: dict) -> None:
         if not isinstance(body, dict) or not isinstance(body.get("artifacts"), str):
@@ -136,11 +154,15 @@ class _Handler(BaseHTTPRequestHandler):
         except json.JSONDecodeError as exc:
             raise _BadRequest(f"invalid JSON body: {exc}") from exc
 
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply(
+        self, status: int, payload: dict, headers: dict | None = None
+    ) -> None:
         data = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
 
@@ -216,6 +238,7 @@ def serve(
     workers: int = 4,
     queue_capacity: int = 64,
     cache_entries: int = 1024,
+    cache_dir: str | None = None,
     quiet: bool = False,
 ) -> AnalysisServer:
     """Build an engine from saved artifacts and bind the HTTP server."""
@@ -224,5 +247,6 @@ def serve(
         workers=workers,
         queue_capacity=queue_capacity,
         cache_entries=cache_entries,
+        cache_dir=cache_dir,
     )
     return AnalysisServer(engine, host=host, port=port, quiet=quiet)

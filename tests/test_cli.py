@@ -72,6 +72,19 @@ class TestParser:
         assert args.strict_artifacts
         assert not build_parser().parse_args(["serve"]).strict_artifacts
 
+    def test_mine_cache_flags(self):
+        args = build_parser().parse_args(["mine"])
+        assert args.cache_dir is None and not args.no_cache
+        args = build_parser().parse_args(
+            ["mine", "--cache-dir", "warm", "--no-cache"]
+        )
+        assert args.cache_dir == "warm" and args.no_cache
+
+    def test_serve_cache_dir_flag(self):
+        assert build_parser().parse_args(["serve"]).cache_dir is None
+        args = build_parser().parse_args(["serve", "--cache-dir", "d"])
+        assert args.cache_dir == "d"
+
 
 class TestCommands:
     def test_mine_writes_artifacts(self, artifacts):
@@ -191,8 +204,35 @@ class TestCommands:
             assert code == 0
             out = capsys.readouterr().out
             assert "naming issue(s) reported" in out
+            assert "cache: memory=0 disk=0 miss=1" in out
+            # Re-analyzing hits the daemon's result cache, and the CLI
+            # surfaces the disposition from the X-Repro-Cache header.
+            assert main(["analyze-remote", str(project), "--url", server.url]) == 0
+            assert "cache: memory=1 disk=0 miss=0" in capsys.readouterr().out
         finally:
             server.stop()
+
+    def test_mine_warm_cache_round_trip(self, tmp_path, capsys):
+        base = [
+            "--repos", "6", "--min-support", "10", "--min-frequency", "5",
+            "--cache-dir", str(tmp_path / "warm"),
+        ]
+        out_a = tmp_path / "a.json"
+        out_b = tmp_path / "b.json"
+        assert main(["mine", "--out", str(out_a), *base]) == 0
+        assert (tmp_path / "warm").is_dir()
+        assert main(["mine", "--out", str(out_b), *base]) == 0
+        # The warm run mined bit-identical artifacts from the cache.
+        assert out_a.read_bytes() == out_b.read_bytes()
+
+    def test_mine_no_cache_skips_cache_dir(self, tmp_path):
+        out = tmp_path / "n.json"
+        code = main([
+            "mine", "--out", str(out), "--no-cache",
+            "--repos", "6", "--min-support", "10", "--min-frequency", "5",
+        ])
+        assert code == 0
+        assert not (tmp_path / "n.json.cache").exists()
 
     def test_eval_prints_table(self, capsys):
         code = main(

@@ -1,0 +1,217 @@
+"""Tests for the content-addressed cache store (`repro.cache`).
+
+The store's contract: a key identifies content exactly (schema version,
+length-prefixed parts), entries round-trip through pickle, damage of any
+kind — truncation, bit flips, wrong schema, injected I/O faults — reads
+as a miss (never an exception), and levels evict LRU past their cap.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cache import (
+    CACHE_SCHEMA_VERSION,
+    ContentCache,
+    config_fingerprint,
+    fingerprint_of,
+    pattern_fingerprint,
+    shard_content_keys,
+)
+from repro.core.namepath import NamePath, PathStep
+from repro.core.patterns import NamePattern, PatternKind
+from repro.resilience.faults import FAULTS, FaultPlan, FaultSpec
+
+pytestmark = pytest.mark.cache
+
+
+# ----------------------------------------------------------------------
+# Keys
+# ----------------------------------------------------------------------
+
+
+class TestKeys:
+    def test_key_is_deterministic(self):
+        assert ContentCache.key("a", "b") == ContentCache.key("a", "b")
+
+    def test_length_prefix_prevents_concatenation_collisions(self):
+        assert ContentCache.key("ab", "c") != ContentCache.key("a", "bc")
+
+    def test_key_accepts_bytes_and_text(self):
+        assert ContentCache.key(b"raw") != ContentCache.key("raw", "x")
+
+    def test_schema_version_is_part_of_every_key(self, monkeypatch):
+        before = ContentCache.key("same", "parts")
+        monkeypatch.setattr(
+            "repro.cache.contentcache.CACHE_SCHEMA_VERSION",
+            CACHE_SCHEMA_VERSION + 1,
+        )
+        assert ContentCache.key("same", "parts") != before
+
+    def test_fingerprint_of_is_order_sensitive(self):
+        assert fingerprint_of(["a", "b"]) != fingerprint_of(["b", "a"])
+        assert fingerprint_of(["ab"]) != fingerprint_of(["a", "b"])
+
+    def test_config_fingerprint_joins_reprs(self):
+        assert config_fingerprint(1, "x") == "1|'x'"
+
+    def test_pattern_fingerprint_sorts_sets(self):
+        a = NamePath((PathStep("Call", 0),), "count")
+        b = NamePath((PathStep("Attr", 1),), "total")
+        sym = [
+            NamePath((PathStep("Call", 0),), None),
+            NamePath((PathStep("Attr", 1),), None),
+        ]
+        p1 = NamePattern(
+            condition=frozenset([a, b]),
+            deduction=frozenset(sym),
+            kind=PatternKind.CONSISTENCY,
+            support=3,
+        )
+        p2 = NamePattern(
+            condition=frozenset([b, a]),
+            deduction=frozenset(reversed(sym)),
+            kind=PatternKind.CONSISTENCY,
+            support=3,
+        )
+        assert pattern_fingerprint(p1) == pattern_fingerprint(p2)
+
+
+class TestShardContentKeys:
+    def test_keys_follow_covered_files(self):
+        keys = shard_content_keys([(0, 2), (2, 3)], [2, 1], ["k1", "k2"])
+        assert keys is not None and len(keys) == 2
+        # Same files, same keys; a changed file key changes its shard only.
+        changed = shard_content_keys([(0, 2), (2, 3)], [2, 1], ["k1", "XX"])
+        assert changed[0] == keys[0] and changed[1] != keys[1]
+
+    def test_misaligned_span_returns_none(self):
+        assert shard_content_keys([(0, 1)], [2], ["k1"]) is None
+
+    def test_zero_statement_files_do_not_affect_keys(self):
+        with_empty = shard_content_keys(
+            [(0, 2), (2, 3)], [2, 0, 1], ["k1", "EMPTY", "k2"]
+        )
+        without = shard_content_keys([(0, 2), (2, 3)], [2, 1], ["k1", "k2"])
+        assert with_empty == without
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            shard_content_keys([(0, 1)], [1, 1], ["k1"])
+
+
+# ----------------------------------------------------------------------
+# Store round-trips and damage handling
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ContentCache(tmp_path / "cache")
+
+
+def _entry_files(cache: ContentCache, level: str):
+    return sorted((cache.directory / level).glob("*.bin"))
+
+
+class TestStore:
+    def test_roundtrip(self, cache):
+        key = ContentCache.key("file-bytes")
+        cache.put("prepare", key, {"value": [1, 2, 3]})
+        assert cache.get("prepare", key) == {"value": [1, 2, 3]}
+        stats = cache.stats_json()["prepare"]
+        assert stats["hits"] == 1 and stats["stores"] == 1
+
+    def test_absent_key_is_a_plain_miss(self, cache):
+        assert cache.get("prepare", ContentCache.key("nope")) is None
+        stats = cache.stats_json()["prepare"]
+        assert stats["misses"] == 1 and stats["corrupt"] == 0
+
+    def test_levels_are_isolated(self, cache):
+        key = ContentCache.key("shared")
+        cache.put("frequency", key, 1)
+        assert cache.get("growth", key) is None
+        assert cache.get("frequency", key) == 1
+
+    def test_truncated_payload_is_corrupt_miss_and_unlinked(self, cache):
+        key = ContentCache.key("t")
+        cache.put("prepare", key, list(range(100)))
+        (path,) = _entry_files(cache, "prepare")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 5])
+        assert cache.get("prepare", key) is None
+        assert cache.stats_json()["prepare"]["corrupt"] == 1
+        assert not path.exists()  # damaged entries stop costing reads
+
+    def test_flipped_payload_bit_fails_checksum(self, cache):
+        key = ContentCache.key("b")
+        cache.put("prepare", key, list(range(100)))
+        (path,) = _entry_files(cache, "prepare")
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert cache.get("prepare", key) is None
+        assert cache.stats_json()["prepare"]["corrupt"] == 1
+
+    def test_garbage_header_is_corrupt_miss(self, cache):
+        key = ContentCache.key("g")
+        path = cache.directory / "prepare" / f"{key}.bin"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not json at all\n\x00\x01")
+        assert cache.get("prepare", key) is None
+        assert cache.stats_json()["prepare"]["corrupt"] == 1
+
+    def test_stale_schema_entry_reads_as_corrupt_miss(self, cache):
+        """An entry written by an older schema version: even if a key
+        somehow collided, the header schema check rejects it."""
+        key = ContentCache.key("s")
+        cache.put("prepare", key, "payload")
+        (path,) = _entry_files(cache, "prepare")
+        header_line, _, payload = path.read_bytes().partition(b"\n")
+        header = json.loads(header_line)
+        header["schema"] = CACHE_SCHEMA_VERSION - 1
+        path.write_bytes(
+            json.dumps(header, separators=(",", ":")).encode() + b"\n" + payload
+        )
+        assert cache.get("prepare", key) is None
+        assert cache.stats_json()["prepare"]["corrupt"] == 1
+
+    def test_injected_load_fault_is_a_corrupt_miss(self, cache):
+        """The `cache.load` fault site: an injected failure degrades to
+        a recompute, never an exception for the caller."""
+        key = ContentCache.key("f")
+        cache.put("prepare", key, "payload")
+        plan = FaultPlan([FaultSpec(site="cache.load", rate=1.0)], seed=1)
+        with FAULTS.armed(plan):
+            assert cache.get("prepare", key) is None
+        assert cache.stats_json()["prepare"]["corrupt"] == 1
+        # After the plan is disarmed the entry was unlinked (treated as
+        # damaged), so the next read is a clean miss and a re-put works.
+        assert cache.get("prepare", key) is None
+        cache.put("prepare", key, "payload")
+        assert cache.get("prepare", key) == "payload"
+
+    def test_eviction_drops_least_recently_used(self, tmp_path):
+        cache = ContentCache(tmp_path / "c", max_entries_per_level=3)
+        keys = [ContentCache.key(f"k{i}") for i in range(4)]
+        for i, key in enumerate(keys):
+            cache.put("prepare", key, i)
+            path = cache.directory / "prepare" / f"{key}.bin"
+            os.utime(path, (1000 + i, 1000 + i))  # deterministic LRU order
+        assert len(_entry_files(cache, "prepare")) == 3
+        assert cache.get("prepare", keys[0]) is None  # oldest evicted
+        assert cache.get("prepare", keys[3]) == 3
+        assert cache.stats_json()["prepare"]["evictions"] == 1
+
+    def test_put_survives_unwritable_level(self, tmp_path):
+        """A level directory that turns into a non-directory (or any
+        other OSError on write) degrades to a skipped store — a sick
+        disk slows runs down, never fails them.  (chmod tricks don't
+        work under root, so the test swaps the directory for a file.)"""
+        cache = ContentCache(tmp_path / "c")
+        level_dir = cache._level("prepare").directory
+        level_dir.rmdir()
+        level_dir.write_text("not a directory")
+        cache.put("prepare", ContentCache.key("k"), "v")  # must not raise
+        assert cache.stats_json()["prepare"]["stores"] == 0

@@ -1,0 +1,258 @@
+"""End-to-end tests for the incremental mining pipeline.
+
+The contract under test, in order of importance:
+
+1. **Bit identity** — mined patterns and saved artifact bytes are
+   identical with the cache off, cold, or warm.
+2. **Incrementality** — a warm re-mine recomputes nothing when nothing
+   changed, and only the affected shards when one file changed.
+3. **Invalidation** — content edits, renames with identical bytes,
+   config changes, and schema bumps all produce different keys (stale
+   entries can never answer).
+4. **Resilience** — a damaged or fault-injected cache falls back to a
+   cold computation with identical results.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.cache import CACHE_SCHEMA_VERSION
+from repro.core.namer import Namer, NamerConfig
+from repro.core.persistence import namer_to_document
+from repro.corpus.generator import GeneratorConfig, generate_python_corpus
+from repro.mining.miner import MiningConfig
+from repro.resilience.faults import FAULTS, FaultPlan, FaultSpec
+
+pytestmark = pytest.mark.cache
+
+MINING = MiningConfig(min_pattern_support=8, min_path_frequency=4)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_python_corpus(
+        GeneratorConfig(num_repos=8, issue_rate=0.12, seed=7)
+    )
+
+
+def mine(corpus, cache_dir=None, *, mining=MINING, workers=1):
+    namer = Namer(
+        NamerConfig(
+            mining=mining,
+            workers=workers,
+            cache_dir=str(cache_dir) if cache_dir is not None else None,
+        )
+    )
+    namer.mine(corpus)
+    return namer
+
+
+def doc_bytes(namer) -> bytes:
+    return json.dumps(namer_to_document(namer), sort_keys=True).encode()
+
+
+def level(namer, name) -> dict:
+    return namer.summary.cache_stats.get(name, {})
+
+
+def phase_names(namer) -> list[str]:
+    return [row["phase"] for row in namer.summary.phase_timings]
+
+
+# ----------------------------------------------------------------------
+# Bit identity and zero-change warm runs
+# ----------------------------------------------------------------------
+
+
+class TestWarmIdentity:
+    def test_cold_and_warm_match_uncached_exactly(self, corpus, tmp_path):
+        baseline = mine(corpus)
+        cold = mine(corpus, tmp_path / "c")
+        warm = mine(corpus, tmp_path / "c")
+        assert doc_bytes(cold) == doc_bytes(baseline)
+        assert doc_bytes(warm) == doc_bytes(baseline)
+        assert (
+            cold.matcher.patterns
+            == baseline.matcher.patterns
+            == warm.matcher.patterns
+        )
+
+    def test_cold_run_stores_every_level(self, corpus, tmp_path):
+        cold = mine(corpus, tmp_path / "c")
+        stats = cold.summary.cache_stats
+        for name in (
+            "prepare", "pairs", "frequency", "growth", "prune", "stats", "mine",
+        ):
+            assert stats[name]["stores"] > 0, name
+            assert stats[name]["hits"] == 0, name
+
+    def test_warm_run_recomputes_nothing(self, corpus, tmp_path):
+        mine(corpus, tmp_path / "c")
+        warm = mine(corpus, tmp_path / "c")
+        for name, stats in warm.summary.cache_stats.items():
+            assert stats["misses"] == 0, name
+            assert stats["stores"] == 0, name
+            assert stats["hits"] > 0, name
+        # The whole-kind memo answers both kinds, so no mining pass —
+        # and in particular no prune_shard row (the incrementality
+        # probe: that row counts *recomputed* shards) — ever runs.
+        assert level(warm, "mine")["hits"] == 2
+        for name in ("frequency", "growth", "prune"):
+            assert name not in warm.summary.cache_stats, name
+            assert name not in phase_names(warm), name
+        assert "prune_shard" not in phase_names(warm)
+
+    def test_uncached_namer_reports_no_cache_stats(self, corpus):
+        assert mine(corpus).summary.cache_stats == {}
+
+    def test_worker_count_does_not_invalidate(self, corpus, tmp_path):
+        """Shard plans aim for CACHE_SHARD_TARGET regardless of the
+        worker count, so re-mining warm with different parallelism
+        still hits every shard entry."""
+        cold = mine(corpus, tmp_path / "c", workers=1)
+        warm = mine(corpus, tmp_path / "c", workers=4)
+        assert doc_bytes(warm) == doc_bytes(cold)
+        for name, stats in warm.summary.cache_stats.items():
+            assert stats["misses"] == 0, name
+
+
+# ----------------------------------------------------------------------
+# One-file edits recompute one shard
+# ----------------------------------------------------------------------
+
+
+class TestIncrementalEdit:
+    def test_comment_edit_recomputes_only_that_files_shard(
+        self, corpus, tmp_path
+    ):
+        cold = mine(corpus, tmp_path / "c")
+        edited = copy.deepcopy(corpus)
+        edited.repositories[0].files[0].source += "\n# cache probe\n"
+        warm = mine(edited, tmp_path / "c")
+
+        nfiles = sum(len(r.files) for r in corpus.repositories)
+        # Exactly the edited file re-prepares ...
+        assert level(warm, "prepare")["misses"] == 1
+        assert level(warm, "prepare")["hits"] == nfiles - 1
+        # ... and exactly its statement shard re-counts.  (The second
+        # pattern kind reuses the in-process frequency memo, so the
+        # count is per-run, not per-kind.)
+        total_shards = level(cold, "frequency")["stores"]
+        assert total_shards >= 2
+        assert level(warm, "frequency")["misses"] == 1
+        assert level(warm, "frequency")["hits"] == total_shards - 1
+        # A comment changes no statements, so the global frequent-path
+        # and pattern sets are unchanged — later passes re-run only the
+        # edited shard (once per pattern kind).
+        assert level(warm, "growth")["misses"] == 2
+        assert level(warm, "prune")["misses"] == 2
+        # The statistics index re-counts only the edited shard too (the
+        # extra miss/store is the corpus-level merged-index memo).
+        assert level(cold, "stats")["stores"] == total_shards + 1
+        assert level(warm, "stats")["misses"] == 2
+        assert level(warm, "stats")["hits"] == total_shards - 1
+        # The content changed, so both whole-kind memos miss (and are
+        # re-stored for the next zero-change run).
+        assert level(warm, "mine")["misses"] == 2
+        assert level(warm, "mine")["stores"] == 2
+        # Commit histories didn't change: the pair store still hits.
+        assert level(warm, "pairs")["hits"] == 1
+        # The mined artifact is identical — the edit was cosmetic.
+        assert doc_bytes(warm) == doc_bytes(cold)
+
+    def test_rename_with_identical_bytes_invalidates(self, corpus, tmp_path):
+        """Statement provenance includes the file path, so a rename
+        must re-prepare the file even though its bytes are unchanged."""
+        mine(corpus, tmp_path / "c")
+        renamed = copy.deepcopy(corpus)
+        renamed.repositories[0].files[0].path += ".renamed.py"
+        warm = mine(renamed, tmp_path / "c")
+        assert level(warm, "prepare")["misses"] == 1
+        assert warm.summary.num_patterns > 0
+
+
+# ----------------------------------------------------------------------
+# Invalidation: config and schema
+# ----------------------------------------------------------------------
+
+
+class TestInvalidation:
+    def test_mining_config_change_invalidates_mining_not_prepare(
+        self, corpus, tmp_path
+    ):
+        mine(corpus, tmp_path / "c")
+        changed = MiningConfig(
+            min_pattern_support=MINING.min_pattern_support + 1,
+            min_path_frequency=MINING.min_path_frequency,
+        )
+        warm = mine(corpus, tmp_path / "c", mining=changed)
+        # Preparation doesn't depend on mining thresholds: all hits.
+        assert level(warm, "prepare")["misses"] == 0
+        assert level(warm, "prepare")["hits"] > 0
+        # Every mining-level entry is salted with the config: all miss.
+        assert level(warm, "frequency")["hits"] == 0
+        assert level(warm, "frequency")["misses"] > 0
+        # And the run must match a from-scratch mine at those settings.
+        assert doc_bytes(warm) == doc_bytes(mine(corpus, mining=changed))
+
+    def test_commit_change_invalidates_confusing_kind_only(
+        self, corpus, tmp_path
+    ):
+        """The confusing-pair list rides in the confusing-word kind's
+        salt, so a commit-history change re-mines that kind while the
+        consistency memo still answers — and the result matches a
+        from-scratch mine over the changed corpus."""
+        mine(corpus, tmp_path / "c")
+        edited = copy.deepcopy(corpus)
+        del edited.commits[len(edited.commits) // 2 :]
+        warm = mine(edited, tmp_path / "c")
+        assert level(warm, "pairs")["misses"] == 1
+        assert level(warm, "mine")["hits"] == 1  # consistency
+        assert level(warm, "mine")["misses"] == 1  # confusing words
+        assert doc_bytes(warm) == doc_bytes(mine(edited))
+
+    def test_schema_bump_orphans_every_entry(self, corpus, tmp_path, monkeypatch):
+        mine(corpus, tmp_path / "c")
+        monkeypatch.setattr(
+            "repro.cache.contentcache.CACHE_SCHEMA_VERSION",
+            CACHE_SCHEMA_VERSION + 1,
+        )
+        warm = mine(corpus, tmp_path / "c")
+        for name, stats in warm.summary.cache_stats.items():
+            assert stats["hits"] == 0, name
+            # Old entries hash to different keys — unreachable, never
+            # misread: these are plain misses, not corruption.
+            assert stats["corrupt"] == 0, name
+
+
+# ----------------------------------------------------------------------
+# Damage and fault injection fall back cold
+# ----------------------------------------------------------------------
+
+
+class TestResilience:
+    def test_injected_load_faults_fall_back_to_cold_compute(
+        self, corpus, tmp_path
+    ):
+        cold = mine(corpus, tmp_path / "c")
+        plan = FaultPlan([FaultSpec(site="cache.load", rate=1.0)], seed=3)
+        with FAULTS.armed(plan):
+            warm = mine(corpus, tmp_path / "c")
+        assert doc_bytes(warm) == doc_bytes(cold)
+        total_corrupt = sum(
+            stats["corrupt"] for stats in warm.summary.cache_stats.values()
+        )
+        assert total_corrupt > 0
+
+    def test_truncated_entries_fall_back_to_cold_compute(self, corpus, tmp_path):
+        cold = mine(corpus, tmp_path / "c")
+        for entry in (tmp_path / "c").rglob("*.bin"):
+            entry.write_bytes(entry.read_bytes()[:-10])
+        warm = mine(corpus, tmp_path / "c")
+        assert doc_bytes(warm) == doc_bytes(cold)
+        total_corrupt = sum(
+            stats["corrupt"] for stats in warm.summary.cache_stats.values()
+        )
+        assert total_corrupt > 0

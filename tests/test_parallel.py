@@ -420,18 +420,23 @@ class TestNamerParallelEquivalence:
         namer = Namer(NamerConfig(mining=SMALL, workers=2))
         summary = namer.mine(corpus)
         phases = [row["phase"] for row in summary.phase_timings]
+        # prune_shard precedes prune: the worker-side seconds are
+        # recorded inside the prune block, before its own row closes.
         assert phases == [
             "pairs",
             "prepare",
             "frequency",
             "growth",
             "generate",
+            "prune_shard",
             "prune",
             "stats",
         ]
         # The four miner passes ran once per pattern kind.
         by_name = {row["phase"]: row for row in summary.phase_timings}
         assert by_name["frequency"]["calls"] == 2
+        # The per-shard prune row reports real fanned-out shard tasks.
+        assert by_name["prune_shard"]["items"] >= 2
         assert all(row["seconds"] >= 0.0 for row in summary.phase_timings)
 
     def test_quarantine_identical_under_faults(self, corpus):

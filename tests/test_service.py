@@ -378,6 +378,99 @@ class TestHttpService:
             client.reload("/nonexistent/namer.json")
         assert exc.value.status == 400
 
+    def test_cache_disposition_header(self, client, report_source):
+        entries = [{"path": "header.py", "source": report_source.source}]
+        client.analyze_files(entries)
+        first = client.last_headers["X-Repro-Cache"]
+        assert first.endswith("miss=1") or "memory=1" in first
+        client.analyze_files(entries)
+        assert "memory=1" in client.last_headers["X-Repro-Cache"]
+
+
+# ----------------------------------------------------------------------
+# Persistent (disk) result cache: X-Repro-Cache, /metrics, restarts
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.cache
+class TestPersistentDetectCache:
+    def fresh_engine(self, artifact_file, cache_dir):
+        return AnalysisEngine(
+            artifact_path=str(artifact_file),
+            workers=1,
+            cache_entries=32,
+            cache_dir=str(cache_dir),
+        )
+
+    def test_disk_hit_survives_engine_restart(
+        self, artifact_file, report_source, tmp_path
+    ):
+        request = AnalysisRequest(
+            source=report_source.source, path=report_source.path
+        )
+        engine = self.fresh_engine(artifact_file, tmp_path / "c")
+        try:
+            cold = engine.analyze(request)
+            assert cold.cached is False and cold.cache_level is None
+            warm = engine.analyze(request)
+            assert warm.cache_level == "memory"
+        finally:
+            engine.shutdown(drain=False, timeout=5)
+
+        engine = self.fresh_engine(artifact_file, tmp_path / "c")
+        try:
+            disk = engine.analyze(request)
+            assert disk.cached is True and disk.cache_level == "disk"
+            assert disk.reports == cold.reports
+            # A disk hit warms the in-memory LRU for the next call.
+            assert engine.analyze(request).cache_level == "memory"
+        finally:
+            engine.shutdown(drain=False, timeout=5)
+
+    def test_errors_are_never_persisted(self, artifact_file, tmp_path):
+        request = AnalysisRequest(source=UNPARSABLE, path="broken.py")
+        engine = self.fresh_engine(artifact_file, tmp_path / "c")
+        try:
+            assert engine.analyze(request).error is not None
+        finally:
+            engine.shutdown(drain=False, timeout=5)
+        engine = self.fresh_engine(artifact_file, tmp_path / "c")
+        try:
+            again = engine.analyze(request)
+            assert again.error is not None and again.cache_level is None
+        finally:
+            engine.shutdown(drain=False, timeout=5)
+
+    def test_metrics_expose_cache_sections(self, artifact_file, tmp_path):
+        engine = self.fresh_engine(artifact_file, tmp_path / "c")
+        try:
+            engine.analyze(AnalysisRequest(source="x = 1\n", path="m.py"))
+            metrics = engine.metrics_json()
+            assert metrics["content_cache"]["detect"]["stores"] >= 1
+            assert isinstance(metrics["mining_cache"], dict)
+        finally:
+            engine.shutdown(drain=False, timeout=5)
+
+    def test_engine_without_cache_dir_reports_empty_sections(self, engine):
+        metrics = engine.metrics_json()
+        assert metrics["content_cache"] == {}
+
+    def test_in_process_client_reports_disposition(
+        self, artifact_file, report_source, tmp_path
+    ):
+        engine = self.fresh_engine(artifact_file, tmp_path / "c")
+        try:
+            client = InProcessClient(engine)
+            entries = [
+                {"path": report_source.path, "source": report_source.source}
+            ]
+            client.analyze_files(entries)
+            assert client.last_headers["X-Repro-Cache"] == "memory=0 disk=0 miss=1"
+            client.analyze_files(entries)
+            assert client.last_headers["X-Repro-Cache"] == "memory=1 disk=0 miss=0"
+        finally:
+            engine.shutdown(drain=False, timeout=5)
+
 
 # ----------------------------------------------------------------------
 # Races: shutdown vs. in-flight submits, reload vs. in-flight analyze
