@@ -127,36 +127,45 @@ def test_parallel_mining_speedup(mining_input):
         "prune",
         "prune_shard",  # worker-side prune seconds + shard task count
     }, "miner must fill the caller's profiler"
-    BENCH_OUT.write_text(
-        json.dumps(
-            {
-                "workers": BENCH_WORKERS,
-                "cores": default_workers(),
-                "shards": len(spans),
-                "statements": len(statements),
-                "patterns": len(_fingerprint(serial)),
-                "serial_seconds": round(serial_seconds, 3),
-                "parallel_seconds": round(parallel_seconds, 3),
-                "speedup": round(speedup, 2),
-                "phases": phases,
-            },
-            indent=2,
-        )
-        + "\n"
-    )
+    # A 4-worker pool time-slicing fewer than 4 cores measures scheduler
+    # contention, not parallel mining: keep the raw numbers (the phase
+    # rows are still meaningful) but stamp the record advisory so nobody
+    # reads the starved-runner "speedup" as a regression.
+    starved = default_workers() < BENCH_WORKERS
+    record = {
+        "workers": BENCH_WORKERS,
+        "cores": default_workers(),
+        "shards": len(spans),
+        "statements": len(statements),
+        "patterns": len(_fingerprint(serial)),
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(speedup, 2),
+        "phases": phases,
+    }
+    if starved:
+        record["advisory"] = True
+    BENCH_OUT.write_text(json.dumps(record, indent=2) + "\n")
 
+    headline = (
+        f"speedup: {speedup:.2f}x\n"
+        if not starved
+        else f"speedup: n/a ({default_workers()} core(s) for "
+        f"{BENCH_WORKERS} workers — advisory record)\n"
+    )
     print_table(
         f"Performance — sharded mining at {BENCH_WORKERS} workers",
         f"statements: {len(statements)}, shards: {len(spans)}\n"
         f"serial: {serial_seconds:.2f} s\n"
         f"parallel: {parallel_seconds:.2f} s\n"
-        f"speedup: {speedup:.2f}x\n\n"
+        + headline
+        + "\n"
         + format_phase_table(phases),
     )
 
     min_speedup = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "1.3"))
     enforce = os.environ.get("REPRO_BENCH_ENFORCE_SPEEDUP", "1") != "0"
-    if default_workers() < BENCH_WORKERS:
+    if starved:
         print(
             f"[skip] speedup floor not enforced: only {default_workers()} "
             f"core(s) available"

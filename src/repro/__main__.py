@@ -6,6 +6,8 @@ Commands:
   the synthetic reference corpus and save the artifacts to a file.
 * ``scan``  — load saved artifacts and scan a directory of source
   files, printing reports and (optionally) applying fixes in place.
+* ``analyze`` — batch analysis of a directory: one parallel
+  ``detect_many`` pass over every prepared file (``--workers N``).
 * ``eval``  — run the Table 2-style precision evaluation end to end.
 * ``serve`` — run the long-lived analysis daemon (HTTP JSON API).
 * ``analyze-remote`` — send files to a running daemon for analysis.
@@ -14,6 +16,7 @@ Example session::
 
     python -m repro mine --out namer.json --repos 30
     python -m repro scan --artifacts namer.json path/to/project
+    python -m repro analyze path/to/project --artifacts namer.json --workers 4
     python -m repro serve --artifacts namer.json --port 8750
     python -m repro analyze-remote path/to/project --url http://127.0.0.1:8750
     python -m repro eval --repos 30 --language python
@@ -189,6 +192,71 @@ def cmd_scan(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Local batch analysis: prepare every file under a path, then one
+    parallel ``detect_many`` pass over the whole batch."""
+    from repro.parallel.executor import default_workers
+    from repro.parallel.profiler import format_phase_table
+    from repro.resilience.quarantine import Quarantine
+
+    namer = _load_artifacts(args.artifacts)
+    if namer is None:
+        return 2
+    root = pathlib.Path(args.path)
+    if not root.exists():
+        return _fail(f"no such file or directory: {root}")
+    single_file = root.is_file()
+    targets = [root] if single_file else sorted(
+        p for p in root.rglob("*") if p.suffix in _SUFFIXES
+    )
+    prepared = []
+    skipped = 0
+    for path in targets:
+        language = _SUFFIXES.get(path.suffix)
+        if language is None:
+            if single_file:
+                return _fail(f"unsupported file type: {path}")
+            continue
+        try:
+            text = path.read_text()
+        except (OSError, UnicodeDecodeError) as exc:
+            if single_file:
+                return _fail(f"cannot read {path}: {exc}")
+            skipped += 1
+            print(f"[skip] {path}: cannot read ({exc})", file=sys.stderr)
+            continue
+        pf = prepare_file(
+            SourceFile(path=str(path), source=text, language=language),
+            repo=root.name,
+        )
+        if pf is None:
+            if single_file:
+                return _fail(f"unparseable {language} source: {path}")
+            skipped += 1
+            print(f"[skip] {path}: unparsable", file=sys.stderr)
+            continue
+        prepared.append(pf)
+    if not prepared:
+        return _fail(f"no analyzable files under {root}")
+    workers = args.workers if args.workers is not None else default_workers()
+    quarantine = Quarantine()
+    groups = namer.detect_many(prepared, quarantine=quarantine, workers=workers)
+    total = 0
+    for reports in groups:
+        for report in reports:
+            total += 1
+            print(report.describe())
+    for record in quarantine.records:
+        print(f"[skip] {record.path}: {record.brief()}", file=sys.stderr)
+    print(
+        f"{total} naming issue(s) reported across {len(prepared)} file(s) "
+        f"({workers} worker(s))"
+    )
+    if args.profile:
+        print(format_phase_table(namer.detect_profiler.to_json()))
+    return 0
+
+
 def cmd_eval(args: argparse.Namespace) -> int:
     generate = generate_java_corpus if args.language == "java" else generate_python_corpus
     corpus = generate(
@@ -213,6 +281,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         engine = AnalysisEngine(
             artifact_path=args.artifacts,
             workers=args.workers,
+            detect_workers=args.detect_workers,
             queue_capacity=args.queue_capacity,
             cache_entries=args.cache_size,
             cache_dir=args.cache_dir,
@@ -366,6 +435,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scan.set_defaults(fn=cmd_scan)
 
+    analyze = sub.add_parser(
+        "analyze", help="batch-analyze sources with saved artifacts"
+    )
+    analyze.add_argument("path", help="file or directory to analyze")
+    analyze.add_argument("--artifacts", default="namer.json")
+    analyze.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool size for batch detection (default: every "
+        "core the scheduler allows this process; reports are identical "
+        "for any N)",
+    )
+    analyze.add_argument(
+        "--profile", action="store_true",
+        help="print the match/featurize/classify phase table afterwards",
+    )
+    analyze.set_defaults(fn=cmd_analyze)
+
     evaluate = sub.add_parser("eval", help="run the precision evaluation")
     common(evaluate)
     evaluate.add_argument("--sample", type=int, default=300)
@@ -376,6 +462,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8750)
     serve.add_argument("--workers", type=int, default=4, help="analysis worker threads")
+    serve.add_argument(
+        "--detect-workers", type=int, default=1, metavar="N",
+        help="process-pool size for batch detection (1 = inline on the "
+        "worker threads; results are identical for any N)",
+    )
     serve.add_argument(
         "--cache-size", type=int, default=1024, help="result cache entries (0 disables)"
     )

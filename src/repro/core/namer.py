@@ -23,6 +23,7 @@ decoration ("w/o A").
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -37,6 +38,7 @@ from repro.cache import (
     shard_content_keys,
 )
 from repro.core.features import extract_features
+from repro.core.namepath import extract_name_paths
 from repro.core.prepare import PreparedFile, prepare_corpus
 from repro.core.patterns import PatternKind, Violation
 from repro.core.reports import Report
@@ -44,16 +46,17 @@ from repro.core.stats_index import StatsIndex
 from repro.core.transform import TransformConfig
 from repro.corpus.model import Corpus, Repository
 from repro.mining.confusing_pairs import ConfusingPairStore, mine_confusing_pairs
-from repro.mining.matcher import PatternMatcher
+from repro.mining.matcher import PatternMatcher, prefix_frequencies
 from repro.mining.miner import MiningConfig, PatternMiner
 from repro.ml.linear import LinearSVM
 from repro.ml.pipeline import ClassifierPipeline
 from repro.lang import parse_source
-from repro.parallel.executor import ShardExecutor
+from repro.parallel.executor import ShardExecutor, resolve_shard
+from repro.parallel.merge import merge_timed_shards
 from repro.parallel.profiler import PhaseProfiler
-from repro.parallel.sharding import pack_spans, spans_by_group
-from repro.resilience.faults import fault_check
-from repro.resilience.quarantine import Quarantine
+from repro.parallel.sharding import even_spans, pack_spans, spans_by_group
+from repro.resilience.faults import FAULTS, FaultPlan, fault_check
+from repro.resilience.quarantine import ErrorRecord, Quarantine
 
 __all__ = ["NamerConfig", "Namer", "MiningSummary"]
 
@@ -123,6 +126,13 @@ class Namer:
         self.summary = MiningSummary()
         #: phase timings of the most recent mine()/train() run
         self.profiler = PhaseProfiler()
+        #: accumulated detection-side phase timings (match / featurize /
+        #: classify) across every detect()/detect_many() call
+        self.detect_profiler = PhaseProfiler()
+        #: fork-shared worker context for parallel detection, rebuilt
+        #: whenever the matcher changes (one registration per model
+        #: generation, reused across batches)
+        self._detect_ctx: list | None = None
         #: per-file failures captured (not raised) during mine()
         self.quarantine = Quarantine()
         #: populated by a degraded artifact load (see persistence)
@@ -368,7 +378,12 @@ class Namer:
                 shard_keys=shard_keys,
             )
         patterns = consistency.patterns + confusing.patterns
-        self.matcher = PatternMatcher(patterns)
+        # Anchor each pattern at its rarest prefix as measured over the
+        # corpus it was mined from — the stats pass and all subsequent
+        # detection reuse this selectivity-tuned index.
+        self.matcher = PatternMatcher(
+            patterns, prefix_counts=prefix_frequencies(paths)
+        )
 
         with profiler.phase("stats", items=len(statements)):
             # The statistics index and the summary's violation scan are
@@ -618,6 +633,24 @@ class Namer:
         With a ``quarantine``, a group whose featurization fails is
         captured and yields no reports instead of failing the batch.
         """
+        featurized = self._featurize_groups(
+            violation_groups, local_stats, quarantine
+        )
+        return self._reports_from_features(violation_groups, featurized)
+
+    def _featurize_groups(
+        self,
+        violation_groups: list[list[Violation]],
+        local_stats: list[StatsIndex | None] | None = None,
+        quarantine: Quarantine | None = None,
+    ) -> list[list[np.ndarray]]:
+        """Feature vectors for every group, group structure preserved.
+
+        The featurize fault site fires once per group — including empty
+        ones (key ``"<empty>"``), so fault decisions are identical
+        whether a group lost its violations to an earlier detect-stage
+        failure or never had any.
+        """
         if local_stats is None:
             local_stats = [None] * len(violation_groups)
         featurized: list[list[np.ndarray]] = []
@@ -633,6 +666,16 @@ class Namer:
                     raise
                 quarantine.capture(path, "featurize", exc)
                 featurized.append([])
+        return featurized
+
+    def _reports_from_features(
+        self,
+        violation_groups: list[list[Violation]],
+        featurized: list[list[np.ndarray]],
+    ) -> list[list[Report]]:
+        """One classifier pass over a whole batch of featurized groups:
+        every feature vector is stacked into a single matrix and scored
+        with one ``decision_function`` call."""
         flat = [f for group in featurized for f in group]
         use_clf = self.config.use_classifier and self.classifier is not None
         if flat and use_clf:
@@ -666,6 +709,10 @@ class Namer:
         self,
         files: list[PreparedFile],
         quarantine: Quarantine | None = None,
+        *,
+        workers: int | None = None,
+        executor: ShardExecutor | None = None,
+        profiler: PhaseProfiler | None = None,
     ) -> list[list[Report]]:
         """Full inference on a batch of prepared files.
 
@@ -674,29 +721,171 @@ class Namer:
         (one classifier pass) — the hot path for the long-running
         analysis service in :mod:`repro.service`.
 
+        ``workers > 1`` (or a parallel ``executor``, which takes
+        precedence and lets a long-lived caller keep one warm pool
+        across batches) fans the per-file match + featurize work over a
+        process pool; files come back in input order and reports are
+        byte-identical to a serial run, including which quarantine
+        records are captured under an armed fault plan.  Classification
+        stays in the calling process: one stacked matrix, one
+        ``decision_function`` pass per batch, serial or not.
+
+        ``profiler`` (default: ``self.detect_profiler``) accumulates
+        ``match`` / ``featurize`` / ``classify`` phase rows; parallel
+        runs record summed worker seconds for the first two, mirroring
+        the miner's ``prune_shard`` convention.
+
         With a ``quarantine``, per-file matching/featurization failures
         are captured as error records (the file contributes no reports)
         instead of failing the whole batch.
         """
         if self.matcher is None or self.stats is None:
             raise RuntimeError("call mine() first")
+        profiler = self.detect_profiler if profiler is None else profiler
+        own_executor: ShardExecutor | None = None
+        if executor is None and workers is not None and workers > 1:
+            own_executor = executor = ShardExecutor(workers)
+        try:
+            if executor is not None and executor.parallel and len(files) > 1:
+                groups, featurized = self._detect_parallel(
+                    files, quarantine, executor, profiler
+                )
+            else:
+                groups, local_stats = self._detect_serial(
+                    files, quarantine, profiler
+                )
+                with profiler.phase(
+                    "featurize", items=sum(len(g) for g in groups)
+                ):
+                    featurized = self._featurize_groups(
+                        groups, local_stats, quarantine
+                    )
+            with profiler.phase(
+                "classify", items=sum(len(f) for f in featurized)
+            ):
+                return self._reports_from_features(groups, featurized)
+        finally:
+            if own_executor is not None:
+                own_executor.close()
+
+    def _detect_serial(
+        self,
+        files: list[PreparedFile],
+        quarantine: Quarantine | None,
+        profiler: PhaseProfiler,
+    ) -> tuple[list[list[Violation]], list[StatsIndex | None]]:
+        """Per-file pattern matching + local stats, inline."""
         groups: list[list[Violation]] = []
         local_stats: list[StatsIndex | None] = []
-        for pf in files:
-            try:
-                fault_check("core.detect", key=pf.path)
-                group = self.violations_in(pf)
-                stats = StatsIndex.build(
-                    self.matcher, ((ps.stmt, ps.paths) for ps in pf.statements)
+        with profiler.phase("match", items=len(files)):
+            for pf in files:
+                try:
+                    fault_check("core.detect", key=pf.path)
+                    group = self.violations_in(pf)
+                    stats = StatsIndex.build(
+                        self.matcher,
+                        ((ps.stmt, ps.paths) for ps in pf.statements),
+                    )
+                except Exception as exc:
+                    if quarantine is None:
+                        raise
+                    quarantine.capture(pf.path, "detect", exc, repo=pf.repo)
+                    group, stats = [], None
+                groups.append(group)
+                local_stats.append(stats)
+        return groups, local_stats
+
+    def _detect_parallel(
+        self,
+        files: list[PreparedFile],
+        quarantine: Quarantine | None,
+        executor: ShardExecutor,
+        profiler: PhaseProfiler,
+    ) -> tuple[list[list[Violation]], list[list[np.ndarray]]]:
+        """Fan per-file match + featurize over the executor's pool.
+
+        The matcher / stats / confusing-pair context rides to workers as
+        one fork-shared payload (registered once per model generation
+        and reused across batches); per-batch files ship as shared
+        slices when the pool has not forked yet, real slices after.
+        Workers return picklable per-file entries — violations, feature
+        vectors, and optional error records — which the parent reassembles
+        in input order and replays into the quarantine in exactly the
+        serial capture order (all detect-stage records first, then all
+        featurize-stage records).
+
+        The armed fault plan travels with every task and each worker
+        syncs its own injector to it (arm / re-arm / disarm), so seeded
+        per-(site, key) decisions are identical in-process and out; only
+        ``max_trips`` budgets, which are inherently per-process, are out
+        of scope.
+        """
+        ctx = self._detect_ctx
+        if ctx is None or ctx[0][0] is not self.matcher:
+            ctx = self._detect_ctx = [
+                (
+                    self.matcher,
+                    self.stats,
+                    self.pairs,
+                    self.config.mining.max_paths_per_statement,
                 )
-            except Exception as exc:
-                if quarantine is None:
-                    raise
-                quarantine.capture(pf.path, "detect", exc, repo=pf.repo)
-                group, stats = [], None
-            groups.append(group)
-            local_stats.append(stats)
-        return self.classify_many(groups, local_stats, quarantine=quarantine)
+            ]
+        # Register the model context before the pool first forks so
+        # every later batch inherits it for free.
+        ctx_payload = executor.shard_payloads(ctx, [(0, 1)])[0]
+        spans = even_spans(len(files), executor.shard_hint(len(files)))
+        file_payloads = executor.shard_payloads(files, spans)
+        plan = FAULTS.plan
+        plan_json = plan.to_json() if plan is not None else None
+        capture = quarantine is not None
+        shard_results = executor.map(
+            _detect_shard,
+            [
+                (ctx_payload, payload, capture, plan_json)
+                for payload in file_payloads
+            ],
+        )
+        entries, match_seconds, featurize_seconds = merge_timed_shards(
+            shard_results
+        )
+        groups = [group for group, _, _, _ in entries]
+        featurized = [feats for _, feats, _, _ in entries]
+        profiler.record("match", match_seconds, items=len(files))
+        profiler.record(
+            "featurize",
+            featurize_seconds,
+            items=sum(len(g) for g in groups),
+        )
+        if quarantine is not None:
+            for _, _, detect_record, _ in entries:
+                if detect_record is not None:
+                    quarantine.add(detect_record)
+            for _, _, _, featurize_record in entries:
+                if featurize_record is not None:
+                    quarantine.add(featurize_record)
+        return groups, featurized
+
+    def warm_detect(self, executor: ShardExecutor) -> None:
+        """Pre-pay parallel detection start-up on ``executor``.
+
+        Registers the matcher/stats context for fork sharing and forks
+        the pool immediately, so the first ``detect_many`` batch on this
+        executor ships no model state and creates no processes.  A
+        no-op for serial executors or an unmined namer.
+        """
+        if not executor.parallel or self.matcher is None:
+            return
+        ctx = [
+            (
+                self.matcher,
+                self.stats,
+                self.pairs,
+                self.config.mining.max_paths_per_statement,
+            )
+        ]
+        self._detect_ctx = ctx
+        executor.shard_payloads(ctx, [(0, 1)])
+        executor.warm()
 
     def detect(self, prepared: PreparedFile) -> list[Report]:
         """Full inference on one prepared file.
@@ -748,3 +937,76 @@ def _dedup_violations(violations: list[Violation]) -> list[Violation]:
         if better:
             best[key] = v
     return [best[k] for k in order]
+
+
+def _detect_shard(task):
+    """Process-pool entry point for one detection shard (module-level
+    for pickling).
+
+    Runs the per-file match + featurize stages for a contiguous slice
+    of the batch and returns one picklable entry per file —
+    ``(violations, feature_vectors, detect_record, featurize_record)``
+    — plus the worker-side seconds of each stage.  Classification is
+    deliberately absent: the parent scores the whole batch in one pass.
+    """
+    ctx_payload, files_payload, capture, plan_json = task
+    # Sync this worker's fault injector to the plan armed in the parent
+    # when the task was built: fork-inherited workers usually agree
+    # already; spawned workers (or a pool outliving an armed() block)
+    # are armed / re-armed / disarmed to match.  Seeded (site, key)
+    # decisions are then identical in- and out-of-process.
+    current = FAULTS.plan
+    if plan_json is None:
+        if current is not None:
+            FAULTS.disarm()
+    elif current is None or current.to_json() != plan_json:
+        FAULTS.arm(FaultPlan.from_json(plan_json))
+    matcher, stats, pairs, max_paths = resolve_shard(ctx_payload)[0]
+    files = resolve_shard(files_payload)
+    entries = []
+    match_seconds = 0.0
+    featurize_seconds = 0.0
+    for pf in files:
+        started = time.perf_counter()
+        detect_record = None
+        try:
+            fault_check("core.detect", key=pf.path)
+            found: list[Violation] = []
+            for ps in pf.statements:
+                found.extend(matcher.violations(ps.stmt, ps.paths))
+            group = _dedup_violations(found)
+            local = StatsIndex.build(
+                matcher, ((ps.stmt, ps.paths) for ps in pf.statements)
+            )
+        except Exception as exc:
+            if not capture:
+                raise
+            detect_record = ErrorRecord.capture(
+                pf.path, "detect", exc, repo=pf.repo
+            )
+            group, local = [], None
+        match_seconds += time.perf_counter() - started
+
+        started = time.perf_counter()
+        featurize_record = None
+        path = group[0].statement.file_path if group else "<empty>"
+        try:
+            fault_check("core.featurize", key=path)
+            feats = [
+                extract_features(
+                    v,
+                    extract_name_paths(v.statement, max_paths=max_paths),
+                    stats,
+                    pairs,
+                    local_stats=local,
+                )
+                for v in group
+            ]
+        except Exception as exc:
+            if not capture:
+                raise
+            featurize_record = ErrorRecord.capture(path, "featurize", exc)
+            feats = []
+        featurize_seconds += time.perf_counter() - started
+        entries.append((group, feats, detect_record, featurize_record))
+    return entries, match_seconds, featurize_seconds

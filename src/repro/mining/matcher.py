@@ -6,12 +6,38 @@ pattern requires every deduction prefix to appear among the statement's
 path prefixes, so indexing patterns by one deduction prefix (the
 *anchor*) gives a complete candidate filter: a statement can only match
 patterns anchored at one of its own prefixes.
+
+Two refinements keep the candidate lists short (this is the hot loop of
+both the miner's prune pass and every serve-time match):
+
+* **Selectivity-aware anchors.**  Any deduction prefix is a sound
+  anchor, so each pattern anchors at its *rarest* one — rarest by
+  corpus occurrence when the caller supplies a prefix-frequency table
+  (``prefix_counts``), by occurrence across the pattern set otherwise.
+  A statement then pulls in only the patterns whose least likely
+  prefix it actually contains, instead of every pattern that happens
+  to share a common one.
+* **Step-kind bitmask guard.**  Every pattern precomputes a bitmask of
+  the AST step kinds (and concrete condition end subtokens) it cannot
+  match without; a statement's own mask is computed once and candidates
+  missing a required bit are rejected with one AND instead of a full
+  ``check_pattern``.
+
+Neither refinement may change *output*: candidate enumeration order is
+part of the downstream contract (statistics counters serialize in
+first-seen order), so :meth:`PatternMatcher.candidate_indices` orders
+candidates by the statement-path position of the pattern's
+**lexicographically smallest** deduction prefix (the historical anchor)
+and then by pattern index — the exact order the lexicographic anchor
+index produced — independent of which prefix physically anchors the
+pattern.  Artifacts mined before and after the selectivity rework are
+byte-identical.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Iterable, Iterator, Sequence
+from collections import Counter, defaultdict
+from typing import Iterable, Mapping, Sequence
 
 from repro.core.namepath import NamePath, PathStep, paths_by_prefix
 from repro.core.patterns import (
@@ -22,37 +48,170 @@ from repro.core.patterns import (
     find_violation,
 )
 from repro.lang.astir import StatementAst
+from repro.parallel.merge import merge_counters
 
-__all__ = ["PatternMatcher"]
+__all__ = ["PatternMatcher", "prefix_frequencies"]
+
+
+def prefix_frequencies(
+    path_lists: Iterable[Sequence[NamePath]],
+) -> Counter[tuple[PathStep, ...]]:
+    """Corpus-frequency table of path prefixes: how many statement
+    paths carry each prefix.  One pass over the corpus, shared by every
+    matcher built over it — the selectivity signal for anchor choice."""
+    counts: Counter[tuple[PathStep, ...]] = Counter()
+    for paths in path_lists:
+        for path in paths:
+            counts[path.prefix] += 1
+    return counts
 
 
 class PatternMatcher:
-    """An anchor index over a fixed pattern set."""
+    """A selectivity-aware anchor index over a fixed pattern set.
 
-    def __init__(self, patterns: Sequence[NamePattern]) -> None:
-        self.patterns = list(patterns)
+    ``prefix_counts`` is an optional corpus prefix-frequency table (see
+    :func:`prefix_frequencies`); with one, anchors are chosen by real
+    corpus rarity.  Without one, the matcher falls back to prefix
+    frequency across its own pattern set — a weaker but still useful
+    selectivity proxy (e.g. when loading saved artifacts, where no
+    corpus is in sight).  Matched patterns, violations, and their order
+    are identical either way; only candidate-list length changes.
+    """
+
+    def __init__(
+        self,
+        patterns: Sequence[NamePattern],
+        prefix_counts: Mapping[tuple[PathStep, ...], int] | None = None,
+    ) -> None:
+        pattern_list = list(patterns)
+        #: deduction-prefix occurrences across this matcher's own
+        #: patterns — the fallback rarity table, and the table
+        #: :meth:`merge` sums instead of recounting
+        own_counts: Counter[tuple[PathStep, ...]] = Counter()
+        for pattern in pattern_list:
+            for d in pattern.deduction:
+                own_counts[d.prefix] += 1
+        self._init_from_parts(
+            pattern_list,
+            own_counts,
+            Counter(prefix_counts) if prefix_counts is not None else None,
+        )
+
+    def _init_from_parts(
+        self,
+        patterns: list[NamePattern],
+        prefix_counts: Counter[tuple[PathStep, ...]],
+        corpus_counts: Counter[tuple[PathStep, ...]] | None,
+    ) -> None:
+        """Build every index from already-counted frequency tables."""
+        self.patterns = patterns
+        self.prefix_counts = prefix_counts
+        self._corpus_counts = corpus_counts
+        rarity = corpus_counts if corpus_counts is not None else prefix_counts
         self._by_anchor: dict[tuple[PathStep, ...], list[int]] = defaultdict(list)
+        #: per pattern: the lexicographically smallest deduction prefix —
+        #: the *ordering* anchor, kept fixed so enumeration order never
+        #: depends on the selectivity layout
+        self._order_prefix: list[tuple[PathStep, ...]] = []
+        #: bit per required feature (AST step kind, or a concrete
+        #: condition end subtoken), assigned in first-seen order
+        self._feature_bits: dict = {}
+        #: per pattern: OR of the bits it cannot match without
+        self._masks: list[int] = []
         for idx, pattern in enumerate(self.patterns):
-            anchor = min(d.prefix for d in pattern.deduction)
+            prefixes = sorted(d.prefix for d in pattern.deduction)
+            self._order_prefix.append(prefixes[0])
+            anchor = min(prefixes, key=lambda p: (rarity.get(p, 0), p))
             self._by_anchor[anchor].append(idx)
+            self._masks.append(self._pattern_mask(pattern))
 
-    def candidate_indices(self, paths: Sequence[NamePath]) -> Iterator[int]:
+    def _pattern_mask(self, pattern: NamePattern) -> int:
+        """Required-feature bitmask: a statement lacking any of these
+        bits cannot contain the pattern's condition and deduction paths,
+        whatever the prefixes are."""
+        bits = self._feature_bits
+        mask = 0
+        for path in (*pattern.condition, *pattern.deduction):
+            for step in path.prefix:
+                bit = bits.get(step.value)
+                if bit is None:
+                    bit = bits[step.value] = 1 << len(bits)
+                mask |= bit
+        for c in pattern.condition:
+            # A concrete condition end must appear verbatim among the
+            # statement's (all-concrete) path ends for `equal` to hold.
+            if c.end is not None:
+                key = ("end", c.end)
+                bit = bits.get(key)
+                if bit is None:
+                    bit = bits[key] = 1 << len(bits)
+                mask |= bit
+        return mask
+
+    def _statement_mask(self, paths: Sequence[NamePath]) -> int:
+        """The statement's available-feature bitmask (features unknown
+        to this matcher carry no bit and are simply ignored)."""
+        bits = self._feature_bits
+        mask = 0
+        for path in paths:
+            for step in path.prefix:
+                bit = bits.get(step.value)
+                if bit is not None:
+                    mask |= bit
+            bit = bits.get(("end", path.end))
+            if bit is not None:
+                mask |= bit
+        return mask
+
+    def candidate_indices(self, paths: Sequence[NamePath]) -> list[int]:
         """Indices of patterns that could match a statement with these
-        paths.  Complete (never misses a match) but not exact."""
+        paths.  Complete (never misses a match) but not exact.
+
+        Enumeration order is the downstream contract: by statement-path
+        position of each pattern's lexicographically smallest deduction
+        prefix, then pattern index — invariant under anchor layout.
+        """
+        hits: list[int] = []
         seen: set[int] = set()
         for path in paths:
-            for idx in self._by_anchor.get(path.prefix, ()):
-                if idx not in seen:
-                    seen.add(idx)
-                    yield idx
+            bucket = self._by_anchor.get(path.prefix)
+            if bucket:
+                for idx in bucket:
+                    if idx not in seen:
+                        seen.add(idx)
+                        hits.append(idx)
+        if not hits:
+            return hits
+        stmt_mask = self._statement_mask(paths)
+        # first-occurrence positions: a duplicated prefix orders its
+        # patterns at its earliest appearance, as path iteration did
+        positions: dict[tuple[PathStep, ...], int] = {}
+        for pos, path in enumerate(paths):
+            if path.prefix not in positions:
+                positions[path.prefix] = pos
+        masks = self._masks
+        order_prefix = self._order_prefix
+        ordered: list[tuple[int, int]] = []
+        for idx in hits:
+            required = masks[idx]
+            if required & stmt_mask != required:
+                continue
+            pos = positions.get(order_prefix[idx])
+            if pos is None:
+                # The ordering prefix is itself a deduction prefix, so
+                # its absence proves NO_MATCH — a free extra filter.
+                continue
+            ordered.append((pos, idx))
+        ordered.sort()
+        return [idx for _, idx in ordered]
 
-    def candidates(self, paths: Sequence[NamePath]) -> Iterator[NamePattern]:
+    def candidates(self, paths: Sequence[NamePath]) -> Iterable[NamePattern]:
         for idx in self.candidate_indices(paths):
             yield self.patterns[idx]
 
     def check_all(
         self, paths: Sequence[NamePath]
-    ) -> Iterator[tuple[NamePattern, Relation]]:
+    ) -> Iterable[tuple[NamePattern, Relation]]:
         """Yield (pattern, relation) for every candidate that matches.
 
         The statement's prefix index is built once here and shared by
@@ -90,8 +249,28 @@ class PatternMatcher:
 
     @staticmethod
     def merge(matchers: Iterable["PatternMatcher"]) -> "PatternMatcher":
-        """Combine matchers over disjoint pattern sets."""
+        """Combine matchers over disjoint pattern sets.
+
+        Reuses the per-matcher frequency tables instead of recounting:
+        prefix occurrence counts are additive, so summing the shard
+        tables in shard order reproduces exactly the table (keys in the
+        same first-seen order) a flat build over the concatenated
+        pattern list would count — and therefore the same anchors,
+        masks, and candidate order.  Corpus tables, when present, are
+        summed the same way; rarity *order* is scale-invariant, so
+        shards built over one shared corpus table merge to the same
+        anchor choices a flat build over that table makes.
+        """
+        parts = list(matchers)
         combined: list[NamePattern] = []
-        for m in matchers:
+        for m in parts:
             combined.extend(m.patterns)
-        return PatternMatcher(combined)
+        pattern_counts = merge_counters(m.prefix_counts for m in parts)
+        corpus_counts = None
+        if any(m._corpus_counts is not None for m in parts):
+            corpus_counts = merge_counters(
+                m._corpus_counts for m in parts if m._corpus_counts is not None
+            )
+        merged = PatternMatcher.__new__(PatternMatcher)
+        merged._init_from_parts(combined, pattern_counts, corpus_counts)
+        return merged

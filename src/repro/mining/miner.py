@@ -47,7 +47,7 @@ from repro.core.namepath import (
 from repro.core.patterns import NamePattern, PatternKind, Relation, check_pattern
 from repro.lang.astir import StatementAst
 from repro.mining.fptree import FPNode, FPTree
-from repro.mining.matcher import PatternMatcher
+from repro.mining.matcher import PatternMatcher, prefix_frequencies
 from repro.parallel.executor import ShardExecutor, SharedSlice, resolve_shard
 from repro.parallel.merge import (
     merge_count_pairs,
@@ -494,10 +494,14 @@ class PatternMiner:
             pattern_spans = even_spans(
                 len(supported), executor.shard_hint(len(supported))
             )
+            # Anchor selectivity wants the scanned population's prefix
+            # frequencies; every pattern slice scans the same corpus,
+            # so count once here instead of once per task.
+            prefix_counts = prefix_frequencies(paths)
             results = executor.map(
                 _prune_pattern_shard,
                 [
-                    (full_payload, supported[start:stop])
+                    (full_payload, supported[start:stop], prefix_counts)
                     for start, stop in pattern_spans
                 ],
             )
@@ -734,14 +738,24 @@ def _growth_shard(task) -> dict[tuple[NamePath, ...], int]:
 def _count_matches(
     path_lists: Sequence[Sequence[NamePath]],
     supported: list[NamePattern],
+    prefix_counts: Counter | None = None,
 ) -> tuple[Counter[int], Counter[int]]:
     """Prune pass over one shard: per-pattern match / satisfaction
     counts, keyed by index into ``supported``.  The anchor index is
     built once per shard; the statement prefix index is built lazily on
     the first candidate and shared across that statement's checks —
     against a small pattern slice most statements have no candidates,
-    so the index build is usually skipped entirely."""
-    matcher = PatternMatcher(supported)
+    so the index build is usually skipped entirely.
+
+    Anchors are chosen against the frequencies of the statement
+    population the matcher will scan — ``prefix_counts`` when the
+    caller already has that table (pattern-partitioned pruning scans
+    the same full corpus from every shard, so counting it once in the
+    parent beats recounting it per task), this shard's own counts
+    otherwise."""
+    if prefix_counts is None:
+        prefix_counts = prefix_frequencies(path_lists)
+    matcher = PatternMatcher(supported, prefix_counts=prefix_counts)
     match_counts: Counter[int] = Counter()
     sat_counts: Counter[int] = Counter()
     for paths in path_lists:
@@ -783,11 +797,15 @@ def _prune_pattern_shard(task) -> tuple[Counter[int], Counter[int], float]:
     """Pattern-partitioned prune task: one candidate slice, all
     statements (resolved from fork-inherited memory for free).  Counts
     come back keyed by index into the *slice*; the caller shifts them
-    by the slice offset (:func:`merge_offset_count_pairs`)."""
-    payload, patterns = task
+    by the slice offset (:func:`merge_offset_count_pairs`).  The
+    corpus prefix-frequency table rides in with the task — every slice
+    scans the same statements, so the parent counts them once."""
+    payload, patterns, prefix_counts = task
     started = time.perf_counter()
     path_lists = resolve_shard(payload)
-    match_counts, sat_counts = _count_matches(path_lists, patterns)
+    match_counts, sat_counts = _count_matches(
+        path_lists, patterns, prefix_counts
+    )
     return match_counts, sat_counts, time.perf_counter() - started
 
 

@@ -174,6 +174,17 @@ class ShardExecutor:
             )
         return self._pool
 
+    def warm(self) -> None:
+        """Create the worker pool now instead of at the first ``map``.
+
+        Long-lived callers (the analysis service) register their
+        fork-shared payloads and then warm the pool during start-up, so
+        the first real request pays neither process fork nor payload
+        shipping.  A no-op for serial executors and warm pools.
+        """
+        if self.parallel:
+            self._ensure_pool()
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)

@@ -27,9 +27,33 @@ __all__ = [
     "merge_ordered_counts",
     "merge_count_pairs",
     "merge_offset_count_pairs",
+    "merge_timed_shards",
 ]
 
 K = TypeVar("K", bound=Hashable)
+T = TypeVar("T")
+
+
+def merge_timed_shards(
+    results: Iterable[tuple[list[T], float, float]],
+) -> tuple[list[T], float, float]:
+    """Concatenate per-shard item lists in shard order and sum the two
+    worker-side stage timings that ride with them.
+
+    The parallel detection pass returns ``(entries, match_seconds,
+    featurize_seconds)`` per shard; for a contiguous in-order plan the
+    concatenation is the original input order, and the summed seconds
+    are the profiler's worker-time rows (the ``prune_shard``
+    convention).
+    """
+    items: list[T] = []
+    first_seconds = 0.0
+    second_seconds = 0.0
+    for shard_items, first_s, second_s in results:
+        items.extend(shard_items)
+        first_seconds += first_s
+        second_seconds += second_s
+    return items, first_seconds, second_seconds
 
 
 def merge_counters(counters: Iterable[Mapping[K, int]]) -> Counter[K]:

@@ -16,6 +16,7 @@ measures.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -57,6 +58,11 @@ class PhaseProfiler:
     def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
         self._clock = clock
         self._rows: dict[str, PhaseTiming] = {}
+        # The detection profiler accumulates from the service's queue
+        # threads concurrently; a lock keeps row mutation (and the
+        # first-recorded row order) coherent.  Mining's single-threaded
+        # use pays one uncontended acquire per phase.
+        self._lock = threading.Lock()
 
     @contextmanager
     def phase(self, name: str, items: int = 0) -> Iterator[None]:
@@ -70,12 +76,13 @@ class PhaseProfiler:
             self.record(name, self._clock() - started, items)
 
     def record(self, name: str, seconds: float, items: int = 0) -> None:
-        row = self._rows.get(name)
-        if row is None:
-            row = self._rows[name] = PhaseTiming(phase=name)
-        row.seconds += seconds
-        row.items += items
-        row.calls += 1
+        with self._lock:
+            row = self._rows.get(name)
+            if row is None:
+                row = self._rows[name] = PhaseTiming(phase=name)
+            row.seconds += seconds
+            row.items += items
+            row.calls += 1
 
     # ------------------------------------------------------------------
 

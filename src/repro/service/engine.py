@@ -99,6 +99,7 @@ class AnalysisEngine:
         artifact_path: str | None = None,
         *,
         workers: int = 4,
+        detect_workers: int = 1,
         queue_capacity: int = 64,
         cache_entries: int = 1024,
         request_timeout: float = 60.0,
@@ -113,6 +114,10 @@ class AnalysisEngine:
         self.degraded_ok = degraded_ok
         self.artifact_path = artifact_path
         self.request_timeout = request_timeout
+        #: process-pool width for batch detection; 1 keeps detection
+        #: inline on the queue threads (identical output either way)
+        self.detect_workers = max(1, int(detect_workers))
+        self._detect_executor = self._new_detect_executor(namer)
         self.cache = ResultCache(cache_entries)
         #: persistent result cache surviving restarts, keyed by
         #: (artifact fingerprint, request content) — a restarted or
@@ -203,7 +208,9 @@ class AnalysisEngine:
         analyzable = [i for i in misses if isinstance(prepared[i], PreparedFile)]
         quarantine = Quarantine()
         report_groups = namer.detect_many(
-            [prepared[i] for i in analyzable], quarantine=quarantine
+            [prepared[i] for i in analyzable],
+            quarantine=quarantine,
+            executor=self._detect_executor,
         )
         detect_errors = {record.path: record for record in quarantine.records}
         for i, reports in zip(analyzable, report_groups):
@@ -337,6 +344,22 @@ class AnalysisEngine:
         self.cache.put(request.cache_key(), result)
         return result
 
+    def _new_detect_executor(self, namer: Namer):
+        """A warm detection pool for ``namer``, or None when serial.
+
+        Warming at construction (and on every reload) registers the
+        matcher/stats context for fork sharing and forks the workers
+        up front, so the first request after start-up or an artifact
+        swap pays neither the fork nor the context shipping.
+        """
+        if self.detect_workers <= 1:
+            return None
+        from repro.parallel.executor import ShardExecutor
+
+        executor = ShardExecutor(self.detect_workers)
+        namer.warm_detect(executor)
+        return executor
+
     @staticmethod
     def _artifact_fingerprint(namer: Namer) -> str | None:
         """Content checksum of the loaded artifact (None disables the
@@ -393,6 +416,10 @@ class AnalysisEngine:
         """
         # Raises PersistenceError when even a degraded load is impossible.
         namer = load_namer(artifact_path, degraded_ok=self.degraded_ok)
+        # The old pool's forked workers inherited the *old* artifact's
+        # matcher; build a fresh warm pool for the new one and swap it
+        # in with the namer, closing the old pool outside the lock.
+        new_executor = self._new_detect_executor(namer)
         with self._reload_lock:
             self._namer = namer
             self.artifact_path = artifact_path
@@ -401,6 +428,10 @@ class AnalysisEngine:
             )
             self._generation += 1
             dropped = self.cache.clear()
+            old_executor = self._detect_executor
+            self._detect_executor = new_executor
+        if old_executor is not None:
+            old_executor.close()
         self.metrics.record_reload()
         self.metrics.set_mining_phases(namer.summary.phase_timings)
         return {
@@ -419,6 +450,7 @@ class AnalysisEngine:
             "degraded": self.degraded,
             "degraded_reasons": list(namer.degraded_reasons),
             "workers": self.queue.workers,
+            "detect_workers": self.detect_workers,
             "pending": self.queue.pending,
         }
 
@@ -441,8 +473,14 @@ class AnalysisEngine:
             else {}
         )
         body["mining_cache"] = dict(self._namer.summary.cache_stats)
+        # Accumulated detection-side phase rows (match / featurize /
+        # classify) across every request served by the loaded namer.
+        body["detection_phases"] = self._namer.detect_profiler.to_json()
         return body
 
     def shutdown(self, drain: bool = True, timeout: float | None = 30.0) -> None:
         """Drain (or abort) the queue and stop the workers."""
         self.queue.shutdown(drain=drain, timeout=timeout)
+        if self._detect_executor is not None:
+            self._detect_executor.close()
+            self._detect_executor = None

@@ -1,10 +1,12 @@
 """Tests for the anchor-indexed pattern matcher."""
 
+from collections import Counter
+
 from repro.core.namepath import extract_name_paths
 from repro.core.patterns import PatternKind, Relation, check_pattern
 from repro.core.transform import transform_statement
 from repro.lang.python_frontend import parse_statement
-from repro.mining.matcher import PatternMatcher
+from repro.mining.matcher import PatternMatcher, prefix_frequencies
 from repro.mining.miner import MiningConfig, PatternMiner
 
 
@@ -62,3 +64,125 @@ class TestPatternMatcher:
         matcher = PatternMatcher([])
         stmt = transform_statement(parse_statement("x = 1"))
         assert matcher.violations(stmt, extract_name_paths(stmt)) == []
+
+
+class TestSelectivityIndex:
+    def test_rarest_prefix_anchoring(self):
+        """With a corpus frequency table, every pattern must be anchored
+        at its rarest (lowest-count, ties lexicographic) deduction
+        prefix rather than the lexicographic minimum."""
+        stmts, patterns = build_world()
+        path_lists = [extract_name_paths(s, max_paths=10) for s in stmts]
+        counts = prefix_frequencies(path_lists)
+        matcher = PatternMatcher(patterns, prefix_counts=counts)
+        anchor_of = {
+            idx: anchor
+            for anchor, bucket in matcher._by_anchor.items()
+            for idx in bucket
+        }
+        for idx, pattern in enumerate(patterns):
+            expected = min(
+                (d.prefix for d in pattern.deduction),
+                key=lambda p: (counts.get(p, 0), p),
+            )
+            assert anchor_of[idx] == expected
+
+    def test_fallback_rarity_is_pattern_frequency(self):
+        """Without corpus counts the matcher's own deduction-prefix
+        frequency table decides anchors."""
+        _, patterns = build_world()
+        matcher = PatternMatcher(patterns)
+        expected = Counter(
+            d.prefix for p in patterns for d in p.deduction
+        )
+        assert matcher.prefix_counts == expected
+
+    def test_guard_keeps_all_matches(self):
+        """The step-kind bitmask guard may reject candidates but must
+        never reject a pattern that actually matches."""
+        stmts, patterns = build_world()
+        matcher = PatternMatcher(patterns)
+        for stmt in stmts[:10]:
+            paths = extract_name_paths(stmt, max_paths=10)
+            brute = {
+                id(p)
+                for p in patterns
+                if check_pattern(p, paths) is not Relation.NO_MATCH
+            }
+            filtered = {id(p) for p in matcher.candidates(paths)}
+            assert brute <= filtered
+
+    def test_enumeration_order_is_anchor_independent(self):
+        """Candidate order is part of the artifact-bytes contract: a
+        matcher with corpus-tuned anchors must enumerate the surviving
+        candidates of every statement in the same order as one with
+        fallback anchors, and any candidate either filter drops must be
+        a NO_MATCH."""
+        stmts, patterns = build_world()
+        path_lists = [extract_name_paths(s, max_paths=10) for s in stmts]
+        plain = PatternMatcher(patterns)
+        tuned = PatternMatcher(
+            patterns, prefix_counts=prefix_frequencies(path_lists)
+        )
+        for paths in path_lists:
+            plain_idx = list(plain.candidate_indices(paths))
+            tuned_idx = list(tuned.candidate_indices(paths))
+            common = [i for i in plain_idx if i in set(tuned_idx)]
+            assert common == [i for i in tuned_idx if i in set(plain_idx)]
+            for only_one_side in set(plain_idx) ^ set(tuned_idx):
+                assert (
+                    check_pattern(patterns[only_one_side], paths)
+                    is Relation.NO_MATCH
+                )
+
+    def test_merge_equals_flat_build(self):
+        """merge(shards) must reproduce a flat build exactly — anchors,
+        frequency tables, and per-statement candidate order — without
+        recounting from the pattern list."""
+        stmts, patterns = build_world()
+        path_lists = [extract_name_paths(s, max_paths=10) for s in stmts]
+        flat = PatternMatcher(patterns)
+        cut_a, cut_b = len(patterns) // 3, 2 * len(patterns) // 3
+        merged = PatternMatcher.merge(
+            [
+                PatternMatcher(patterns[:cut_a]),
+                PatternMatcher(patterns[cut_a:cut_b]),
+                PatternMatcher(patterns[cut_b:]),
+            ]
+        )
+        assert merged.prefix_counts == flat.prefix_counts
+        assert list(merged.prefix_counts) == list(flat.prefix_counts)
+        assert merged._by_anchor == flat._by_anchor
+        for paths in path_lists:
+            assert list(merged.candidate_indices(paths)) == list(
+                flat.candidate_indices(paths)
+            )
+
+    def test_merge_sums_corpus_tables(self):
+        """Shards built over one corpus table merge to the same anchor
+        choices as a flat build over that table (rarity order is
+        scale-invariant under summation of identical tables)."""
+        stmts, patterns = build_world()
+        counts = prefix_frequencies(
+            extract_name_paths(s, max_paths=10) for s in stmts
+        )
+        flat = PatternMatcher(patterns, prefix_counts=counts)
+        half = len(patterns) // 2
+        merged = PatternMatcher.merge(
+            [
+                PatternMatcher(patterns[:half], prefix_counts=counts),
+                PatternMatcher(patterns[half:], prefix_counts=counts),
+            ]
+        )
+        assert merged._by_anchor == flat._by_anchor
+
+    def test_duplicate_prefix_orders_at_first_occurrence(self):
+        """A prefix appearing at two statement positions must order its
+        patterns at the earliest one, as plain path iteration did."""
+        stmts, patterns = build_world()
+        matcher = PatternMatcher(patterns)
+        paths = extract_name_paths(stmts[0], max_paths=10)
+        doubled = list(paths) + list(paths)
+        assert list(matcher.candidate_indices(doubled)) == list(
+            matcher.candidate_indices(paths)
+        )
