@@ -20,7 +20,7 @@ import time
 
 import pytest
 
-from conftest import BENCH_CONFIG, print_table
+from conftest import BENCH_CONFIG, bench_machine, print_table
 
 from repro.core.namer import Namer
 from repro.service.engine import AnalysisEngine, AnalysisRequest
@@ -71,20 +71,26 @@ def test_detect_warm_cache_speedup(detect_setup, tmp_path):
     )
 
     speedup = cold_seconds / max(warm_seconds, 1e-9)
-    BENCH_OUT.write_text(
-        json.dumps(
-            {
-                "files": len(requests),
-                "violations": sum(len(r.reports) for r in cold),
-                "served_from_disk": served_from_disk,
-                "cold_seconds": round(cold_seconds, 3),
-                "warm_seconds": round(warm_seconds, 3),
-                "speedup": round(speedup, 2),
-            },
-            indent=2,
+    min_speedup = float(os.environ.get("REPRO_BENCH_MIN_WARM_SPEEDUP", "5"))
+    enforce = os.environ.get("REPRO_BENCH_ENFORCE_SPEEDUP", "1") != "0"
+    record = {
+        **bench_machine(),
+        "files": len(requests),
+        "violations": sum(len(r.reports) for r in cold),
+        "served_from_disk": served_from_disk,
+        "cold_seconds": round(cold_seconds, 3),
+        "warm_seconds": round(warm_seconds, 3),
+        "speedup": round(speedup, 2),
+    }
+    # Warm speedup comes from skipped work, not extra cores, so the
+    # only advisory cause here is a missed floor with enforcement off.
+    if speedup < min_speedup and not enforce:
+        record["advisory"] = True
+        record["advisory_reason"] = (
+            f"missed floor: {speedup:.2f}x < {min_speedup}x "
+            f"(enforcement disabled)"
         )
-        + "\n"
-    )
+    BENCH_OUT.write_text(json.dumps(record, indent=2) + "\n")
 
     print_table(
         "Performance — persistent detect cache (engine restart)",
@@ -94,8 +100,6 @@ def test_detect_warm_cache_speedup(detect_setup, tmp_path):
         f"speedup: {speedup:.1f}x",
     )
 
-    min_speedup = float(os.environ.get("REPRO_BENCH_MIN_WARM_SPEEDUP", "5"))
-    enforce = os.environ.get("REPRO_BENCH_ENFORCE_SPEEDUP", "1") != "0"
     if speedup < min_speedup:
         message = (
             f"expected warm detect >= {min_speedup}x faster than cold, "
@@ -103,4 +107,4 @@ def test_detect_warm_cache_speedup(detect_setup, tmp_path):
         )
         if enforce:
             pytest.fail(message)
-        print(f"[advisory] {message} (floor disabled on this runner)")
+        print(f"[advisory] {record['advisory_reason']}")

@@ -1,0 +1,129 @@
+"""Performance benchmark: warm repository-index refresh vs cold build.
+
+Writes a corpus-sized project tree to disk, builds its persistent
+index cold (walk + hash + analyze every file), then re-refreshes warm
+— nothing changed, so every file should ride the mtime/size fast path
+— and after a two-file edit, asserting the edit re-analyzes *exactly*
+those two files (the incrementality contract).  Measurements land in
+``BENCH_index.json`` at the repo root.
+
+The >= 5x warm-over-cold floor follows the usual protocol:
+``REPRO_BENCH_MIN_WARM_SPEEDUP`` overrides it and
+``REPRO_BENCH_ENFORCE_SPEEDUP=0`` demotes a miss to an advisory.  Warm
+speedup comes from skipped work, not extra cores, so there is no
+core-count gate; the exactly-two assertion is never relaxed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from conftest import BENCH_CONFIG, bench_machine, print_table
+
+from repro.core.namer import Namer
+from repro.index import RepoIndex, RepoIndexer
+
+BENCH_OUT = pathlib.Path(__file__).resolve().parents[1] / "BENCH_index.json"
+ROUNDS = 3  # best-of: warm refreshes are cheap, shared runners noisy
+
+
+@pytest.fixture(scope="module")
+def index_setup(tmp_path_factory):
+    """A mined namer plus an on-disk project tree to index."""
+    from repro.corpus.generator import GeneratorConfig, generate_python_corpus
+
+    corpus = generate_python_corpus(
+        GeneratorConfig(num_repos=30, issue_rate=0.12, seed=7)
+    )
+    namer = Namer(BENCH_CONFIG)
+    namer.mine(corpus)
+    root = tmp_path_factory.mktemp("index-bench") / "project"
+    for repo, source in corpus.files():
+        target = root / repo.name / pathlib.Path(source.path).name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source.source)
+    return namer, root
+
+
+def test_index_warm_refresh_speedup(index_setup, tmp_path):
+    namer, root = index_setup
+    store = RepoIndex(tmp_path / "bench-index.db")
+    indexer = RepoIndexer(str(root), namer, store)
+    try:
+        start = time.perf_counter()
+        cold = indexer.refresh()
+        cold_seconds = time.perf_counter() - start
+        assert cold.added and not cold.changed, "first cycle builds"
+
+        warm_seconds = float("inf")
+        for _ in range(ROUNDS):
+            start = time.perf_counter()
+            warm = indexer.refresh()
+            warm_seconds = min(warm_seconds, time.perf_counter() - start)
+            assert warm.analyzed == [], (
+                "a zero-change warm refresh must re-analyze nothing"
+            )
+        assert warm.unchanged == len(cold.added)
+
+        # the incrementality contract: editing exactly two files
+        # re-analyzes exactly those two
+        edited = sorted(cold.added)[:2]
+        for rel in edited:
+            path = root / rel
+            path.write_text(path.read_text() + "\n# bench probe\n")
+        start = time.perf_counter()
+        delta = indexer.refresh()
+        edit_seconds = time.perf_counter() - start
+        assert delta.analyzed == edited, (
+            f"a two-file edit must re-analyze exactly {edited}, "
+            f"got {delta.analyzed}"
+        )
+        files = len(store)
+    finally:
+        store.close()
+
+    warm_speedup = cold_seconds / max(warm_seconds, 1e-9)
+    edit_speedup = cold_seconds / max(edit_seconds, 1e-9)
+    min_speedup = float(os.environ.get("REPRO_BENCH_MIN_WARM_SPEEDUP", "5"))
+    enforce = os.environ.get("REPRO_BENCH_ENFORCE_SPEEDUP", "1") != "0"
+    record = {
+        **bench_machine(),
+        "files": files,
+        "report_rows": cold.report_rows,
+        "cold_seconds": round(cold_seconds, 3),
+        "warm_seconds": round(warm_seconds, 3),
+        "two_edit_seconds": round(edit_seconds, 3),
+        "warm_speedup": round(warm_speedup, 2),
+        "two_edit_speedup": round(edit_speedup, 2),
+    }
+    # Warm speedup comes from skipped work, not extra cores: the only
+    # advisory cause is a missed floor with enforcement off.
+    if warm_speedup < min_speedup and not enforce:
+        record["advisory"] = True
+        record["advisory_reason"] = (
+            f"missed floor: {warm_speedup:.2f}x < {min_speedup}x "
+            f"(enforcement disabled)"
+        )
+    BENCH_OUT.write_text(json.dumps(record, indent=2) + "\n")
+
+    print_table(
+        "Performance — warm repository-index refresh",
+        f"files: {files}, report rows: {cold.report_rows}\n"
+        f"cold build:     {cold_seconds:.2f} s\n"
+        f"warm (0 edits): {warm_seconds:.3f} s  ({warm_speedup:.1f}x)\n"
+        f"warm (2 edits): {edit_seconds:.3f} s  ({edit_speedup:.1f}x)",
+    )
+
+    if warm_speedup < min_speedup:
+        message = (
+            f"expected a warm index refresh >= {min_speedup}x faster "
+            f"than the cold build, got {warm_speedup:.2f}x"
+        )
+        if enforce:
+            pytest.fail(message)
+        print(f"[advisory] {record['advisory_reason']}")

@@ -27,7 +27,7 @@ import time
 
 import pytest
 
-from conftest import BENCH_MINING, print_table
+from conftest import BENCH_MINING, bench_machine, print_table
 
 from repro.core.namer import Namer, NamerConfig
 from repro.core.persistence import namer_to_document
@@ -102,25 +102,32 @@ def test_warm_cache_incremental_mining(warm_corpus, tmp_path):
     warm_speedup = cold_seconds / max(warm_seconds, 1e-9)
     edit_speedup = cold_seconds / max(edit_seconds, 1e-9)
     total_shards = cold_namer.summary.cache_stats["frequency"]["stores"]
-    BENCH_OUT.write_text(
-        json.dumps(
-            {
-                "repos": len(warm_corpus.repositories),
-                "statements": cold_namer.summary.total_statements,
-                "shards": total_shards,
-                "patterns": cold_namer.summary.num_patterns,
-                "cold_seconds": round(cold_seconds, 3),
-                "warm_seconds": round(warm_seconds, 3),
-                "one_edit_seconds": round(edit_seconds, 3),
-                "warm_speedup": round(warm_speedup, 2),
-                "one_edit_speedup": round(edit_speedup, 2),
-                "warm_cache_stats": warm_stats,
-                "one_edit_cache_stats": edit_stats,
-            },
-            indent=2,
+    min_speedup = float(os.environ.get("REPRO_BENCH_MIN_WARM_SPEEDUP", "5"))
+    enforce = os.environ.get("REPRO_BENCH_ENFORCE_SPEEDUP", "1") != "0"
+    record = {
+        **bench_machine(),
+        "repos": len(warm_corpus.repositories),
+        "statements": cold_namer.summary.total_statements,
+        "shards": total_shards,
+        "patterns": cold_namer.summary.num_patterns,
+        "cold_seconds": round(cold_seconds, 3),
+        "warm_seconds": round(warm_seconds, 3),
+        "one_edit_seconds": round(edit_seconds, 3),
+        "warm_speedup": round(warm_speedup, 2),
+        "one_edit_speedup": round(edit_speedup, 2),
+        "warm_cache_stats": warm_stats,
+        "one_edit_cache_stats": edit_stats,
+    }
+    # Warm speedup comes from skipped work, not extra cores: no
+    # core-count gate, so the only advisory cause is a missed floor
+    # with enforcement off.
+    if warm_speedup < min_speedup and not enforce:
+        record["advisory"] = True
+        record["advisory_reason"] = (
+            f"missed floor: {warm_speedup:.2f}x < {min_speedup}x "
+            f"(enforcement disabled)"
         )
-        + "\n"
-    )
+    BENCH_OUT.write_text(json.dumps(record, indent=2) + "\n")
 
     print_table(
         "Performance — warm-cache incremental mining",
@@ -131,8 +138,6 @@ def test_warm_cache_incremental_mining(warm_corpus, tmp_path):
         f"warm (1 edit):  {edit_seconds:.2f} s  ({edit_speedup:.1f}x)",
     )
 
-    min_speedup = float(os.environ.get("REPRO_BENCH_MIN_WARM_SPEEDUP", "5"))
-    enforce = os.environ.get("REPRO_BENCH_ENFORCE_SPEEDUP", "1") != "0"
     if warm_speedup < min_speedup:
         message = (
             f"expected a warm re-mine >= {min_speedup}x faster than cold, "
@@ -140,4 +145,4 @@ def test_warm_cache_incremental_mining(warm_corpus, tmp_path):
         )
         if enforce:
             pytest.fail(message)
-        print(f"[advisory] {message} (floor disabled on this runner)")
+        print(f"[advisory] {record['advisory_reason']}")

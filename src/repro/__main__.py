@@ -9,15 +9,23 @@ Commands:
 * ``analyze`` — batch analysis of a directory: one parallel
   ``detect_many`` pass over every prepared file (``--workers N``).
 * ``eval``  — run the Table 2-style precision evaluation end to end.
-* ``serve`` — run the long-lived analysis daemon (HTTP JSON API).
+* ``serve`` — run the long-lived analysis daemon (HTTP JSON API);
+  ``--index`` attaches a repository index for ``/index/*`` endpoints.
 * ``analyze-remote`` — send files to a running daemon for analysis.
+* ``index`` — build (or refresh) the persistent repository index.
+* ``watch`` — poll a repository, re-analyzing only what changed.
+* ``index-stats`` / ``index-doctor`` / ``index-export`` — inspect,
+  health-check, or dump an existing index database.
 
 Example session::
 
     python -m repro mine --out namer.json --repos 30
     python -m repro scan --artifacts namer.json path/to/project
     python -m repro analyze path/to/project --artifacts namer.json --workers 4
-    python -m repro serve --artifacts namer.json --port 8750
+    python -m repro index path/to/project --artifacts namer.json
+    python -m repro watch path/to/project --artifacts namer.json --interval 2
+    python -m repro serve --artifacts namer.json --port 8750 \
+        --index path/to/project/.repro-index.db
     python -m repro analyze-remote path/to/project --url http://127.0.0.1:8750
     python -m repro eval --repos 30 --language python
 
@@ -199,6 +207,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     from repro.parallel.profiler import format_phase_table
     from repro.resilience.quarantine import Quarantine
 
+    from repro.index.walker import walk_repository
+
     namer = _load_artifacts(args.artifacts)
     if namer is None:
         return 2
@@ -206,19 +216,22 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     if not root.exists():
         return _fail(f"no such file or directory: {root}")
     single_file = root.is_file()
-    targets = [root] if single_file else sorted(
-        p for p in root.rglob("*") if p.suffix in _SUFFIXES
-    )
+    if single_file:
+        language = _SUFFIXES.get(root.suffix)
+        if language is None:
+            return _fail(f"unsupported file type: {root}")
+        targets = [(str(root), language)]
+    else:
+        # The same ignore-spec walker the index uses: .gitignore-aware,
+        # so `analyze` and `index` agree on which files count.
+        targets = [
+            (wf.abspath, wf.language) for wf in walk_repository(root)
+        ]
     prepared = []
     skipped = 0
-    for path in targets:
-        language = _SUFFIXES.get(path.suffix)
-        if language is None:
-            if single_file:
-                return _fail(f"unsupported file type: {path}")
-            continue
+    for path, language in targets:
         try:
-            text = path.read_text()
+            text = pathlib.Path(path).read_text()
         except (OSError, UnicodeDecodeError) as exc:
             if single_file:
                 return _fail(f"cannot read {path}: {exc}")
@@ -226,7 +239,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             print(f"[skip] {path}: cannot read ({exc})", file=sys.stderr)
             continue
         pf = prepare_file(
-            SourceFile(path=str(path), source=text, language=language),
+            SourceFile(path=path, source=text, language=language),
             repo=root.name,
         )
         if pf is None:
@@ -254,6 +267,144 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     )
     if args.profile:
         print(format_phase_table(namer.detect_profiler.to_json()))
+    return 0
+
+
+def _default_db(root: pathlib.Path) -> str:
+    """Where a repository's index lives unless ``--db`` says otherwise.
+    The walker's built-in ignores cover this name, so the database never
+    indexes itself."""
+    return str(root / ".repro-index.db")
+
+
+def _open_index(path: str, *, must_exist: bool):
+    """Open an index database; ``None`` after an stderr message on
+    failure (missing file, schema newer than this code)."""
+    from repro.index import IndexSchemaError, RepoIndex
+
+    if must_exist and not pathlib.Path(path).is_file():
+        _fail(f"no index database at {path}; build one with 'repro index'")
+        return None
+    try:
+        return RepoIndex(path)
+    except IndexSchemaError as exc:
+        _fail(str(exc))
+        return None
+
+
+def _build_indexer(args: argparse.Namespace):
+    """Shared setup for ``index`` and ``watch``: artifacts + store +
+    indexer; ``None`` (after an stderr message) on any failure."""
+    from repro.index import RepoIndexer
+    from repro.parallel.executor import default_workers
+
+    namer = _load_artifacts(args.artifacts)
+    if namer is None:
+        return None
+    root = pathlib.Path(args.path)
+    if not root.is_dir():
+        _fail(f"not a directory: {root}")
+        return None
+    store = _open_index(args.db or _default_db(root), must_exist=False)
+    if store is None:
+        return None
+    workers = args.workers if args.workers is not None else default_workers()
+    return RepoIndexer(str(root), namer, store, workers=workers)
+
+
+def cmd_index(args: argparse.Namespace) -> int:
+    """Build (or refresh) the persistent index for one repository."""
+    indexer = _build_indexer(args)
+    if indexer is None:
+        return 2
+    try:
+        delta = indexer.refresh()
+        print(delta.describe())
+        summary = indexer.store.summary()
+        print(
+            f"index {summary['database']}: {summary['files']} file(s), "
+            f"{summary['report_rows']} report row(s), "
+            f"{summary['quarantined']} quarantined"
+        )
+    finally:
+        indexer.store.close()
+    return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Poll loop: refresh the index on an interval until interrupted."""
+    from repro.index import watch_repository
+
+    indexer = _build_indexer(args)
+    if indexer is None:
+        return 2
+    print(
+        f"watching {indexer.root} -> {indexer.store.path} "
+        f"(every {args.interval:g}s; ctrl-c stops)"
+    )
+    try:
+        watch_repository(indexer, interval=args.interval, cycles=args.cycles)
+    finally:
+        indexer.store.close()
+    return 0
+
+
+def cmd_index_stats(args: argparse.Namespace) -> int:
+    import json
+
+    store = _open_index(args.db, must_exist=True)
+    if store is None:
+        return 2
+    try:
+        print(json.dumps(store.summary(), indent=2))
+    finally:
+        store.close()
+    return 0
+
+
+def cmd_index_doctor(args: argparse.Namespace) -> int:
+    """Health-check an index: stale rows, quarantined rows, missing
+    hashes.  Nonzero exit when anything needs attention."""
+    import json
+
+    store = _open_index(args.db, must_exist=True)
+    if store is None:
+        return 2
+    try:
+        fingerprint = None
+        if args.artifacts is not None:
+            from repro.index import namer_fingerprint
+
+            namer = _load_artifacts(args.artifacts)
+            if namer is None:
+                return 2
+            fingerprint = namer_fingerprint(namer)
+        else:
+            # Judge staleness against the artifact the last refresh ran
+            # under when no artifact file is named.
+            fingerprint = store.get_meta("artifact_fingerprint")
+        report = store.doctor(fingerprint)
+        print(json.dumps(report, indent=2))
+        return 1 if report["issues"] else 0
+    finally:
+        store.close()
+
+
+def cmd_index_export(args: argparse.Namespace) -> int:
+    import json
+
+    store = _open_index(args.db, must_exist=True)
+    if store is None:
+        return 2
+    try:
+        document = json.dumps(store.export(), indent=2)
+    finally:
+        store.close()
+    if args.out:
+        pathlib.Path(args.out).write_text(document + "\n")
+        print(f"index exported to {args.out}")
+    else:
+        print(document)
     return 0
 
 
@@ -285,6 +436,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             queue_capacity=args.queue_capacity,
             cache_entries=args.cache_size,
             cache_dir=args.cache_dir,
+            index_path=args.index,
             degraded_ok=not args.strict_artifacts,
         )
     except PersistenceError as exc:
@@ -308,6 +460,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"on {server.url} ({args.workers} workers, "
         f"cache {args.cache_size}, queue {args.queue_capacity})"
     )
+    if args.index:
+        print(f"index attached: {args.index}")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -452,6 +606,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.set_defaults(fn=cmd_analyze)
 
+    def index_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("path", help="repository directory to index")
+        p.add_argument("--artifacts", default="namer.json")
+        p.add_argument(
+            "--db", default=None, metavar="DB",
+            help="index database path (default: <path>/.repro-index.db)",
+        )
+        p.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="process-pool size for batch detection (default: every "
+            "core the scheduler allows this process)",
+        )
+
+    index = sub.add_parser(
+        "index", help="build or refresh the persistent repository index"
+    )
+    index_common(index)
+    index.set_defaults(fn=cmd_index)
+
+    watch = sub.add_parser(
+        "watch", help="poll a repository, re-analyzing only what changed"
+    )
+    index_common(watch)
+    watch.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="seconds between refresh cycles",
+    )
+    watch.add_argument(
+        "--cycles", type=int, default=None, metavar="N",
+        help="stop after N cycles (default: run until interrupted)",
+    )
+    watch.set_defaults(fn=cmd_watch)
+
+    stats = sub.add_parser("index-stats", help="summarize an index database")
+    stats.add_argument("db", help="index database path")
+    stats.set_defaults(fn=cmd_index_stats)
+
+    doctor = sub.add_parser(
+        "index-doctor", help="health-check an index database"
+    )
+    doctor.add_argument("db", help="index database path")
+    doctor.add_argument(
+        "--artifacts", default=None,
+        help="judge staleness against this artifact file (default: the "
+        "artifact the last refresh ran under)",
+    )
+    doctor.set_defaults(fn=cmd_index_doctor)
+
+    export = sub.add_parser(
+        "index-export", help="dump an index database as one JSON document"
+    )
+    export.add_argument("db", help="index database path")
+    export.add_argument(
+        "--out", default=None, help="write to a file instead of stdout"
+    )
+    export.set_defaults(fn=cmd_index_export)
+
     evaluate = sub.add_parser("eval", help="run the precision evaluation")
     common(evaluate)
     evaluate.add_argument("--sample", type=int, default=300)
@@ -483,6 +694,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict-artifacts", action="store_true",
         help="refuse to start on a corrupt classifier section instead "
         "of serving degraded pattern-only results",
+    )
+    serve.add_argument(
+        "--index", default=None, metavar="DB",
+        help="attach a repository index database (built with "
+        "'repro index'); enables the /index/* endpoints",
     )
     serve.set_defaults(fn=cmd_serve)
 

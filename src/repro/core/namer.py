@@ -58,7 +58,15 @@ from repro.parallel.sharding import even_spans, pack_spans, spans_by_group
 from repro.resilience.faults import FAULTS, FaultPlan, fault_check
 from repro.resilience.quarantine import ErrorRecord, Quarantine
 
-__all__ = ["NamerConfig", "Namer", "MiningSummary"]
+__all__ = ["DETECT_FILES_PER_TASK", "NamerConfig", "Namer", "MiningSummary"]
+
+#: Parallel detection batches ~this many files into each worker task.
+#: Every task pays fixed overhead (fault-plan JSON, context resolution,
+#: result pickling), so small batches get fewer, fatter tasks instead of
+#: one near-empty task per file; large batches still fan out to the
+#: executor's full shard hint.  Purely a span-plan knob: reports and
+#: quarantine ordering are byte-identical for any value.
+DETECT_FILES_PER_TASK = 8
 
 
 @dataclass(frozen=True)
@@ -833,7 +841,15 @@ class Namer:
         # Register the model context before the pool first forks so
         # every later batch inherits it for free.
         ctx_payload = executor.shard_payloads(ctx, [(0, 1)])[0]
-        spans = even_spans(len(files), executor.shard_hint(len(files)))
+        # One task per ~DETECT_FILES_PER_TASK files: the shard hint
+        # bounds the plan by pool width, the batching floor by per-task
+        # overhead; spans stay contiguous and in input order, so the
+        # merged results (and quarantine replay order) are identical to
+        # the unbatched plan.
+        max_tasks = -(-len(files) // DETECT_FILES_PER_TASK)
+        spans = even_spans(
+            len(files), min(executor.shard_hint(len(files)), max_tasks)
+        )
         file_payloads = executor.shard_payloads(files, spans)
         plan = FAULTS.plan
         plan_json = plan.to_json() if plan is not None else None
@@ -895,6 +911,28 @@ class Namer:
         not part of the mining corpus.
         """
         return self.detect_many([prepared])[0]
+
+    def detect_many_rows(
+        self,
+        files: list[PreparedFile],
+        quarantine: Quarantine | None = None,
+        *,
+        workers: int | None = None,
+        executor: ShardExecutor | None = None,
+    ) -> list[list[dict]]:
+        """:meth:`detect_many`, serialized: one list of plain-JSON wire
+        rows per file (see :func:`repro.core.reports.reports_to_rows`).
+
+        The hook the analysis service and the repository index share —
+        both store and serve these rows, so an index answer for
+        unchanged bytes is byte-identical to a fresh analysis.
+        """
+        from repro.core.reports import reports_to_rows
+
+        groups = self.detect_many(
+            files, quarantine=quarantine, workers=workers, executor=executor
+        )
+        return [reports_to_rows(group) for group in groups]
 
     # ------------------------------------------------------------------
 

@@ -15,7 +15,14 @@ import numpy as np
 from repro.core.patterns import PatternKind, Violation
 from repro.naming.subtokens import join_subtokens, normalize_style, split_identifier
 
-__all__ = ["Report", "render_fixed_identifier", "report_to_json"]
+__all__ = [
+    "Report",
+    "render_fixed_identifier",
+    "report_to_json",
+    "reports_to_rows",
+    "rows_from_text",
+    "rows_to_text",
+]
 
 
 @dataclass
@@ -89,6 +96,33 @@ class Report:
 def report_to_json(report: Report) -> dict:
     """Module-level alias of :meth:`Report.to_json`."""
     return report.to_json()
+
+
+def reports_to_rows(reports: list[Report]) -> list[dict]:
+    """One file's reports as plain-JSON wire rows.
+
+    The single serialization point shared by the analysis service, the
+    repository index, and ``detect_many_rows`` — whoever stores or
+    serves rows produces them here, so an index-served response is
+    byte-identical to a fresh analysis of the same bytes.
+    """
+    return [report.to_json() for report in reports]
+
+
+def rows_to_text(rows: list[dict]) -> str:
+    """Canonical text form of wire rows (compact separators, keys in
+    insertion order — the order :meth:`Report.to_json` emits)."""
+    import json
+
+    return json.dumps(rows, separators=(",", ":"))
+
+
+def rows_from_text(text: str) -> list[dict]:
+    """Inverse of :func:`rows_to_text`; round-trips byte-identically
+    through :func:`rows_to_text` again."""
+    import json
+
+    return json.loads(text)
 
 
 def render_fixed_identifier(violation: Violation) -> str:

@@ -1,0 +1,46 @@
+"""Persistent repository index: track a project, re-analyze only change.
+
+``repro.index`` turns the one-shot analyzers into a service that
+*tracks a repository*: a SQLite-backed store of per-file analyses
+(:mod:`~repro.index.store`), an ignore-spec-aware tree walker
+(:mod:`~repro.index.walker`), and the refresh/watch machinery that
+keeps the two in sync at O(changed files) per cycle
+(:mod:`~repro.index.watcher`).  The serving tier answers
+``/index/file`` straight from the store.
+"""
+
+from repro.index.store import (
+    INDEX_SCHEMA_VERSION,
+    FileRecord,
+    IndexSchemaError,
+    RepoIndex,
+)
+from repro.index.walker import (
+    DEFAULT_IGNORES,
+    IgnoreSpec,
+    WalkedFile,
+    file_sha256,
+    walk_repository,
+)
+from repro.index.watcher import (
+    IndexDelta,
+    RepoIndexer,
+    namer_fingerprint,
+    watch_repository,
+)
+
+__all__ = [
+    "INDEX_SCHEMA_VERSION",
+    "DEFAULT_IGNORES",
+    "FileRecord",
+    "IgnoreSpec",
+    "IndexDelta",
+    "IndexSchemaError",
+    "RepoIndex",
+    "RepoIndexer",
+    "WalkedFile",
+    "file_sha256",
+    "namer_fingerprint",
+    "walk_repository",
+    "watch_repository",
+]

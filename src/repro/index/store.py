@@ -1,0 +1,433 @@
+"""The persistent repository index: a SQLite store of per-file analyses.
+
+One database tracks one repository.  Every row is a *file record*: the
+repo-relative path, a SHA-256 over the file bytes, the mtime/size pair
+the hash was computed under (the fast path — an unchanged pair skips
+re-hashing entirely), the serialized report rows the analysis produced,
+an optional quarantine error, and the fingerprint of the artifact the
+reports were produced under.  The serving tier answers ``/index/file``
+straight from these rows; the watcher rewrites only the rows whose
+content (or artifact) changed.
+
+Durability follows the repo's artifact rules:
+
+* **WAL mode** — readers (the HTTP serving tier) never block the
+  writer (the watch loop), and a crash mid-write leaves a consistent
+  database.
+* **Atomic transactions** — every multi-row update runs inside one
+  ``BEGIN IMMEDIATE`` transaction; a refresh cycle either lands
+  completely or not at all.
+* **Schema versioning with forward migrations** — the version lives in
+  the ``meta`` table; opening an older database applies each migration
+  step in order inside a transaction.  Opening a *newer* database than
+  this code understands raises :class:`IndexSchemaError` rather than
+  guessing.
+
+The connection is shared across threads behind one lock (the stdlib
+HTTP server is threaded); SQLite serializes at the file level anyway,
+so one connection with short transactions is both simplest and fastest.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+__all__ = [
+    "INDEX_SCHEMA_VERSION",
+    "FileRecord",
+    "IndexSchemaError",
+    "RepoIndex",
+]
+
+#: Current schema version.  v1 had no quarantine columns (``error`` /
+#: ``stage``) and no content-hash lookup index; v2 added both.
+INDEX_SCHEMA_VERSION = 2
+
+
+class IndexSchemaError(RuntimeError):
+    """The database's schema cannot be used by this code."""
+
+
+@dataclass
+class FileRecord:
+    """One indexed file: identity, content, and its analysis."""
+
+    path: str  # repo-relative posix path
+    sha256: str  # content hash ("" when the file could not be read)
+    mtime: float  # stat pair the hash was computed under
+    size: int
+    language: str
+    fingerprint: str  # artifact fingerprint the reports came from
+    reports: list[dict] = field(default_factory=list)
+    #: quarantine: why analysis failed ("" error means a clean row)
+    error: str | None = None
+    stage: str | None = None  # failing stage ("read", "parse", ...)
+    analyzed_at: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        return self.error is None
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "sha256": self.sha256,
+            "mtime": self.mtime,
+            "size": self.size,
+            "language": self.language,
+            "fingerprint": self.fingerprint,
+            "reports": self.reports,
+            "error": self.error,
+            "stage": self.stage,
+            "analyzed_at": self.analyzed_at,
+        }
+
+
+def _migrate_v1_to_v2(conn: sqlite3.Connection) -> None:
+    """v2 added per-row quarantine columns and a content-hash index."""
+    conn.execute("ALTER TABLE files ADD COLUMN error TEXT")
+    conn.execute("ALTER TABLE files ADD COLUMN stage TEXT")
+    conn.execute("CREATE INDEX IF NOT EXISTS idx_files_sha256 ON files(sha256)")
+
+
+#: Forward migrations: entry N upgrades a version-N database to N+1.
+_MIGRATIONS = {1: _migrate_v1_to_v2}
+
+
+class RepoIndex:
+    """SQLite-backed store of one repository's per-file analyses."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        with self._lock:
+            self._ensure_schema()
+
+    # -- schema --------------------------------------------------------
+
+    def _ensure_schema(self) -> None:
+        conn = self._conn
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS meta ("
+                " key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+            )
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key='schema_version'"
+            ).fetchone()
+            if row is None:
+                self._create_current(conn)
+                version = INDEX_SCHEMA_VERSION
+            else:
+                version = int(row["value"])
+            if version > INDEX_SCHEMA_VERSION:
+                raise IndexSchemaError(
+                    f"index schema v{version} is newer than this code "
+                    f"(v{INDEX_SCHEMA_VERSION}); refusing to open {self.path}"
+                )
+            while version < INDEX_SCHEMA_VERSION:
+                _MIGRATIONS[version](conn)
+                version += 1
+                conn.execute(
+                    "UPDATE meta SET value=? WHERE key='schema_version'",
+                    (str(version),),
+                )
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+
+    @staticmethod
+    def _create_current(conn: sqlite3.Connection) -> None:
+        conn.execute(
+            "CREATE TABLE files ("
+            " path TEXT PRIMARY KEY,"
+            " sha256 TEXT NOT NULL,"
+            " mtime REAL NOT NULL,"
+            " size INTEGER NOT NULL,"
+            " language TEXT NOT NULL,"
+            " fingerprint TEXT NOT NULL,"
+            " reports TEXT NOT NULL,"
+            " error TEXT,"
+            " stage TEXT,"
+            " analyzed_at REAL NOT NULL)"
+        )
+        conn.execute("CREATE INDEX idx_files_sha256 ON files(sha256)")
+        conn.execute(
+            "INSERT INTO meta(key, value) VALUES ('schema_version', ?)",
+            (str(INDEX_SCHEMA_VERSION),),
+        )
+        conn.execute(
+            "INSERT INTO meta(key, value) VALUES ('created_at', ?)",
+            (str(time.time()),),
+        )
+
+    @staticmethod
+    def create_v1(path: str | Path) -> None:
+        """Create an empty *v1* database (migration tests only)."""
+        conn = sqlite3.connect(str(path))
+        try:
+            conn.execute(
+                "CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+            )
+            conn.execute(
+                "CREATE TABLE files ("
+                " path TEXT PRIMARY KEY,"
+                " sha256 TEXT NOT NULL,"
+                " mtime REAL NOT NULL,"
+                " size INTEGER NOT NULL,"
+                " language TEXT NOT NULL,"
+                " fingerprint TEXT NOT NULL,"
+                " reports TEXT NOT NULL,"
+                " analyzed_at REAL NOT NULL)"
+            )
+            conn.execute(
+                "INSERT INTO meta(key, value) VALUES ('schema_version', '1')"
+            )
+            conn.commit()
+        finally:
+            conn.close()
+
+    # -- transactions --------------------------------------------------
+
+    @contextmanager
+    def transaction(self) -> Iterator[sqlite3.Connection]:
+        """One atomic write transaction; rolls back on any exception."""
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                yield self._conn
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+            self._conn.execute("COMMIT")
+
+    # -- meta ----------------------------------------------------------
+
+    def get_meta(self, key: str, default: str | None = None) -> str | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key=?", (key,)
+            ).fetchone()
+        return default if row is None else row["value"]
+
+    def set_meta(self, key: str, value: str) -> None:
+        with self.transaction() as conn:
+            conn.execute(
+                "INSERT INTO meta(key, value) VALUES (?, ?)"
+                " ON CONFLICT(key) DO UPDATE SET value=excluded.value",
+                (key, value),
+            )
+
+    @property
+    def schema_version(self) -> int:
+        return int(self.get_meta("schema_version", "0") or 0)
+
+    # -- file records --------------------------------------------------
+
+    @staticmethod
+    def _record_from_row(row: sqlite3.Row) -> FileRecord:
+        return FileRecord(
+            path=row["path"],
+            sha256=row["sha256"],
+            mtime=row["mtime"],
+            size=row["size"],
+            language=row["language"],
+            fingerprint=row["fingerprint"],
+            reports=json.loads(row["reports"]),
+            error=row["error"],
+            stage=row["stage"],
+            analyzed_at=row["analyzed_at"],
+        )
+
+    @staticmethod
+    def _upsert_one(conn: sqlite3.Connection, record: FileRecord) -> None:
+        conn.execute(
+            "INSERT INTO files"
+            " (path, sha256, mtime, size, language, fingerprint, reports,"
+            "  error, stage, analyzed_at)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"
+            " ON CONFLICT(path) DO UPDATE SET"
+            "  sha256=excluded.sha256, mtime=excluded.mtime,"
+            "  size=excluded.size, language=excluded.language,"
+            "  fingerprint=excluded.fingerprint, reports=excluded.reports,"
+            "  error=excluded.error, stage=excluded.stage,"
+            "  analyzed_at=excluded.analyzed_at",
+            (
+                record.path,
+                record.sha256,
+                record.mtime,
+                record.size,
+                record.language,
+                record.fingerprint,
+                # Compact separators so the stored text is canonical;
+                # rows round-trip byte-identically through json.loads.
+                json.dumps(record.reports, separators=(",", ":")),
+                record.error,
+                record.stage,
+                record.analyzed_at,
+            ),
+        )
+
+    def upsert(self, record: FileRecord) -> None:
+        with self.transaction() as conn:
+            self._upsert_one(conn, record)
+
+    def upsert_many(self, records: list[FileRecord]) -> None:
+        """All records land in one transaction (a refresh cycle is
+        atomic: either the whole delta applies or none of it)."""
+        if not records:
+            return
+        with self.transaction() as conn:
+            for record in records:
+                self._upsert_one(conn, record)
+
+    def get(self, path: str) -> FileRecord | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM files WHERE path=?", (path,)
+            ).fetchone()
+        return None if row is None else self._record_from_row(row)
+
+    def remove(self, path: str) -> bool:
+        with self.transaction() as conn:
+            cursor = conn.execute("DELETE FROM files WHERE path=?", (path,))
+            return cursor.rowcount > 0
+
+    def remove_many(self, paths: list[str]) -> int:
+        if not paths:
+            return 0
+        with self.transaction() as conn:
+            removed = 0
+            for path in paths:
+                removed += conn.execute(
+                    "DELETE FROM files WHERE path=?", (path,)
+                ).rowcount
+            return removed
+
+    def paths(self) -> list[str]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT path FROM files ORDER BY path"
+            ).fetchall()
+        return [row["path"] for row in rows]
+
+    def records(self) -> list[FileRecord]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM files ORDER BY path"
+            ).fetchall()
+        return [self._record_from_row(row) for row in rows]
+
+    def __len__(self) -> int:
+        with self._lock:
+            (count,) = self._conn.execute(
+                "SELECT COUNT(*) FROM files"
+            ).fetchone()
+        return count
+
+    # -- maintenance views ---------------------------------------------
+
+    def stale_paths(self, fingerprint: str) -> list[str]:
+        """Rows whose reports were produced under a different artifact."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT path FROM files WHERE fingerprint != ? ORDER BY path",
+                (fingerprint,),
+            ).fetchall()
+        return [row["path"] for row in rows]
+
+    def error_paths(self) -> list[str]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT path FROM files WHERE error IS NOT NULL ORDER BY path"
+            ).fetchall()
+        return [row["path"] for row in rows]
+
+    def summary(self) -> dict:
+        """Row counts and health for ``index-stats`` / ``/index/summary``."""
+        with self._lock:
+            (files,) = self._conn.execute(
+                "SELECT COUNT(*) FROM files"
+            ).fetchone()
+            (errors,) = self._conn.execute(
+                "SELECT COUNT(*) FROM files WHERE error IS NOT NULL"
+            ).fetchone()
+            (with_reports,) = self._conn.execute(
+                "SELECT COUNT(*) FROM files WHERE reports != '[]'"
+            ).fetchone()
+            # Counted in Python rather than with json_array_length():
+            # the JSON1 extension is compiled out of some SQLite builds.
+            report_rows = sum(
+                len(json.loads(row["reports"]))
+                for row in self._conn.execute("SELECT reports FROM files")
+            )
+            (fingerprints,) = self._conn.execute(
+                "SELECT COUNT(DISTINCT fingerprint) FROM files"
+            ).fetchone()
+        return {
+            "database": str(self.path),
+            "schema_version": self.schema_version,
+            "root": self.get_meta("root"),
+            "files": files,
+            "files_with_reports": with_reports,
+            "report_rows": report_rows,
+            "quarantined": errors,
+            "artifact_fingerprints": fingerprints,
+            "last_refresh": self.get_meta("last_refresh"),
+        }
+
+    def doctor(self, fingerprint: str | None = None) -> dict:
+        """Health check: stale rows, quarantined rows, missing hashes.
+
+        ``fingerprint`` is the currently-loaded artifact's; without one
+        staleness cannot be judged and is reported as ``None``.
+        """
+        stale = self.stale_paths(fingerprint) if fingerprint else None
+        errors = self.error_paths()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT path FROM files WHERE sha256='' ORDER BY path"
+            ).fetchall()
+        unhashed = [row["path"] for row in rows]
+        issues = len(errors) + len(unhashed) + (len(stale) if stale else 0)
+        return {
+            "schema_version": self.schema_version,
+            "files": len(self),
+            "stale": stale,
+            "quarantined": errors,
+            "unhashed": unhashed,
+            "issues": issues,
+        }
+
+    def export(self) -> dict:
+        """The whole index as one JSON document (``index-export``)."""
+        return {
+            "schema_version": self.schema_version,
+            "root": self.get_meta("root"),
+            "exported_at": time.time(),
+            "files": [record.to_json() for record in self.records()],
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "RepoIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,251 @@
+"""Ignore-spec-aware repository walking.
+
+The index, the watch loop, and ``repro analyze`` must all agree on
+*which files count* — one walker, used by all three.  It walks a real
+project directory, honors ``.gitignore``-style patterns (the root's
+``.gitignore`` plus any nested ones, each anchored at its directory)
+on top of built-in defaults (VCS metadata, caches, virtualenvs, the
+index database itself), and yields one :class:`WalkedFile` per
+analyzable source file with the stat pair the store's fast path keys
+on.
+
+Pattern semantics (the useful subset of gitignore):
+
+* blank lines and ``#`` comments are skipped;
+* ``!pattern`` re-includes a previously excluded path (last match
+  wins) — but nothing inside an excluded *directory* is ever walked,
+  matching git's rule that a negation cannot resurrect children of an
+  ignored directory;
+* a trailing ``/`` restricts the pattern to directories;
+* a pattern containing a ``/`` (other than trailing) is anchored to
+  the directory its spec came from; otherwise it matches the basename
+  at any depth;
+* ``*`` matches within one path segment, ``**`` across segments,
+  ``?`` one character, ``[...]`` character classes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+__all__ = [
+    "DEFAULT_IGNORES",
+    "IgnoreSpec",
+    "WalkedFile",
+    "file_sha256",
+    "walk_repository",
+]
+
+#: Languages the frontends understand, keyed by suffix (mirrors the CLI).
+SUFFIX_LANGUAGES = {".py": "python", ".java": "java"}
+
+#: Always ignored, before any .gitignore is read.
+DEFAULT_IGNORES = [
+    ".git/",
+    ".hg/",
+    ".svn/",
+    "__pycache__/",
+    "*.pyc",
+    "*.pyo",
+    ".repro-index*",  # the index database (+ WAL/SHM side files)
+    "*.cache/",  # content-cache directories (mine --cache-dir default)
+    ".venv/",
+    ".tox/",
+    "node_modules/",
+    "*.egg-info/",
+]
+
+
+def _translate(pattern: str) -> re.Pattern:
+    """Compile one gitignore glob into a regex over posix paths."""
+    out = []
+    i = 0
+    while i < len(pattern):
+        c = pattern[i]
+        if c == "*":
+            if pattern[i : i + 2] == "**":
+                # '**/' or '/**' or bare '**': crosses segments
+                if pattern[i : i + 3] == "**/":
+                    out.append("(?:[^/]+/)*")
+                    i += 3
+                    continue
+                out.append(".*")
+                i += 2
+                continue
+            out.append("[^/]*")
+        elif c == "?":
+            out.append("[^/]")
+        elif c == "[":
+            j = pattern.find("]", i + 1)
+            if j < 0:
+                out.append(re.escape(c))
+            else:
+                body = pattern[i + 1 : j]
+                if body.startswith("!"):
+                    body = "^" + body[1:]
+                out.append(f"[{body}]")
+                i = j + 1
+                continue
+        else:
+            out.append(re.escape(c))
+        i += 1
+    return re.compile("".join(out) + r"\Z")
+
+
+@dataclass(frozen=True)
+class _Rule:
+    regex: re.Pattern
+    negated: bool
+    dir_only: bool
+    anchored: bool  # match against the full relative path, not basename
+
+
+class IgnoreSpec:
+    """An ordered list of ignore rules; last matching rule wins."""
+
+    def __init__(self, patterns: Iterable[str]) -> None:
+        self.rules: list[_Rule] = []
+        for raw in patterns:
+            line = raw.rstrip()
+            if not line or line.lstrip().startswith("#"):
+                continue
+            negated = line.startswith("!")
+            if negated:
+                line = line[1:]
+            dir_only = line.endswith("/")
+            line = line.rstrip("/")
+            anchored = "/" in line
+            line = line.lstrip("/")
+            if not line:
+                continue
+            self.rules.append(
+                _Rule(_translate(line), negated, dir_only, anchored)
+            )
+
+    @classmethod
+    def load(cls, path: Path) -> "IgnoreSpec":
+        try:
+            text = path.read_text()
+        except (OSError, UnicodeDecodeError):
+            text = ""
+        return cls(text.splitlines())
+
+    def match(self, rel_path: str, is_dir: bool) -> bool | None:
+        """``True`` = ignore, ``False`` = explicitly re-included,
+        ``None`` = no rule matched (``rel_path`` is posix, relative to
+        the directory this spec was loaded from)."""
+        decision: bool | None = None
+        basename = rel_path.rsplit("/", 1)[-1]
+        for rule in self.rules:
+            if rule.dir_only and not is_dir:
+                continue
+            target = rel_path if rule.anchored else basename
+            if rule.regex.match(target):
+                decision = not rule.negated
+        return decision
+
+
+@dataclass(frozen=True)
+class WalkedFile:
+    """One analyzable file found under the repository root."""
+
+    path: str  # posix path relative to the root
+    abspath: str
+    language: str
+    size: int
+    mtime: float
+
+
+def file_sha256(path: str | Path) -> str:
+    """SHA-256 of a file's bytes (streamed; index content keys)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _ignored(
+    specs: list[tuple[str, IgnoreSpec]], rel_path: str, is_dir: bool
+) -> bool:
+    """Apply the spec stack root→deep; the deepest decision wins."""
+    decision = False
+    for base, spec in specs:
+        if base:
+            if not rel_path.startswith(base + "/"):
+                continue
+            local = rel_path[len(base) + 1 :]
+        else:
+            local = rel_path
+        matched = spec.match(local, is_dir)
+        if matched is not None:
+            decision = matched
+    return decision
+
+
+def walk_repository(
+    root: str | Path,
+    *,
+    extra_patterns: Iterable[str] | None = None,
+    suffixes: dict[str, str] | None = None,
+) -> list[WalkedFile]:
+    """Every analyzable file under ``root``, sorted by relative path.
+
+    ``extra_patterns`` extends the built-in defaults (they apply as if
+    written in a root-level ignore file, before the real ``.gitignore``
+    is consulted).  ``suffixes`` maps file suffixes to languages and
+    defaults to the frontends the repo ships.
+    """
+    root = Path(root)
+    suffixes = SUFFIX_LANGUAGES if suffixes is None else suffixes
+    builtin = list(DEFAULT_IGNORES) + list(extra_patterns or [])
+    specs: list[tuple[str, IgnoreSpec]] = [("", IgnoreSpec(builtin))]
+    gitignore = root / ".gitignore"
+    if gitignore.is_file():
+        specs.append(("", IgnoreSpec.load(gitignore)))
+
+    found: list[WalkedFile] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        rel_dir = Path(dirpath).relative_to(root).as_posix()
+        rel_dir = "" if rel_dir == "." else rel_dir
+        # Nested ignore files extend the stack for this subtree.
+        if rel_dir and ".gitignore" in filenames:
+            specs.append(
+                (rel_dir, IgnoreSpec.load(Path(dirpath) / ".gitignore"))
+            )
+        # Prune ignored directories in place so os.walk never descends.
+        dirnames[:] = sorted(
+            d
+            for d in dirnames
+            if not _ignored(
+                specs, f"{rel_dir}/{d}" if rel_dir else d, is_dir=True
+            )
+        )
+        for name in sorted(filenames):
+            language = suffixes.get(Path(name).suffix)
+            if language is None:
+                continue
+            rel = f"{rel_dir}/{name}" if rel_dir else name
+            if _ignored(specs, rel, is_dir=False):
+                continue
+            full = Path(dirpath) / name
+            try:
+                stat = full.stat()
+            except OSError:
+                continue  # raced away between listing and stat
+            found.append(
+                WalkedFile(
+                    path=rel,
+                    abspath=str(full),
+                    language=language,
+                    size=stat.st_size,
+                    mtime=stat.st_mtime,
+                )
+            )
+    found.sort(key=lambda wf: wf.path)
+    return found

@@ -33,7 +33,22 @@ from repro.service.cache import ResultCache, content_key
 from repro.service.metrics import ServiceMetrics
 from repro.service.queue import QueueFullError, RequestQueue
 
-__all__ = ["AnalysisRequest", "AnalysisResult", "AnalysisEngine"]
+__all__ = [
+    "AnalysisRequest",
+    "AnalysisResult",
+    "AnalysisEngine",
+    "IndexNotAttached",
+]
+
+
+class IndexNotAttached(RuntimeError):
+    """An ``/index/*`` endpoint was called on an engine started without
+    ``serve --index`` (a 400 upstream, not a server fault)."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            "no repository index attached; start the daemon with --index"
+        )
 
 _SUFFIX_LANGUAGES = {".py": "python", ".java": "java"}
 
@@ -105,6 +120,7 @@ class AnalysisEngine:
         request_timeout: float = 60.0,
         degraded_ok: bool = True,
         cache_dir: str | None = None,
+        index_path: str | None = None,
     ) -> None:
         if namer is None:
             if artifact_path is None:
@@ -123,8 +139,17 @@ class AnalysisEngine:
         #: (artifact fingerprint, request content) — a restarted or
         #: reloaded daemon skips detection for unchanged files
         self.content_cache = ContentCache(cache_dir) if cache_dir else None
+        #: persistent repository index (``serve --index``): ``/index/*``
+        #: endpoints answer from its rows instead of running detection
+        self.index = None
+        if index_path is not None:
+            from repro.index import RepoIndex
+
+            self.index = RepoIndex(index_path)
         self._artifact_fp = (
-            self._artifact_fingerprint(namer) if self.content_cache else None
+            self._artifact_fingerprint(namer)
+            if (self.content_cache or self.index)
+            else None
         )
         self.queue = RequestQueue(capacity=queue_capacity, workers=workers)
         self.metrics = ServiceMetrics()
@@ -363,14 +388,81 @@ class AnalysisEngine:
     @staticmethod
     def _artifact_fingerprint(namer: Namer) -> str | None:
         """Content checksum of the loaded artifact (None disables the
-        persistent cache — e.g. a namer that was never mined)."""
-        from repro.core.persistence import namer_to_document
-        from repro.resilience.checkpoint import document_checksum
+        persistent cache — e.g. a namer that was never mined).  The
+        same fingerprint the repository index stamps its rows with."""
+        from repro.index.watcher import namer_fingerprint
 
-        try:
-            return document_checksum(namer_to_document(namer))
-        except Exception:
+        return namer_fingerprint(namer)
+
+    # ------------------------------------------------------------------
+    # Repository index serving (``serve --index``)
+    # ------------------------------------------------------------------
+
+    def index_summary(self) -> dict:
+        """``GET /index/summary``: store counts plus artifact currency."""
+        if self.index is None:
+            raise IndexNotAttached()
+        body = self.index.summary()
+        fp = self._artifact_fp
+        body["artifact_fingerprint"] = fp
+        body["stale_rows"] = len(self.index.stale_paths(fp)) if fp else None
+        return body
+
+    def index_file(self, path: str) -> dict | None:
+        """``GET /index/file?path=``: one file's stored analysis.
+
+        Served straight from the index — no detection runs.  Rows
+        produced under a different artifact than the one loaded are
+        still served (stale beats 500s, exactly like degraded mode)
+        but flagged ``"stale": true`` and counted in ``/metrics``.
+        Returns ``None`` when the path has no row (a 404 upstream).
+        """
+        if self.index is None:
+            raise IndexNotAttached()
+        record = self.index.get(path)
+        if record is None:
+            self.metrics.record_index_lookup(hit=False)
             return None
+        stale = (
+            self._artifact_fp is not None
+            and record.fingerprint != self._artifact_fp
+        )
+        self.metrics.record_index_lookup(hit=True, stale=stale)
+        return {
+            "path": record.path,
+            "reports": record.reports,
+            "error": record.error,
+            "sha256": record.sha256,
+            "language": record.language,
+            "stale": stale,
+            "analyzed_at": record.analyzed_at,
+        }
+
+    def index_refresh(self) -> dict:
+        """``POST /index/refresh``: one synchronous refresh cycle.
+
+        Walks the indexed root, re-analyzes only added/changed/stale
+        files on the engine's warm detection pool, evicts deleted rows,
+        and returns the delta summary.
+        """
+        if self.index is None:
+            raise IndexNotAttached()
+        from repro.index.watcher import RepoIndexer
+
+        root = self.index.get_meta("root")
+        if root is None:
+            raise ValueError(
+                "index has no recorded root; build it with 'repro index' first"
+            )
+        with self._reload_lock:
+            namer = self._namer
+            executor = self._detect_executor
+        indexer = RepoIndexer(
+            root, namer, self.index, executor=executor
+        )
+        delta = indexer.refresh()
+        self.metrics.record_index_refresh()
+        return delta.to_json()
 
     def _count(self, result: AnalysisResult, seconds: float) -> None:
         result.elapsed_ms = seconds * 1000
@@ -424,7 +516,9 @@ class AnalysisEngine:
             self._namer = namer
             self.artifact_path = artifact_path
             self._artifact_fp = (
-                self._artifact_fingerprint(namer) if self.content_cache else None
+                self._artifact_fingerprint(namer)
+                if (self.content_cache or self.index)
+                else None
             )
             self._generation += 1
             dropped = self.cache.clear()
@@ -434,11 +528,24 @@ class AnalysisEngine:
             old_executor.close()
         self.metrics.record_reload()
         self.metrics.set_mining_phases(namer.summary.phase_timings)
-        return {
+        # Index rows mined under the old artifact are now stale: they
+        # keep serving (flagged) until the next refresh re-analyzes
+        # them, but the count is surfaced here and in /metrics so
+        # operators see the invalidation the reload caused.
+        body = {
             "artifacts": artifact_path,
             "cache_entries_dropped": dropped,
             "degraded": self.degraded,
         }
+        if self.index is not None:
+            stale = (
+                len(self.index.stale_paths(self._artifact_fp))
+                if self._artifact_fp
+                else 0
+            )
+            self.metrics.record_index_invalidated(stale)
+            body["index_rows_stale"] = stale
+        return body
 
     def health(self) -> dict:
         namer = self._namer
@@ -452,6 +559,7 @@ class AnalysisEngine:
             "workers": self.queue.workers,
             "detect_workers": self.detect_workers,
             "pending": self.queue.pending,
+            "index": str(self.index.path) if self.index is not None else None,
         }
 
     def metrics_json(self) -> dict:
@@ -473,6 +581,11 @@ class AnalysisEngine:
             else {}
         )
         body["mining_cache"] = dict(self._namer.summary.cache_stats)
+        # Index-backed serving counters (hit/miss/stale/refresh), plus
+        # the store's own row counts when an index is attached.
+        if self.index is not None:
+            body["index"] = self.metrics.index_json()
+            body["index"]["rows"] = len(self.index)
         # Accumulated detection-side phase rows (match / featurize /
         # classify) across every request served by the loaded namer.
         body["detection_phases"] = self._namer.detect_profiler.to_json()
@@ -484,3 +597,6 @@ class AnalysisEngine:
         if self._detect_executor is not None:
             self._detect_executor.close()
             self._detect_executor = None
+        if self.index is not None:
+            self.index.close()
+            self.index = None

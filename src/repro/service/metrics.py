@@ -71,6 +71,16 @@ class ServiceMetrics:
         #: requests that arrived flagged as client-side retries
         #: (``X-Repro-Retry`` header) — backoff made visible server-side
         self.retried_requests = 0
+        #: repository-index serving counters: ``/index/file`` answers
+        #: served from the store (hits), paths with no row (misses),
+        #: hits whose row was produced under a different artifact
+        #: fingerprint (stale — served, but flagged), refresh cycles
+        #: run, and rows invalidated by artifact reloads
+        self.index_hits = 0
+        self.index_misses = 0
+        self.index_stale = 0
+        self.index_refreshes = 0
+        self.index_invalidated = 0
         #: phase-timing rows of the mining run behind the loaded
         #: artifact (``MiningSummary.phase_timings``); empty when the
         #: artifact was mined in another process — wall-clock timings
@@ -108,6 +118,33 @@ class ServiceMetrics:
     def record_retried(self) -> None:
         with self._lock:
             self.retried_requests += 1
+
+    def record_index_lookup(self, *, hit: bool, stale: bool = False) -> None:
+        with self._lock:
+            if hit:
+                self.index_hits += 1
+                if stale:
+                    self.index_stale += 1
+            else:
+                self.index_misses += 1
+
+    def record_index_refresh(self) -> None:
+        with self._lock:
+            self.index_refreshes += 1
+
+    def record_index_invalidated(self, rows: int) -> None:
+        with self._lock:
+            self.index_invalidated += rows
+
+    def index_json(self) -> dict:
+        with self._lock:
+            return {
+                "hits": self.index_hits,
+                "misses": self.index_misses,
+                "stale": self.index_stale,
+                "refreshes": self.index_refreshes,
+                "invalidated": self.index_invalidated,
+            }
 
     def set_mining_phases(self, rows: list[dict]) -> None:
         with self._lock:

@@ -9,6 +9,13 @@ Endpoints:
   for one file, or ``{"files": [...]}`` for a batch; returns report
   rows (see :meth:`repro.core.reports.Report.to_json`).
 * ``POST /reload``  — ``{"artifacts": path}``; hot-swaps the artifact.
+* ``GET  /index/summary`` — repository-index row counts + staleness
+  (``serve --index`` only; 400 without an attached index).
+* ``GET  /index/file?path=`` — one file's stored analysis straight
+  from the index (404 for unindexed paths, ``"stale": true`` for rows
+  from another artifact).
+* ``POST /index/refresh`` — run one refresh cycle (re-walk, re-analyze
+  only changed files, evict deleted rows) and return the delta.
 
 Overload maps onto status codes: a full queue answers 503 (retry
 later), a missed deadline 504, a bad artifact or malformed body 400.
@@ -21,10 +28,16 @@ from __future__ import annotations
 
 import json
 import threading
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.core.persistence import PersistenceError
-from repro.service.engine import AnalysisEngine, AnalysisRequest, AnalysisResult
+from repro.service.engine import (
+    AnalysisEngine,
+    AnalysisRequest,
+    AnalysisResult,
+    IndexNotAttached,
+)
 from repro.service.queue import QueueFullError, RequestTimeout, ServiceClosed
 
 __all__ = ["AnalysisServer", "cache_disposition", "serve"]
@@ -81,16 +94,31 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         self._count_retry_header()
-        if self.path == "/health":
-            self._reply(200, self.engine.health())
-        elif self.path == "/metrics":
-            self._reply(200, self.engine.metrics_json())
-        else:
-            self._reply(404, {"error": f"unknown path {self.path}"})
+        parsed = urllib.parse.urlsplit(self.path)
+        try:
+            if parsed.path == "/health":
+                self._reply(200, self.engine.health())
+            elif parsed.path == "/metrics":
+                self._reply(200, self.engine.metrics_json())
+            elif parsed.path == "/index/summary":
+                self._reply(200, self.engine.index_summary())
+            elif parsed.path == "/index/file":
+                self._handle_index_file(parsed.query)
+            else:
+                self._reply(404, {"error": f"unknown path {self.path}"})
+        except (_BadRequest, IndexNotAttached) as exc:
+            self._reply(400, {"error": str(exc)})
+        except Exception as exc:  # last-resort: never drop the connection
+            self.engine.metrics.record_error()
+            self._reply(500, {"error": f"internal error: {exc!r}"})
 
     def do_POST(self) -> None:  # noqa: N802
         self._count_retry_header()
         try:
+            if self.path == "/index/refresh":
+                # A refresh takes no body; re-walks the indexed root.
+                self._reply(200, self.engine.index_refresh())
+                return
             body = self._read_json()
             if self.path == "/analyze":
                 self._handle_analyze(body)
@@ -98,9 +126,11 @@ class _Handler(BaseHTTPRequestHandler):
                 self._handle_reload(body)
             else:
                 self._reply(404, {"error": f"unknown path {self.path}"})
-        except _BadRequest as exc:
+        except (_BadRequest, IndexNotAttached) as exc:
             self._reply(400, {"error": str(exc)})
-        except PersistenceError as exc:
+        except (ValueError, PersistenceError) as exc:
+            # PersistenceError (bad reload artifact) and the index's
+            # "no recorded root" both trace back to client input.
             self._reply(400, {"error": str(exc)})
         except QueueFullError as exc:
             self._reply(503, {"error": str(exc), "retry": True})
@@ -133,6 +163,17 @@ class _Handler(BaseHTTPRequestHandler):
         if not isinstance(body, dict) or not isinstance(body.get("artifacts"), str):
             raise _BadRequest("reload needs an 'artifacts' path")
         self._reply(200, self.engine.reload(body["artifacts"]))
+
+    def _handle_index_file(self, query: str) -> None:
+        params = urllib.parse.parse_qs(query)
+        paths = params.get("path")
+        if not paths or not paths[0]:
+            raise _BadRequest("/index/file needs a ?path= query parameter")
+        body = self.engine.index_file(paths[0])
+        if body is None:
+            self._reply(404, {"error": f"not indexed: {paths[0]}"})
+        else:
+            self._reply(200, body)
 
     # ------------------------------------------------------------------
 
@@ -239,6 +280,7 @@ def serve(
     queue_capacity: int = 64,
     cache_entries: int = 1024,
     cache_dir: str | None = None,
+    index_path: str | None = None,
     quiet: bool = False,
 ) -> AnalysisServer:
     """Build an engine from saved artifacts and bind the HTTP server."""
@@ -248,5 +290,6 @@ def serve(
         queue_capacity=queue_capacity,
         cache_entries=cache_entries,
         cache_dir=cache_dir,
+        index_path=index_path,
     )
     return AnalysisServer(engine, host=host, port=port, quiet=quiet)

@@ -95,6 +95,65 @@ class TestParallelDetectEquivalence:
             Namer().detect_many([], workers=2)
 
 
+class CountingExecutor(ShardExecutor):
+    """Records how many tasks each ``map`` call dispatched."""
+
+    def __init__(self, workers: int) -> None:
+        super().__init__(workers)
+        self.task_counts: list[int] = []
+
+    def map(self, fn, tasks):
+        self.task_counts.append(len(tasks))
+        return super().map(fn, tasks)
+
+
+class TestDetectTaskBatching:
+    """Files are batched ~DETECT_FILES_PER_TASK per worker task: the
+    span plan is capped by ceil(files / K), and the cap changes nothing
+    about the output."""
+
+    def test_task_count_capped_by_batch_size(self, trained_namer):
+        from repro.core.namer import DETECT_FILES_PER_TASK
+
+        namer = trained_namer
+        files = namer.prepared
+        assert len(files) > DETECT_FILES_PER_TASK, (
+            "fixture too small for the batching cap to bind"
+        )
+        serial = report_blob(namer.detect_many(files))
+        max_tasks = -(-len(files) // DETECT_FILES_PER_TASK)
+        with CountingExecutor(64) as executor:
+            # a pool this wide would plan far more than max_tasks spans
+            # without the batching floor
+            assert executor.shard_hint(len(files)) > max_tasks
+            parallel = report_blob(
+                namer.detect_many(files, executor=executor)
+            )
+        assert parallel == serial
+        assert executor.task_counts == [max_tasks]
+
+    def test_narrow_pool_keeps_its_own_plan(self, trained_namer):
+        """When the pool is the binding constraint the plan is
+        unchanged from the unbatched one."""
+        namer = trained_namer
+        files = namer.prepared
+        with CountingExecutor(2) as executor:
+            hint = executor.shard_hint(len(files))
+            namer.detect_many(files, executor=executor)
+        assert executor.task_counts == [hint]
+
+    def test_tiny_batch_runs_as_one_task(self, trained_namer):
+        namer = trained_namer
+        files = namer.prepared[:3]
+        serial = report_blob(namer.detect_many(files))
+        with CountingExecutor(8) as executor:
+            parallel = report_blob(
+                namer.detect_many(files, executor=executor)
+            )
+        assert parallel == serial
+        assert executor.task_counts == [1]
+
+
 class TestParallelDetectFaults:
     PLAN = dict(
         specs=[

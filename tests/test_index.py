@@ -1,0 +1,639 @@
+"""Tests for the persistent repository index (`repro.index`).
+
+Covers the store (schema, migrations, transactions), the ignore-spec
+walker, the refresh/watch machinery (including the race windows a real
+deployment hits: files deleted mid-cycle, renames, unreadable files
+that later heal), the index-backed serving tier, and the CLI commands.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.persistence import load_namer, save_namer
+from repro.index import (
+    INDEX_SCHEMA_VERSION,
+    FileRecord,
+    IgnoreSpec,
+    IndexSchemaError,
+    RepoIndex,
+    RepoIndexer,
+    namer_fingerprint,
+    walk_repository,
+    watch_repository,
+)
+from repro.service.engine import AnalysisEngine, IndexNotAttached
+
+pytestmark = pytest.mark.index
+
+
+# ----------------------------------------------------------------------
+# Shared fixtures
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def corpus_sources(fitted_namer, small_corpus):
+    """A handful of parseable corpus sources, at least one of which the
+    fitted namer reports on (so index rows have content to assert)."""
+    from repro.core.prepare import prepare_file
+
+    reporting, silent = [], []
+    for repo, source in small_corpus.files():
+        prepared = prepare_file(source, repo=repo.name)
+        if prepared is None:
+            continue
+        (reporting if fitted_namer.detect(prepared) else silent).append(
+            source.source
+        )
+        if len(reporting) >= 2 and len(silent) >= 4:
+            break
+    if not reporting:
+        pytest.fail("no corpus file produced a report")
+    return reporting, silent
+
+
+@pytest.fixture()
+def project(tmp_path, corpus_sources):
+    """A small on-disk repository: six modules, one with reports."""
+    reporting, silent = corpus_sources
+    root = tmp_path / "proj"
+    (root / "pkg").mkdir(parents=True)
+    (root / "pkg" / "hot.py").write_text(reporting[0])
+    for i, source in enumerate((silent + reporting)[:5]):
+        (root / "pkg" / f"mod_{i}.py").write_text(source)
+    return root
+
+
+@pytest.fixture()
+def indexer(project, fitted_namer, tmp_path):
+    store = RepoIndex(tmp_path / "index.db")
+    indexer = RepoIndexer(str(project), fitted_namer, store)
+    yield indexer
+    store.close()
+
+
+@pytest.fixture(scope="module")
+def artifact_file(fitted_namer, tmp_path_factory):
+    path = tmp_path_factory.mktemp("index-artifacts") / "namer.json"
+    save_namer(fitted_namer, path)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Walker + ignore specs
+# ----------------------------------------------------------------------
+
+
+class TestIgnoreSpec:
+    def test_basename_pattern_matches_any_depth(self):
+        spec = IgnoreSpec(["*.pyc"])
+        assert spec.match("a.pyc", is_dir=False) is True
+        assert spec.match("deep/nested/b.pyc", is_dir=False) is True
+        assert spec.match("a.py", is_dir=False) is None
+
+    def test_anchored_pattern_matches_full_path(self):
+        spec = IgnoreSpec(["build/out.py"])
+        assert spec.match("build/out.py", is_dir=False) is True
+        assert spec.match("other/build/out.py", is_dir=False) is None
+
+    def test_negation_last_match_wins(self):
+        spec = IgnoreSpec(["*.py", "!keep.py"])
+        assert spec.match("drop.py", is_dir=False) is True
+        assert spec.match("keep.py", is_dir=False) is False
+
+    def test_dir_only_pattern(self):
+        spec = IgnoreSpec(["cache/"])
+        assert spec.match("cache", is_dir=True) is True
+        assert spec.match("cache", is_dir=False) is None
+
+    def test_double_star_crosses_segments(self):
+        spec = IgnoreSpec(["vendor/**"])
+        assert spec.match("vendor/a/b/c.py", is_dir=False) is True
+        assert spec.match("vendored/x.py", is_dir=False) is None
+
+    def test_comments_and_blanks_skipped(self):
+        spec = IgnoreSpec(["# comment", "", "real.py"])
+        assert len(spec.rules) == 1
+
+
+class TestWalker:
+    def test_walk_finds_sources_sorted(self, project):
+        walked = walk_repository(project)
+        paths = [wf.path for wf in walked]
+        assert paths == sorted(paths)
+        assert "pkg/hot.py" in paths
+        assert all(wf.language == "python" for wf in walked)
+        assert all(wf.size > 0 and wf.mtime > 0 for wf in walked)
+
+    def test_gitignore_and_defaults_respected(self, project):
+        (project / ".gitignore").write_text("ignored/\n*.tmp.py\n")
+        (project / "ignored").mkdir()
+        (project / "ignored" / "x.py").write_text("a = 1\n")
+        (project / "pkg" / "scratch.tmp.py").write_text("b = 2\n")
+        (project / "__pycache__").mkdir()
+        (project / "__pycache__" / "c.py").write_text("c = 3\n")
+        (project / ".repro-index.db").write_text("not a real db")
+        walked = {wf.path for wf in walk_repository(project)}
+        assert "ignored/x.py" not in walked
+        assert "pkg/scratch.tmp.py" not in walked
+        assert "__pycache__/c.py" not in walked
+        assert "pkg/hot.py" in walked
+
+    def test_nested_gitignore_anchors_at_its_directory(self, project):
+        (project / "pkg" / ".gitignore").write_text("local.py\n")
+        (project / "pkg" / "local.py").write_text("x = 1\n")
+        (project / "local.py").write_text("y = 2\n")
+        walked = {wf.path for wf in walk_repository(project)}
+        assert "pkg/local.py" not in walked
+        assert "local.py" in walked
+
+    def test_extra_patterns(self, project):
+        walked = {
+            wf.path
+            for wf in walk_repository(project, extra_patterns=["hot.py"])
+        }
+        assert "pkg/hot.py" not in walked
+
+
+# ----------------------------------------------------------------------
+# Store: schema, transactions, migrations
+# ----------------------------------------------------------------------
+
+
+def _record(path="a.py", **kw) -> FileRecord:
+    defaults = dict(
+        path=path,
+        sha256="f" * 64,
+        mtime=1.0,
+        size=10,
+        language="python",
+        fingerprint="fp-1",
+        reports=[{"file": path, "line": 1}],
+        analyzed_at=2.0,
+    )
+    defaults.update(kw)
+    return FileRecord(**defaults)
+
+
+class TestRepoIndex:
+    def test_roundtrip(self, tmp_path):
+        with RepoIndex(tmp_path / "i.db") as store:
+            store.upsert(_record("a.py"))
+            got = store.get("a.py")
+            assert got is not None
+            assert got.reports == [{"file": "a.py", "line": 1}]
+            assert got.clean
+            assert store.get("missing.py") is None
+            assert len(store) == 1
+
+    def test_upsert_replaces(self, tmp_path):
+        with RepoIndex(tmp_path / "i.db") as store:
+            store.upsert(_record("a.py"))
+            store.upsert(_record("a.py", sha256="e" * 64, reports=[]))
+            got = store.get("a.py")
+            assert got.sha256 == "e" * 64
+            assert got.reports == []
+            assert len(store) == 1
+
+    def test_transaction_rolls_back_on_error(self, tmp_path):
+        with RepoIndex(tmp_path / "i.db") as store:
+            store.upsert(_record("keep.py"))
+            with pytest.raises(RuntimeError, match="boom"):
+                with store.transaction() as conn:
+                    conn.execute("DELETE FROM files")
+                    raise RuntimeError("boom")
+            assert store.get("keep.py") is not None
+
+    def test_remove_many_and_paths(self, tmp_path):
+        with RepoIndex(tmp_path / "i.db") as store:
+            store.upsert_many([_record("a.py"), _record("b.py"), _record("c.py")])
+            assert store.paths() == ["a.py", "b.py", "c.py"]
+            assert store.remove_many(["a.py", "c.py", "ghost.py"]) == 2
+            assert store.paths() == ["b.py"]
+
+    def test_meta_and_schema_version(self, tmp_path):
+        with RepoIndex(tmp_path / "i.db") as store:
+            assert store.schema_version == INDEX_SCHEMA_VERSION
+            store.set_meta("root", "/somewhere")
+            store.set_meta("root", "/elsewhere")
+            assert store.get_meta("root") == "/elsewhere"
+            assert store.get_meta("nope", "fallback") == "fallback"
+
+    def test_survives_reopen(self, tmp_path):
+        path = tmp_path / "i.db"
+        with RepoIndex(path) as store:
+            store.upsert(_record("a.py"))
+        with RepoIndex(path) as store:
+            assert store.get("a.py") is not None
+
+    def test_summary_and_views(self, tmp_path):
+        with RepoIndex(tmp_path / "i.db") as store:
+            store.upsert_many(
+                [
+                    _record("a.py", fingerprint="fp-1"),
+                    _record("b.py", fingerprint="fp-2", reports=[]),
+                    _record(
+                        "c.py", reports=[], error="read: boom", stage="read",
+                        sha256="",
+                    ),
+                ]
+            )
+            summary = store.summary()
+            assert summary["files"] == 3
+            assert summary["files_with_reports"] == 1
+            assert summary["report_rows"] == 1
+            assert summary["quarantined"] == 1
+            assert summary["artifact_fingerprints"] == 2
+            assert store.stale_paths("fp-1") == ["b.py"]
+            assert store.error_paths() == ["c.py"]
+            doctor = store.doctor("fp-1")
+            assert doctor["stale"] == ["b.py"]
+            assert doctor["quarantined"] == ["c.py"]
+            assert doctor["unhashed"] == ["c.py"]
+            assert doctor["issues"] == 3
+            # without a fingerprint staleness cannot be judged
+            assert store.doctor()["stale"] is None
+
+    def test_export_document(self, tmp_path):
+        with RepoIndex(tmp_path / "i.db") as store:
+            store.set_meta("root", "/proj")
+            store.upsert(_record("a.py"))
+            doc = store.export()
+        assert doc["schema_version"] == INDEX_SCHEMA_VERSION
+        assert doc["root"] == "/proj"
+        assert [f["path"] for f in doc["files"]] == ["a.py"]
+        json.dumps(doc)  # must be one serializable document
+
+    def test_v1_database_migrates_forward_on_open(self, tmp_path):
+        path = tmp_path / "old.db"
+        RepoIndex.create_v1(path)
+        # a pre-migration row, inserted with the v1 column set
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "INSERT INTO files"
+            " (path, sha256, mtime, size, language, fingerprint, reports,"
+            "  analyzed_at) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            ("old.py", "a" * 64, 1.0, 5, "python", "fp-0", "[]", 2.0),
+        )
+        conn.commit()
+        conn.close()
+        with RepoIndex(path) as store:
+            assert store.schema_version == INDEX_SCHEMA_VERSION
+            got = store.get("old.py")
+            assert got is not None and got.error is None
+            # the migrated schema accepts quarantine rows
+            store.upsert(_record("new.py", error="boom", stage="read"))
+            assert store.error_paths() == ["new.py"]
+
+    def test_newer_schema_refused(self, tmp_path):
+        path = tmp_path / "future.db"
+        RepoIndex(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE meta SET value='99' WHERE key='schema_version'")
+        conn.commit()
+        conn.close()
+        with pytest.raises(IndexSchemaError, match="newer"):
+            RepoIndex(path)
+
+
+# ----------------------------------------------------------------------
+# Indexer: refresh cycles and their race windows
+# ----------------------------------------------------------------------
+
+
+class TestRepoIndexer:
+    def test_initial_build_then_noop(self, indexer, project):
+        delta = indexer.refresh()
+        assert len(delta.added) == 6
+        assert delta.report_rows >= 1
+        assert not delta.changed and not delta.removed
+        again = indexer.refresh()
+        assert again.analyzed == []
+        assert again.unchanged == 6
+
+    def test_warm_reindex_reanalyzes_exactly_the_edited_files(
+        self, indexer, project
+    ):
+        indexer.refresh()
+        (project / "pkg" / "mod_0.py").write_text("changed = 1\n")
+        (project / "pkg" / "mod_1.py").write_text("changed = 2\n")
+        delta = indexer.refresh()
+        assert delta.analyzed == ["pkg/mod_0.py", "pkg/mod_1.py"]
+        assert delta.unchanged == 4
+
+    def test_touched_but_identical_takes_hash_path_once(
+        self, indexer, project
+    ):
+        indexer.refresh()
+        target = project / "pkg" / "mod_0.py"
+        os.utime(target, (1, 1))
+        delta = indexer.refresh()
+        assert delta.analyzed == []
+        # the stat pair was refreshed, so the next cycle is a fast path
+        record = indexer.store.get("pkg/mod_0.py")
+        assert record.mtime == os.stat(target).st_mtime
+
+    def test_rename_same_content_reanalyzes_under_new_path(
+        self, indexer, project
+    ):
+        indexer.refresh()
+        old_rows = indexer.store.get("pkg/hot.py").reports
+        assert old_rows, "fixture file must produce reports"
+        (project / "pkg" / "hot.py").rename(project / "pkg" / "renamed.py")
+        delta = indexer.refresh()
+        assert delta.added == ["pkg/renamed.py"]
+        assert delta.removed == ["pkg/hot.py"]
+        assert indexer.store.get("pkg/hot.py") is None
+        new_rows = indexer.store.get("pkg/renamed.py").reports
+        # report rows embed the path, so a rename must re-analyze —
+        # same content, different rows
+        assert all(row["file"] == "pkg/renamed.py" for row in new_rows)
+        assert len(new_rows) == len(old_rows)
+
+    def test_file_deleted_between_walk_and_analyze(self, indexer, project):
+        indexer.refresh()
+        # force the victim into the analyze set, then delete it after
+        # the walk — the read hits FileNotFoundError mid-cycle
+        victim = project / "pkg" / "mod_0.py"
+        victim.write_text("mutated = True\n")
+        stale_walk = walk_repository(project)
+        victim.unlink()
+        delta = indexer.refresh(walked=stale_walk)
+        assert "pkg/mod_0.py" in delta.removed
+        assert indexer.store.get("pkg/mod_0.py") is None
+        assert "pkg/mod_0.py" not in delta.analyzed
+
+    def test_unreadable_file_quarantined_then_repaired(
+        self, indexer, project
+    ):
+        target = project / "pkg" / "mod_1.py"
+        target.write_bytes(b"\xff\xfe not unicode \xff")
+        delta = indexer.refresh()
+        assert "pkg/mod_1.py" in delta.quarantined
+        record = indexer.store.get("pkg/mod_1.py")
+        assert record.error is not None and record.stage == "read"
+        assert record.reports == []
+        # repaired in place: the quarantined row never takes the stat
+        # fast path, so the next cycle heals it
+        target.write_text("healed = True\n")
+        healed = indexer.refresh()
+        assert "pkg/mod_1.py" in healed.analyzed
+        record = indexer.store.get("pkg/mod_1.py")
+        assert record.error is None and record.stage is None
+
+    def test_unparsable_file_quarantined(self, indexer, project):
+        (project / "pkg" / "broken.py").write_text("def broken(:\n")
+        delta = indexer.refresh()
+        assert "pkg/broken.py" in delta.quarantined
+        record = indexer.store.get("pkg/broken.py")
+        assert record.error is not None
+        assert record.sha256 != ""  # content was readable, so hashed
+
+    def test_stale_fingerprint_rows_are_refreshed(self, indexer, project):
+        indexer.refresh()
+        record = indexer.store.get("pkg/hot.py")
+        record.fingerprint = "another-artifact"
+        indexer.store.upsert(record)
+        delta = indexer.refresh()
+        assert delta.refreshed == ["pkg/hot.py"]
+        assert indexer.store.get("pkg/hot.py").fingerprint == indexer.fingerprint
+
+    def test_watch_loop_reports_each_cycle(self, indexer, project):
+        lines = []
+        deltas = watch_repository(
+            indexer, interval=0.01, cycles=2, log=lines.append
+        )
+        assert len(deltas) == 2
+        assert len(deltas[0].added) == 6
+        assert deltas[1].unchanged == 6
+        assert lines[0].startswith("[cycle 1]")
+        assert lines[1].startswith("[cycle 2]")
+
+    def test_fingerprint_recorded_in_meta(self, indexer, fitted_namer):
+        indexer.refresh()
+        assert indexer.store.get_meta("artifact_fingerprint") == (
+            namer_fingerprint(fitted_namer)
+        )
+        assert indexer.store.get_meta("root") == str(indexer.root)
+
+
+# ----------------------------------------------------------------------
+# Serving tier
+# ----------------------------------------------------------------------
+
+
+def _http(url, body=None, method=None):
+    data = None if body is None else json.dumps(body).encode()
+    req = urllib.request.Request(
+        url, data=data, method=method or ("POST" if data is not None else "GET")
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+@pytest.mark.service
+class TestIndexServing:
+    def test_endpoints_without_index_answer_400(self, fitted_namer):
+        engine = AnalysisEngine(namer=fitted_namer, workers=1)
+        try:
+            with pytest.raises(IndexNotAttached):
+                engine.index_summary()
+            with pytest.raises(IndexNotAttached):
+                engine.index_file("a.py")
+            with pytest.raises(IndexNotAttached):
+                engine.index_refresh()
+        finally:
+            engine.shutdown(drain=False, timeout=5)
+
+    def test_refresh_requires_recorded_root(self, fitted_namer, tmp_path):
+        RepoIndex(tmp_path / "rootless.db").close()
+        engine = AnalysisEngine(
+            namer=fitted_namer, workers=1,
+            index_path=str(tmp_path / "rootless.db"),
+        )
+        try:
+            with pytest.raises(ValueError, match="no recorded root"):
+                engine.index_refresh()
+        finally:
+            engine.shutdown(drain=False, timeout=5)
+
+    def test_index_backed_serving_round_trip(
+        self, artifact_file, project, tmp_path
+    ):
+        from repro.service.server import serve
+
+        db = tmp_path / "serving.db"
+        namer = load_namer(artifact_file)
+        with RepoIndex(db) as store:
+            RepoIndexer(str(project), namer, store).refresh()
+
+        server = serve(
+            str(artifact_file), port=0, index_path=str(db), quiet=True
+        ).start()
+        base = server.url
+        try:
+            status, summary = _http(f"{base}/index/summary")
+            assert status == 200
+            assert summary["files"] == 6
+            assert summary["stale_rows"] == 0
+            assert summary["artifact_fingerprint"]
+
+            status, body = _http(f"{base}/index/file?path=pkg/hot.py")
+            assert status == 200
+            assert body["reports"] and not body["stale"]
+
+            # byte-identity: the indexed rows ARE the fresh-analysis rows
+            source = (project / "pkg" / "hot.py").read_text()
+            status, fresh = _http(
+                f"{base}/analyze",
+                {
+                    "source": source,
+                    "path": "pkg/hot.py",
+                    "repo": project.name,
+                    "language": "python",
+                },
+            )
+            assert status == 200
+            assert json.dumps(body["reports"], separators=(",", ":")) == (
+                json.dumps(fresh["reports"], separators=(",", ":"))
+            )
+
+            status, missing = _http(f"{base}/index/file?path=ghost.py")
+            assert status == 404 and "not indexed" in missing["error"]
+            status, noparam = _http(f"{base}/index/file")
+            assert status == 400
+
+            # a refresh over the wire re-analyzes exactly the edit
+            (project / "pkg" / "mod_2.py").write_text("served_edit = 1\n")
+            status, delta = _http(f"{base}/index/refresh", method="POST")
+            assert status == 200
+            assert delta["changed"] == ["pkg/mod_2.py"]
+            assert delta["unchanged"] == 5
+
+            status, metrics = _http(f"{base}/metrics")
+            assert metrics["index"]["hits"] == 1
+            assert metrics["index"]["misses"] == 1
+            assert metrics["index"]["refreshes"] == 1
+            assert metrics["index"]["rows"] == 6
+
+            status, health = _http(f"{base}/health")
+            assert health["index"] == str(db)
+        finally:
+            server.stop(drain=True)
+
+    def test_reload_counts_invalidated_rows_and_serves_stale(
+        self, artifact_file, project, tmp_path
+    ):
+        db = tmp_path / "stale.db"
+        namer = load_namer(artifact_file)
+        with RepoIndex(db) as store:
+            RepoIndexer(str(project), namer, store).refresh()
+            # one row from a previous artifact generation
+            record = store.get("pkg/hot.py")
+            record.fingerprint = "previous-artifact"
+            store.upsert(record)
+
+        engine = AnalysisEngine(
+            artifact_path=str(artifact_file), workers=1, index_path=str(db)
+        )
+        try:
+            body = engine.index_file("pkg/hot.py")
+            assert body["stale"] is True
+            assert body["reports"] == record.reports  # stale beats a 500
+            assert engine.metrics.index_json()["stale"] == 1
+
+            reload_body = engine.reload(str(artifact_file))
+            assert reload_body["index_rows_stale"] == 1
+            assert engine.metrics.index_json()["invalidated"] == 1
+
+            # a refresh re-analyzes the stale row back to freshness
+            delta = engine.index_refresh()
+            assert delta["refreshed"] == ["pkg/hot.py"]
+            assert engine.index_file("pkg/hot.py")["stale"] is False
+        finally:
+            engine.shutdown(drain=False, timeout=5)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+class TestIndexCli:
+    def test_index_watch_stats_doctor_export(
+        self, project, artifact_file, tmp_path, capsys
+    ):
+        db = str(tmp_path / "cli.db")
+        art = str(artifact_file)
+
+        assert main(["index", str(project), "--artifacts", art, "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "+6" in out and "6 file(s)" in out
+
+        (project / "pkg" / "mod_3.py").write_text("watched_edit = 1\n")
+        code = main(
+            ["watch", str(project), "--artifacts", art, "--db", db,
+             "--cycles", "1", "--interval", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "~1" in out and "unchanged 5" in out
+
+        assert main(["index-stats", db]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["files"] == 6
+        assert stats["schema_version"] == INDEX_SCHEMA_VERSION
+
+        assert main(["index-doctor", db, "--artifacts", art]) == 0
+        doctor = json.loads(capsys.readouterr().out)
+        assert doctor["issues"] == 0
+
+        out_path = tmp_path / "export.json"
+        assert main(["index-export", db, "--out", str(out_path)]) == 0
+        capsys.readouterr()
+        document = json.loads(out_path.read_text())
+        assert len(document["files"]) == 6
+
+    def test_stats_on_missing_database_fails(self, tmp_path, capsys):
+        code = main(["index-stats", str(tmp_path / "nope.db")])
+        assert code == 2
+        assert "no index database" in capsys.readouterr().err
+
+    def test_doctor_nonzero_on_issues(
+        self, project, artifact_file, tmp_path, capsys
+    ):
+        db = str(tmp_path / "sick.db")
+        (project / "pkg" / "broken.py").write_text("def broken(:\n")
+        assert main(
+            ["index", str(project), "--artifacts", str(artifact_file),
+             "--db", db]
+        ) == 0
+        capsys.readouterr()
+        assert main(["index-doctor", db]) == 1
+        doctor = json.loads(capsys.readouterr().out)
+        assert doctor["quarantined"] == ["pkg/broken.py"]
+
+    def test_analyze_directory_respects_gitignore(
+        self, project, artifact_file, capsys
+    ):
+        (project / ".gitignore").write_text("skipme/\n")
+        (project / "skipme").mkdir()
+        (project / "skipme" / "x.py").write_text("def broken(:\n")
+        code = main(
+            ["analyze", str(project), "--artifacts", str(artifact_file)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # the broken file inside an ignored directory was never visited
+        assert "6 file(s)" in out
