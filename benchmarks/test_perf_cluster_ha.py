@@ -1,0 +1,192 @@
+"""Performance/availability benchmark: the HA serving cluster.
+
+Spins up a real 3-replica cluster (each replica a subprocess engine)
+and drives the :mod:`repro.evaluation.loadtest` harness through the
+coordinator three times:
+
+1. **Steady state** — the latency distribution (p50/p95/p99) and
+   throughput of hash-routed serving with every replica healthy.
+2. **Replica kill** — one replica is SIGKILLed while load is running;
+   the availability contract is *zero failed requests* (clients do not
+   retry — surviving the crash is the coordinator's job) and
+   byte-identical reports throughout.
+3. **Rolling rollout** — a new artifact ships replica-by-replica under
+   the same load; again zero failures and byte-identical responses.
+
+Results land in the ``"cluster"`` record of ``BENCH_serving.json``,
+next to (not instead of) the serial/parallel detection record.  The
+zero-loss and byte-identity assertions are hard invariants — never
+advisory; latency numbers are measurements, not floors, so a slow
+shared runner can't flake this benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import shutil
+import time
+
+import pytest
+
+from conftest import bench_machine, print_table
+
+from repro.core.namer import Namer, NamerConfig
+from repro.core.persistence import save_namer
+from repro.corpus.generator import GeneratorConfig, generate_python_corpus
+from repro.evaluation.loadtest import reference_digests, run_load
+from repro.mining.miner import MiningConfig
+from repro.service.client import HttpClient
+from repro.service.cluster_http import serve_cluster
+from repro.service.engine import AnalysisEngine
+
+BENCH_OUT = pathlib.Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+MINING = MiningConfig(min_pattern_support=15, min_path_frequency=6)
+REPLICAS = 3
+CLIENTS = 8
+STEADY_REQUESTS = 150
+CHAOS_REQUESTS = 120
+
+
+@pytest.fixture(scope="module")
+def artifact_and_payloads(tmp_path_factory):
+    corpus = generate_python_corpus(
+        GeneratorConfig(num_repos=30, issue_rate=0.12, seed=7)
+    )
+    namer = Namer(NamerConfig(mining=MINING))
+    namer.mine(corpus)
+    violations = namer.all_violations()[:80]
+    namer.train(violations, [i % 2 for i in range(len(violations))])
+    artifact = tmp_path_factory.mktemp("cluster-bench") / "namer.json"
+    save_namer(namer, artifact)
+    payloads = []
+    for repo, source in corpus.files():
+        payloads.append({"source": source.source, "path": source.path})
+        if len(payloads) == 6:
+            break
+    return artifact, payloads
+
+
+@pytest.fixture(scope="module")
+def cluster(artifact_and_payloads):
+    artifact, _ = artifact_and_payloads
+    server = serve_cluster(
+        str(artifact), port=0, replicas=REPLICAS, replica_workers=2
+    )
+    yield server
+    server.stop()
+
+
+@pytest.fixture(scope="module")
+def reference(artifact_and_payloads):
+    artifact, payloads = artifact_and_payloads
+    engine = AnalysisEngine(
+        artifact_path=str(artifact), workers=1, cache_entries=8
+    )
+    try:
+        return reference_digests(engine, payloads)
+    finally:
+        engine.shutdown(drain=False)
+
+
+def _assert_lossless_and_identical(result, reference, label: str) -> None:
+    assert result.failures == [], (
+        f"{label}: {len(result.failures)} failed request(s): "
+        f"{[s.error for s in result.failures][:5]}"
+    )
+    for index, digests in result.digests_by_payload().items():
+        assert digests == {reference[index]}, (
+            f"{label}: payload {index} served "
+            f"{len(digests)} distinct response(s)"
+        )
+
+
+def test_cluster_ha_latency_and_availability(
+    cluster, artifact_and_payloads, reference, tmp_path_factory
+):
+    artifact, payloads = artifact_and_payloads
+    coordinator = cluster.coordinator
+
+    # 1. steady state: the headline latency distribution
+    steady = run_load(
+        cluster.url, payloads, clients=CLIENTS, total_requests=STEADY_REQUESTS
+    )
+    _assert_lossless_and_identical(steady, reference, "steady state")
+    assert len(steady.replicas_hit()) >= 2, "routing never spread the load"
+
+    # 2. kill one replica mid-load: zero loss, identical bytes
+    victim = coordinator.handles[0]
+    killed = run_load(
+        cluster.url,
+        payloads,
+        clients=CLIENTS,
+        total_requests=CHAOS_REQUESTS,
+        mid_run=(0.3, victim.kill),
+    )
+    _assert_lossless_and_identical(killed, reference, "replica kill")
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline and not victim.routable:
+        time.sleep(0.2)
+    assert victim.routable, "killed replica was never restarted"
+    assert victim.restarts >= 1
+
+    # 3. rolling rollout under load: zero loss, identical bytes
+    new_artifact = tmp_path_factory.mktemp("cluster-bench-v2") / "namer-v2.json"
+    shutil.copyfile(artifact, new_artifact)
+    rollout_outcome: dict = {}
+
+    def start_rollout():
+        rollout_outcome.update(
+            HttpClient(cluster.url, timeout=600.0).request(
+                "POST", "/reload", {"artifacts": str(new_artifact)}
+            )
+        )
+
+    rolled = run_load(
+        cluster.url,
+        payloads,
+        clients=CLIENTS,
+        total_requests=CHAOS_REQUESTS,
+        mid_run=(0.2, start_rollout),
+    )
+    _assert_lossless_and_identical(rolled, reference, "rolling rollout")
+    assert rollout_outcome.get("status") == "complete", rollout_outcome
+
+    status = HttpClient(cluster.url).request("GET", "/cluster/status")
+    record = {
+        "replicas": REPLICAS,
+        **bench_machine(),
+        "steady": steady.to_json(),
+        "replica_kill": {
+            **killed.to_json(),
+            "restarts": status["restarts"],
+        },
+        "rolling_rollout": {
+            **rolled.to_json(),
+            "rollouts_completed": status["counters"]["rollouts_completed"],
+        },
+        "failovers": status["counters"]["failovers"],
+        "ejections": status["ejections"],
+    }
+
+    # Merge into BENCH_serving.json without clobbering the detection
+    # record (and vice versa — see test_perf_detect_parallel.py).
+    existing: dict = {}
+    if BENCH_OUT.exists():
+        try:
+            existing = json.loads(BENCH_OUT.read_text())
+        except ValueError:
+            existing = {}
+    existing["cluster"] = record
+    BENCH_OUT.write_text(json.dumps(existing, indent=2) + "\n")
+
+    lat = steady.to_json()["latency_ms"]
+    print_table(
+        f"Performance — HA cluster ({REPLICAS} replicas, {CLIENTS} clients)",
+        f"steady:  {steady}\n"
+        f"  p50 {lat['p50']:.1f} ms / p95 {lat['p95']:.1f} ms / "
+        f"p99 {lat['p99']:.1f} ms at {steady.throughput_rps:.0f} req/s\n"
+        f"kill:    {killed} (restarts: {status['restarts']})\n"
+        f"rollout: {rolled} "
+        f"(completed: {status['counters']['rollouts_completed']})",
+    )

@@ -10,8 +10,13 @@ Commands:
   ``detect_many`` pass over every prepared file (``--workers N``).
 * ``eval``  — run the Table 2-style precision evaluation end to end.
 * ``serve`` — run the long-lived analysis daemon (HTTP JSON API);
-  ``--index`` attaches a repository index for ``/index/*`` endpoints.
+  ``--index`` attaches a repository index for ``/index/*`` endpoints;
+  ``--replicas N`` runs an HA cluster of engine subprocesses behind a
+  hash-routing coordinator.
 * ``analyze-remote`` — send files to a running daemon for analysis.
+* ``cluster-status`` — per-replica state of a running cluster.
+* ``rollout`` — roll a new artifact across a cluster, one replica at a
+  time, with automatic rollback on failure.
 * ``index`` — build (or refresh) the persistent repository index.
 * ``watch`` — poll a repository, re-analyzing only what changed.
 * ``index-stats`` / ``index-doctor`` / ``index-export`` — inspect,
@@ -36,6 +41,7 @@ daemon) exit nonzero with a one-line message on stderr — no tracebacks.
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 
@@ -424,10 +430,73 @@ def cmd_eval(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_sigterm_drain() -> None:
+    """Make SIGTERM behave like ctrl-c: both unwind through the same
+    drain-then-exit path, so an orchestrator stopping the daemon never
+    drops in-flight requests."""
+    import signal
+
+    def raise_interrupt(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, raise_interrupt)
+
+
+def _serve_cluster(args: argparse.Namespace) -> int:
+    """The ``serve --replicas N`` path: spawn N replica subprocesses and
+    front them with the hash-routing coordinator."""
+    from repro.service.cluster import ClusterError
+    from repro.service.cluster_http import serve_cluster
+
+    _install_sigterm_drain()
+    try:
+        server = serve_cluster(
+            args.artifacts,
+            host=args.host,
+            port=args.port,
+            replicas=args.replicas,
+            replica_workers=args.workers,
+            detect_workers=args.detect_workers,
+            queue_capacity=args.queue_capacity,
+            cache_entries=args.cache_size,
+            strict_artifacts=args.strict_artifacts,
+            fault_plan_path=args.fault_plan,
+            quiet=False,
+            start=False,
+        )
+    except ClusterError as exc:
+        return _fail(str(exc), code=2)
+    except OSError as exc:
+        return _fail(f"cannot bind {args.host}:{args.port}: {exc}")
+    coordinator = server.coordinator
+    print(
+        f"serving {args.artifacts} on {server.url} "
+        f"({args.replicas} replicas, {args.workers} workers each, "
+        f"runtime dir {coordinator.runtime_dir})"
+    )
+    if args.index:
+        print(
+            "warning: --index is per-engine and ignored in cluster mode",
+            file=sys.stderr,
+        )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\ndraining cluster (replicas finish in-flight work) ...", file=sys.stderr)
+    finally:
+        server.stop()
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.engine import AnalysisEngine
     from repro.service.server import AnalysisServer
 
+    if not _arm_fault_plan(args.fault_plan):
+        return 2
+    if args.replicas > 1:
+        return _serve_cluster(args)
+    _install_sigterm_drain()
     try:
         engine = AnalysisEngine(
             artifact_path=args.artifacts,
@@ -468,6 +537,45 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("\ndraining in-flight requests ...", file=sys.stderr)
     finally:
         server.stop(drain=True)
+    return 0
+
+
+def cmd_cluster_status(args: argparse.Namespace) -> int:
+    """Print a running cluster's per-replica state as JSON."""
+    import json
+
+    from repro.resilience.retry import CircuitOpenError
+    from repro.service.client import HttpClient, ServiceError
+
+    client = HttpClient(args.url, timeout=args.timeout)
+    try:
+        status = client.request("GET", "/cluster/status")
+    except (ServiceError, CircuitOpenError, OSError) as exc:
+        return _fail(f"cannot reach cluster at {args.url}: {exc}")
+    print(json.dumps(status, indent=2))
+    return 0
+
+
+def cmd_rollout(args: argparse.Namespace) -> int:
+    """Roll a new artifact across a running cluster, one replica at a
+    time; nonzero exit unless every replica came up on the new artifact."""
+    import json
+
+    from repro.resilience.retry import CircuitOpenError
+    from repro.service.client import HttpClient, ServiceError
+
+    client = HttpClient(args.url, timeout=args.timeout)
+    try:
+        record = client.request("POST", "/reload", {"artifacts": args.artifacts})
+    except (ServiceError, CircuitOpenError, OSError) as exc:
+        return _fail(f"rollout failed: {exc}")
+    print(json.dumps(record, indent=2))
+    if record.get("status") != "complete":
+        return _fail(
+            f"rollout {record.get('status', 'failed')}; cluster stays on "
+            f"{record.get('prior')}"
+        )
+    print(f"rollout complete: every replica now serves {args.artifacts}")
     return 0
 
 
@@ -700,7 +808,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach a repository index database (built with "
         "'repro index'); enables the /index/* endpoints",
     )
+    serve.add_argument(
+        "--replicas", type=int, default=1, metavar="N",
+        help="run N engine replicas behind a hash-routing coordinator "
+        "(health-checked, crash-restarted, rolling /reload); 1 = the "
+        "classic single-process daemon",
+    )
+    serve.add_argument(
+        "--fault-plan", default=None, metavar="PLAN_JSON",
+        help="arm a fault-injection plan (testing/chaos runs); in "
+        "cluster mode the plan is also passed to every replica",
+    )
     serve.set_defaults(fn=cmd_serve)
+
+    cluster_status = sub.add_parser(
+        "cluster-status", help="per-replica state of a running cluster"
+    )
+    cluster_status.add_argument("--url", default="http://127.0.0.1:8750")
+    cluster_status.add_argument("--timeout", type=float, default=10.0)
+    cluster_status.set_defaults(fn=cmd_cluster_status)
+
+    rollout = sub.add_parser(
+        "rollout", help="roll a new artifact across a running cluster"
+    )
+    rollout.add_argument("artifacts", help="artifact file to roll out")
+    rollout.add_argument("--url", default="http://127.0.0.1:8750")
+    rollout.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="whole-rollout deadline (drain + reload x N replicas)",
+    )
+    rollout.set_defaults(fn=cmd_rollout)
 
     remote = sub.add_parser(
         "analyze-remote", help="analyze files via a running daemon"
@@ -750,7 +887,15 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that is how shell
+        # pipelines end, not an error.  Detach stdout so the interpreter
+        # shutdown does not print a second BrokenPipeError.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

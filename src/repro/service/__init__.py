@@ -17,7 +17,21 @@ storage and concurrency substrates; :mod:`~repro.service.server` and
 
 from repro.service.cache import CacheStats, ResultCache, content_key
 from repro.service.client import HttpClient, InProcessClient, ServiceError, load_paths
-from repro.service.engine import AnalysisEngine, AnalysisRequest, AnalysisResult
+from repro.service.cluster import (
+    ClusterCoordinator,
+    ClusterError,
+    ClusterUnavailable,
+    ReplicaHandle,
+    RolloutInProgress,
+    rendezvous_order,
+)
+from repro.service.cluster_http import ClusterServer, serve_cluster
+from repro.service.engine import (
+    AnalysisEngine,
+    AnalysisRequest,
+    AnalysisResult,
+    EngineNotReady,
+)
 from repro.service.metrics import LatencyWindow, ServiceMetrics
 from repro.service.queue import (
     QueueFullError,
@@ -34,18 +48,27 @@ __all__ = [
     "AnalysisResult",
     "AnalysisServer",
     "CacheStats",
+    "ClusterCoordinator",
+    "ClusterError",
+    "ClusterServer",
+    "ClusterUnavailable",
+    "EngineNotReady",
     "HttpClient",
     "InProcessClient",
     "LatencyWindow",
     "QueueFullError",
+    "ReplicaHandle",
     "RequestQueue",
     "RequestTimeout",
     "ResultCache",
+    "RolloutInProgress",
     "ServiceClosed",
     "ServiceError",
     "ServiceMetrics",
     "Ticket",
     "content_key",
     "load_paths",
+    "rendezvous_order",
     "serve",
+    "serve_cluster",
 ]

@@ -14,6 +14,7 @@ against this interface, so they run identically in either mode.
 
 from __future__ import annotations
 
+import http.client
 import json
 import sys
 import time
@@ -182,11 +183,26 @@ class HttpClient:
             raise ServiceError(0, f"cannot reach {self.base_url}: {exc.reason}") from exc
         except TimeoutError as exc:
             raise ServiceError(0, f"timed out waiting for {self.base_url}") from exc
+        except (OSError, http.client.HTTPException) as exc:
+            # urllib wraps connection-setup failures in URLError, but a
+            # peer dying *mid-response* surfaces raw (ConnectionReset,
+            # RemoteDisconnected).  Both are the same transient story.
+            raise ServiceError(
+                0, f"connection to {self.base_url} failed: {exc!r}"
+            ) from exc
 
     # ------------------------------------------------------------------
 
-    def health(self) -> dict:
-        return self._call("GET", "/health")
+    def request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        """One JSON call through the retry/breaker machinery — generic
+        endpoint access for the cluster coordinator and ops tooling."""
+        return self._call(method, path, payload)
+
+    def health(self, ready: bool = False) -> dict:
+        """``ready=True`` asks the readiness probe (``/health?ready=1``),
+        which answers 503 — a :class:`ServiceError` here — while the
+        server is still warming its artifacts."""
+        return self._call("GET", "/health?ready=1" if ready else "/health")
 
     def metrics(self) -> dict:
         return self._call("GET", "/metrics")
@@ -214,8 +230,11 @@ class InProcessClient:
         self.engine = engine
         self.last_headers: dict[str, str] = {}
 
-    def health(self) -> dict:
-        return self.engine.health()
+    def health(self, ready: bool = False) -> dict:
+        body = self.engine.health()
+        if ready and not body.get("ready"):
+            raise ServiceError(503, "engine is still warming")
+        return body
 
     def metrics(self) -> dict:
         return self.engine.metrics_json()

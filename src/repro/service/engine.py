@@ -37,8 +37,17 @@ __all__ = [
     "AnalysisRequest",
     "AnalysisResult",
     "AnalysisEngine",
+    "EngineNotReady",
     "IndexNotAttached",
 ]
+
+
+class EngineNotReady(RuntimeError):
+    """Analysis was requested before the deferred artifact load finished
+    (a 503-with-retry upstream: the replica is alive but still warming)."""
+
+    def __init__(self) -> None:
+        super().__init__("engine is still loading its artifacts; retry shortly")
 
 
 class IndexNotAttached(RuntimeError):
@@ -121,19 +130,16 @@ class AnalysisEngine:
         degraded_ok: bool = True,
         cache_dir: str | None = None,
         index_path: str | None = None,
+        defer_load: bool = False,
     ) -> None:
-        if namer is None:
-            if artifact_path is None:
-                raise ValueError("AnalysisEngine needs a namer or an artifact_path")
-            namer = load_namer(artifact_path, degraded_ok=degraded_ok)
-        self._namer = namer
+        if namer is None and artifact_path is None:
+            raise ValueError("AnalysisEngine needs a namer or an artifact_path")
         self.degraded_ok = degraded_ok
         self.artifact_path = artifact_path
         self.request_timeout = request_timeout
         #: process-pool width for batch detection; 1 keeps detection
         #: inline on the queue threads (identical output either way)
         self.detect_workers = max(1, int(detect_workers))
-        self._detect_executor = self._new_detect_executor(namer)
         self.cache = ResultCache(cache_entries)
         #: persistent result cache surviving restarts, keyed by
         #: (artifact fingerprint, request content) — a restarted or
@@ -146,18 +152,61 @@ class AnalysisEngine:
             from repro.index import RepoIndex
 
             self.index = RepoIndex(index_path)
+        self.queue = RequestQueue(capacity=queue_capacity, workers=workers)
+        self.metrics = ServiceMetrics()
+        self._reload_lock = threading.Lock()
+        #: bumped on reload; in-flight results from the old artifact must
+        #: not repopulate the freshly-cleared cache
+        self._generation = 0
+        #: set once artifacts are loaded and the detect pool is warmed;
+        #: readiness (``/health?ready=1``) gates on it so a cluster
+        #: coordinator never routes to a replica that is still warming
+        self._ready = threading.Event()
+        self._namer: Namer | None = None
+        self._detect_executor = None
+        self._artifact_fp: str | None = None
+        if namer is None and defer_load:
+            # Replica warm-up path: the HTTP listener binds (liveness)
+            # before the expensive load; ``complete_load`` flips ready.
+            return
+        if namer is None:
+            namer = load_namer(artifact_path, degraded_ok=degraded_ok)
+        self._install_namer(namer)
+
+    def _install_namer(self, namer: Namer) -> None:
+        """Make ``namer`` the serving artifact: warm the detect pool,
+        stamp the fingerprint, publish mining phases, flip readiness."""
+        self._namer = namer
+        self._detect_executor = self._new_detect_executor(namer)
         self._artifact_fp = (
             self._artifact_fingerprint(namer)
             if (self.content_cache or self.index)
             else None
         )
-        self.queue = RequestQueue(capacity=queue_capacity, workers=workers)
-        self.metrics = ServiceMetrics()
         self.metrics.set_mining_phases(namer.summary.phase_timings)
-        self._reload_lock = threading.Lock()
-        #: bumped on reload; in-flight results from the old artifact must
-        #: not repopulate the freshly-cleared cache
-        self._generation = 0
+        self._ready.set()
+
+    @property
+    def ready(self) -> bool:
+        """Whether artifacts are loaded and the detect pool is warm."""
+        return self._ready.is_set()
+
+    def complete_load(self) -> None:
+        """Finish a deferred artifact load (``defer_load=True``).
+
+        Raises :class:`PersistenceError` exactly like eager construction
+        would; the engine stays unready (liveness without readiness)."""
+        if self.ready:
+            return
+        fault_check("engine.load", key=self.artifact_path or "")
+        namer = load_namer(self.artifact_path, degraded_ok=self.degraded_ok)
+        self._install_namer(namer)
+
+    def _require_ready(self) -> Namer:
+        namer = self._namer
+        if namer is None:
+            raise EngineNotReady()
+        return namer
 
     # ------------------------------------------------------------------
     # Analysis
@@ -171,6 +220,7 @@ class AnalysisEngine:
         Raises :class:`QueueFullError` under backpressure and
         :class:`RequestTimeout` past the deadline; both are counted.
         """
+        self._require_ready()
         started = time.perf_counter()
         try:
             ticket = self.queue.submit(lambda: self._analyze_uncounted(request))
@@ -191,9 +241,9 @@ class AnalysisEngine:
         """Analyze a batch: cache hits answered inline, misses prepared
         in parallel on the worker pool, then classified in one shared
         ``detect_many`` pass."""
+        namer = self._require_ready()
         started = time.perf_counter()
         generation = self._generation
-        namer = self._namer
         results: list[AnalysisResult | None] = [None] * len(requests)
         misses: list[int] = []
         for i, request in enumerate(requests):
@@ -447,6 +497,7 @@ class AnalysisEngine:
         """
         if self.index is None:
             raise IndexNotAttached()
+        self._require_ready()
         from repro.index.watcher import RepoIndexer
 
         root = self.index.get_meta("root")
@@ -492,7 +543,8 @@ class AnalysisEngine:
     def degraded(self) -> bool:
         """True when serving pattern-only results because the classifier
         half of the artifact was missing or corrupt."""
-        return bool(self._namer.degraded_reasons)
+        namer = self._namer
+        return bool(namer is not None and namer.degraded_reasons)
 
     def reload(self, artifact_path: str) -> dict:
         """Hot-swap the loaded artifact (``POST /reload``).
@@ -524,6 +576,7 @@ class AnalysisEngine:
             dropped = self.cache.clear()
             old_executor = self._detect_executor
             self._detect_executor = new_executor
+            self._ready.set()
         if old_executor is not None:
             old_executor.close()
         self.metrics.record_reload()
@@ -548,14 +601,32 @@ class AnalysisEngine:
         return body
 
     def health(self) -> dict:
+        """Liveness document: always answerable, even mid-warm-up.
+
+        ``status`` distinguishes a replica that is alive but still
+        loading (``warming``) from one serving pattern-only results
+        (``degraded``) and a fully healthy one (``ok``); ``ready`` is
+        the bit the readiness probe (``/health?ready=1``) gates on.
+        """
         namer = self._namer
+        if namer is None:
+            status = "warming"
+        else:
+            status = "degraded" if self.degraded else "ok"
         return {
-            "status": "degraded" if self.degraded else "ok",
+            "status": status,
+            "ready": self.ready,
             "artifacts": self.artifact_path,
-            "patterns": len(namer.matcher.patterns) if namer.matcher else 0,
-            "classifier": namer.classifier is not None,
+            "patterns": (
+                len(namer.matcher.patterns)
+                if namer is not None and namer.matcher
+                else 0
+            ),
+            "classifier": namer is not None and namer.classifier is not None,
             "degraded": self.degraded,
-            "degraded_reasons": list(namer.degraded_reasons),
+            "degraded_reasons": (
+                list(namer.degraded_reasons) if namer is not None else []
+            ),
             "workers": self.queue.workers,
             "detect_workers": self.detect_workers,
             "pending": self.queue.pending,
@@ -580,7 +651,11 @@ class AnalysisEngine:
             if self.content_cache is not None
             else {}
         )
-        body["mining_cache"] = dict(self._namer.summary.cache_stats)
+        namer = self._namer
+        body["ready"] = self.ready
+        body["mining_cache"] = (
+            dict(namer.summary.cache_stats) if namer is not None else {}
+        )
         # Index-backed serving counters (hit/miss/stale/refresh), plus
         # the store's own row counts when an index is attached.
         if self.index is not None:
@@ -588,7 +663,9 @@ class AnalysisEngine:
             body["index"]["rows"] = len(self.index)
         # Accumulated detection-side phase rows (match / featurize /
         # classify) across every request served by the loaded namer.
-        body["detection_phases"] = self._namer.detect_profiler.to_json()
+        body["detection_phases"] = (
+            namer.detect_profiler.to_json() if namer is not None else []
+        )
         return body
 
     def shutdown(self, drain: bool = True, timeout: float | None = 30.0) -> None:

@@ -48,6 +48,7 @@ class LatencyWindow:
             "mean_ms": round(mean * 1000, 3),
             "p50_ms": round(self.percentile(50) * 1000, 3),
             "p90_ms": round(self.percentile(90) * 1000, 3),
+            "p95_ms": round(self.percentile(95) * 1000, 3),
             "p99_ms": round(self.percentile(99) * 1000, 3),
         }
 

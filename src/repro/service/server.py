@@ -36,6 +36,7 @@ from repro.service.engine import (
     AnalysisEngine,
     AnalysisRequest,
     AnalysisResult,
+    EngineNotReady,
     IndexNotAttached,
 )
 from repro.service.queue import QueueFullError, RequestTimeout, ServiceClosed
@@ -89,6 +90,10 @@ class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     engine: AnalysisEngine  # injected by AnalysisServer
     quiet = True
+    # Bound how long an idle keep-alive connection can pin a handler
+    # thread; graceful shutdown joins these threads, so an abandoned
+    # connection must age out rather than stall the drain.
+    timeout = 60
 
     # ------------------------------------------------------------------
 
@@ -97,7 +102,7 @@ class _Handler(BaseHTTPRequestHandler):
         parsed = urllib.parse.urlsplit(self.path)
         try:
             if parsed.path == "/health":
-                self._reply(200, self.engine.health())
+                self._handle_health(parsed.query)
             elif parsed.path == "/metrics":
                 self._reply(200, self.engine.metrics_json())
             elif parsed.path == "/index/summary":
@@ -132,6 +137,8 @@ class _Handler(BaseHTTPRequestHandler):
             # PersistenceError (bad reload artifact) and the index's
             # "no recorded root" both trace back to client input.
             self._reply(400, {"error": str(exc)})
+        except EngineNotReady as exc:
+            self._reply(503, {"error": str(exc), "retry": True})
         except QueueFullError as exc:
             self._reply(503, {"error": str(exc), "retry": True})
         except RequestTimeout as exc:
@@ -141,6 +148,19 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as exc:  # last-resort: never drop the connection
             self.engine.metrics.record_error()
             self._reply(500, {"error": f"internal error: {exc!r}"})
+
+    def _handle_health(self, query: str) -> None:
+        """Liveness by default; ``?ready=1`` turns the same document
+        into a readiness probe that answers 503 until the artifacts are
+        loaded and the detect pool is warm — so a cluster coordinator
+        never routes to a replica that is still warming."""
+        body = self.engine.health()
+        params = urllib.parse.parse_qs(query)
+        ready_probe = params.get("ready", ["0"])[0] not in ("", "0")
+        if ready_probe and not body.get("ready"):
+            self._reply(503, body)
+        else:
+            self._reply(200, body)
 
     def _handle_analyze(self, body: dict) -> None:
         requests, batch = _parse_requests(body)
@@ -217,6 +237,12 @@ class _Listener(ThreadingHTTPServer):
     # request bursts; overload policy belongs to the bounded request
     # queue (503), not the TCP accept queue.
     request_queue_size = 128
+    # Graceful shutdown: handler threads must be joinable so
+    # ``server_close`` waits for in-flight responses to be written
+    # (ThreadingMixIn only tracks non-daemon threads).  SIGTERM/SIGINT
+    # therefore drain instead of dropping whatever was being served.
+    daemon_threads = False
+    block_on_close = True
 
 
 class AnalysisServer:
