@@ -1,0 +1,169 @@
+"""Performance benchmark: the compiled matching automaton.
+
+Mines the serving-benchmark corpus once, then times the serial
+``match`` phase of ``Namer.detect_many`` twice over the same prepared
+batch: once through the legacy per-candidate ``check_pattern`` path
+(``PatternMatcher(use_automaton=False)``) and once through the shared
+:class:`~repro.mining.automaton.MatchAutomaton`.  Report JSON must be
+byte-identical between the two arms — that assertion is the hard
+invariant and is never relaxed.  The prune-side arm repeats the
+comparison on the miner's ``_count_matches_with`` counters.
+
+The speedup floor follows the usual protocol: the automaton must beat
+the legacy matcher by ``REPRO_BENCH_MIN_AUTOMATON_SPEEDUP`` (default
+2.0x — the legacy arm also benefits from the key-memoization work, so
+this is a conservative floor for the 3x paper target measured against
+the pre-change tree) unless ``REPRO_BENCH_ENFORCE_SPEEDUP=0`` demotes
+a miss to an advisory record.  Both arms are single-process, so there
+is no starved-runner case.  Measurements land under the ``"automaton"``
+key of ``BENCH_serving.json`` (detect side) and ``BENCH_mining.json``
+(prune side), preserving whatever else those files already hold.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from conftest import bench_machine, print_table
+
+from repro.core.namer import Namer, NamerConfig
+from repro.corpus.generator import GeneratorConfig, generate_python_corpus
+from repro.mining.matcher import PatternMatcher
+from repro.mining.miner import MiningConfig, _count_matches_with
+from repro.parallel.profiler import PhaseProfiler
+
+BENCH_SERVING = pathlib.Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+BENCH_MINING = pathlib.Path(__file__).resolve().parents[1] / "BENCH_mining.json"
+MINING = MiningConfig(min_pattern_support=20, min_path_frequency=8)
+ROUNDS = 2  # best-of: the first round pays cache warm-up
+
+
+@pytest.fixture(scope="module")
+def detection_batch():
+    corpus = generate_python_corpus(
+        GeneratorConfig(num_repos=60, issue_rate=0.12, seed=7)
+    )
+    namer = Namer(NamerConfig(mining=MINING))
+    namer.mine(corpus)
+    violations = namer.all_violations()[:80]
+    namer.train(violations, [i % 2 for i in range(len(violations))])
+    return namer, list(namer.prepared)
+
+
+def _merge_record(path: pathlib.Path, record: dict) -> None:
+    """Set the ``"automaton"`` key, keeping the file's other records."""
+    prior = {}
+    if path.exists():
+        try:
+            prior = json.loads(path.read_text())
+        except ValueError:
+            prior = {}
+    prior["automaton"] = record
+    path.write_text(json.dumps(prior, indent=2) + "\n")
+
+
+def _match_seconds(namer, prepared) -> tuple[str, float]:
+    """Report blob plus best-of-ROUNDS serial match-phase seconds."""
+    blob = ""
+    best = float("inf")
+    for _ in range(ROUNDS):
+        profiler = PhaseProfiler()
+        groups = namer.detect_many(prepared, profiler=profiler)
+        blob = json.dumps(
+            [[r.to_json() for r in g] for g in groups], sort_keys=True
+        )
+        match = [r for r in profiler.to_json() if r["phase"] == "match"]
+        assert len(match) == 1
+        best = min(best, match[0]["seconds"])
+    return blob, best
+
+
+def test_automaton_match_speedup(detection_batch):
+    namer, prepared = detection_batch
+    auto_matcher = namer.matcher
+    assert auto_matcher._automaton is not None
+    legacy_matcher = PatternMatcher(
+        auto_matcher.patterns,
+        prefix_counts=auto_matcher._corpus_counts,
+        use_automaton=False,
+    )
+
+    auto_blob, auto_seconds = _match_seconds(namer, prepared)
+    try:
+        namer.matcher = legacy_matcher
+        legacy_blob, legacy_seconds = _match_seconds(namer, prepared)
+    finally:
+        namer.matcher = auto_matcher
+
+    assert auto_blob == legacy_blob, (
+        "automaton reports must be byte-identical to the legacy matcher"
+    )
+
+    # Prune-side arm: identical counters, one timed pass per backend.
+    path_lists = [ps.paths for pf in prepared for ps in pf.statements]
+    started = time.perf_counter()
+    auto_counts = _count_matches_with(auto_matcher, path_lists)
+    auto_prune = time.perf_counter() - started
+    started = time.perf_counter()
+    legacy_counts = _count_matches_with(legacy_matcher, path_lists)
+    legacy_prune = time.perf_counter() - started
+    assert auto_counts == legacy_counts, (
+        "prune counts must be backend-independent"
+    )
+
+    speedup = legacy_seconds / max(auto_seconds, 1e-9)
+    prune_speedup = legacy_prune / max(auto_prune, 1e-9)
+    min_speedup = float(
+        os.environ.get("REPRO_BENCH_MIN_AUTOMATON_SPEEDUP", "2.0")
+    )
+    enforce = os.environ.get("REPRO_BENCH_ENFORCE_SPEEDUP", "1") != "0"
+    record = {
+        **bench_machine(),
+        "files": len(prepared),
+        "patterns": len(auto_matcher.patterns),
+        "legacy_match_seconds": round(legacy_seconds, 3),
+        "automaton_match_seconds": round(auto_seconds, 3),
+        "speedup": round(speedup, 2),
+    }
+    if speedup < min_speedup and not enforce:
+        record["advisory"] = True
+        record["advisory_reason"] = (
+            f"missed floor: {speedup:.2f}x < {min_speedup}x "
+            f"(enforcement disabled)"
+        )
+    _merge_record(BENCH_SERVING, record)
+    _merge_record(
+        BENCH_MINING,
+        {
+            **bench_machine(),
+            "statements": len(path_lists),
+            "patterns": len(auto_matcher.patterns),
+            "legacy_prune_seconds": round(legacy_prune, 3),
+            "automaton_prune_seconds": round(auto_prune, 3),
+            "speedup": round(prune_speedup, 2),
+        },
+    )
+
+    print_table(
+        "Performance — compiled matching automaton (serial match phase)",
+        f"files: {len(prepared)}, patterns: {len(auto_matcher.patterns)}\n"
+        f"legacy match: {legacy_seconds:.2f} s\n"
+        f"automaton match: {auto_seconds:.2f} s\n"
+        f"speedup: {speedup:.2f}x\n"
+        f"prune: {legacy_prune:.2f} s -> {auto_prune:.2f} s "
+        f"({prune_speedup:.2f}x)",
+    )
+
+    if speedup < min_speedup:
+        message = (
+            f"expected >= {min_speedup}x automaton match speedup, "
+            f"got {speedup:.2f}x"
+        )
+        if enforce:
+            pytest.fail(message)
+        print(f"[advisory] {record['advisory_reason']}")

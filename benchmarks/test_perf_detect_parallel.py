@@ -103,15 +103,17 @@ def test_parallel_detection_throughput(detection_batch):
             f"missed floor: {speedup:.2f}x < {min_speedup}x "
             f"(enforcement disabled)"
         )
-    # Preserve the HA cluster record (test_perf_cluster_ha.py) when one
-    # is already in the file — the two benchmarks share BENCH_serving.json.
+    # Preserve the HA cluster record (test_perf_cluster_ha.py) and the
+    # automaton record (test_perf_automaton.py) when already in the
+    # file — the three benchmarks share BENCH_serving.json.
     if BENCH_OUT.exists():
         try:
             prior = json.loads(BENCH_OUT.read_text())
         except ValueError:
             prior = {}
-        if "cluster" in prior:
-            record["cluster"] = prior["cluster"]
+        for key in ("cluster", "automaton"):
+            if key in prior:
+                record[key] = prior[key]
     BENCH_OUT.write_text(json.dumps(record, indent=2) + "\n")
 
     headline = (

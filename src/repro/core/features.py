@@ -34,7 +34,12 @@ from repro.core.stats_index import StatsIndex
 from repro.mining.confusing_pairs import ConfusingPairStore
 from repro.naming.distance import edit_distance
 
-__all__ = ["FEATURE_NAMES", "NUM_FEATURES", "extract_features"]
+__all__ = [
+    "FEATURE_NAMES",
+    "NUM_FEATURES",
+    "extract_features",
+    "extract_features_batch",
+]
 
 FEATURE_NAMES: tuple[str, ...] = (
     "num_name_paths",
@@ -75,6 +80,46 @@ def extract_features(
     classifier was trained on.  Dataset-level features always come from
     the global ``stats``.
     """
+    return np.array(
+        _feature_row(violation, paths, stats, confusing, local_stats),
+        dtype=np.float64,
+    )
+
+
+def extract_features_batch(
+    violations: list[Violation],
+    paths_list: list[list[NamePath]],
+    stats: StatsIndex,
+    confusing: ConfusingPairStore,
+    local_stats: StatsIndex | None = None,
+) -> list[np.ndarray]:
+    """Feature vectors for a batch of violations, assembled as one
+    ``(n, 17)`` float64 matrix and returned as its row views.
+
+    One ``np.array`` call over the nested value rows replaces ``n``
+    separate array constructions; the float64 conversion of each value
+    is identical either way, so every row is bit-identical to what
+    :func:`extract_features` would return for it.
+    """
+    if not violations:
+        return []
+    matrix = np.array(
+        [
+            _feature_row(v, paths, stats, confusing, local_stats)
+            for v, paths in zip(violations, paths_list)
+        ],
+        dtype=np.float64,
+    )
+    return list(matrix)
+
+
+def _feature_row(
+    violation: Violation,
+    paths: list[NamePath],
+    stats: StatsIndex,
+    confusing: ConfusingPairStore,
+    local_stats: StatsIndex | None,
+) -> list:
     stmt = violation.statement
     pattern = violation.pattern
     local = local_stats if local_stats is not None else stats
@@ -84,26 +129,22 @@ def extract_features(
     condition_size = len(pattern.condition)
     denominator = max(1, num_paths - deduction_size)
 
-    values = np.array(
-        [
-            num_paths,
-            local.identical_statements(stmt, "file"),
-            local.identical_statements(stmt, "repo"),
-            local.satisfaction_rate(pattern, stmt, "file"),
-            local.satisfaction_rate(pattern, stmt, "repo"),
-            stats.satisfaction_rate(pattern, stmt, "dataset"),
-            local.violation_count(pattern, stmt, "file"),
-            local.violation_count(pattern, stmt, "repo"),
-            stats.violation_count(pattern, stmt, "dataset"),
-            local.satisfaction_count(pattern, stmt, "file"),
-            local.satisfaction_count(pattern, stmt, "repo"),
-            stats.satisfaction_count(pattern, stmt, "dataset"),
-            1.0 if pattern.targets_function_name() else 0.0,
-            condition_size,
-            condition_size / denominator,
-            edit_distance(violation.observed, violation.suggested),
-            1.0 if confusing.is_confusing(violation.observed, violation.suggested) else 0.0,
-        ],
-        dtype=np.float64,
-    )
-    return values
+    return [
+        num_paths,
+        local.identical_statements(stmt, "file"),
+        local.identical_statements(stmt, "repo"),
+        local.satisfaction_rate(pattern, stmt, "file"),
+        local.satisfaction_rate(pattern, stmt, "repo"),
+        stats.satisfaction_rate(pattern, stmt, "dataset"),
+        local.violation_count(pattern, stmt, "file"),
+        local.violation_count(pattern, stmt, "repo"),
+        stats.violation_count(pattern, stmt, "dataset"),
+        local.satisfaction_count(pattern, stmt, "file"),
+        local.satisfaction_count(pattern, stmt, "repo"),
+        stats.satisfaction_count(pattern, stmt, "dataset"),
+        1.0 if pattern.targets_function_name() else 0.0,
+        condition_size,
+        condition_size / denominator,
+        edit_distance(violation.observed, violation.suggested),
+        1.0 if confusing.is_confusing(violation.observed, violation.suggested) else 0.0,
+    ]

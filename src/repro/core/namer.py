@@ -37,7 +37,7 @@ from repro.cache import (
     pattern_fingerprint,
     shard_content_keys,
 )
-from repro.core.features import extract_features
+from repro.core.features import extract_features, extract_features_batch
 from repro.core.namepath import extract_name_paths
 from repro.core.prepare import PreparedFile, prepare_corpus
 from repro.core.patterns import PatternKind, Violation
@@ -51,7 +51,7 @@ from repro.mining.miner import MiningConfig, PatternMiner
 from repro.ml.linear import LinearSVM
 from repro.ml.pipeline import ClassifierPipeline
 from repro.lang import parse_source
-from repro.parallel.executor import ShardExecutor, resolve_shard
+from repro.parallel.executor import ShardExecutor, resolve_context, resolve_shard
 from repro.parallel.merge import merge_timed_shards
 from repro.parallel.profiler import PhaseProfiler
 from repro.parallel.sharding import even_spans, pack_spans, spans_by_group
@@ -591,7 +591,14 @@ class Namer:
         positive; the paper labels 120 violations per language.
         """
         with self.profiler.phase("train", items=len(violations)):
-            X = np.vstack([self.featurize(v) for v in violations])
+            X = np.vstack(
+                extract_features_batch(
+                    violations,
+                    [self._paths_of(v) for v in violations],
+                    self.stats,
+                    self.pairs,
+                )
+            )
             y = np.asarray(labels)
             classifier = make_classifier() if make_classifier else LinearSVM()
             self.classifier = ClassifierPipeline(
@@ -667,7 +674,13 @@ class Namer:
             try:
                 fault_check("core.featurize", key=path)
                 featurized.append(
-                    [self.featurize(v, local_stats=stats) for v in group]
+                    extract_features_batch(
+                        group,
+                        [self._paths_of(v) for v in group],
+                        self.stats,
+                        self.pairs,
+                        local_stats=stats,
+                    )
                 )
             except Exception as exc:
                 if quarantine is None:
@@ -812,15 +825,19 @@ class Namer:
     ) -> tuple[list[list[Violation]], list[list[np.ndarray]]]:
         """Fan per-file match + featurize over the executor's pool.
 
-        The matcher / stats / confusing-pair context rides to workers as
-        one fork-shared payload (registered once per model generation
-        and reused across batches); per-batch files ship as shared
-        slices when the pool has not forked yet, real slices after.
-        Workers return picklable per-file entries — violations, feature
-        vectors, and optional error records — which the parent reassembles
-        in input order and replays into the quarantine in exactly the
-        serial capture order (all detect-stage records first, then all
-        featurize-stage records).
+        The matcher / stats / confusing-pair context is published once
+        per **pool** via ``share_context`` (fork-inherited, or shipped
+        through the pool initializer on spawn) and reused across
+        batches; tasks carry only the tiny handle.  If the pool already
+        exists without the context, the raw value rides with each task —
+        the pre-rework behavior — so results never depend on timing.
+        Per-batch files ship as shared slices when the pool has not
+        forked yet, real slices after.  Workers return picklable
+        per-file entries — violations, feature vectors, and optional
+        error records — which the parent reassembles in input order and
+        replays into the quarantine in exactly the serial capture order
+        (all detect-stage records first, then all featurize-stage
+        records).
 
         The armed fault plan travels with every task and each worker
         syncs its own injector to it (arm / re-arm / disarm), so seeded
@@ -829,18 +846,16 @@ class Namer:
         of scope.
         """
         ctx = self._detect_ctx
-        if ctx is None or ctx[0][0] is not self.matcher:
-            ctx = self._detect_ctx = [
-                (
-                    self.matcher,
-                    self.stats,
-                    self.pairs,
-                    self.config.mining.max_paths_per_statement,
-                )
-            ]
-        # Register the model context before the pool first forks so
-        # every later batch inherits it for free.
-        ctx_payload = executor.shard_payloads(ctx, [(0, 1)])[0]
+        if ctx is None or ctx[0] is not self.matcher:
+            ctx = self._detect_ctx = (
+                self.matcher,
+                self.stats,
+                self.pairs,
+                self.config.mining.max_paths_per_statement,
+            )
+        # Publish the model context before the pool exists so every
+        # later batch reuses the per-pool copy instead of shipping it.
+        ctx_payload = executor.share_context(ctx)
         # One task per ~DETECT_FILES_PER_TASK files: the shard hint
         # bounds the plan by pool width, the batching floor by per-task
         # overhead; spans stay contiguous and in input order, so the
@@ -891,16 +906,14 @@ class Namer:
         """
         if not executor.parallel or self.matcher is None:
             return
-        ctx = [
-            (
-                self.matcher,
-                self.stats,
-                self.pairs,
-                self.config.mining.max_paths_per_statement,
-            )
-        ]
+        ctx = (
+            self.matcher,
+            self.stats,
+            self.pairs,
+            self.config.mining.max_paths_per_statement,
+        )
         self._detect_ctx = ctx
-        executor.shard_payloads(ctx, [(0, 1)])
+        executor.share_context(ctx)
         executor.warm()
 
     def detect(self, prepared: PreparedFile) -> list[Report]:
@@ -999,7 +1012,7 @@ def _detect_shard(task):
             FAULTS.disarm()
     elif current is None or current.to_json() != plan_json:
         FAULTS.arm(FaultPlan.from_json(plan_json))
-    matcher, stats, pairs, max_paths = resolve_shard(ctx_payload)[0]
+    matcher, stats, pairs, max_paths = resolve_context(ctx_payload)
     files = resolve_shard(files_payload)
     entries = []
     match_seconds = 0.0
@@ -1030,16 +1043,16 @@ def _detect_shard(task):
         path = group[0].statement.file_path if group else "<empty>"
         try:
             fault_check("core.featurize", key=path)
-            feats = [
-                extract_features(
-                    v,
-                    extract_name_paths(v.statement, max_paths=max_paths),
-                    stats,
-                    pairs,
-                    local_stats=local,
-                )
-                for v in group
-            ]
+            feats = extract_features_batch(
+                group,
+                [
+                    extract_name_paths(v.statement, max_paths=max_paths)
+                    for v in group
+                ],
+                stats,
+                pairs,
+                local_stats=local,
+            )
         except Exception as exc:
             if not capture:
                 raise

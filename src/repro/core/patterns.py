@@ -112,8 +112,27 @@ class NamePattern:
         return False
 
     def key(self) -> tuple:
-        """A hashable canonical identity (ignores support)."""
-        return (self.kind, tuple(sorted(self.condition)), tuple(sorted(self.deduction)))
+        """A hashable canonical identity (ignores support).
+
+        Memoized: the statistics index keys every counter bump by it,
+        so it is computed millions of times per corpus scan.  The cache
+        is stripped from pickles (see ``__getstate__``) so payload
+        bytes stay independent of call history.
+        """
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            cached = (
+                self.kind,
+                tuple(sorted(self.condition)),
+                tuple(sorted(self.deduction)),
+            )
+            object.__setattr__(self, "_key", cached)
+        return cached
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_key", None)
+        return state
 
     def __str__(self) -> str:
         cond = "\n  ".join(str(c) for c in sorted(self.condition))

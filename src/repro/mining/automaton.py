@@ -1,0 +1,431 @@
+"""A compiled matching automaton over an entire pattern set.
+
+The anchor index of :mod:`repro.mining.matcher` made candidate *lookup*
+cheap, but every surviving candidate still paid a full
+``check_pattern``: one prefix-tuple hash per condition and deduction
+path, against a per-statement dict rebuilt for every scan.  Profiling
+shows essentially every candidate the selectivity index admits really
+does match, so the per-candidate check — not the candidate count — is
+the serial match phase.
+
+:class:`MatchAutomaton` compiles the whole pattern set once:
+
+* **Shared trie.**  Every condition and deduction prefix of every
+  pattern is inserted into one trie keyed by :class:`PathStep`; a
+  prefix is a node id.  Matching a statement walks each of its paths
+  through the trie exactly once — the per-statement cost is one trie
+  descent per path, independent of how many patterns are loaded.
+* **Per-node bitmask guards.**  Each node carries the OR of the
+  step-kind bits along its prefix; a statement's available mask is
+  accumulated during the walk and candidates missing a required bit
+  are dropped with one AND (the same guard semantics the legacy
+  matcher applies, computed as a by-product of the walk).
+* **Pattern-id accept sets.**  Each pattern is anchored (same
+  rarest-prefix rule as the legacy index) at one deduction prefix; the
+  anchor's trie node holds the accept set of pattern ids to consider
+  when a statement path ends exactly there.
+* **Integer-domain relation checks.**  Conditions and deductions are
+  pre-resolved to ``(node id, interned end-token id)`` pairs at build
+  time, so completing a candidate is a handful of integer array reads —
+  an inlined, pre-resolved ``check_pattern`` with exactly its
+  semantics (the differential suite in ``tests/test_automaton.py``
+  pins byte-identical output against the legacy path).
+
+**Order-pinning invariant.**  Surviving candidates are emitted in the
+historical order — (statement-path position of the first occurrence of
+the pattern's lexicographically smallest deduction prefix, pattern
+index) — so statistics counters, artifacts, reports, and quarantine
+records are byte-identical to the legacy matcher for any worker count,
+start method, or cache temperature.  Scans record the *first*
+occurrence position of a prefix (ordering) but the *last* occurrence's
+end token (lookup), mirroring ``paths_by_prefix`` where a later
+duplicate prefix overwrites an earlier one.
+
+The automaton is picklable (scan scratch arrays are dropped and
+rebuilt lazily) so one compiled structure ships to a worker pool once
+and serves every task.  :data:`AUTOMATON_SCHEMA` participates in the
+content-cache keys of results produced through the automaton; bump it
+whenever a change here could alter any output byte.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from repro.core.namepath import NamePath, PathStep
+from repro.core.patterns import (
+    NamePattern,
+    PatternKind,
+    Relation,
+    Violation,
+)
+from repro.lang.astir import StatementAst
+
+__all__ = ["AUTOMATON_SCHEMA", "MatchAutomaton"]
+
+#: Schema version of the compiled automaton.  Mixed into the cache keys
+#: of everything matched through it (the miner's prune entries, the
+#: serving engine's persistent detect results) so a semantic change
+#: here can never serve stale bytes — bump on any change that could
+#: alter matching output.
+AUTOMATON_SCHEMA = 1
+
+_NO_MATCH = Relation.NO_MATCH
+_SATISFIED = Relation.SATISFIED
+_VIOLATED = Relation.VIOLATED
+
+#: Sentinel end-token ids: ``_TID_EPSILON`` marks a symbolic condition
+#: end (matches any statement end); ``_TID_UNKNOWN`` marks a statement
+#: end token the pattern set never mentions (can equal no interned id).
+_TID_EPSILON = -1
+_TID_UNKNOWN = -2
+
+
+class MatchAutomaton:
+    """One deterministic matcher compiled from a whole pattern set.
+
+    Build in two stages: the constructor inserts every pattern path
+    into the trie and pre-resolves the relation checks;
+    :meth:`finalize` assigns anchors once the rarity table (corpus
+    prefix frequencies, or the pattern-set fallback) is known.
+    """
+
+    def __init__(self, patterns: Sequence[NamePattern]) -> None:
+        self.patterns = list(patterns)
+        #: trie: per-node dict of PathStep -> child node id; node 0 is
+        #: the root (the empty prefix)
+        self._children: list[dict[PathStep, int]] = [{}]
+        #: per node: OR of the step-kind bits along its prefix
+        self._node_mask: list[int] = [0]
+        #: per node: the prefix tuple it spells (diagnostics + the
+        #: deduction-frequency table artifact loads fall back to)
+        self._node_prefix: list[tuple[PathStep, ...]] = [()]
+        self._step_bits: dict[str, int] = {}
+        #: concrete condition end token -> guard bit (statement ends
+        #: only *look up* here, as in the legacy matcher)
+        self._end_bits: dict[str, int] = {}
+        self._num_bits = 0
+        #: end token -> interned id for integer equality checks
+        self._end_tid: dict[str, int] = {}
+        #: terminal nodes of deduction prefixes in first-insertion
+        #: order, with occurrence counts — the fallback rarity table
+        self._ded_node_order: list[int] = []
+        self._ded_node_counts: dict[int, int] = {}
+        # per-pattern compiled checks
+        self._conds: list[tuple[tuple[int, int], ...]] = []
+        self._deds: list[tuple[int, ...]] = []
+        self._req_masks: list[int] = []
+        self._order_node: list[int] = []
+        self._ded_prefixes: list[list[tuple[PathStep, ...]]] = []
+        #: satisfaction data: consistency ``(True, n1, n2, d2)``,
+        #: confusing word ``(False, nd, expected_tid, d)``
+        self._sat: list[tuple] = []
+        #: anchor node -> accept set (pattern ids in pattern order);
+        #: assigned by :meth:`finalize`
+        self._accepts: dict[int, list[int]] = {}
+        self._finalized = False
+        for pattern in self.patterns:
+            self._compile(pattern)
+        self._scan_ready = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _insert(self, prefix: tuple[PathStep, ...]) -> int:
+        children = self._children
+        node = 0
+        for step in prefix:
+            nxt = children[node].get(step)
+            if nxt is None:
+                bit = self._step_bits.get(step.value)
+                if bit is None:
+                    bit = self._step_bits[step.value] = 1 << self._num_bits
+                    self._num_bits += 1
+                nxt = len(children)
+                children[node][step] = nxt
+                children.append({})
+                self._node_mask.append(self._node_mask[node] | bit)
+                self._node_prefix.append(self._node_prefix[node] + (step,))
+            node = nxt
+        return node
+
+    def _intern_end(self, end: str) -> int:
+        tid = self._end_tid.get(end)
+        if tid is None:
+            tid = self._end_tid[end] = len(self._end_tid)
+        return tid
+
+    def _compile(self, pattern: NamePattern) -> None:
+        mask = 0
+        conds: list[tuple[int, int]] = []
+        for c in pattern.condition:
+            node = self._insert(c.prefix)
+            mask |= self._node_mask[node]
+            if c.end is None:
+                tid = _TID_EPSILON
+            else:
+                tid = self._intern_end(c.end)
+                bit = self._end_bits.get(c.end)
+                if bit is None:
+                    bit = self._end_bits[c.end] = 1 << self._num_bits
+                    self._num_bits += 1
+                mask |= bit
+            conds.append((node, tid))
+        deds: list[int] = []
+        ded_prefixes: list[tuple[PathStep, ...]] = []
+        for d in pattern.deduction:
+            node = self._insert(d.prefix)
+            mask |= self._node_mask[node]
+            count = self._ded_node_counts.get(node)
+            if count is None:
+                self._ded_node_order.append(node)
+                count = 0
+            self._ded_node_counts[node] = count + 1
+            deds.append(node)
+            ded_prefixes.append(d.prefix)
+        self._conds.append(tuple(conds))
+        self._deds.append(tuple(deds))
+        self._req_masks.append(mask)
+        self._ded_prefixes.append(ded_prefixes)
+        self._order_node.append(self._insert(min(ded_prefixes)))
+        if pattern.kind is PatternKind.CONSISTENCY:
+            d1, d2 = sorted(pattern.deduction)
+            self._sat.append(
+                (True, self._insert(d1.prefix), self._insert(d2.prefix), d2)
+            )
+        else:
+            (d,) = pattern.deduction
+            self._sat.append(
+                (False, self._insert(d.prefix), self._intern_end(d.end), d)
+            )
+
+    def deduction_prefix_counts(self) -> Counter[tuple[PathStep, ...]]:
+        """Deduction-prefix occurrences across the compiled pattern set,
+        read off the trie's accept-node counters — value- and key-order-
+        identical to counting ``d.prefix`` over the patterns directly.
+        The fallback rarity table for anchor choice on artifact loads,
+        where no corpus frequency table exists."""
+        counts: Counter[tuple[PathStep, ...]] = Counter()
+        for node in self._ded_node_order:
+            counts[self._node_prefix[node]] = self._ded_node_counts[node]
+        return counts
+
+    def finalize(self, rarity) -> None:
+        """Assign every pattern's accept set to its anchor node: the
+        rarest deduction prefix under ``rarity`` (ties lexicographic) —
+        the exact anchor rule of the legacy index.  Anchor choice can
+        change candidate-list length but never output."""
+        self._accepts = {}
+        get = rarity.get
+        for idx, prefixes in enumerate(self._ded_prefixes):
+            anchor = min(prefixes, key=lambda p: (get(p, 0), p))
+            node = self._insert(anchor)
+            bucket = self._accepts.get(node)
+            if bucket is None:
+                bucket = self._accepts[node] = []
+            bucket.append(idx)
+        self._finalized = True
+
+    # ------------------------------------------------------------------
+    # Scanning
+    # ------------------------------------------------------------------
+
+    def _prepare_scan(self) -> None:
+        """(Re)allocate the generation-stamped scratch arrays.  Nothing
+        is cleared between scans — a slot is valid only when its stamp
+        equals the current generation."""
+        n = len(self._children)
+        self._gen = 0
+        self._stamp = [0] * n
+        self._pos = [0] * n
+        self._end: list[str | None] = [None] * n
+        self._tid = [0] * n
+        self._folded = [""] * n
+        self._pat_stamp = [0] * len(self.patterns)
+        self._scan_ready = True
+
+    def _scan(self, paths: Sequence[NamePath]) -> list[int]:
+        """Walk every statement path through the trie once and return
+        the surviving candidate pattern ids in the pinned historical
+        order.  Stamp arrays stay valid (for the relation checks) until
+        the next scan."""
+        if not self._scan_ready:
+            self._prepare_scan()
+        if not self._finalized:
+            raise RuntimeError("finalize() must run before matching")
+        gen = self._gen + 1
+        self._gen = gen
+        children = self._children
+        stamp = self._stamp
+        posa = self._pos
+        enda = self._end
+        tida = self._tid
+        folda = self._folded
+        node_mask = self._node_mask
+        end_bits = self._end_bits
+        end_tid = self._end_tid
+        accepts = self._accepts
+        pat_stamp = self._pat_stamp
+        stmt_mask = 0
+        cand: list[int] = []
+        for pos, path in enumerate(paths):
+            node = 0
+            for step in path.prefix:
+                nxt = children[node].get(step)
+                if nxt is None:
+                    node = -1
+                    break
+                node = nxt
+            end = path.end
+            if end is not None:
+                bit = end_bits.get(end)
+                if bit is not None:
+                    stmt_mask |= bit
+            if node < 0:
+                continue
+            stmt_mask |= node_mask[node]
+            # First occurrence pins the ordering position; the last
+            # occurrence's end wins the lookup (paths_by_prefix parity).
+            if stamp[node] != gen:
+                stamp[node] = gen
+                posa[node] = pos
+            enda[node] = end
+            if end is not None:
+                tida[node] = end_tid.get(end, _TID_UNKNOWN)
+                folda[node] = end.casefold()
+            else:
+                tida[node] = _TID_UNKNOWN
+                folda[node] = ""
+            bucket = accepts.get(node)
+            if bucket is not None:
+                for idx in bucket:
+                    if pat_stamp[idx] != gen:
+                        pat_stamp[idx] = gen
+                        cand.append(idx)
+        if not cand:
+            return cand
+        req_masks = self._req_masks
+        order_node = self._order_node
+        ordered: list[tuple[int, int]] = []
+        for idx in cand:
+            required = req_masks[idx]
+            if required & stmt_mask != required:
+                continue
+            onode = order_node[idx]
+            if stamp[onode] != gen:
+                # The ordering prefix is a deduction prefix; absence
+                # proves NO_MATCH.
+                continue
+            ordered.append((posa[onode], idx))
+        ordered.sort()
+        return [idx for _, idx in ordered]
+
+    def _relation(self, idx: int, gen: int) -> Relation:
+        """The statement/pattern relation, from the current scan's
+        stamps — the integer-domain equivalent of ``check_pattern``."""
+        stamp = self._stamp
+        enda = self._end
+        tida = self._tid
+        for node, tid in self._conds[idx]:
+            if stamp[node] != gen:
+                return _NO_MATCH
+            # Epsilon condition ends match anything; a symbolic
+            # statement end matches any concrete condition end (the
+            # ``equal`` operator, pre-resolved).
+            if tid >= 0 and tida[node] != tid and enda[node] is not None:
+                return _NO_MATCH
+        for node in self._deds[idx]:
+            if stamp[node] != gen:
+                return _NO_MATCH
+        sat = self._sat[idx]
+        if sat[0]:
+            satisfied = self._folded[sat[1]] == self._folded[sat[2]]
+        else:
+            satisfied = tida[sat[1]] == sat[2]
+        return _SATISFIED if satisfied else _VIOLATED
+
+    def relations(
+        self, paths: Sequence[NamePath]
+    ) -> list[tuple[int, Relation]]:
+        """``(pattern index, relation)`` for every matching pattern, in
+        the pinned candidate order; NO_MATCH candidates are dropped —
+        exactly what the legacy ``check_all`` yields."""
+        out: list[tuple[int, Relation]] = []
+        relation = self._relation
+        candidates = self._scan(paths)
+        gen = self._gen
+        for idx in candidates:
+            rel = relation(idx, gen)
+            if rel is not _NO_MATCH:
+                out.append((idx, rel))
+        return out
+
+    def violations(
+        self, stmt: StatementAst, paths: Sequence[NamePath]
+    ) -> list[Violation]:
+        """All pattern violations of one statement, byte-identical to
+        running ``find_violation`` over the legacy candidate order."""
+        found: list[Violation] = []
+        relation = self._relation
+        patterns = self.patterns
+        candidates = self._scan(paths)
+        gen = self._gen
+        enda = self._end
+        for idx in candidates:
+            if relation(idx, gen) is not _VIOLATED:
+                continue
+            sat = self._sat[idx]
+            if sat[0]:
+                # Convention (find_violation): report the second sorted
+                # deduction position as the offender, the first as the
+                # expectation.
+                found.append(
+                    Violation(
+                        statement=stmt,
+                        pattern=patterns[idx],
+                        observed=enda[sat[2]] or "",
+                        suggested=enda[sat[1]] or "",
+                        deduction_path=sat[3],
+                    )
+                )
+            else:
+                d = sat[3]
+                found.append(
+                    Violation(
+                        statement=stmt,
+                        pattern=patterns[idx],
+                        observed=enda[sat[1]] or "",
+                        suggested=d.end or "",
+                        deduction_path=d,
+                    )
+                )
+        return found
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    # ------------------------------------------------------------------
+    # Pickling: scratch arrays are per-process scan state, never shipped
+    # ------------------------------------------------------------------
+
+    _SCRATCH = (
+        "_gen",
+        "_stamp",
+        "_pos",
+        "_end",
+        "_tid",
+        "_folded",
+        "_pat_stamp",
+    )
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        for name in self._SCRATCH:
+            state.pop(name, None)
+        state["_scan_ready"] = False
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)

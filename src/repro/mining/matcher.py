@@ -32,6 +32,14 @@ and then by pattern index — the exact order the lexicographic anchor
 index produced — independent of which prefix physically anchors the
 pattern.  Artifacts mined before and after the selectivity rework are
 byte-identical.
+
+By default the matcher also compiles the whole pattern set into one
+:class:`~repro.mining.automaton.MatchAutomaton` (shared trie +
+integer-domain relation checks) and routes :meth:`check_all`,
+:meth:`violations`, and :meth:`relations` through it — same candidates,
+same order, same bytes, a fraction of the time.  ``use_automaton=False``
+keeps the per-candidate ``check_pattern`` path alive for differential
+testing (``tests/test_automaton.py`` pins the two byte-identical).
 """
 
 from __future__ import annotations
@@ -48,6 +56,7 @@ from repro.core.patterns import (
     find_violation,
 )
 from repro.lang.astir import StatementAst
+from repro.mining.automaton import MatchAutomaton
 from repro.parallel.merge import merge_counters
 
 __all__ = ["PatternMatcher", "prefix_frequencies"]
@@ -82,19 +91,28 @@ class PatternMatcher:
         self,
         patterns: Sequence[NamePattern],
         prefix_counts: Mapping[tuple[PathStep, ...], int] | None = None,
+        use_automaton: bool = True,
     ) -> None:
         pattern_list = list(patterns)
+        automaton = MatchAutomaton(pattern_list) if use_automaton else None
         #: deduction-prefix occurrences across this matcher's own
         #: patterns — the fallback rarity table, and the table
-        #: :meth:`merge` sums instead of recounting
-        own_counts: Counter[tuple[PathStep, ...]] = Counter()
-        for pattern in pattern_list:
-            for d in pattern.deduction:
-                own_counts[d.prefix] += 1
+        #: :meth:`merge` sums instead of recounting.  With a compiled
+        #: automaton the table is read off its trie accept-node
+        #: counters (same values, same first-seen key order) instead of
+        #: re-walking the pattern set.
+        if automaton is not None:
+            own_counts = automaton.deduction_prefix_counts()
+        else:
+            own_counts = Counter()
+            for pattern in pattern_list:
+                for d in pattern.deduction:
+                    own_counts[d.prefix] += 1
         self._init_from_parts(
             pattern_list,
             own_counts,
             Counter(prefix_counts) if prefix_counts is not None else None,
+            automaton,
         )
 
     def _init_from_parts(
@@ -102,12 +120,16 @@ class PatternMatcher:
         patterns: list[NamePattern],
         prefix_counts: Counter[tuple[PathStep, ...]],
         corpus_counts: Counter[tuple[PathStep, ...]] | None,
+        automaton: MatchAutomaton | None = None,
     ) -> None:
         """Build every index from already-counted frequency tables."""
         self.patterns = patterns
         self.prefix_counts = prefix_counts
         self._corpus_counts = corpus_counts
+        self._automaton = automaton
         rarity = corpus_counts if corpus_counts is not None else prefix_counts
+        if automaton is not None:
+            automaton.finalize(rarity)
         self._by_anchor: dict[tuple[PathStep, ...], list[int]] = defaultdict(list)
         #: per pattern: the lexicographically smallest deduction prefix —
         #: the *ordering* anchor, kept fixed so enumeration order never
@@ -209,31 +231,40 @@ class PatternMatcher:
         for idx in self.candidate_indices(paths):
             yield self.patterns[idx]
 
+    def relations(
+        self, paths: Sequence[NamePath]
+    ) -> list[tuple[int, Relation]]:
+        """``(pattern index, relation)`` for every candidate that
+        matches, in the pinned candidate order.  Routed through the
+        compiled automaton when one exists; the legacy path builds the
+        statement's prefix index once (lazily, on the first candidate —
+        against a small pattern slice most statements have no candidates
+        at all) and runs ``check_pattern`` per candidate."""
+        if self._automaton is not None:
+            return self._automaton.relations(paths)
+        index = None
+        out: list[tuple[int, Relation]] = []
+        for idx in self.candidate_indices(paths):
+            if index is None:
+                index = paths_by_prefix(paths)
+            relation = check_pattern(self.patterns[idx], paths, index)
+            if relation is not Relation.NO_MATCH:
+                out.append((idx, relation))
+        return out
+
     def check_all(
         self, paths: Sequence[NamePath]
     ) -> Iterable[tuple[NamePattern, Relation]]:
-        """Yield (pattern, relation) for every candidate that matches.
-
-        The statement's prefix index is built once here and shared by
-        every per-pattern check — with dozens of candidate patterns per
-        statement, rebuilding it per pattern used to dominate the pass.
-        It is also built *lazily*, on the first candidate: against a
-        small pattern slice (the pattern-partitioned prune pass) most
-        statements have no candidates at all, and skipping the index
-        build for them is most of that pass's win.
-        """
-        index = None
-        for pattern in self.candidates(paths):
-            if index is None:
-                index = paths_by_prefix(paths)
-            relation = check_pattern(pattern, paths, index)
-            if relation is not Relation.NO_MATCH:
-                yield pattern, relation
+        """(pattern, relation) for every candidate that matches."""
+        patterns = self.patterns
+        return [(patterns[idx], rel) for idx, rel in self.relations(paths)]
 
     def violations(
         self, stmt: StatementAst, paths: Sequence[NamePath]
     ) -> list[Violation]:
         """All pattern violations triggered by one statement."""
+        if self._automaton is not None:
+            return self._automaton.violations(stmt, paths)
         index = None
         found = []
         for pattern in self.candidates(paths):
@@ -271,6 +302,9 @@ class PatternMatcher:
             corpus_counts = merge_counters(
                 m._corpus_counts for m in parts if m._corpus_counts is not None
             )
+        automaton = None
+        if all(m._automaton is not None for m in parts):
+            automaton = MatchAutomaton(combined)
         merged = PatternMatcher.__new__(PatternMatcher)
-        merged._init_from_parts(combined, pattern_counts, corpus_counts)
+        merged._init_from_parts(combined, pattern_counts, corpus_counts, automaton)
         return merged

@@ -38,22 +38,19 @@ from repro.cache.incremental import (
     fingerprint_of,
     pattern_fingerprint,
 )
-from repro.core.namepath import (
-    EPSILON,
-    NamePath,
-    extract_name_paths,
-    paths_by_prefix,
-)
-from repro.core.patterns import NamePattern, PatternKind, Relation, check_pattern
+from repro.core.namepath import EPSILON, NamePath, extract_name_paths
+from repro.core.patterns import NamePattern, PatternKind, Relation
 from repro.lang.astir import StatementAst
+from repro.mining.automaton import AUTOMATON_SCHEMA
 from repro.mining.fptree import FPNode, FPTree
 from repro.mining.matcher import PatternMatcher, prefix_frequencies
-from repro.parallel.executor import ShardExecutor, SharedSlice, resolve_shard
-from repro.parallel.merge import (
-    merge_count_pairs,
-    merge_counters,
-    merge_offset_count_pairs,
+from repro.parallel.executor import (
+    ShardExecutor,
+    SharedSlice,
+    resolve_context,
+    resolve_shard,
 )
+from repro.parallel.merge import merge_count_pairs, merge_counters
 from repro.parallel.profiler import PhaseProfiler
 from repro.parallel.sharding import Span, even_spans
 from repro.resilience.faults import fault_check
@@ -456,6 +453,23 @@ class PatternMiner:
         a miner in hand)."""
         return _count_matches(path_lists, supported)
 
+    def _prune_matcher(
+        self,
+        supported: list[NamePattern],
+        paths: Sequence[Sequence[NamePath]] | None,
+    ) -> PatternMatcher:
+        """One compiled matcher over the whole candidate list for the
+        prune pass — automaton included, so every shard task matches
+        against one shared structure instead of compiling its own.
+
+        Anchor selectivity uses corpus prefix frequencies when the
+        paths are in hand, the pattern-set fallback otherwise; the
+        choice moves only candidate-list length, never the counts, so
+        both build modes (and every shard layout) stay bit-identical.
+        """
+        prefix_counts = prefix_frequencies(paths) if paths is not None else None
+        return PatternMatcher(supported, prefix_counts=prefix_counts)
+
     def _parallel_prune(
         self,
         supported: list[NamePattern],
@@ -467,59 +481,34 @@ class PatternMiner:
         executor: ShardExecutor,
         profiler: PhaseProfiler,
     ) -> tuple[Counter[int], Counter[int]]:
-        """Fan the prune pass over the pool, preferring the
-        pattern-partitioned layout.
+        """Fan the statement-sharded prune pass over the pool.
 
-        Statement-sharded pruning ships the *whole* candidate list to
-        every shard task — with thousands of candidates that pickling
-        (plus one anchor index build per shard over all of them) costs
-        more than the matching itself, which is how parallel pruning
-        used to lose to serial.  When the statements' paths are already
-        fork-shared, the roles flip: each worker gets a cheap handle to
-        *all* statements plus only a slice of the candidate list, so
-        the candidate set is pickled and indexed exactly once across
-        the pool.  Per-pattern counts are independent of how patterns
-        are partitioned, so the merged counts (shifted back to global
-        indices) are bit-identical to a serial pass.
+        The whole candidate list — compiled into one automaton-backed
+        matcher — is published once per pool via ``share_context``
+        (fork-inherited or shipped through the pool initializer), so a
+        shard task carries only a handle plus its statement slice;
+        pre-automaton, statement sharding lost to serial precisely
+        because every task re-shipped and re-indexed every candidate.
+        Per-pattern counts are sums over statements, so the merged
+        counts are bit-identical to a serial pass.
 
         Worker-side seconds are accumulated into a ``prune_shard``
         profiler row (items = shard tasks fanned out), separating real
         shard compute from the orchestration total in ``prune``.
         """
-        full_payload = None
-        if has_paths:
-            assert paths is not None
-            full_payload = executor.shard_payloads(paths, [(0, n)])[0]
-        if isinstance(full_payload, SharedSlice):
-            pattern_spans = even_spans(
-                len(supported), executor.shard_hint(len(supported))
-            )
-            # Anchor selectivity wants the scanned population's prefix
-            # frequencies; every pattern slice scans the same corpus,
-            # so count once here instead of once per task.
-            prefix_counts = prefix_frequencies(paths)
-            results = executor.map(
-                _prune_pattern_shard,
-                [
-                    (full_payload, supported[start:stop], prefix_counts)
-                    for start, stop in pattern_spans
-                ],
-            )
-            match_counts, sat_counts = merge_offset_count_pairs(
-                [(match, sat) for match, sat, _ in results],
-                [start for start, _ in pattern_spans],
-            )
-        else:
-            # No fork-shared paths to lean on (extract-in-worker mode,
-            # or a spawn platform shipping real slices): statement
-            # sharding at least keeps the path extraction distributed.
-            results = executor.map(
-                _prune_shard,
-                [(self, shard, has_paths, supported) for shard in shards],
-            )
-            match_counts, sat_counts = merge_count_pairs(
-                [(match, sat) for match, sat, _ in results]
-            )
+        matcher = self._prune_matcher(supported, paths if has_paths else None)
+        matcher_payload = executor.share_context(matcher)
+        max_paths = self.config.max_paths_per_statement
+        results = executor.map(
+            _prune_shard,
+            [
+                (matcher_payload, shard, has_paths, max_paths)
+                for shard in shards
+            ],
+        )
+        match_counts, sat_counts = merge_count_pairs(
+            [(match, sat) for match, sat, _ in results]
+        )
         profiler.record(
             "prune_shard",
             sum(seconds for _, _, seconds in results),
@@ -546,29 +535,45 @@ class PatternMiner:
         Cache entries must be a pure function of a shard's files (plus
         global state in the salt), so caching keeps the statement-
         sharded layout — the candidate list fingerprint rides in the
-        salt because the counts are keyed by index into it.  Only the
-        *recomputed* shards contribute to the ``prune_shard`` row,
-        which makes the row double as an incrementality probe: a warm
-        run records none, a one-file edit records one shard per kind.
+        salt because the counts are keyed by index into it, and the
+        automaton schema rides along because entries are computed
+        through the compiled matcher.  Per-pattern counts are anchor-
+        independent, so an entry's *value* is identical whichever
+        matcher (shard-local or corpus-wide, legacy or automaton)
+        computed it — the schema salt is purely a safety interlock.
+        Only the *recomputed* shards contribute to the ``prune_shard``
+        row, which makes the row double as an incrementality probe: a
+        warm run records none, a one-file edit records one shard per
+        kind.
         """
-        salt = config_fingerprint(
-            self.config, "prune"
-        ) + "|" + fingerprint_of(pattern_fingerprint(p) for p in supported)
+        salt = (
+            config_fingerprint(self.config, "prune")
+            + f"|automaton{AUTOMATON_SCHEMA}|"
+            + fingerprint_of(pattern_fingerprint(p) for p in supported)
+        )
         entries = [
             cache.get("prune", cache.key(key, salt)) for key in shard_keys
         ]
         missing = [i for i, entry in enumerate(entries) if entry is None]
         if missing:
+            matcher = self._prune_matcher(
+                supported, path_lists if path_lists is not None else None
+            )
             if parallel:
+                matcher_payload = executor.share_context(matcher)
+                max_paths = self.config.max_paths_per_statement
                 computed = executor.map(
                     _prune_shard,
-                    [(self, shards[i], has_paths, supported) for i in missing],
+                    [
+                        (matcher_payload, shards[i], has_paths, max_paths)
+                        for i in missing
+                    ],
                 )
             else:
                 assert path_lists is not None
                 computed = [
                     _timed_count_matches(
-                        path_lists[spans[i][0] : spans[i][1]], supported
+                        matcher, path_lists[spans[i][0] : spans[i][1]]
                     )
                     for i in missing
                 ]
@@ -735,77 +740,59 @@ def _growth_shard(task) -> dict[tuple[NamePath, ...], int]:
     return miner._transaction_counts(path_lists, frequent, kind)
 
 
-def _count_matches(
+def _count_matches_with(
+    matcher: PatternMatcher,
     path_lists: Sequence[Sequence[NamePath]],
-    supported: list[NamePattern],
-    prefix_counts: Counter | None = None,
 ) -> tuple[Counter[int], Counter[int]]:
-    """Prune pass over one shard: per-pattern match / satisfaction
-    counts, keyed by index into ``supported``.  The anchor index is
-    built once per shard; the statement prefix index is built lazily on
-    the first candidate and shared across that statement's checks —
-    against a small pattern slice most statements have no candidates,
-    so the index build is usually skipped entirely.
-
-    Anchors are chosen against the frequencies of the statement
-    population the matcher will scan — ``prefix_counts`` when the
-    caller already has that table (pattern-partitioned pruning scans
-    the same full corpus from every shard, so counting it once in the
-    parent beats recounting it per task), this shard's own counts
-    otherwise."""
-    if prefix_counts is None:
-        prefix_counts = prefix_frequencies(path_lists)
-    matcher = PatternMatcher(supported, prefix_counts=prefix_counts)
+    """Prune pass over one statement shard through an already-built
+    matcher: per-pattern match / satisfaction counts, keyed by pattern
+    index.  Counts are anchor-independent, so any matcher over the same
+    pattern list — whatever rarity table or matching backend — produces
+    identical counters."""
     match_counts: Counter[int] = Counter()
     sat_counts: Counter[int] = Counter()
     for paths in path_lists:
-        index = None
-        for idx in matcher.candidate_indices(paths):
-            if index is None:
-                index = paths_by_prefix(paths)
-            relation = check_pattern(supported[idx], paths, index)
-            if relation is Relation.NO_MATCH:
-                continue
+        for idx, relation in matcher.relations(paths):
             match_counts[idx] += 1
             if relation is Relation.SATISFIED:
                 sat_counts[idx] += 1
     return match_counts, sat_counts
 
 
-def _timed_count_matches(
+def _count_matches(
     path_lists: Sequence[Sequence[NamePath]],
     supported: list[NamePattern],
+    prefix_counts: Counter | None = None,
+) -> tuple[Counter[int], Counter[int]]:
+    """Prune pass over one shard, building the matcher in place:
+    :func:`_count_matches_with` for callers without one in hand.
+    Anchors are chosen against ``prefix_counts`` when the caller
+    already has the scanned population's frequency table, this shard's
+    own counts otherwise — counts are identical either way."""
+    if prefix_counts is None:
+        prefix_counts = prefix_frequencies(path_lists)
+    matcher = PatternMatcher(supported, prefix_counts=prefix_counts)
+    return _count_matches_with(matcher, path_lists)
+
+
+def _timed_count_matches(
+    matcher: PatternMatcher,
+    path_lists: Sequence[Sequence[NamePath]],
 ) -> tuple[Counter[int], Counter[int], float]:
     started = time.perf_counter()
-    match_counts, sat_counts = _count_matches(path_lists, supported)
+    match_counts, sat_counts = _count_matches_with(matcher, path_lists)
     return match_counts, sat_counts, time.perf_counter() - started
 
 
 def _prune_shard(task) -> tuple[Counter[int], Counter[int], float]:
-    """Statement-sharded prune task: all candidates, one statement
-    shard.  Returns the counts plus worker-side seconds."""
-    miner, payload, has_paths, supported = task
+    """Statement-sharded prune task: the pool-shared compiled matcher
+    (all candidates), one statement shard.  Returns the counts plus
+    worker-side seconds."""
+    matcher_payload, payload, has_paths, max_paths = task
     started = time.perf_counter()
-    path_lists = _shard_path_lists(
-        payload, has_paths, miner.config.max_paths_per_statement
-    )
-    match_counts, sat_counts = _count_matches(path_lists, supported)
-    return match_counts, sat_counts, time.perf_counter() - started
-
-
-def _prune_pattern_shard(task) -> tuple[Counter[int], Counter[int], float]:
-    """Pattern-partitioned prune task: one candidate slice, all
-    statements (resolved from fork-inherited memory for free).  Counts
-    come back keyed by index into the *slice*; the caller shifts them
-    by the slice offset (:func:`merge_offset_count_pairs`).  The
-    corpus prefix-frequency table rides in with the task — every slice
-    scans the same statements, so the parent counts them once."""
-    payload, patterns, prefix_counts = task
-    started = time.perf_counter()
-    path_lists = resolve_shard(payload)
-    match_counts, sat_counts = _count_matches(
-        path_lists, patterns, prefix_counts
-    )
+    matcher = resolve_context(matcher_payload)
+    path_lists = _shard_path_lists(payload, has_paths, max_paths)
+    match_counts, sat_counts = _count_matches_with(matcher, path_lists)
     return match_counts, sat_counts, time.perf_counter() - started
 
 

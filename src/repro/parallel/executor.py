@@ -19,6 +19,15 @@ triple a worker resolves against its inherited copy for free.  When
 inheritance cannot work (pool already forked without the sequence, or a
 spawn-based platform), it silently falls back to shipping real slices;
 results are identical either way, only the pickling bill changes.
+
+Context values (a matcher, a statistics index) used by *every* task of
+a phase get the same treatment via :meth:`ShardExecutor.share_context`:
+the value is published once per **pool** — inherited for free on fork,
+pickled once per worker through the pool initializer on spawn — and
+tasks carry only a tiny :class:`SharedContext` handle instead of
+re-shipping megabytes of matcher per task.  The same fallback contract
+applies: if the pool already exists the raw value is returned and rides
+along with each task, bytes-for-bytes what the handle would resolve to.
 """
 
 from __future__ import annotations
@@ -30,8 +39,10 @@ from typing import Callable, Sequence, TypeVar
 
 __all__ = [
     "ShardExecutor",
+    "SharedContext",
     "SharedSlice",
     "default_workers",
+    "resolve_context",
     "resolve_shard",
 ]
 
@@ -98,6 +109,35 @@ def resolve_shard(payload):
     return payload
 
 
+@dataclass(frozen=True)
+class SharedContext:
+    """A picklable handle to a per-pool context value ``_SHARED[key]``.
+
+    Hashable on purpose: workers key per-context caches on it.
+    """
+
+    key: int
+
+
+def resolve_context(payload):
+    """Materialize a context value inside a worker (or inline): either
+    a :class:`SharedContext` into pool-shared memory (fork-inherited or
+    installed by the pool initializer), or the real value that was
+    shipped per task as a fallback."""
+    if isinstance(payload, SharedContext):
+        return _SHARED[payload.key]
+    return payload
+
+
+def _init_worker(contexts: dict[int, object]) -> None:
+    """Pool initializer: install shared context values in the worker.
+
+    On fork the values arrive inherited and this is a near-no-op
+    (re-installing identical entries); on spawn the ``initargs`` pickle
+    carries each value exactly once per worker — the whole point."""
+    _SHARED.update(contexts)
+
+
 class ShardExecutor:
     """Order-preserving ``map`` over shard tasks.
 
@@ -110,6 +150,10 @@ class ShardExecutor:
         self.workers = max(1, int(workers))
         self._pool = None
         self._shared_keys: list[int] = []
+        #: context values published to this executor's (future) pool,
+        #: shipped through the pool initializer — unlike slices they do
+        #: not require fork, so they never pin the start method
+        self._context_values: dict[int, object] = {}
 
     @property
     def parallel(self) -> bool:
@@ -133,6 +177,31 @@ class ShardExecutor:
         if key is None:
             return [seq[start:stop] for start, stop in spans]
         return [SharedSlice(key, start, stop) for start, stop in spans]
+
+    def share_context(self, value):
+        """Publish a per-pool context value and return its handle.
+
+        Call **before** the pool exists (before the first parallel
+        ``map`` or ``warm``): the value then reaches every worker once —
+        by fork inheritance or by the pool initializer's ``initargs``
+        pickle on spawn — and tasks carry only a :class:`SharedContext`.
+        If the pool already forked (or the executor is serial), the raw
+        value is returned and ships with each task; ``resolve_context``
+        makes both cases look identical to the task function.
+
+        Re-sharing the same object returns the existing handle, so
+        long-lived callers (the serving engine's pre-warmed pools) can
+        call this once per batch without growing the registry.
+        """
+        for key, existing in self._context_values.items():
+            if existing is value:
+                return SharedContext(key)
+        if self._pool is not None or not self.parallel:
+            return value
+        key = next(_SHARED_KEYS)
+        _SHARED[key] = value
+        self._context_values[key] = value
+        return SharedContext(key)
 
     def _share(self, seq: Sequence) -> int | None:
         for key in self._shared_keys:
@@ -169,9 +238,19 @@ class ShardExecutor:
                 if self._shared_keys
                 else None
             )
-            self._pool = concurrent.futures.ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=ctx
-            )
+            # Context values travel through the initializer: free on
+            # fork (already inherited), one pickle per worker on spawn.
+            if self._context_values:
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=ctx,
+                    initializer=_init_worker,
+                    initargs=(dict(self._context_values),),
+                )
+            else:
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=ctx
+                )
         return self._pool
 
     def warm(self) -> None:
@@ -192,6 +271,9 @@ class ShardExecutor:
         for key in self._shared_keys:
             _SHARED.pop(key, None)
         self._shared_keys.clear()
+        for key in self._context_values:
+            _SHARED.pop(key, None)
+        self._context_values.clear()
 
     def __enter__(self) -> "ShardExecutor":
         return self

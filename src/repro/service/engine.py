@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.cache import ContentCache
 from repro.core.namer import Namer
+from repro.mining.automaton import AUTOMATON_SCHEMA
 from repro.core.persistence import PersistenceError, load_namer
 from repro.core.prepare import PreparedFile, PrepareError, prepare_file_checked
 from repro.corpus.model import SourceFile
@@ -392,10 +393,20 @@ class AnalysisEngine:
                 if fp is not None:
                     self.content_cache.put(
                         "detect",
-                        ContentCache.key(fp, request.cache_key()),
+                        self._detect_key(fp, request),
                         reports,
                     )
         return result
+
+    @staticmethod
+    def _detect_key(fp: str, request: AnalysisRequest) -> str:
+        """Persistent detect-cache key: artifact fingerprint + request
+        content + the matching-automaton schema — reports are produced
+        through the compiled automaton, so a semantic change to it must
+        miss rather than replay bytes matched under the old schema."""
+        return ContentCache.key(
+            fp, f"automaton{AUTOMATON_SCHEMA}|{request.cache_key()}"
+        )
 
     def _disk_get(self, request: AnalysisRequest) -> AnalysisResult | None:
         """Serve one request from the persistent content cache.
@@ -409,7 +420,7 @@ class AnalysisEngine:
         fp = self._artifact_fp
         if cache is None or fp is None:
             return None
-        reports = cache.get("detect", ContentCache.key(fp, request.cache_key()))
+        reports = cache.get("detect", self._detect_key(fp, request))
         if reports is None:
             return None
         result = AnalysisResult(

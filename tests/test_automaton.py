@@ -1,0 +1,409 @@
+"""Differential suite: compiled automaton vs legacy matcher.
+
+The compiled :class:`MatchAutomaton` replaces per-candidate
+``check_pattern`` with integer-domain checks against one shared trie.
+Nothing about its *output* may differ from the legacy path —
+candidates, relations, violations, report bytes, quarantine records,
+prune counts, enumeration order — for any pattern subset, worker
+count, or cache temperature.  ``PatternMatcher(use_automaton=False)``
+keeps the legacy path alive precisely so these tests can hold the two
+against each other byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.namer import Namer, NamerConfig
+from repro.corpus.generator import GeneratorConfig, generate_python_corpus
+from repro.mining.automaton import AUTOMATON_SCHEMA, MatchAutomaton
+from repro.mining.matcher import PatternMatcher, prefix_frequencies
+from repro.mining.miner import MiningConfig, _count_matches, _count_matches_with
+from repro.parallel.executor import (
+    ShardExecutor,
+    SharedContext,
+    resolve_context,
+)
+from repro.resilience.faults import FAULTS, FaultPlan, FaultSpec
+from repro.resilience.quarantine import Quarantine
+
+
+@pytest.fixture(scope="module")
+def trained_namer():
+    corpus = generate_python_corpus(
+        GeneratorConfig(num_repos=8, issue_rate=0.15, seed=31)
+    )
+    namer = Namer(
+        NamerConfig(
+            mining=MiningConfig(min_pattern_support=8, min_path_frequency=4)
+        )
+    )
+    namer.mine(corpus)
+    violations = namer.all_violations()[:40]
+    namer.train(violations, [i % 2 for i in range(len(violations))])
+    return namer
+
+
+@pytest.fixture(scope="module")
+def statements(trained_namer):
+    """(stmt, paths) pairs across the whole prepared corpus."""
+    return [
+        (ps.stmt, ps.paths)
+        for pf in trained_namer.prepared
+        for ps in pf.statements
+    ]
+
+
+def legacy_twin(matcher: PatternMatcher) -> PatternMatcher:
+    """The legacy-path matcher over the same patterns and rarity table."""
+    return PatternMatcher(
+        matcher.patterns,
+        prefix_counts=matcher._corpus_counts,
+        use_automaton=False,
+    )
+
+
+def report_blob(groups) -> str:
+    return json.dumps(
+        [[r.to_json() for r in g] for g in groups], sort_keys=True
+    )
+
+
+class TestDifferentialRelations:
+    """relations()/violations() parity, statement by statement."""
+
+    def test_full_pattern_set(self, trained_namer, statements):
+        auto = trained_namer.matcher
+        assert auto._automaton is not None
+        legacy = legacy_twin(auto)
+        assert legacy._automaton is None
+        matched = 0
+        for stmt, paths in statements:
+            rel_a = auto.relations(paths)
+            rel_l = legacy.relations(paths)
+            assert rel_a == rel_l
+            matched += len(rel_a)
+            assert auto.violations(stmt, paths) == legacy.violations(
+                stmt, paths
+            )
+        assert matched, "corpus must exercise the matchers"
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_pattern_subsets(self, trained_namer, statements, seed):
+        patterns = trained_namer.matcher.patterns
+        rng = random.Random(seed)
+        subset = rng.sample(patterns, max(1, len(patterns) // 3))
+        auto = PatternMatcher(subset)
+        legacy = PatternMatcher(subset, use_automaton=False)
+        for stmt, paths in statements:
+            assert auto.relations(paths) == legacy.relations(paths)
+            assert auto.violations(stmt, paths) == legacy.violations(
+                stmt, paths
+            )
+
+    def test_empty_pattern_set(self, statements):
+        auto = PatternMatcher([])
+        legacy = PatternMatcher([], use_automaton=False)
+        for stmt, paths in statements[:50]:
+            assert auto.relations(paths) == []
+            assert auto.violations(stmt, paths) == []
+            assert legacy.relations(paths) == []
+
+    def test_single_pattern_set(self, trained_namer, statements):
+        for pattern in trained_namer.matcher.patterns[:5]:
+            auto = PatternMatcher([pattern])
+            legacy = PatternMatcher([pattern], use_automaton=False)
+            for stmt, paths in statements:
+                assert auto.relations(paths) == legacy.relations(paths)
+
+    def test_duplicate_prefix_statement_paths(self, trained_namer, statements):
+        """A statement carrying the same prefix twice orders candidates
+        at the first occurrence but resolves lookups at the last — both
+        backends, identically."""
+        auto = trained_namer.matcher
+        legacy = legacy_twin(auto)
+        checked = 0
+        for stmt, paths in statements:
+            if len(paths) < 2:
+                continue
+            doctored = list(paths) + [paths[0], paths[-1]]
+            assert auto.relations(doctored) == legacy.relations(doctored)
+            assert auto.violations(stmt, doctored) == legacy.violations(
+                stmt, doctored
+            )
+            checked += 1
+            if checked >= 40:
+                break
+        assert checked, "need statements with at least two paths"
+
+    def test_shared_anchor_buckets_exist(self, trained_namer):
+        """The mined set must actually exercise shared accept sets —
+        several patterns anchored at one trie node — or the ordering
+        assertions above prove less than they claim."""
+        automaton = trained_namer.matcher._automaton
+        assert any(len(b) > 1 for b in automaton._accepts.values())
+
+    def test_rescan_is_stateless(self, trained_namer, statements):
+        """Generation-stamped scratch arrays must not leak one scan's
+        state into the next (same or different statement)."""
+        auto = trained_namer.matcher
+        sample = statements[:60]
+        first = [auto.relations(paths) for _, paths in sample]
+        second = [auto.relations(paths) for _, paths in reversed(sample)]
+        assert first == list(reversed(second))
+
+
+class TestDifferentialReports:
+    """End-to-end detect_many parity, serial and parallel."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 7])
+    def test_byte_identical_reports(self, trained_namer, workers):
+        namer = trained_namer
+        auto = namer.matcher
+        legacy = legacy_twin(auto)
+        try:
+            namer.matcher = legacy
+            expected = report_blob(namer.detect_many(namer.prepared))
+        finally:
+            namer.matcher = auto
+        got = report_blob(namer.detect_many(namer.prepared, workers=workers))
+        assert got == expected
+
+    def test_repeat_scan_replay_identical(self, trained_namer):
+        """Two detect passes over the same namer (warm scan arrays,
+        bumped generations) must be byte-identical."""
+        namer = trained_namer
+        first = report_blob(namer.detect_many(namer.prepared))
+        second = report_blob(namer.detect_many(namer.prepared))
+        assert second == first
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_quarantine_parity_under_faults(self, trained_namer, workers):
+        plan = FaultPlan(
+            [
+                FaultSpec(site="core.detect", rate=0.4),
+                FaultSpec(site="core.featurize", rate=0.3),
+            ],
+            seed=5,
+        )
+        namer = trained_namer
+        auto = namer.matcher
+
+        def run():
+            with FAULTS.armed(plan):
+                quarantine = Quarantine()
+                groups = namer.detect_many(
+                    namer.prepared, quarantine=quarantine, workers=workers
+                )
+            return report_blob(groups), [
+                (r.path, r.stage, r.kind, r.repo) for r in quarantine.records
+            ]
+
+        try:
+            namer.matcher = legacy_twin(auto)
+            expected_blob, expected_records = run()
+        finally:
+            namer.matcher = auto
+        got_blob, got_records = run()
+        assert expected_records, "plan must actually trip to prove parity"
+        assert got_records == expected_records
+        assert got_blob == expected_blob
+
+
+class TestPruneParity:
+    """The miner's prune counts through the shared automaton matcher."""
+
+    def test_count_matches_backend_parity(self, trained_namer, statements):
+        patterns = trained_namer.matcher.patterns
+        path_lists = [paths for _, paths in statements]
+        auto_counts = _count_matches(path_lists, patterns)
+        legacy = PatternMatcher(
+            patterns,
+            prefix_counts=prefix_frequencies(path_lists),
+            use_automaton=False,
+        )
+        assert _count_matches_with(legacy, path_lists) == auto_counts
+
+    def test_counts_anchor_independent(self, trained_namer, statements):
+        """Corpus-rarity anchors and fallback anchors must count
+        identically — the invariant that lets one shared matcher serve
+        every shard layout and the cache."""
+        patterns = trained_namer.matcher.patterns
+        path_lists = [paths for _, paths in statements]
+        with_corpus = _count_matches(path_lists, patterns)
+        fallback_matcher = PatternMatcher(patterns)  # pattern-set rarity
+        assert _count_matches_with(fallback_matcher, path_lists) == with_corpus
+
+    def test_mined_artifacts_identical_across_backends(self):
+        """mine() itself (stats index included) produces byte-identical
+        artifacts whether matchers compile the automaton or not."""
+        from repro.core.persistence import namer_to_document
+
+        corpus = generate_python_corpus(
+            GeneratorConfig(num_repos=4, issue_rate=0.15, seed=9)
+        )
+        config = NamerConfig(
+            mining=MiningConfig(min_pattern_support=6, min_path_frequency=4)
+        )
+        namer = Namer(config)
+        namer.mine(corpus)
+        doc = namer_to_document(namer)
+        legacy_namer = Namer(config)
+        import repro.mining.matcher as matcher_mod
+
+        original = matcher_mod.PatternMatcher.__init__
+
+        def forced_legacy(self, patterns, prefix_counts=None, use_automaton=True):
+            original(self, patterns, prefix_counts, use_automaton=False)
+
+        matcher_mod.PatternMatcher.__init__ = forced_legacy
+        try:
+            legacy_namer.mine(corpus)
+        finally:
+            matcher_mod.PatternMatcher.__init__ = original
+        legacy_doc = namer_to_document(legacy_namer)
+        doc.pop("phase_timings", None)
+        legacy_doc.pop("phase_timings", None)
+        assert json.dumps(doc, sort_keys=True) == json.dumps(
+            legacy_doc, sort_keys=True
+        )
+
+
+class TestFallbackFrequencies:
+    """The artifact-load fallback rarity table is read off the trie."""
+
+    def test_fallback_counts_match_recounting(self, trained_namer):
+        patterns = trained_namer.matcher.patterns
+        expected = Counter(
+            d.prefix for p in patterns for d in p.deduction
+        )
+        matcher = PatternMatcher(patterns)  # no corpus table: fallback
+        assert matcher.prefix_counts == expected
+        # First-seen key order is part of the merge/serialization
+        # contract, not just the values.
+        assert list(matcher.prefix_counts) == list(expected)
+        automaton = matcher._automaton
+        assert automaton is not None
+        assert automaton.deduction_prefix_counts() == expected
+
+    def test_artifact_load_builds_automaton(self, trained_namer, tmp_path):
+        from repro.core.persistence import (
+            load_namer,
+            namer_to_document,
+            save_document,
+        )
+
+        artifact = tmp_path / "namer.json"
+        save_document(namer_to_document(trained_namer), str(artifact))
+        loaded = load_namer(str(artifact))
+        assert loaded.matcher._automaton is not None
+        expected = Counter(
+            d.prefix
+            for p in loaded.matcher.patterns
+            for d in p.deduction
+        )
+        assert loaded.matcher.prefix_counts == expected
+        assert list(loaded.matcher.prefix_counts) == list(expected)
+
+
+class TestMergeAndPickle:
+    def test_merge_parity_with_flat_build(self, trained_namer, statements):
+        patterns = trained_namer.matcher.patterns
+        third = max(1, len(patterns) // 3)
+        parts = [
+            PatternMatcher(patterns[:third]),
+            PatternMatcher(patterns[third : 2 * third]),
+            PatternMatcher(patterns[2 * third :]),
+        ]
+        merged = PatternMatcher.merge(parts)
+        assert merged._automaton is not None
+        flat = PatternMatcher(patterns)
+        assert merged.prefix_counts == flat.prefix_counts
+        assert list(merged.prefix_counts) == list(flat.prefix_counts)
+        for _, paths in statements[:100]:
+            assert merged.relations(paths) == flat.relations(paths)
+
+    def test_merge_with_legacy_part_stays_legacy(self, trained_namer):
+        patterns = trained_namer.matcher.patterns
+        parts = [
+            PatternMatcher(patterns[:2]),
+            PatternMatcher(patterns[2:4], use_automaton=False),
+        ]
+        merged = PatternMatcher.merge(parts)
+        assert merged._automaton is None
+
+    def test_pickle_roundtrip(self, trained_namer, statements):
+        """A matcher that has already scanned must pickle without its
+        scratch state and match identically on the other side — the
+        spawn-platform shipping path."""
+        auto = trained_namer.matcher
+        sample = statements[:50]
+        for _, paths in sample[:5]:
+            auto.relations(paths)  # populate scan scratch
+        blob = pickle.dumps(auto)
+        automaton_state = pickle.loads(
+            pickle.dumps(auto._automaton)
+        ).__dict__
+        assert "_stamp" not in automaton_state
+        loaded = pickle.loads(blob)
+        for stmt, paths in sample:
+            assert loaded.relations(paths) == auto.relations(paths)
+            assert loaded.violations(stmt, paths) == auto.violations(
+                stmt, paths
+            )
+
+    def test_unfinalized_automaton_refuses_to_scan(self, trained_namer):
+        automaton = MatchAutomaton(trained_namer.matcher.patterns[:2])
+        with pytest.raises(RuntimeError, match="finalize"):
+            automaton.relations([])
+
+    def test_schema_constant_is_int(self):
+        assert isinstance(AUTOMATON_SCHEMA, int)
+
+
+class TestSharedContext:
+    """share_context ships the matcher once per pool, not per task."""
+
+    def test_handle_before_pool_raw_after(self):
+        value = {"model": 1}
+        with ShardExecutor(2) as executor:
+            handle = executor.share_context(value)
+            assert isinstance(handle, SharedContext)
+            assert resolve_context(handle) is value
+            # Re-sharing the same object reuses the registration.
+            assert executor.share_context(value) == handle
+            executor.warm()
+            late = executor.share_context({"model": 2})
+            assert not isinstance(late, SharedContext)
+            assert resolve_context(late) == {"model": 2}
+
+    def test_serial_executor_ships_raw(self):
+        with ShardExecutor(1) as executor:
+            value = object()
+            assert executor.share_context(value) is value
+
+    def test_close_unregisters(self):
+        from repro.parallel.executor import _SHARED
+
+        executor = ShardExecutor(2)
+        handle = executor.share_context(["ctx"])
+        assert handle.key in _SHARED
+        executor.close()
+        assert handle.key not in _SHARED
+
+    def test_workers_resolve_shared_context(self, trained_namer):
+        """End to end: a pool created after share_context serves tasks
+        that carry only the handle."""
+        namer = trained_namer
+        expected = report_blob(namer.detect_many(namer.prepared[:6]))
+        with ShardExecutor(2) as executor:
+            namer.warm_detect(executor)
+            got = report_blob(
+                namer.detect_many(namer.prepared[:6], executor=executor)
+            )
+        assert got == expected
