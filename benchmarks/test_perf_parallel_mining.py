@@ -120,7 +120,11 @@ def test_parallel_mining_speedup(mining_input):
 
     speedup = serial_seconds / max(parallel_seconds, 1e-9)
     phases = profiler.to_json()
-    assert {row["phase"] for row in phases} == {
+    # The intern pass (corpus-wide path -> dense-ID table) is memoized
+    # on the miner across best-of rounds, so only the round that built
+    # the table carries the "intern" row; the recorded profiler is the
+    # last round's and may legitimately lack it.
+    assert {row["phase"] for row in phases} - {"intern"} == {
         "frequency",
         "growth",
         "generate",
@@ -158,15 +162,17 @@ def test_parallel_mining_speedup(mining_input):
             f"missed floor: {speedup:.2f}x < {min_speedup}x "
             f"(enforcement disabled)"
         )
-    # Preserve the automaton prune record (test_perf_automaton.py) when
-    # one is already in the file — it shares BENCH_mining.json.
+    # Preserve the automaton prune record (test_perf_automaton.py) and
+    # the interned-backend record (test_perf_interner.py) when present —
+    # the three benchmarks share BENCH_mining.json.
     if BENCH_OUT.exists():
         try:
             prior = json.loads(BENCH_OUT.read_text())
         except ValueError:
             prior = {}
-        if "automaton" in prior:
-            record["automaton"] = prior["automaton"]
+        for key in ("automaton", "interned"):
+            if key in prior:
+                record[key] = prior[key]
     BENCH_OUT.write_text(json.dumps(record, indent=2) + "\n")
 
     headline = (

@@ -46,7 +46,12 @@ from repro.core.stats_index import StatsIndex
 from repro.core.transform import TransformConfig
 from repro.corpus.model import Corpus, Repository
 from repro.mining.confusing_pairs import ConfusingPairStore, mine_confusing_pairs
-from repro.mining.matcher import PatternMatcher, prefix_frequencies
+from repro.mining.interner import INTERNER_SCHEMA, PathInterner
+from repro.mining.matcher import (
+    PatternMatcher,
+    prefix_frequencies,
+    prefix_frequencies_ids,
+)
 from repro.mining.miner import MiningConfig, PatternMiner
 from repro.ml.linear import LinearSVM
 from repro.ml.pipeline import ClassifierPipeline
@@ -258,6 +263,7 @@ class Namer:
             self._transform_config(),
             cfg.pointsto,
             cfg.mining.max_paths_per_statement,
+            f"interner{INTERNER_SCHEMA}",
         )
 
     @staticmethod
@@ -365,6 +371,13 @@ class Namer:
                     [len(pf.statements) for pf in self.prepared],
                     file_keys,
                 )
+            with profiler.phase("intern", items=len(statements)):
+                # One corpus-wide pass assigns every distinct name path
+                # a dense first-occurrence ID; the miner's hot loops,
+                # the final matcher, and (via share_context, from inside
+                # mine) every shard worker then run in the ID domain.
+                interner, id_lists = PathInterner.build(paths)
+                interner.ensure_symbolic()
             consistency = miner.mine(
                 statements,
                 PatternKind.CONSISTENCY,
@@ -374,6 +387,8 @@ class Namer:
                 executor=executor,
                 cache=cache,
                 shard_keys=shard_keys,
+                interner=interner,
+                id_lists=id_lists,
             )
             confusing = miner.mine(
                 statements,
@@ -384,13 +399,22 @@ class Namer:
                 executor=executor,
                 cache=cache,
                 shard_keys=shard_keys,
+                interner=interner,
+                id_lists=id_lists,
             )
         patterns = consistency.patterns + confusing.patterns
         # Anchor each pattern at its rarest prefix as measured over the
         # corpus it was mined from — the stats pass and all subsequent
-        # detection reuse this selectivity-tuned index.
+        # detection reuse this selectivity-tuned index, with the corpus
+        # interner attached so every later scan reads ID tables.  The
+        # interned frequency table matches prefix_frequencies(paths)
+        # key-for-key: symbolic IDs are assigned in first-occurrence
+        # order of their concrete paths, which is exactly the order the
+        # object pass first meets each prefix.
         self.matcher = PatternMatcher(
-            patterns, prefix_counts=prefix_frequencies(paths)
+            patterns,
+            prefix_counts=prefix_frequencies_ids(id_lists, interner),
+            interner=interner,
         )
 
         with profiler.phase("stats", items=len(statements)):
@@ -496,21 +520,27 @@ class Namer:
         merge into :meth:`_violation_counts`' tallies: (index, violating
         statement count, violating file paths, violating repo names)."""
         assert self.matcher is not None
-        index = StatsIndex.build(
-            self.matcher,
-            (
-                (ps.stmt, ps.paths)
-                for pf in prepared_files
+        matcher = self.matcher
+        # Resolve each statement's interned IDs once and reuse them for
+        # both scans below (the stats build and the violation tally).
+        file_entries = [
+            [
+                (ps.stmt, ps.paths, matcher.prepare_ids(ps.paths))
                 for ps in pf.statements
-            ),
+            ]
+            for pf in prepared_files
+        ]
+        index = StatsIndex.build(
+            matcher,
+            (entry for entries in file_entries for entry in entries),
         )
         stmts_with = 0
         files_with = set()
         repos_with = set()
-        for pf in prepared_files:
+        for pf, entries in zip(prepared_files, file_entries):
             file_hit = False
-            for ps in pf.statements:
-                if self.matcher.violations(ps.stmt, ps.paths):
+            for stmt, paths, ids in entries:
+                if matcher.violations(stmt, paths, ids):
                     stmts_with += 1
                     file_hit = True
             if file_hit:
@@ -795,25 +825,44 @@ class Namer:
         quarantine: Quarantine | None,
         profiler: PhaseProfiler,
     ) -> tuple[list[list[Violation]], list[StatsIndex | None]]:
-        """Per-file pattern matching + local stats, inline."""
+        """Per-file pattern matching + local stats, inline.
+
+        Two timed stages per file, reported as separate profiler rows:
+        ``extract`` resolves each statement's paths to interned IDs
+        (one dict probe per path; ``None`` rows when the matcher has no
+        interner), ``match`` scans those IDs through the automaton for
+        violations and the file-local statistics index.
+        """
+        matcher = self.matcher
         groups: list[list[Violation]] = []
         local_stats: list[StatsIndex | None] = []
-        with profiler.phase("match", items=len(files)):
-            for pf in files:
-                try:
-                    fault_check("core.detect", key=pf.path)
-                    group = self.violations_in(pf)
-                    stats = StatsIndex.build(
-                        self.matcher,
-                        ((ps.stmt, ps.paths) for ps in pf.statements),
-                    )
-                except Exception as exc:
-                    if quarantine is None:
-                        raise
-                    quarantine.capture(pf.path, "detect", exc, repo=pf.repo)
-                    group, stats = [], None
-                groups.append(group)
-                local_stats.append(stats)
+        extract_seconds = 0.0
+        match_seconds = 0.0
+        for pf in files:
+            started = time.perf_counter()
+            try:
+                fault_check("core.detect", key=pf.path)
+                entries = [
+                    (ps.stmt, ps.paths, matcher.prepare_ids(ps.paths))
+                    for ps in pf.statements
+                ]
+                extract_seconds += time.perf_counter() - started
+                started = time.perf_counter()
+                found: list[Violation] = []
+                for stmt, paths, ids in entries:
+                    found.extend(matcher.violations(stmt, paths, ids))
+                group = _dedup_violations(found)
+                stats = StatsIndex.build(matcher, entries)
+            except Exception as exc:
+                if quarantine is None:
+                    raise
+                quarantine.capture(pf.path, "detect", exc, repo=pf.repo)
+                group, stats = [], None
+            match_seconds += time.perf_counter() - started
+            groups.append(group)
+            local_stats.append(stats)
+        profiler.record("extract", extract_seconds, items=len(files))
+        profiler.record("match", match_seconds, items=len(files))
         return groups, local_stats
 
     def _detect_parallel(
@@ -876,11 +925,12 @@ class Namer:
                 for payload in file_payloads
             ],
         )
-        entries, match_seconds, featurize_seconds = merge_timed_shards(
-            shard_results
+        entries, extract_seconds, match_seconds, featurize_seconds = (
+            merge_timed_shards(shard_results)
         )
         groups = [group for group, _, _, _ in entries]
         featurized = [feats for _, feats, _, _ in entries]
+        profiler.record("extract", extract_seconds, items=len(files))
         profiler.record("match", match_seconds, items=len(files))
         profiler.record(
             "featurize",
@@ -994,11 +1044,12 @@ def _detect_shard(task):
     """Process-pool entry point for one detection shard (module-level
     for pickling).
 
-    Runs the per-file match + featurize stages for a contiguous slice
-    of the batch and returns one picklable entry per file —
-    ``(violations, feature_vectors, detect_record, featurize_record)``
-    — plus the worker-side seconds of each stage.  Classification is
-    deliberately absent: the parent scores the whole batch in one pass.
+    Runs the per-file extract + match + featurize stages for a
+    contiguous slice of the batch and returns one picklable entry per
+    file — ``(violations, feature_vectors, detect_record,
+    featurize_record)`` — plus the worker-side seconds of each stage.
+    Classification is deliberately absent: the parent scores the whole
+    batch in one pass.
     """
     ctx_payload, files_payload, capture, plan_json = task
     # Sync this worker's fault injector to the plan armed in the parent
@@ -1015,6 +1066,7 @@ def _detect_shard(task):
     matcher, stats, pairs, max_paths = resolve_context(ctx_payload)
     files = resolve_shard(files_payload)
     entries = []
+    extract_seconds = 0.0
     match_seconds = 0.0
     featurize_seconds = 0.0
     for pf in files:
@@ -1022,13 +1074,17 @@ def _detect_shard(task):
         detect_record = None
         try:
             fault_check("core.detect", key=pf.path)
+            stmt_entries = [
+                (ps.stmt, ps.paths, matcher.prepare_ids(ps.paths))
+                for ps in pf.statements
+            ]
+            extract_seconds += time.perf_counter() - started
+            started = time.perf_counter()
             found: list[Violation] = []
-            for ps in pf.statements:
-                found.extend(matcher.violations(ps.stmt, ps.paths))
+            for stmt, paths, ids in stmt_entries:
+                found.extend(matcher.violations(stmt, paths, ids))
             group = _dedup_violations(found)
-            local = StatsIndex.build(
-                matcher, ((ps.stmt, ps.paths) for ps in pf.statements)
-            )
+            local = StatsIndex.build(matcher, stmt_entries)
         except Exception as exc:
             if not capture:
                 raise
@@ -1060,4 +1116,4 @@ def _detect_shard(task):
             feats = []
         featurize_seconds += time.perf_counter() - started
         entries.append((group, feats, detect_record, featurize_record))
-    return entries, match_seconds, featurize_seconds
+    return entries, extract_seconds, match_seconds, featurize_seconds

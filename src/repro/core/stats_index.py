@@ -50,12 +50,14 @@ class StatsIndex:
     def build(
         cls,
         matcher: PatternMatcher,
-        statements: Iterable[tuple[StatementAst, Sequence[NamePath]]],
+        statements: Iterable[tuple],
     ) -> "StatsIndex":
-        """Scan ``(statement, paths)`` pairs and accumulate all counters."""
+        """Scan ``(statement, paths)`` pairs — or ``(statement, paths,
+        ids)`` triples when the caller already resolved the statement's
+        interned path IDs — and accumulate all counters."""
         index = cls()
-        for stmt, paths in statements:
-            index.add_statement(matcher, stmt, paths)
+        for entry in statements:
+            index.add_statement(matcher, *entry)
         return index
 
     @classmethod
@@ -83,12 +85,13 @@ class StatsIndex:
         matcher: PatternMatcher,
         stmt: StatementAst,
         paths: Sequence[NamePath],
+        ids: Sequence[int] | None = None,
     ) -> None:
         self.total_statements += 1
         struct = stmt.structural_key()
         self.statement_counts["file"][(stmt.file_path, struct)] += 1
         self.statement_counts["repo"][(stmt.repo, struct)] += 1
-        for pattern, relation in matcher.check_all(paths):
+        for pattern, relation in matcher.check_all(paths, ids):
             key = pattern.key()
             self._bump(self.matches, key, stmt)
             if relation is Relation.SATISFIED:

@@ -50,6 +50,7 @@ whenever a change here could alter any output byte.
 
 from __future__ import annotations
 
+import sys
 from collections import Counter
 from typing import Sequence
 
@@ -63,6 +64,9 @@ from repro.core.patterns import (
 from repro.lang.astir import StatementAst
 
 __all__ = ["AUTOMATON_SCHEMA", "MatchAutomaton"]
+
+#: Floor for the serve-time interning cap (see :meth:`attach_interner`).
+_MIN_INTERN_CAP = 1 << 16
 
 #: Schema version of the compiled automaton.  Mixed into the cache keys
 #: of everything matched through it (the miner's prune entries, the
@@ -125,6 +129,11 @@ class MatchAutomaton:
         #: assigned by :meth:`finalize`
         self._accepts: dict[int, list[int]] = {}
         self._finalized = False
+        #: attached :class:`~repro.mining.interner.PathInterner` (or
+        #: ``None``): enables the ID-domain scan, where per-path trie
+        #: descents collapse into per-ID table reads
+        self._interner = None
+        self._intern_cap = 0
         for pattern in self.patterns:
             self._compile(pattern)
         self._scan_ready = False
@@ -229,6 +238,100 @@ class MatchAutomaton:
         self._finalized = True
 
     # ------------------------------------------------------------------
+    # Interned scanning: per-ID tables over an attached PathInterner
+    # ------------------------------------------------------------------
+
+    def attach_interner(self, interner, cap: int | None = None) -> None:
+        """Attach a :class:`~repro.mining.interner.PathInterner` and
+        switch scanning to the ID domain.
+
+        Each vocabulary entry is resolved against the trie exactly once
+        (node id, end-token id, guard bit, casefolded end) into flat
+        tables; scanning a statement then reads one table row per path
+        instead of descending the trie and re-casefolding ends.  The
+        tables are pure functions of (trie, vocabulary), extended
+        lazily as the vocabulary grows.
+
+        ``cap`` bounds serve-time vocabulary growth: unknown paths past
+        it scan through the legacy trie walk instead of interning
+        (default: twice the attached vocabulary, with a floor, so a
+        long-lived service memoizes real traffic but hostile input
+        cannot grow the table forever).  Re-attaching the same interner
+        is a no-op; attaching a different one resets the tables.
+        """
+        if interner is self._interner:
+            return
+        self._interner = interner
+        self._intern_cap = (
+            max(2 * len(interner), _MIN_INTERN_CAP) if cap is None else cap
+        )
+        self._reset_pid_tables()
+
+    def _reset_pid_tables(self) -> None:
+        self._pid_node: list[int] = []
+        self._pid_endbit: list[int] = []
+        self._pid_tid: list[int] = []
+        self._pid_fold: list[str] = []
+        self._pid_end: list[str | None] = []
+
+    def ids_of(self, paths: Sequence[NamePath]) -> list[int] | None:
+        """Pre-resolve a statement's paths to interned IDs (``-1`` for
+        paths the capped interner refuses), extending the per-ID tables
+        to cover the result; ``None`` without an attached interner.
+        The ``extract`` half of a detect scan — hand the result to
+        :meth:`relations` / :meth:`violations` as ``ids``."""
+        interner = self._interner
+        if interner is None:
+            return None
+        cap = self._intern_cap
+        intern = interner.intern_capped
+        ids = [intern(path, cap) for path in paths]
+        # getattr: the tables are scratch state, dropped on pickle.
+        pid_node = getattr(self, "_pid_node", None)
+        if pid_node is None or len(pid_node) < len(interner):
+            self._extend_pid_tables()
+        return ids
+
+    def _extend_pid_tables(self) -> None:
+        """Resolve vocabulary entries ``len(tables)..len(interner)-1``
+        against the trie.  Values mirror exactly what one legacy scan
+        step computes for the same path — the scan loops then agree
+        byte-for-byte whichever branch handled a path."""
+        if not hasattr(self, "_pid_node"):
+            self._reset_pid_tables()
+        pid_node = self._pid_node
+        pid_endbit = self._pid_endbit
+        pid_tid = self._pid_tid
+        pid_fold = self._pid_fold
+        pid_end = self._pid_end
+        children = self._children
+        end_bits = self._end_bits
+        end_tid = self._end_tid
+        vocab = self._interner.paths
+        for pid in range(len(pid_node), len(vocab)):
+            path = vocab[pid]
+            node = 0
+            for step in path.prefix:
+                nxt = children[node].get(step)
+                if nxt is None:
+                    node = -1
+                    break
+                node = nxt
+            end = path.end
+            pid_node.append(node)
+            if end is not None:
+                pid_endbit.append(end_bits.get(end, 0))
+                pid_tid.append(end_tid.get(end, _TID_UNKNOWN))
+                # Folded ends are sys-interned so the satisfaction
+                # compare usually short-circuits on object identity.
+                pid_fold.append(sys.intern(end.casefold()))
+            else:
+                pid_endbit.append(0)
+                pid_tid.append(_TID_UNKNOWN)
+                pid_fold.append("")
+            pid_end.append(end)
+
+    # ------------------------------------------------------------------
     # Scanning
     # ------------------------------------------------------------------
 
@@ -322,6 +425,104 @@ class MatchAutomaton:
         ordered.sort()
         return [idx for _, idx in ordered]
 
+    def _scan_ids(
+        self, ids: Sequence[int], paths: Sequence[NamePath]
+    ) -> list[int]:
+        """:meth:`_scan` in the ID domain: each non-negative ID is one
+        set of table reads instead of a trie descent; a ``-1`` (path
+        the capped interner refused) falls back to the legacy walk of
+        ``paths[pos]`` inline.  Every scratch write mirrors ``_scan``
+        exactly, so the relation checks and candidate order agree
+        byte-for-byte whichever loop scanned the statement."""
+        if not self._scan_ready:
+            self._prepare_scan()
+        if not self._finalized:
+            raise RuntimeError("finalize() must run before matching")
+        pid_node = getattr(self, "_pid_node", None)
+        if pid_node is None or len(pid_node) < len(self._interner):
+            self._extend_pid_tables()
+            pid_node = self._pid_node
+        gen = self._gen + 1
+        self._gen = gen
+        pid_endbit = self._pid_endbit
+        pid_tid = self._pid_tid
+        pid_fold = self._pid_fold
+        pid_end = self._pid_end
+        children = self._children
+        stamp = self._stamp
+        posa = self._pos
+        enda = self._end
+        tida = self._tid
+        folda = self._folded
+        node_mask = self._node_mask
+        end_bits = self._end_bits
+        end_tid = self._end_tid
+        accepts = self._accepts
+        pat_stamp = self._pat_stamp
+        stmt_mask = 0
+        cand: list[int] = []
+        for pos, pid in enumerate(ids):
+            if pid >= 0:
+                stmt_mask |= pid_endbit[pid]
+                node = pid_node[pid]
+                if node < 0:
+                    continue
+                stmt_mask |= node_mask[node]
+                if stamp[node] != gen:
+                    stamp[node] = gen
+                    posa[node] = pos
+                enda[node] = pid_end[pid]
+                tida[node] = pid_tid[pid]
+                folda[node] = pid_fold[pid]
+            else:
+                path = paths[pos]
+                node = 0
+                for step in path.prefix:
+                    nxt = children[node].get(step)
+                    if nxt is None:
+                        node = -1
+                        break
+                    node = nxt
+                end = path.end
+                if end is not None:
+                    bit = end_bits.get(end)
+                    if bit is not None:
+                        stmt_mask |= bit
+                if node < 0:
+                    continue
+                stmt_mask |= node_mask[node]
+                if stamp[node] != gen:
+                    stamp[node] = gen
+                    posa[node] = pos
+                enda[node] = end
+                if end is not None:
+                    tida[node] = end_tid.get(end, _TID_UNKNOWN)
+                    folda[node] = end.casefold()
+                else:
+                    tida[node] = _TID_UNKNOWN
+                    folda[node] = ""
+            bucket = accepts.get(node)
+            if bucket is not None:
+                for idx in bucket:
+                    if pat_stamp[idx] != gen:
+                        pat_stamp[idx] = gen
+                        cand.append(idx)
+        if not cand:
+            return cand
+        req_masks = self._req_masks
+        order_node = self._order_node
+        ordered: list[tuple[int, int]] = []
+        for idx in cand:
+            required = req_masks[idx]
+            if required & stmt_mask != required:
+                continue
+            onode = order_node[idx]
+            if stamp[onode] != gen:
+                continue
+            ordered.append((posa[onode], idx))
+        ordered.sort()
+        return [idx for _, idx in ordered]
+
     def _relation(self, idx: int, gen: int) -> Relation:
         """The statement/pattern relation, from the current scan's
         stamps — the integer-domain equivalent of ``check_pattern``."""
@@ -347,14 +548,45 @@ class MatchAutomaton:
         return _SATISFIED if satisfied else _VIOLATED
 
     def relations(
-        self, paths: Sequence[NamePath]
+        self,
+        paths: Sequence[NamePath],
+        ids: Sequence[int] | None = None,
     ) -> list[tuple[int, Relation]]:
         """``(pattern index, relation)`` for every matching pattern, in
         the pinned candidate order; NO_MATCH candidates are dropped —
-        exactly what the legacy ``check_all`` yields."""
+        exactly what the legacy ``check_all`` yields.  Pass pre-resolved
+        ``ids`` (from :meth:`ids_of`) to scan in the ID domain."""
         out: list[tuple[int, Relation]] = []
         relation = self._relation
-        candidates = self._scan(paths)
+        candidates = self._candidates(paths, ids)
+        gen = self._gen
+        for idx in candidates:
+            rel = relation(idx, gen)
+            if rel is not _NO_MATCH:
+                out.append((idx, rel))
+        return out
+
+    def _candidates(
+        self, paths: Sequence[NamePath], ids: Sequence[int] | None
+    ) -> list[int]:
+        """Scan dispatch: the ID loop when the caller pre-resolved IDs
+        *or* an interner is attached (resolved inline — one dict read
+        per path replaces a trie descent), the legacy loop otherwise."""
+        if ids is None:
+            if self._interner is None:
+                return self._scan(paths)
+            ids = self.ids_of(paths)
+        return self._scan_ids(ids, paths)
+
+    def relations_ids(self, ids: Sequence[int]) -> list[tuple[int, Relation]]:
+        """:meth:`relations` for a fully-interned statement (every ID
+        non-negative — the corpus-mining case, where the interner covers
+        the whole corpus by construction).  ``ids`` should be a plain
+        list; callers holding numpy arrays convert with ``.tolist()``
+        once so the hot loop reads native ints."""
+        out: list[tuple[int, Relation]] = []
+        relation = self._relation
+        candidates = self._scan_ids(ids, ())
         gen = self._gen
         for idx in candidates:
             rel = relation(idx, gen)
@@ -363,14 +595,17 @@ class MatchAutomaton:
         return out
 
     def violations(
-        self, stmt: StatementAst, paths: Sequence[NamePath]
+        self,
+        stmt: StatementAst,
+        paths: Sequence[NamePath],
+        ids: Sequence[int] | None = None,
     ) -> list[Violation]:
         """All pattern violations of one statement, byte-identical to
         running ``find_violation`` over the legacy candidate order."""
         found: list[Violation] = []
         relation = self._relation
         patterns = self.patterns
-        candidates = self._scan(paths)
+        candidates = self._candidates(paths, ids)
         gen = self._gen
         enda = self._end
         for idx in candidates:
@@ -418,6 +653,13 @@ class MatchAutomaton:
         "_tid",
         "_folded",
         "_pat_stamp",
+        # Per-ID tables are derived state: the attached interner (its
+        # vocabulary) ships, the tables rebuild lazily on first ID scan.
+        "_pid_node",
+        "_pid_endbit",
+        "_pid_tid",
+        "_pid_fold",
+        "_pid_end",
     )
 
     def __getstate__(self) -> dict:

@@ -10,6 +10,16 @@ This mirrors Han et al.'s FP-tree [24] and Leung et al.'s constrained
 variant [32], specialized to the condition/deduction split: deduction
 paths always come last in a transaction, so every ``is_last`` node's
 final one or two visited paths are the deduction.
+
+The tree is agnostic to what a transaction item *is* — nodes key
+children by the item value.  The legacy miner inserts
+:class:`~repro.core.namepath.NamePath` objects; the interned backend
+(``PatternMiner(use_interner=True)``, the default) inserts dense
+``int`` IDs from :class:`repro.mining.interner.PathInterner`, which
+hash and compare in a few nanoseconds instead of tuple-hashing every
+path field.  Both produce structurally identical trees because the
+interner assigns IDs in first-occurrence order, preserving insertion
+and child-dict order.
 """
 
 from __future__ import annotations
@@ -27,20 +37,21 @@ class FPNode:
     """One node of the FP tree.
 
     Attributes:
-        path: The name path this node represents (``None`` at the root).
+        path: The transaction item this node represents — a name path
+            or its interned ID (``None`` at the root).
         count: Number of transactions whose prefix includes this node.
         last_count: Number of transactions *ending* exactly here.
         is_last: Whether any transaction ends here (Algorithm 1's flag).
         children: Child nodes keyed by their name path.
     """
 
-    path: NamePath | None = None
+    path: NamePath | int | None = None
     count: int = 0
     last_count: int = 0
     is_last: bool = False
-    children: dict[NamePath, "FPNode"] = field(default_factory=dict)
+    children: dict[NamePath | int, "FPNode"] = field(default_factory=dict)
 
-    def child(self, path: NamePath) -> "FPNode":
+    def child(self, path: NamePath | int) -> "FPNode":
         """Get or create the child for ``path``."""
         existing = self.children.get(path)
         if existing is None:
@@ -64,12 +75,14 @@ class FPTree:
         self.root = FPNode()
         self.transaction_count = 0
 
-    def update(self, transaction: Sequence[NamePath]) -> None:
+    def update(self, transaction: Sequence[NamePath | int]) -> None:
         """Insert one transaction, incrementing counts along its path and
         flagging the final node (Algorithm 1, line 7)."""
         self.update_counted(transaction, 1)
 
-    def update_counted(self, transaction: Sequence[NamePath], count: int) -> None:
+    def update_counted(
+        self, transaction: Sequence[NamePath | int], count: int
+    ) -> None:
         """Insert ``count`` occurrences of one transaction at once.
 
         This is how sharded mining replays merged per-shard transaction

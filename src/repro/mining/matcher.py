@@ -47,6 +47,8 @@ from __future__ import annotations
 from collections import Counter, defaultdict
 from typing import Iterable, Mapping, Sequence
 
+import numpy as np
+
 from repro.core.namepath import NamePath, PathStep, paths_by_prefix
 from repro.core.patterns import (
     NamePattern,
@@ -57,9 +59,10 @@ from repro.core.patterns import (
 )
 from repro.lang.astir import StatementAst
 from repro.mining.automaton import MatchAutomaton
+from repro.mining.interner import PathInterner
 from repro.parallel.merge import merge_counters
 
-__all__ = ["PatternMatcher", "prefix_frequencies"]
+__all__ = ["PatternMatcher", "prefix_frequencies", "prefix_frequencies_ids"]
 
 
 def prefix_frequencies(
@@ -72,6 +75,26 @@ def prefix_frequencies(
     for paths in path_lists:
         for path in paths:
             counts[path.prefix] += 1
+    return counts
+
+
+def prefix_frequencies_ids(
+    id_lists: Sequence[np.ndarray], interner: PathInterner
+) -> Counter[tuple[PathStep, ...]]:
+    """:func:`prefix_frequencies` over interned ID arrays: one
+    ``bincount`` over the symbolic-ID projection (two paths share a
+    prefix iff their symbolic variants share an ID) instead of hashing
+    every prefix tuple per occurrence.  Values — and therefore every
+    anchor choice made against them — are identical to the object pass.
+    """
+    counts: Counter[tuple[PathStep, ...]] = Counter()
+    if not id_lists:
+        return counts
+    sym = np.asarray(interner.ensure_symbolic(), dtype=np.int64)
+    totals = np.bincount(sym[np.concatenate(id_lists)], minlength=len(sym))
+    resolve = interner.resolve
+    for pid in np.flatnonzero(totals):
+        counts[resolve(int(pid)).prefix] = int(totals[pid])
     return counts
 
 
@@ -92,9 +115,18 @@ class PatternMatcher:
         patterns: Sequence[NamePattern],
         prefix_counts: Mapping[tuple[PathStep, ...], int] | None = None,
         use_automaton: bool = True,
+        interner: PathInterner | None = None,
+        use_interner: bool = True,
     ) -> None:
         pattern_list = list(patterns)
         automaton = MatchAutomaton(pattern_list) if use_automaton else None
+        if automaton is not None and use_interner:
+            # A corpus interner when the caller holds one (mining), a
+            # fresh table otherwise (artifact loads / serving — it then
+            # memoizes the paths real traffic presents, up to the cap).
+            automaton.attach_interner(
+                interner if interner is not None else PathInterner()
+            )
         #: deduction-prefix occurrences across this matcher's own
         #: patterns — the fallback rarity table, and the table
         #: :meth:`merge` sums instead of recounting.  With a compiled
@@ -231,17 +263,37 @@ class PatternMatcher:
         for idx in self.candidate_indices(paths):
             yield self.patterns[idx]
 
+    def attach_interner(
+        self, interner: PathInterner, cap: int | None = None
+    ) -> None:
+        """Attach (or replace) the automaton's path interner; a no-op
+        without a compiled automaton (the legacy path has no ID scan)."""
+        if self._automaton is not None:
+            self._automaton.attach_interner(interner, cap)
+
+    def prepare_ids(self, paths: Sequence[NamePath]) -> list[int] | None:
+        """Pre-resolve a statement's paths to interned IDs for the ID
+        scan (``None`` when no interner is attached — callers pass the
+        result straight back as ``ids``, so no-interner degrades to the
+        per-path scan transparently)."""
+        if self._automaton is None:
+            return None
+        return self._automaton.ids_of(paths)
+
     def relations(
-        self, paths: Sequence[NamePath]
+        self,
+        paths: Sequence[NamePath],
+        ids: Sequence[int] | None = None,
     ) -> list[tuple[int, Relation]]:
         """``(pattern index, relation)`` for every candidate that
         matches, in the pinned candidate order.  Routed through the
-        compiled automaton when one exists; the legacy path builds the
+        compiled automaton when one exists (in the ID domain when the
+        caller passes pre-resolved ``ids``); the legacy path builds the
         statement's prefix index once (lazily, on the first candidate —
         against a small pattern slice most statements have no candidates
         at all) and runs ``check_pattern`` per candidate."""
         if self._automaton is not None:
-            return self._automaton.relations(paths)
+            return self._automaton.relations(paths, ids)
         index = None
         out: list[tuple[int, Relation]] = []
         for idx in self.candidate_indices(paths):
@@ -252,19 +304,30 @@ class PatternMatcher:
                 out.append((idx, relation))
         return out
 
+    def relations_ids(self, ids: Sequence[int]) -> list[tuple[int, Relation]]:
+        """:meth:`relations` for a fully-interned statement (all IDs
+        non-negative; no path objects needed) — the miner's prune loop.
+        Requires a compiled automaton with an attached interner."""
+        return self._automaton.relations_ids(ids)
+
     def check_all(
-        self, paths: Sequence[NamePath]
+        self,
+        paths: Sequence[NamePath],
+        ids: Sequence[int] | None = None,
     ) -> Iterable[tuple[NamePattern, Relation]]:
         """(pattern, relation) for every candidate that matches."""
         patterns = self.patterns
-        return [(patterns[idx], rel) for idx, rel in self.relations(paths)]
+        return [(patterns[idx], rel) for idx, rel in self.relations(paths, ids)]
 
     def violations(
-        self, stmt: StatementAst, paths: Sequence[NamePath]
+        self,
+        stmt: StatementAst,
+        paths: Sequence[NamePath],
+        ids: Sequence[int] | None = None,
     ) -> list[Violation]:
         """All pattern violations triggered by one statement."""
         if self._automaton is not None:
-            return self._automaton.violations(stmt, paths)
+            return self._automaton.violations(stmt, paths, ids)
         index = None
         found = []
         for pattern in self.candidates(paths):
@@ -305,6 +368,14 @@ class PatternMatcher:
         automaton = None
         if all(m._automaton is not None for m in parts):
             automaton = MatchAutomaton(combined)
+            if any(m._automaton._interner is not None for m in parts):
+                # Parts may share one corpus interner — reuse it when
+                # they agree, else start a fresh serve-time table.
+                interners = {id(m._automaton._interner) for m in parts}
+                if len(interners) == 1:
+                    automaton.attach_interner(parts[0]._automaton._interner)
+                else:
+                    automaton.attach_interner(PathInterner())
         merged = PatternMatcher.__new__(PatternMatcher)
         merged._init_from_parts(combined, pattern_counts, corpus_counts, automaton)
         return merged

@@ -28,9 +28,11 @@ from __future__ import annotations
 
 import itertools
 import time
-from collections import Counter
+from collections import Counter, OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Sequence, Iterable
+
+import numpy as np
 
 from repro.cache.contentcache import ContentCache
 from repro.cache.incremental import (
@@ -43,10 +45,21 @@ from repro.core.patterns import NamePattern, PatternKind, Relation
 from repro.lang.astir import StatementAst
 from repro.mining.automaton import AUTOMATON_SCHEMA
 from repro.mining.fptree import FPNode, FPTree
-from repro.mining.matcher import PatternMatcher, prefix_frequencies
+from repro.mining.interner import (
+    INTERNER_SCHEMA,
+    PathInterner,
+    ShardPathCounts,
+    merge_shard_path_counts,
+)
+from repro.mining.matcher import (
+    PatternMatcher,
+    prefix_frequencies,
+    prefix_frequencies_ids,
+)
 from repro.parallel.executor import (
     ShardExecutor,
     SharedSlice,
+    register_teardown_hook,
     resolve_context,
     resolve_shard,
 )
@@ -111,8 +124,16 @@ class PatternMiner:
         self,
         config: MiningConfig = MiningConfig(),
         confusing_pairs: Iterable[tuple[str, str]] = (),
+        use_interner: bool = True,
     ) -> None:
         self.config = config
+        #: route the frequency/growth/generate/prune hot loops through
+        #: dense interned path IDs (``repro.mining.interner``) when the
+        #: caller supplies pre-extracted paths.  ``False`` keeps the
+        #: object-path passes alive for differential testing
+        #: (``tests/test_interner.py`` pins the two byte-identical),
+        #: mirroring the matcher's ``use_automaton`` escape hatch.
+        self.use_interner = use_interner
         #: ``correct word -> set of mistaken words``; deductions of
         #: confusing-word patterns must end at a correct word.
         self.correct_words: dict[str, set[str]] = {}
@@ -123,12 +144,18 @@ class PatternMiner:
         #: pays for the pass once.  Holds the statements to pin identity
         #: (and keep the id stable); never pickled into shard tasks.
         self._frequency_memo: tuple[
-            Sequence[StatementAst], Counter[NamePath]
+            Sequence[StatementAst], Counter[NamePath] | np.ndarray
         ] | None = None
+        #: memo of the last intern pass, keyed on the path-list object:
+        #: the corpus interner plus per-statement ID arrays and plain-
+        #: list rows, shared by the two per-kind mine passes.  Never
+        #: pickled into shard tasks.
+        self._intern_memo: tuple | None = None
 
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)
         state["_frequency_memo"] = None
+        state["_intern_memo"] = None
         return state
 
     def _kind_salt(self, kind: PatternKind) -> str:
@@ -164,6 +191,8 @@ class PatternMiner:
         executor: ShardExecutor | None = None,
         cache: ContentCache | None = None,
         shard_keys: Sequence[str] | None = None,
+        interner: PathInterner | None = None,
+        id_lists: Sequence[np.ndarray] | None = None,
     ) -> MiningResult:
         """Mine patterns of ``kind`` from transformed statement ASTs.
 
@@ -173,6 +202,14 @@ class PatternMiner:
         miner extracts them itself — path extraction is the single most
         expensive part of every pass, so callers that have the paths
         should always hand them over.
+
+        With paths in hand (and ``use_interner`` left on) the passes run
+        in the interned ID domain: ``interner``/``id_lists`` may supply
+        an already-built corpus table (``PathInterner.build`` output —
+        ``Namer.mine`` builds one and shares it with the worker pool);
+        otherwise the miner interns the corpus itself under an
+        ``intern`` profiler phase.  Interned and object-path mining are
+        bit-identical.
 
         ``spans`` is an optional contiguous shard plan over the
         statement sequence (e.g. the per-repo plan ``Namer.mine``
@@ -234,7 +271,37 @@ class PatternMiner:
             # from their statement shard (cached across passes).  Serial
             # runs keep one set of path lists in this process.
             has_paths = paths is not None
-            if parallel:
+            use_ids = self.use_interner and has_paths
+            interner_payload = None
+            id_rows: list[list[int]] | None = None
+            id_shards: list = []
+            if use_ids:
+                # Intern once per corpus (memoized across the two
+                # per-kind passes): the one remaining pass that hashes
+                # every path occurrence.  Everything below reads dense
+                # IDs.  When the caller (Namer.mine) already built and
+                # profiled the table, reuse it without a phase row.
+                prebuilt = interner is not None or (
+                    self._intern_memo is not None
+                    and self._intern_memo[0] is paths
+                )
+                if prebuilt:
+                    interner, id_lists, id_rows = self._intern_corpus(
+                        paths, interner, id_lists
+                    )
+                else:
+                    with profiler.phase("intern", items=n):
+                        interner, id_lists, id_rows = self._intern_corpus(
+                            paths, None, None
+                        )
+                interner.ensure_symbolic()
+                if parallel:
+                    # Publish the interner to the (future) pool and the
+                    # ID arrays as fork-shared slices: growth and prune
+                    # tasks then carry only handles and small arrays.
+                    interner_payload = executor.share_context(interner)
+                    id_shards = executor.shard_payloads(id_lists, spans)
+            if parallel and not use_ids:
                 shards = executor.shard_payloads(
                     paths if has_paths else statements, spans
                 )
@@ -244,7 +311,11 @@ class PatternMiner:
 
             with profiler.phase("frequency", items=n):
                 memo = self._frequency_memo
-                memo_hit = memo is not None and memo[0] is statements
+                memo_hit = (
+                    memo is not None
+                    and memo[0] is statements
+                    and isinstance(memo[1], np.ndarray) == use_ids
+                )
                 if not parallel:
                     path_lists = (
                         paths
@@ -255,6 +326,44 @@ class PatternMiner:
                     )
                 if memo_hit:
                     counts = memo[1]
+                elif use_ids:
+                    # One bincount over the concatenated ID arrays —
+                    # cheap enough that fanning out could only lose.
+                    # Cached mining still goes per shard (the entry is
+                    # a purity-preserving local-vocabulary summary, see
+                    # ShardPathCounts), computed in the parent.
+                    if use_cache:
+                        freq_salt = (
+                            config_fingerprint(cfg)
+                            + f"|interner{INTERNER_SCHEMA}"
+                        )
+
+                        def compute_frequency_ids(missing: list[int]) -> list:
+                            return [
+                                ShardPathCounts.from_id_arrays(
+                                    id_lists[spans[i][0] : spans[i][1]],
+                                    interner,
+                                )
+                                for i in missing
+                            ]
+
+                        counts = merge_shard_path_counts(
+                            _through_cache(
+                                cache,
+                                "frequency",
+                                shard_keys,
+                                freq_salt,
+                                compute_frequency_ids,
+                            ),
+                            interner,
+                        )
+                    else:
+                        flat = (
+                            np.concatenate(id_lists)
+                            if id_lists
+                            else np.zeros(0, dtype=np.int32)
+                        )
+                        counts = np.bincount(flat, minlength=len(interner))
                 elif use_cache:
                     # Path counts depend only on the shard's own files
                     # and the config — the one pass whose salt has no
@@ -292,18 +401,111 @@ class PatternMiner:
                 else:
                     counts = _count_paths(path_lists)
                 self._frequency_memo = (statements, counts)
-                frequent = {
-                    p for p, c in counts.items() if c >= cfg.min_path_frequency
-                }
+                if use_ids:
+                    # `counts >= max(threshold, 1)` is exactly "seen at
+                    # least `threshold` times": vocabulary entries the
+                    # corpus never produced concretely (the symbolic
+                    # variants) count zero and stay out, matching the
+                    # legacy Counter comprehension at any threshold.
+                    frequent_pids = np.flatnonzero(
+                        counts >= max(cfg.min_path_frequency, 1)
+                    )
+                    freq_ok = np.zeros(len(interner), dtype=bool)
+                    freq_ok[frequent_pids] = True
+                    frequent: set[NamePath] = set()
+                else:
+                    frequent = {
+                        p
+                        for p, c in counts.items()
+                        if c >= cfg.min_path_frequency
+                    }
 
             with profiler.phase("growth", items=n):
                 # Each shard's distinct transactions replay into the
                 # tree in span order — for contiguous shards that is the
                 # global first-occurrence order, so the tree (child dict
                 # order included) is bit-identical to per-statement
-                # serial insertion.
+                # serial insertion.  Interned growth inserts int-tuple
+                # transactions (rank-sorted — the order `sorted(paths)`
+                # would produce) keyed to the same stream bijectively,
+                # so the int tree is node-for-node isomorphic to the
+                # object tree.
                 tree = FPTree()
-                if use_cache:
+                if use_ids:
+                    if use_cache:
+                        # Shard entries carry *local* IDs plus their
+                        # vocabulary slice (global IDs depend on other
+                        # shards; cache entries must not) — the parent
+                        # remaps through its interner on merge.
+                        growth_salt = (
+                            self._kind_salt(kind)
+                            + "|"
+                            + fingerprint_of(
+                                sorted(
+                                    interner.resolve(int(pid))
+                                    for pid in frequent_pids
+                                )
+                            )
+                            + f"|interner{INTERNER_SCHEMA}"
+                        )
+
+                        def compute_growth_ids(missing: list[int]) -> list:
+                            if parallel:
+                                return executor.map(
+                                    _growth_shard_ids,
+                                    [
+                                        (
+                                            self,
+                                            id_shards[i],
+                                            interner_payload,
+                                            freq_ok,
+                                            kind,
+                                        )
+                                        for i in missing
+                                    ],
+                                )
+                            tables = self._growth_tables(
+                                interner, freq_ok.tolist()
+                            )
+                            return [
+                                _localize_transactions(
+                                    self._transaction_counts_ids(
+                                        id_rows[spans[i][0] : spans[i][1]],
+                                        tables,
+                                        kind,
+                                    ),
+                                    interner,
+                                )
+                                for i in missing
+                            ]
+
+                        shard_transactions = [
+                            _globalize_transactions(entry, interner)
+                            for entry in _through_cache(
+                                cache,
+                                "growth",
+                                shard_keys,
+                                growth_salt,
+                                compute_growth_ids,
+                            )
+                        ]
+                    elif parallel:
+                        shard_transactions = [
+                            _globalize_transactions(entry, interner)
+                            for entry in executor.map(
+                                _growth_shard_ids,
+                                [
+                                    (self, shard, interner_payload, freq_ok, kind)
+                                    for shard in id_shards
+                                ],
+                            )
+                        ]
+                    else:
+                        tables = self._growth_tables(interner, freq_ok.tolist())
+                        shard_transactions = [
+                            self._transaction_counts_ids(id_rows, tables, kind)
+                        ]
+                elif use_cache:
                     # A shard's transactions depend on the *global*
                     # frequent-path set, so it rides in the salt: any
                     # corpus change that shifts path frequencies over
@@ -357,15 +559,26 @@ class PatternMiner:
 
             fp_nodes = tree.node_count()
             with profiler.phase("generate", items=fp_nodes):
-                candidates = generate_patterns(
-                    tree.root,
-                    [],
-                    kind,
-                    max_condition_paths=cfg.max_condition_paths,
-                    condition_subsets=cfg.condition_subsets,
-                    max_combinations=cfg.max_condition_combinations,
-                )
-                merged = _merge_duplicates(candidates)
+                if use_ids:
+                    id_candidates = generate_patterns_ids(
+                        tree.root,
+                        kind,
+                        interner.ensure_symbolic(),
+                        max_condition_paths=cfg.max_condition_paths,
+                        condition_subsets=cfg.condition_subsets,
+                        max_combinations=cfg.max_condition_combinations,
+                    )
+                    merged = _merge_duplicates_ids(id_candidates, kind, interner)
+                else:
+                    candidates = generate_patterns(
+                        tree.root,
+                        [],
+                        kind,
+                        max_condition_paths=cfg.max_condition_paths,
+                        condition_subsets=cfg.condition_subsets,
+                        max_combinations=cfg.max_condition_combinations,
+                    )
+                    merged = _merge_duplicates(candidates)
 
             with profiler.phase("prune", items=n):
                 supported = [
@@ -374,7 +587,40 @@ class PatternMiner:
                 if not supported:
                     pruned = []
                 else:
-                    if use_cache:
+                    if use_ids:
+                        if use_cache:
+                            match_counts, sat_counts = self._cached_prune_ids(
+                                cache,
+                                shard_keys,
+                                spans,
+                                id_shards,
+                                id_lists,
+                                id_rows,
+                                supported,
+                                interner,
+                                interner_payload,
+                                parallel=parallel,
+                                executor=executor,
+                                profiler=profiler,
+                            )
+                        elif parallel:
+                            match_counts, sat_counts = self._parallel_prune_ids(
+                                supported,
+                                id_shards,
+                                id_lists,
+                                interner,
+                                interner_payload,
+                                executor=executor,
+                                profiler=profiler,
+                            )
+                        else:
+                            match_counts, sat_counts = _count_matches_ids(
+                                self._prune_matcher_ids(
+                                    supported, id_lists, interner
+                                ),
+                                id_rows,
+                            )
+                    elif use_cache:
                         match_counts, sat_counts = self._cached_prune(
                             cache,
                             shard_keys,
@@ -452,6 +698,240 @@ class PatternMiner:
         :func:`_count_matches`; kept as a method for callers that have
         a miner in hand)."""
         return _count_matches(path_lists, supported)
+
+    # ------------------------------------------------------------------
+    # Interned pipeline (use_interner=True): the same passes over dense
+    # path IDs.  Per-ID tables off the interner replace every hash and
+    # rich comparison in the hot loops; the object methods above remain
+    # the differential reference.
+    # ------------------------------------------------------------------
+
+    def _intern_corpus(
+        self,
+        paths: Sequence[Sequence[NamePath]],
+        interner: PathInterner | None,
+        id_lists: Sequence[np.ndarray] | None,
+    ) -> tuple[PathInterner, Sequence[np.ndarray], list[list[int]]]:
+        """The corpus interner, per-statement ID arrays, and plain-list
+        rows (list indexing beats numpy scalar boxing in the pure-Python
+        pair loops), memoized on the path-list object so the two
+        per-kind mine passes pay once."""
+        memo = self._intern_memo
+        if memo is not None and memo[0] is paths:
+            return memo[1], memo[2], memo[3]
+        if interner is None:
+            interner, id_lists = PathInterner.build(paths)
+        elif id_lists is None:
+            id_lists = [
+                np.asarray(
+                    [interner.intern(p) for p in row], dtype=np.int32
+                )
+                for row in paths
+            ]
+        id_rows = [arr.tolist() for arr in id_lists]
+        self._intern_memo = (paths, interner, id_lists, id_rows)
+        return interner, id_lists, id_rows
+
+    def _growth_tables(
+        self, interner: PathInterner, frequent: list[bool]
+    ) -> tuple:
+        """Per-ID lookup tables for the interned growth pass.  The
+        interner-derived tables are cached on the interner itself, so a
+        worker process builds them once and reuses them across tasks."""
+        sym = interner.ensure_symbolic()
+        rank = interner.sort_ranks()
+        fold = interner.fold_table()
+        name_ok = interner.name_ok_table()
+        correct = [p.end in self.correct_words for p in interner.paths]
+        return frequent, sym, rank, fold, name_ok, correct
+
+    def _transaction_counts_ids(
+        self,
+        id_rows: Sequence[list[int]],
+        tables: tuple,
+        kind: PatternKind,
+    ) -> dict[tuple[int, ...], int]:
+        """:meth:`_transaction_counts` in the ID domain: int-tuple
+        transactions, rank-sorted (`sorted(paths)` order), counted in
+        first-occurrence order."""
+        frequent, sym, rank, fold, name_ok, correct = tables
+        transactions: dict[tuple[int, ...], int] = {}
+        max_cond = self.config.max_condition_paths
+        rank_key = rank.__getitem__
+        consistency = kind is PatternKind.CONSISTENCY
+        for row in id_rows:
+            kept = [pid for pid in row if frequent[pid]]
+            if consistency:
+                splits = self._split_consistency_ids(
+                    kept, sym, fold, name_ok, max_cond
+                )
+            else:
+                splits = self._split_confusing_ids(kept, sym, correct, max_cond)
+            for cond, deduct in splits:
+                transaction = tuple(
+                    sorted(cond, key=rank_key) + sorted(deduct, key=rank_key)
+                )
+                if transaction:
+                    transactions[transaction] = (
+                        transactions.get(transaction, 0) + 1
+                    )
+        return transactions
+
+    def _split_consistency_ids(
+        self,
+        pids: list[int],
+        sym: list[int],
+        fold: list[int],
+        name_ok: list[bool],
+        max_cond: int,
+    ) -> Iterable[tuple[list[int], list[int]]]:
+        """:meth:`_split_consistency` over IDs: casefold-equal ends are
+        one fold-ID compare, prefix identity one symbolic-ID compare.
+        The first path's guards hoist out of the inner loop — pairs they
+        skip yielded nothing in the object version either."""
+        for i, a1 in enumerate(pids):
+            f1 = fold[a1]
+            if f1 < 0 or not name_ok[a1]:
+                continue
+            s1 = sym[a1]
+            for a2 in pids[i + 1 :]:
+                if fold[a2] != f1 or sym[a2] == s1 or not name_ok[a2]:
+                    continue
+                s2 = sym[a2]
+                cond = [p for p in pids if sym[p] != s1 and sym[p] != s2]
+                del cond[max_cond:]
+                yield cond, [s1, s2]
+
+    def _split_confusing_ids(
+        self,
+        pids: list[int],
+        sym: list[int],
+        correct: list[bool],
+        max_cond: int,
+    ) -> Iterable[tuple[list[int], list[int]]]:
+        """:meth:`_split_confusing` over IDs (deductions stay concrete)."""
+        for a in pids:
+            if not correct[a]:
+                continue
+            sa = sym[a]
+            cond = [p for p in pids if sym[p] != sa]
+            del cond[max_cond:]
+            yield cond, [a]
+
+    def _prune_matcher_ids(
+        self,
+        supported: list[NamePattern],
+        id_lists: Sequence[np.ndarray],
+        interner: PathInterner,
+    ) -> PatternMatcher:
+        """:meth:`_prune_matcher` with the corpus interner attached, so
+        the prune loop scans pre-resolved ID rows (``relations_ids``)."""
+        return PatternMatcher(
+            supported,
+            prefix_counts=prefix_frequencies_ids(id_lists, interner),
+            interner=interner,
+        )
+
+    def _parallel_prune_ids(
+        self,
+        supported: list[NamePattern],
+        id_shards: list,
+        id_lists: Sequence[np.ndarray],
+        interner: PathInterner,
+        interner_payload,
+        *,
+        executor: ShardExecutor,
+        profiler: PhaseProfiler,
+    ) -> tuple[Counter[int], Counter[int]]:
+        """:meth:`_parallel_prune` over ID shards.
+
+        The matcher is compiled *without* an interner — the vocabulary
+        already reached every worker once through ``interner_payload``,
+        and a matcher that carried it would re-pickle the whole table
+        per task — and each worker attaches its pool-shared interner
+        before scanning."""
+        matcher = PatternMatcher(
+            supported,
+            prefix_counts=prefix_frequencies_ids(id_lists, interner),
+            use_interner=False,
+        )
+        matcher_payload = executor.share_context(matcher)
+        results = executor.map(
+            _prune_shard_ids,
+            [
+                (matcher_payload, shard, interner_payload)
+                for shard in id_shards
+            ],
+        )
+        match_counts, sat_counts = merge_count_pairs(
+            [(match, sat) for match, sat, _ in results]
+        )
+        profiler.record(
+            "prune_shard",
+            sum(seconds for _, _, seconds in results),
+            items=len(results),
+        )
+        return match_counts, sat_counts
+
+    def _cached_prune_ids(
+        self,
+        cache: ContentCache,
+        shard_keys: Sequence[str],
+        spans: Sequence[Span],
+        id_shards: list,
+        id_lists: Sequence[np.ndarray],
+        id_rows: list[list[int]],
+        supported: list[NamePattern],
+        interner: PathInterner,
+        interner_payload,
+        *,
+        parallel: bool,
+        executor: ShardExecutor,
+        profiler: PhaseProfiler,
+    ) -> tuple[Counter[int], Counter[int]]:
+        """:meth:`_cached_prune` over ID shards.  Same salt as the
+        object path (per-pattern counts are backend-identical, so the
+        backends share entries); the interner schema rides in both as a
+        safety interlock."""
+        salt = _prune_salt(self.config, supported)
+        entries = [
+            cache.get("prune", cache.key(key, salt)) for key in shard_keys
+        ]
+        missing = [i for i, entry in enumerate(entries) if entry is None]
+        if missing:
+            if parallel:
+                matcher = PatternMatcher(
+                    supported,
+                    prefix_counts=prefix_frequencies_ids(id_lists, interner),
+                    use_interner=False,
+                )
+                matcher_payload = executor.share_context(matcher)
+                computed = executor.map(
+                    _prune_shard_ids,
+                    [
+                        (matcher_payload, id_shards[i], interner_payload)
+                        for i in missing
+                    ],
+                )
+            else:
+                matcher = self._prune_matcher_ids(
+                    supported, id_lists, interner
+                )
+                computed = [
+                    _timed_count_matches_ids(
+                        matcher, id_rows[spans[i][0] : spans[i][1]]
+                    )
+                    for i in missing
+                ]
+            for i, (match, sat, _) in zip(missing, computed):
+                entries[i] = (match, sat)
+                cache.put("prune", cache.key(shard_keys[i], salt), (match, sat))
+            profiler.record(
+                "prune_shard",
+                sum(seconds for _, _, seconds in computed),
+                items=len(missing),
+            )
+        return merge_count_pairs(entries)
 
     def _prune_matcher(
         self,
@@ -546,11 +1026,7 @@ class PatternMiner:
         warm run records none, a one-file edit records one shard per
         kind.
         """
-        salt = (
-            config_fingerprint(self.config, "prune")
-            + f"|automaton{AUTOMATON_SCHEMA}|"
-            + fingerprint_of(pattern_fingerprint(p) for p in supported)
-        )
+        salt = _prune_salt(self.config, supported)
         entries = [
             cache.get("prune", cache.key(key, salt)) for key in shard_keys
         ]
@@ -669,7 +1145,34 @@ class PatternMiner:
 # the pool routes them to the same process.
 # ----------------------------------------------------------------------
 
-_PATH_CACHE: dict[tuple[SharedSlice, int], list[list["NamePath"]]] = {}
+#: Per-process LRU of extracted path lists, keyed by fork-shared slice
+#: handle.  Bounded: extracted paths are the largest allocation a worker
+#: holds between tasks, and an unbounded dict would pin every shard a
+#: long-lived pool ever touched.  The cap covers a full frequency→
+#: growth→prune cycle at the default shards-per-worker ratio; evicted
+#: shards simply re-extract.  Cleared on executor teardown so neither
+#: the serial (inline) process nor a fork-shared parent carries stale
+#: shards into the next pool.
+_PATH_CACHE: OrderedDict[
+    tuple[SharedSlice, int], list[list["NamePath"]]
+] = OrderedDict()
+
+_PATH_CACHE_MAX = 8
+
+register_teardown_hook(_PATH_CACHE.clear)
+
+
+def _prune_salt(config: MiningConfig, supported: list[NamePattern]) -> str:
+    """Cache salt for per-shard prune entries: the config, both matcher
+    backend schemas (entries are computed through the compiled matcher,
+    in the ID domain when an interner is attached — values are backend-
+    identical, the schemas are safety interlocks), and the candidate
+    list the counts are keyed into."""
+    return (
+        config_fingerprint(config, "prune")
+        + f"|automaton{AUTOMATON_SCHEMA}|interner{INTERNER_SCHEMA}|"
+        + fingerprint_of(pattern_fingerprint(p) for p in supported)
+    )
 
 
 def _validate_spans(spans: Sequence[Span], n: int) -> None:
@@ -712,6 +1215,10 @@ def _shard_path_lists(
         if cached is None:
             cached = _extract_path_lists(resolve_shard(payload), max_paths)
             _PATH_CACHE[cache_key] = cached
+            while len(_PATH_CACHE) > _PATH_CACHE_MAX:
+                _PATH_CACHE.popitem(last=False)
+        else:
+            _PATH_CACHE.move_to_end(cache_key)
         return cached
     return _extract_path_lists(payload, max_paths)
 
@@ -793,6 +1300,101 @@ def _prune_shard(task) -> tuple[Counter[int], Counter[int], float]:
     matcher = resolve_context(matcher_payload)
     path_lists = _shard_path_lists(payload, has_paths, max_paths)
     match_counts, sat_counts = _count_matches_with(matcher, path_lists)
+    return match_counts, sat_counts, time.perf_counter() - started
+
+
+# ----------------------------------------------------------------------
+# Interned shard tasks and transaction plumbing
+# ----------------------------------------------------------------------
+
+
+def _localize_transactions(
+    transactions: dict[tuple[int, ...], int], interner: PathInterner
+) -> tuple[list[NamePath], list[tuple[tuple[int, ...], int]]]:
+    """Re-express global-ID transactions as a shard-pure summary:
+    first-occurrence local IDs plus the vocabulary slice they index.
+    Global IDs depend on every preceding shard, so they may not appear
+    in cache entries or shard results."""
+    local_ids: dict[int, int] = {}
+    vocab: list[NamePath] = []
+    items: list[tuple[tuple[int, ...], int]] = []
+    resolve = interner.resolve
+    for transaction, count in transactions.items():
+        row = []
+        for gid in transaction:
+            lid = local_ids.get(gid)
+            if lid is None:
+                lid = local_ids[gid] = len(vocab)
+                vocab.append(resolve(gid))
+            row.append(lid)
+        items.append((tuple(row), count))
+    return vocab, items
+
+
+def _globalize_transactions(
+    entry: tuple[list[NamePath], list[tuple[tuple[int, ...], int]]],
+    interner: PathInterner,
+) -> dict[tuple[int, ...], int]:
+    """Remap a localized shard summary into the parent's ID space
+    (get-or-add, so a vocabulary entry the parent has not seen — e.g.
+    out of a cache hit predating a corpus change — still resolves)."""
+    vocab, items = entry
+    gids = [interner.intern(path) for path in vocab]
+    return {
+        tuple(gids[lid] for lid in row): count for row, count in items
+    }
+
+
+def _growth_shard_ids(task):
+    """Interned growth task: the pool-shared interner, one fork-shared
+    slice of ID arrays, the frequent-ID mask.  Lookup tables rebuild
+    once per worker (cached on the interner object across tasks) and
+    the result ships back localized."""
+    miner, payload, interner_payload, freq_ok, kind = task
+    interner = resolve_context(interner_payload)
+    tables = miner._growth_tables(interner, freq_ok.tolist())
+    transactions = miner._transaction_counts_ids(
+        [arr.tolist() for arr in resolve_shard(payload)], tables, kind
+    )
+    return _localize_transactions(transactions, interner)
+
+
+def _count_matches_ids(
+    matcher: PatternMatcher, id_rows: Sequence[list[int]]
+) -> tuple[Counter[int], Counter[int]]:
+    """:func:`_count_matches_with` over pre-resolved ID rows: the
+    automaton scans integers (``relations_ids``), no per-statement path
+    hashing at all.  Candidate enumeration order — and therefore the
+    counters' key order — matches the object scan exactly."""
+    match_counts: Counter[int] = Counter()
+    sat_counts: Counter[int] = Counter()
+    for ids in id_rows:
+        for idx, relation in matcher.relations_ids(ids):
+            match_counts[idx] += 1
+            if relation is Relation.SATISFIED:
+                sat_counts[idx] += 1
+    return match_counts, sat_counts
+
+
+def _timed_count_matches_ids(
+    matcher: PatternMatcher, id_rows: Sequence[list[int]]
+) -> tuple[Counter[int], Counter[int], float]:
+    started = time.perf_counter()
+    match_counts, sat_counts = _count_matches_ids(matcher, id_rows)
+    return match_counts, sat_counts, time.perf_counter() - started
+
+
+def _prune_shard_ids(task) -> tuple[Counter[int], Counter[int], float]:
+    """Interned prune task: the candidate matcher (compiled without a
+    vocabulary), one slice of ID arrays, and the pool-shared interner
+    the worker attaches before scanning."""
+    matcher_payload, payload, interner_payload = task
+    started = time.perf_counter()
+    matcher = resolve_context(matcher_payload)
+    matcher.attach_interner(resolve_context(interner_payload))
+    match_counts, sat_counts = _count_matches_ids(
+        matcher, [arr.tolist() for arr in resolve_shard(payload)]
+    )
     return match_counts, sat_counts, time.perf_counter() - started
 
 
@@ -944,6 +1546,97 @@ def _merge_duplicates(patterns: list[NamePattern]) -> list[NamePattern]:
         else:
             merged[key] = existing.with_support(existing.support + p.support)
     return list(merged.values())
+
+
+def generate_patterns_ids(
+    node: FPNode,
+    kind: PatternKind,
+    sym: list[int],
+    max_condition_paths: int = 10,
+    condition_subsets: str = "full",
+    max_combinations: int = 32,
+) -> list[tuple[tuple[int, ...], tuple[int, ...], int]]:
+    """:func:`generate_patterns` over an int-keyed FP tree: emits raw
+    ``(condition IDs, deduction IDs, support)`` candidates instead of
+    built patterns — materialization happens once per *merged* key in
+    :func:`_merge_duplicates_ids`, not once per emission.
+
+    ``sym[v]`` symbolizes a deduction entry exactly as the object code's
+    ``with_end(EPSILON)`` does (and is the identity on already-symbolic
+    IDs), so the consistency same-prefix precheck is one int compare.
+    """
+    candidates: list[tuple[tuple[int, ...], tuple[int, ...], int]] = []
+    visited: list[int] = []
+    consistency = kind is PatternKind.CONSISTENCY
+    stack: list[tuple[FPNode, bool]] = [(node, True)]
+    while stack:
+        current, entering = stack.pop()
+        if not entering:
+            if current.path is not None:
+                visited.pop()
+            continue
+        if current.path is not None:
+            visited.append(current.path)
+        stack.append((current, False))
+        if current.is_last and current.path is not None:
+            deduct = None
+            conds: list[int] = []
+            if consistency:
+                if len(visited) >= 2:
+                    d0, d1 = sym[visited[-2]], sym[visited[-1]]
+                    # Equal symbolic IDs = equal prefixes: _build_pattern
+                    # rejects every combination of this node, so skip
+                    # enumerating them at all.
+                    if d0 != d1:
+                        deduct = (d0, d1)
+                        conds = visited[:-2]
+            elif visited:
+                deduct = (visited[-1],)
+                conds = visited[:-1]
+            if deduct is not None:
+                for cond in _condition_combinations(
+                    conds, max_condition_paths, condition_subsets, max_combinations
+                ):
+                    candidates.append((cond, deduct, current.count))
+        for child in reversed(list(current.children.values())):
+            stack.append((child, True))
+    return candidates
+
+
+def _merge_duplicates_ids(
+    candidates: list[tuple[tuple[int, ...], tuple[int, ...], int]],
+    kind: PatternKind,
+    interner: PathInterner,
+) -> list[NamePattern]:
+    """:func:`_merge_duplicates` over raw ID candidates: merge on
+    frozen ID sets (bijective with the object keys), then materialize
+    one pattern per merged key.  Keys :func:`_build_pattern` rejects
+    are dropped here instead of pre-merge — validity is a property of
+    the key, so the surviving list (and its first-seen order) is
+    exactly the object pipeline's."""
+    merged: dict[
+        tuple[frozenset[int], frozenset[int]],
+        tuple[tuple[int, ...], tuple[int, ...], int],
+    ] = {}
+    for cond, deduct, support in candidates:
+        key = (frozenset(cond), frozenset(deduct))
+        existing = merged.get(key)
+        if existing is None:
+            merged[key] = (cond, deduct, support)
+        else:
+            merged[key] = (existing[0], existing[1], existing[2] + support)
+    resolve = interner.resolve
+    out: list[NamePattern] = []
+    for cond, deduct, support in merged.values():
+        pattern = _build_pattern(
+            tuple(resolve(c) for c in cond),
+            [resolve(d) for d in deduct],
+            kind,
+            support,
+        )
+        if pattern is not None:
+            out.append(pattern)
+    return out
 
 
 def _is_name_subtoken(path: NamePath) -> bool:

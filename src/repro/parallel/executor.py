@@ -42,6 +42,7 @@ __all__ = [
     "SharedContext",
     "SharedSlice",
     "default_workers",
+    "register_teardown_hook",
     "resolve_context",
     "resolve_shard",
 ]
@@ -59,6 +60,20 @@ SHARDS_PER_WORKER = 2
 #: write) in every worker of that pool.
 _SHARED: dict[int, Sequence] = {}
 _SHARED_KEYS = itertools.count(1)
+
+#: Called whenever an executor closes.  Task modules register a clear
+#: for their process-local caches here (e.g. the miner's extracted-path
+#: cache): pool teardown then releases memory those caches grew in this
+#: process — which is where inline (serial) tasks ran, and where a
+#: fork-shared parent accumulates state the next pool would inherit.
+_TEARDOWN_HOOKS: list[Callable[[], None]] = []
+
+
+def register_teardown_hook(fn: Callable[[], None]) -> None:
+    """Register ``fn`` to run every time a :class:`ShardExecutor`
+    closes.  Idempotent per function object."""
+    if fn not in _TEARDOWN_HOOKS:
+        _TEARDOWN_HOOKS.append(fn)
 
 
 def default_workers() -> int:
@@ -274,6 +289,8 @@ class ShardExecutor:
         for key in self._context_values:
             _SHARED.pop(key, None)
         self._context_values.clear()
+        for hook in _TEARDOWN_HOOKS:
+            hook()
 
     def __enter__(self) -> "ShardExecutor":
         return self

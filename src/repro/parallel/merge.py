@@ -34,26 +34,27 @@ K = TypeVar("K", bound=Hashable)
 T = TypeVar("T")
 
 
-def merge_timed_shards(
-    results: Iterable[tuple[list[T], float, float]],
-) -> tuple[list[T], float, float]:
-    """Concatenate per-shard item lists in shard order and sum the two
+def merge_timed_shards(results: Iterable[tuple]) -> tuple:
+    """Concatenate per-shard item lists in shard order and sum the
     worker-side stage timings that ride with them.
 
-    The parallel detection pass returns ``(entries, match_seconds,
-    featurize_seconds)`` per shard; for a contiguous in-order plan the
-    concatenation is the original input order, and the summed seconds
-    are the profiler's worker-time rows (the ``prune_shard``
-    convention).
+    Each shard result is ``(items, *stage_seconds)`` — the parallel
+    detection pass returns ``(entries, extract_seconds, match_seconds,
+    featurize_seconds)`` — and every shard must carry the same number
+    of stages.  For a contiguous in-order plan the concatenation is the
+    original input order, and the summed seconds are the profiler's
+    worker-time rows (the ``prune_shard`` convention).  ``results``
+    must be non-empty (the stage arity is read off the first shard).
     """
-    items: list[T] = []
-    first_seconds = 0.0
-    second_seconds = 0.0
-    for shard_items, first_s, second_s in results:
+    items: list = []
+    seconds: list[float] = []
+    for shard_items, *stage_seconds in results:
         items.extend(shard_items)
-        first_seconds += first_s
-        second_seconds += second_s
-    return items, first_seconds, second_seconds
+        if not seconds:
+            seconds = [0.0] * len(stage_seconds)
+        for i, s in enumerate(stage_seconds):
+            seconds[i] += s
+    return (items, *seconds)
 
 
 def merge_counters(counters: Iterable[Mapping[K, int]]) -> Counter[K]:

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from repro.cache import ContentCache
 from repro.core.namer import Namer
 from repro.mining.automaton import AUTOMATON_SCHEMA
+from repro.mining.interner import INTERNER_SCHEMA
 from repro.core.persistence import PersistenceError, load_namer
 from repro.core.prepare import PreparedFile, PrepareError, prepare_file_checked
 from repro.corpus.model import SourceFile
@@ -401,11 +402,14 @@ class AnalysisEngine:
     @staticmethod
     def _detect_key(fp: str, request: AnalysisRequest) -> str:
         """Persistent detect-cache key: artifact fingerprint + request
-        content + the matching-automaton schema — reports are produced
-        through the compiled automaton, so a semantic change to it must
-        miss rather than replay bytes matched under the old schema."""
+        content + the matching-automaton and interner schemas — reports
+        are produced through the compiled automaton scanning interned
+        path IDs, so a semantic change to either must miss rather than
+        replay bytes matched under the old schema."""
         return ContentCache.key(
-            fp, f"automaton{AUTOMATON_SCHEMA}|{request.cache_key()}"
+            fp,
+            f"automaton{AUTOMATON_SCHEMA}|interner{INTERNER_SCHEMA}|"
+            f"{request.cache_key()}",
         )
 
     def _disk_get(self, request: AnalysisRequest) -> AnalysisResult | None:

@@ -255,17 +255,29 @@ class TestPruneParity:
         doc = namer_to_document(namer)
         legacy_namer = Namer(config)
         import repro.mining.matcher as matcher_mod
+        import repro.mining.miner as miner_mod
 
         original = matcher_mod.PatternMatcher.__init__
+        miner_original = miner_mod.PatternMiner.__init__
 
-        def forced_legacy(self, patterns, prefix_counts=None, use_automaton=True):
+        def forced_legacy(
+            self, patterns, prefix_counts=None, use_automaton=True, **kwargs
+        ):
             original(self, patterns, prefix_counts, use_automaton=False)
 
+        def forced_object_miner(self, *args, **kwargs):
+            # An automaton-less matcher has no ID scan, so the miner
+            # must take the object-path pipeline alongside it.
+            kwargs["use_interner"] = False
+            miner_original(self, *args, **kwargs)
+
         matcher_mod.PatternMatcher.__init__ = forced_legacy
+        miner_mod.PatternMiner.__init__ = forced_object_miner
         try:
             legacy_namer.mine(corpus)
         finally:
             matcher_mod.PatternMatcher.__init__ = original
+            miner_mod.PatternMiner.__init__ = miner_original
         legacy_doc = namer_to_document(legacy_namer)
         doc.pop("phase_timings", None)
         legacy_doc.pop("phase_timings", None)

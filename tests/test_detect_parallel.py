@@ -236,7 +236,8 @@ class TestDetectProfiling:
                 namer.prepared, workers=workers, profiler=profiler
             )
             rows = {row["phase"]: row for row in profiler.to_json()}
-            assert set(rows) == {"match", "featurize", "classify"}
+            assert set(rows) == {"extract", "match", "featurize", "classify"}
+            assert rows["extract"]["items"] == len(namer.prepared)
             assert rows["match"]["items"] == len(namer.prepared)
             assert rows["classify"]["calls"] == 1
 

@@ -425,6 +425,7 @@ class TestNamerParallelEquivalence:
         assert phases == [
             "pairs",
             "prepare",
+            "intern",
             "frequency",
             "growth",
             "generate",
