@@ -127,6 +127,7 @@ def cmd_mine(args: argparse.Namespace) -> int:
             train=not args.no_classifier,
             seed=args.seed,
             keep_checkpoints=args.keep_checkpoints,
+            freeze=args.freeze,
             log=print,
         )
     except InjectedFault as exc:
@@ -460,6 +461,7 @@ def _serve_cluster(args: argparse.Namespace) -> int:
             queue_capacity=args.queue_capacity,
             cache_entries=args.cache_size,
             strict_artifacts=args.strict_artifacts,
+            use_frozen=not args.no_frozen,
             fault_plan_path=args.fault_plan,
             quiet=False,
             start=False,
@@ -507,6 +509,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             index_path=args.index,
             degraded_ok=not args.strict_artifacts,
+            use_frozen=not args.no_frozen,
         )
     except PersistenceError as exc:
         return _fail(str(exc), code=2)
@@ -682,6 +685,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="disable the warm cache; every run recomputes from scratch",
     )
+    mine.add_argument(
+        "--freeze", action="store_true",
+        help="also write <out>.frozen — a memory-mappable compiled-matcher "
+        "blob that serving tiers load near-instantly (zero-copy)",
+    )
     mine.set_defaults(fn=cmd_mine)
 
     scan = sub.add_parser("scan", help="scan sources with saved artifacts")
@@ -802,6 +810,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict-artifacts", action="store_true",
         help="refuse to start on a corrupt classifier section instead "
         "of serving degraded pattern-only results",
+    )
+    serve.add_argument(
+        "--no-frozen", action="store_true",
+        help="ignore any <artifacts>.frozen sibling blob; always decode "
+        "the JSON artifact",
     )
     serve.add_argument(
         "--index", default=None, metavar="DB",

@@ -42,7 +42,7 @@ from repro.core.namepath import extract_name_paths
 from repro.core.prepare import PreparedFile, prepare_corpus
 from repro.core.patterns import PatternKind, Violation
 from repro.core.reports import Report
-from repro.core.stats_index import StatsIndex
+from repro.core.stats_index import FileStatsView, StatsIndex
 from repro.core.transform import TransformConfig
 from repro.corpus.model import Corpus, Repository
 from repro.mining.confusing_pairs import ConfusingPairStore, mine_confusing_pairs
@@ -848,11 +848,7 @@ class Namer:
                 ]
                 extract_seconds += time.perf_counter() - started
                 started = time.perf_counter()
-                found: list[Violation] = []
-                for stmt, paths, ids in entries:
-                    found.extend(matcher.violations(stmt, paths, ids))
-                group = _dedup_violations(found)
-                stats = StatsIndex.build(matcher, entries)
+                group, stats = _match_file(matcher, entries)
             except Exception as exc:
                 if quarantine is None:
                     raise
@@ -1040,6 +1036,42 @@ def _dedup_violations(violations: list[Violation]) -> list[Violation]:
     return [best[k] for k in order]
 
 
+def _match_file(matcher, entries):
+    """The match half of one file's detect pass: deduped violations plus
+    the file-local statistics index.
+
+    With :attr:`PatternMatcher.use_frozen` the fused scan walks every
+    statement once (vectorized for fully-interned statements) and feeds
+    both the violation list and the statistics build from the same
+    relation rows; the legacy path scans twice (``violations`` then
+    ``StatsIndex.build``).  Outputs are byte-identical either way — the
+    differential suite in ``tests/test_frozen.py`` pins it.
+    """
+    if getattr(matcher, "use_frozen", False) and matcher._automaton is not None:
+        scanned = matcher.scan_entries_stats(entries)
+        if scanned is not None:
+            # every statement fully interned: relation counts come back
+            # pre-aggregated per pattern index, no per-relation tuples,
+            # and the lazy view defers key-keyed lookup tables to the
+            # (rare) files whose violations actually get featurized
+            viol_rows, aggregates = scanned
+            found = [v for row in viol_rows for v in row]
+            return (
+                _dedup_violations(found),
+                FileStatsView(matcher, entries, aggregates),
+            )
+        viol_rows, rel_rows = matcher.scan_entries(entries)
+        found = [v for row in viol_rows for v in row]
+        return (
+            _dedup_violations(found),
+            StatsIndex.build_from_relations(matcher, entries, rel_rows),
+        )
+    found = []
+    for stmt, paths, ids in entries:
+        found.extend(matcher.violations(stmt, paths, ids))
+    return _dedup_violations(found), StatsIndex.build(matcher, entries)
+
+
 def _detect_shard(task):
     """Process-pool entry point for one detection shard (module-level
     for pickling).
@@ -1080,11 +1112,7 @@ def _detect_shard(task):
             ]
             extract_seconds += time.perf_counter() - started
             started = time.perf_counter()
-            found: list[Violation] = []
-            for stmt, paths, ids in stmt_entries:
-                found.extend(matcher.violations(stmt, paths, ids))
-            group = _dedup_violations(found)
-            local = StatsIndex.build(matcher, stmt_entries)
+            group, local = _match_file(matcher, stmt_entries)
         except Exception as exc:
             if not capture:
                 raise

@@ -19,7 +19,7 @@ from repro.core.patterns import NamePattern, Relation
 from repro.lang.astir import StatementAst
 from repro.mining.matcher import PatternMatcher
 
-__all__ = ["StatsIndex"]
+__all__ = ["FileStatsView", "StatsIndex"]
 
 
 @dataclass
@@ -58,6 +58,65 @@ class StatsIndex:
         index = cls()
         for entry in statements:
             index.add_statement(matcher, *entry)
+        return index
+
+    @classmethod
+    def build_from_relations(
+        cls,
+        matcher: PatternMatcher,
+        statements: Iterable[tuple],
+        relation_rows: Iterable[Sequence[tuple[int, Relation]]],
+    ) -> "StatsIndex":
+        """:meth:`build` from pre-computed relation lists (one
+        ``(pattern index, relation)`` list per statement, in candidate
+        order — the second half of a fused detect scan).  All
+        statements must come from one prepared file (one file path, one
+        repo) — that is what :func:`~repro.core.namer._match_file`
+        passes.  Bump order, and therefore counter insertion order and
+        serialized bytes, are identical to re-scanning each statement.
+
+        Counts aggregate per pattern *index* first — integer dict keys —
+        and the expensive ``pattern.key()``-keyed counters are bumped
+        once per (scope, pattern, table) instead of once per relation.
+        Each table keeps its own first-bump pattern order, so counter
+        insertion order (what re-scanning would have produced) is
+        preserved exactly.
+        """
+        index = cls()
+        patterns = matcher.patterns
+        file_path = None
+        repo = None
+        # first-bump-ordered {pattern index -> count} per table
+        agg_m: dict[int, int] = {}
+        agg_s: dict[int, int] = {}
+        agg_v: dict[int, int] = {}
+        for entry, rels in zip(statements, relation_rows):
+            stmt = entry[0]
+            index.total_statements += 1
+            struct = stmt.structural_key()
+            file_path = stmt.file_path
+            repo = stmt.repo
+            index.statement_counts["file"][(file_path, struct)] += 1
+            index.statement_counts["repo"][(repo, struct)] += 1
+            for pat_idx, relation in rels:
+                agg_m[pat_idx] = agg_m.get(pat_idx, 0) + 1
+                if relation is Relation.SATISFIED:
+                    agg_s[pat_idx] = agg_s.get(pat_idx, 0) + 1
+                else:
+                    agg_v[pat_idx] = agg_v.get(pat_idx, 0) + 1
+        for agg, table in (
+            (agg_m, index.matches),
+            (agg_s, index.satisfactions),
+            (agg_v, index.violations),
+        ):
+            file_counter = table["file"]
+            repo_counter = table["repo"]
+            dataset_counter = table["dataset"]
+            for pat_idx, count in agg.items():
+                key = patterns[pat_idx].key()
+                file_counter[(file_path, key)] += count
+                repo_counter[(repo, key)] += count
+                dataset_counter[key] += count
         return index
 
     @classmethod
@@ -146,3 +205,86 @@ class StatsIndex:
             return table["dataset"][key]
         scope = stmt.file_path if level == "file" else stmt.repo
         return table[level][(scope, key)]
+
+
+class FileStatsView(StatsIndex):
+    """Single-file statistics backed by pattern-*index* aggregates.
+
+    The detect path only ever *queries* a file's local index — one
+    lookup per surviving violation, via the feature extractor — so
+    materializing :meth:`NamePattern.key`-keyed counters for every
+    matched pattern of every file is wasted work.  This view keeps the
+    raw per-table ``(pattern indices, counts)`` arrays from
+    :meth:`~repro.mining.automaton.MatchAutomaton.scan_batch_stats`
+    and converts to key-keyed counts lazily, on the first query — files
+    whose violations are all deduplicated or quarantined never pay the
+    key hashing at all.  Query answers are identical to a
+    :meth:`StatsIndex.build` over the same statements: every scope in a
+    one-file index collapses to the same per-pattern count, and foreign
+    scopes read as zero.
+    """
+
+    def __init__(
+        self,
+        matcher: PatternMatcher,
+        statements: Iterable[tuple],
+        aggregates: tuple,
+    ) -> None:
+        super().__init__()
+        self._patterns = matcher.patterns
+        self._aggregates = aggregates
+        self._by_key: dict | None = None
+        file_path = None
+        repo = None
+        for entry in statements:
+            stmt = entry[0]
+            self.total_statements += 1
+            struct = stmt.structural_key()
+            file_path = stmt.file_path
+            repo = stmt.repo
+            self.statement_counts["file"][(file_path, struct)] += 1
+            self.statement_counts["repo"][(repo, struct)] += 1
+        self._file_path = file_path
+        self._repo = repo
+
+    def _counts(self) -> dict:
+        by_key = self._by_key
+        if by_key is None:
+            (m_p, m_c), (s_p, s_c), (v_p, v_c) = self._aggregates
+            sat = dict(zip(s_p.tolist(), s_c.tolist()))
+            vio = dict(zip(v_p.tolist(), v_c.tolist()))
+            patterns = self._patterns
+            by_key = {}
+            for idx, matched in zip(m_p.tolist(), m_c.tolist()):
+                by_key[patterns[idx].key()] = (
+                    matched,
+                    sat.get(idx, 0),
+                    vio.get(idx, 0),
+                )
+            self._by_key = by_key
+        return by_key
+
+    def _triple(
+        self, pattern: NamePattern, stmt: StatementAst, level: str
+    ) -> tuple[int, int, int] | None:
+        if level == "file" and stmt.file_path != self._file_path:
+            return None
+        if level == "repo" and stmt.repo != self._repo:
+            return None
+        return self._counts().get(pattern.key())
+
+    def match_count(self, pattern: NamePattern, stmt: StatementAst, level: str) -> int:
+        triple = self._triple(pattern, stmt, level)
+        return triple[0] if triple else 0
+
+    def satisfaction_count(
+        self, pattern: NamePattern, stmt: StatementAst, level: str
+    ) -> int:
+        triple = self._triple(pattern, stmt, level)
+        return triple[1] if triple else 0
+
+    def violation_count(
+        self, pattern: NamePattern, stmt: StatementAst, level: str
+    ) -> int:
+        triple = self._triple(pattern, stmt, level)
+        return triple[2] if triple else 0

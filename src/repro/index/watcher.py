@@ -296,7 +296,15 @@ class RepoIndexer:
 def namer_fingerprint(namer: Namer) -> str | None:
     """Content checksum of a loaded artifact — the identity index rows
     and the serving tier's persistent cache key on (``None`` for a
-    namer that was never mined)."""
+    namer that was never mined).
+
+    Namers loaded from a frozen blob carry the checksum precomputed in
+    the blob header (stamped at freeze time from the same JSON
+    document), so they skip the full document re-encode — which is a
+    large fraction of a cold start by itself."""
+    precomputed = getattr(namer, "frozen_fingerprint", None)
+    if precomputed:
+        return precomputed
     from repro.core.persistence import namer_to_document
     from repro.resilience.checkpoint import document_checksum
 

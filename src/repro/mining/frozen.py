@@ -1,0 +1,907 @@
+"""Frozen matcher artifacts: compile once, mmap instantly, share pages.
+
+Every engine restart, replica spawn, and rolling rollout used to pay
+the full artifact decode — JSON parse, pattern materialization,
+automaton compile, per-ID table resolution, and a statistics decode
+that dwarfs all of them — and N replicas on one host paid it N times
+over, each holding a private copy of the result.
+
+A *frozen artifact* is the already-compiled form flattened to disk: a
+small JSON header (schema stamps, config, string/step pools, the array
+manifest) followed by contiguous, 64-byte-aligned, CRC-checksummed
+numpy arrays — the automaton's trie in CSR form (node offsets / edge
+arrays / accept-set ranges), multi-word step-kind and required-bit
+masks, the per-ID tables, the interner vocabulary with its
+sym/rank/fold/name_ok tables, every pattern's condition/deduction CSR,
+the statistics counters in insertion order, and the classifier
+matrices.  ``repro mine --freeze`` writes one next to the JSON
+artifact; loading is an mmap plus a header parse, and because the maps
+are read-only every replica on the host shares one page-cache copy.
+
+Three properties the rest of the system leans on:
+
+* **Byte-identity.**  A namer loaded from the frozen blob produces the
+  same artifacts, reports, and quarantine records as one decoded from
+  the JSON artifact — counters rebuild in their original insertion
+  order, accept sets and candidate enumeration are pinned, and the
+  precomputed artifact fingerprint equals the JSON document checksum.
+  ``tests/test_frozen.py`` hard-fails on any drift.
+* **Damage is a miss.**  Truncation, bit flips, or a bad header raise
+  :class:`FrozenError`; callers (the serving engine, pool workers) fall
+  back to the JSON artifact or to in-memory compilation with a logged
+  warning.  The ``frozen.load`` fault site injects exactly this path.
+* **Zero-copy fan-out.**  Workers that unpickle a frozen-backed
+  automaton re-map the blob read-only (see
+  :meth:`MatchAutomaton.batch_tables`) instead of shipping the arrays
+  through a pickle pipe.
+
+:data:`FROZEN_SCHEMA` is salted into the detect/prune cache keys of
+everything scanned through the fused/batch walk; bump it whenever a
+change here could alter any output byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import zlib
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.namepath import NamePath, PathStep
+from repro.core.patterns import NamePattern, PatternKind
+from repro.core.stats_index import StatsIndex
+from repro.mining.automaton import AUTOMATON_SCHEMA, BatchTables, MatchAutomaton
+from repro.mining.interner import INTERNER_SCHEMA, PathInterner
+from repro.mining.matcher import PatternMatcher
+from repro.resilience.faults import fault_check
+
+__all__ = [
+    "FROZEN_SCHEMA",
+    "FrozenError",
+    "FrozenStats",
+    "FrozenArtifact",
+    "default_frozen_path",
+    "freeze_namer",
+    "load_frozen_namer",
+    "load_batch_tables",
+]
+
+#: Schema version of the frozen layout.  Mixed into detect/prune cache
+#: keys alongside the automaton/interner stamps; also written into the
+#: header, so a blob from another era is a load miss, never bad bytes.
+FROZEN_SCHEMA = 1
+
+_MAGIC = b"REPROFZ1"
+_ALIGN = 64
+
+
+class FrozenError(Exception):
+    """A frozen blob that cannot be used: unreadable, truncated,
+    checksum-damaged, or stamped with another schema era.  Always
+    recoverable — the caller falls back to the JSON artifact."""
+
+
+def default_frozen_path(artifact_path: str | Path) -> Path:
+    """Where the frozen twin of a JSON artifact lives: ``<path>.frozen``
+    (sibling file, so rollouts that ship an artifact directory carry
+    both)."""
+    return Path(f"{artifact_path}.frozen")
+
+
+# ----------------------------------------------------------------------
+# Pools (freeze-side deduplication)
+# ----------------------------------------------------------------------
+
+
+class _Pool:
+    """Insertion-ordered value -> dense index pool."""
+
+    __slots__ = ("index", "items")
+
+    def __init__(self) -> None:
+        self.index: dict = {}
+        self.items: list = []
+
+    def add(self, value) -> int:
+        idx = self.index.get(value)
+        if idx is None:
+            idx = self.index[value] = len(self.items)
+            self.items.append(value)
+        return idx
+
+
+# ----------------------------------------------------------------------
+# Freezing
+# ----------------------------------------------------------------------
+
+
+def freeze_namer(namer, path: str | Path) -> dict[str, Any]:
+    """Flatten a fitted Namer's compiled matcher state to ``path``.
+
+    Requires a matcher with a compiled automaton and an attached
+    interner (the default build); raises :class:`FrozenError` for
+    legacy-configured matchers.  Returns a small summary dict (sizes,
+    counts) for CLI output.
+    """
+    from repro.core.persistence import (
+        SCHEMA_VERSION,
+        namer_to_document,
+    )
+    from repro.resilience.checkpoint import document_checksum
+
+    matcher = namer.matcher
+    if matcher is None or namer.stats is None:
+        raise FrozenError("mine() the Namer before freezing it")
+    auto = matcher._automaton
+    if auto is None:
+        raise FrozenError("matcher has no compiled automaton (use_automaton=False)")
+    interner = auto._interner
+    if interner is None:
+        raise FrozenError("matcher has no attached interner (use_interner=False)")
+    if not auto._finalized:
+        raise FrozenError("automaton is not finalized")
+
+    # Close the vocabulary under symbolic variants *before* snapshotting
+    # (mining already did this; artifact-loaded namers may not have),
+    # then make the derived tables and per-ID tables cover all of it.
+    sym = list(interner.ensure_symbolic())
+    rank = list(interner.sort_ranks())
+    fold = list(interner.fold_table())
+    name_ok = [bool(x) for x in interner.name_ok_table()]
+    if not hasattr(auto, "_pid_conc"):
+        auto._reset_pid_tables()
+    if len(auto._pid_node) < len(interner):
+        auto._extend_pid_tables()
+    vocab = interner.paths
+    n_vocab = len(vocab)
+
+    strings = _Pool()
+    steps = _Pool()
+    paths = _Pool()
+
+    def step_idx(step: PathStep) -> int:
+        return steps.add((strings.add(step.value), step.index))
+
+    def path_idx(p: NamePath) -> int:
+        idx = paths.index.get(p)
+        if idx is None:
+            idx = paths.index[p] = len(paths.items)
+            paths.items.append(p)
+        return idx
+
+    # Vocabulary first: pool ids 0..V-1 ARE the interner ids.
+    for p in vocab:
+        path_idx(p)
+    assert len(paths.items) == n_vocab
+
+    patterns = matcher.patterns
+    pat_cond_rows: list[list[int]] = []
+    pat_ded_rows: list[list[int]] = []
+    for pattern in patterns:
+        pat_cond_rows.append([path_idx(p) for p in sorted(pattern.condition)])
+        pat_ded_rows.append([path_idx(p) for p in sorted(pattern.deduction)])
+    sat_path = [path_idx(s[3]) for s in auto._sat]
+
+    # Resolve the path pool to step/string indices (after it is closed).
+    pool_rows = [[step_idx(s) for s in p.prefix] for p in paths.items]
+    pool_end = [
+        -1 if p.end is None else strings.add(p.end) for p in paths.items
+    ]
+
+    bt = auto.batch_tables()
+    n_nodes = len(auto._children)
+    trie_rows: list[list[int]] = []
+    trie_child_rows: list[list[int]] = []
+    for children in auto._children:
+        trie_rows.append([step_idx(s) for s in children])
+        trie_child_rows.append(list(children.values()))
+
+    document = namer_to_document(namer)
+    fingerprint = document_checksum(document)
+    stats = namer.stats
+    key_to_index = {p.key(): i for i, p in enumerate(patterns)}
+
+    arrays: list[tuple[str, np.ndarray]] = []
+
+    def add(name: str, data, dtype) -> None:
+        arrays.append((name, np.asarray(data, dtype=dtype)))
+
+    def add_csr(name: str, rows: Sequence[Sequence[int]], dtype=np.int32) -> None:
+        offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+        if rows:
+            np.cumsum([len(r) for r in rows], out=offsets[1:])
+        add(f"{name}_off", offsets, np.int64)
+        flat: list[int] = []
+        for r in rows:
+            flat.extend(r)
+        add(name, flat, dtype)
+
+    # Trie + automaton tables.
+    add_csr("trie_step", trie_rows)
+    flat_children: list[int] = []
+    for r in trie_child_rows:
+        flat_children.extend(r)
+    add("trie_child", flat_children, np.int32)
+    add("node_words", bt.node_words, np.uint64)
+    add("ded_order", auto._ded_node_order, np.int32)
+    add(
+        "ded_counts",
+        [auto._ded_node_counts[n] for n in auto._ded_node_order],
+        np.int64,
+    )
+    add("accept_off", bt.accept_off, np.int64)
+    add("accept_pat", bt.accept_pat, np.int32)
+    add("req_words", bt.req_words, np.uint64)
+    add("order_node", bt.order_node, np.int32)
+    add("cond_off", bt.cond_off, np.int64)
+    add("cond_node", bt.cond_node, np.int32)
+    add("cond_tid", bt.cond_tid, np.int32)
+    add("ded_off", bt.ded_off, np.int64)
+    add("ded_node", bt.ded_node, np.int32)
+    add("sat_kind", bt.sat_kind, np.int8)
+    add("sat_a", bt.sat_a, np.int32)
+    add("sat_b", bt.sat_b, np.int32)
+    add("sat_path", sat_path, np.int32)
+
+    # Patterns.
+    add(
+        "pat_kind",
+        [1 if p.kind is PatternKind.CONSISTENCY else 0 for p in patterns],
+        np.int8,
+    )
+    add("pat_support", [p.support for p in patterns], np.int64)
+    add_csr("pat_cond", pat_cond_rows)
+    add_csr("pat_ded", pat_ded_rows)
+
+    # Path pool.
+    add_csr("pool_step", pool_rows)
+    add("pool_end", pool_end, np.int32)
+
+    # Interner tables + per-ID tables.
+    add("int_sym", sym, np.int32)
+    add("int_rank", rank, np.int32)
+    add("int_fold", fold, np.int32)
+    add("int_name_ok", name_ok, np.int8)
+    add("pid_node", auto._pid_node, np.int32)
+    add("pid_tid", auto._pid_tid, np.int32)
+    add("pid_conc", auto._pid_conc, np.int8)
+    add("pid_foldid", auto._pid_foldid, np.int32)
+    add("pid_ebp", auto._pid_endbitpos, np.int32)
+
+    # Statistics counters, in Counter insertion order (mirrors the JSON
+    # encoder exactly, including the skip of unknown pattern keys).
+    for name in ("matches", "satisfactions", "violations"):
+        table = getattr(stats, name)
+        for level in ("file", "repo"):
+            scope_col: list[int] = []
+            pat_col: list[int] = []
+            cnt_col: list[int] = []
+            for (scope, pattern_key), count in table[level].items():
+                idx = key_to_index.get(pattern_key)
+                if idx is None:
+                    continue
+                scope_col.append(strings.add(scope))
+                pat_col.append(idx)
+                cnt_col.append(count)
+            add(f"st_{name}_{level}_scope", scope_col, np.int32)
+            add(f"st_{name}_{level}_pat", pat_col, np.int32)
+            add(f"st_{name}_{level}_cnt", cnt_col, np.int64)
+        pat_col, cnt_col = [], []
+        for pattern_key, count in table["dataset"].items():
+            idx = key_to_index.get(pattern_key)
+            if idx is None:
+                continue
+            pat_col.append(idx)
+            cnt_col.append(count)
+        add(f"st_{name}_dataset_pat", pat_col, np.int32)
+        add(f"st_{name}_dataset_cnt", cnt_col, np.int64)
+    for level in ("file", "repo"):
+        scope_col, struct_col, cnt_col = [], [], []
+        for (scope, struct), count in stats.statement_counts[level].items():
+            scope_col.append(strings.add(scope))
+            struct_col.append(strings.add(struct))
+            cnt_col.append(count)
+        add(f"sc_{level}_scope", scope_col, np.int32)
+        add(f"sc_{level}_struct", struct_col, np.int32)
+        add(f"sc_{level}_cnt", cnt_col, np.int64)
+
+    # Classifier.
+    classifier = namer.classifier
+    clf_header = None
+    if classifier is not None:
+        clf_header = {
+            "intercept": float(classifier.classifier.intercept_),
+            "pca": classifier.pca is not None,
+        }
+        add("clf_scaler_mean", classifier.scaler.mean_, np.float64)
+        add("clf_scaler_scale", classifier.scaler.scale_, np.float64)
+        add("clf_coef", np.asarray(classifier.classifier.coef_), np.float64)
+        if classifier.pca is not None:
+            add("clf_pca_components", classifier.pca.components_, np.float64)
+            add("clf_pca_mean", classifier.pca.mean_, np.float64)
+
+    fold_ids = auto._fold_ids
+    fold_pool = [None] * len(fold_ids)
+    for folded, fid in fold_ids.items():
+        fold_pool[fid] = strings.add(folded)
+    end_tokens = list(auto._end_tid)
+    header: dict[str, Any] = {
+        "format": "repro-frozen-artifact",
+        "frozen_schema": FROZEN_SCHEMA,
+        "automaton_schema": AUTOMATON_SCHEMA,
+        "interner_schema": INTERNER_SCHEMA,
+        "artifact_schema": SCHEMA_VERSION,
+        "fingerprint": fingerprint,
+        "config": document["config"],
+        "pairs": document["pairs"],
+        "classifier": clf_header,
+        "strings": strings.items,
+        "steps": steps.items,
+        "end_tokens": [strings.add(tok) for tok in end_tokens],
+        "end_bit_pos": [
+            (auto._end_bits[tok].bit_length() - 1)
+            if tok in auto._end_bits
+            else -1
+            for tok in end_tokens
+        ],
+        "step_bits": [
+            [strings.add(value), bit.bit_length() - 1]
+            for value, bit in auto._step_bits.items()
+        ],
+        "fold_pool": fold_pool,
+        "num_bits": auto._num_bits,
+        "n_nodes": n_nodes,
+        "n_patterns": len(patterns),
+        "n_vocab": n_vocab,
+        "n_pool": len(paths.items),
+        "intern_cap": max(2 * n_vocab, 1 << 16),
+        "total_statements": stats.total_statements,
+    }
+    # `steps` entries are (string_idx, index) tuples; JSON turns them
+    # into lists, which is what the loader expects.
+    header["steps"] = [list(s) for s in steps.items]
+
+    size = _write_blob(Path(path), header, arrays)
+    return {
+        "path": str(path),
+        "bytes": size,
+        "arrays": len(arrays),
+        "nodes": n_nodes,
+        "patterns": len(patterns),
+        "vocab": n_vocab,
+        "fingerprint": fingerprint,
+    }
+
+
+def _write_blob(
+    path: Path, header: dict[str, Any], arrays: list[tuple[str, np.ndarray]]
+) -> int:
+    manifest = []
+    chunks: list[tuple[int, bytes]] = []
+    offset = 0
+    for name, arr in arrays:
+        arr = np.ascontiguousarray(arr)
+        raw = arr.tobytes()
+        pad = (-offset) % _ALIGN
+        offset += pad
+        manifest.append(
+            {
+                "name": name,
+                "dtype": arr.dtype.str,
+                "shape": list(arr.shape),
+                "offset": offset,
+                "crc32": zlib.crc32(raw) & 0xFFFFFFFF,
+            }
+        )
+        chunks.append((pad, raw))
+        offset += len(raw)
+    header = dict(header)
+    header["arrays"] = manifest
+    hjson = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    head = _MAGIC + len(hjson).to_bytes(8, "little") + hjson
+    head += b"\0" * ((-len(head)) % _ALIGN)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as out:
+            out.write(head)
+            for pad, raw in chunks:
+                if pad:
+                    out.write(b"\0" * pad)
+                out.write(raw)
+            out.flush()
+            os.fsync(out.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return len(head) + sum(pad + len(raw) for pad, raw in chunks)
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+
+
+class FrozenArtifact:
+    """A mapped, checksum-verified frozen blob: the parsed header plus
+    zero-copy array views into the file's page cache."""
+
+    __slots__ = ("path", "header", "arrays", "_raw")
+
+    def __init__(self, path: str, header: dict, arrays: dict, raw) -> None:
+        self.path = path
+        self.header = header
+        self.arrays = arrays
+        self._raw = raw
+
+    @classmethod
+    def open(cls, path: str | Path, *, verify: bool = True) -> "FrozenArtifact":
+        raw, header, payload = _open_raw(path)
+        if header.get("frozen_schema") != FROZEN_SCHEMA:
+            raise FrozenError(
+                f"frozen artifact {path} has frozen_schema "
+                f"{header.get('frozen_schema')!r}, this build reads {FROZEN_SCHEMA}"
+            )
+        if header.get("automaton_schema") != AUTOMATON_SCHEMA or header.get(
+            "interner_schema"
+        ) != INTERNER_SCHEMA:
+            raise FrozenError(
+                f"frozen artifact {path} was compiled by another matcher era"
+            )
+        arrays = _map_arrays(raw, header, payload, str(path), verify=verify)
+        return cls(str(path), header, arrays, raw)
+
+    def to_namer(self):
+        try:
+            return _namer_from_artifact(self)
+        except FrozenError:
+            raise
+        except Exception as exc:
+            raise FrozenError(
+                f"frozen artifact {self.path} is malformed: {exc!r}"
+            ) from exc
+
+
+def _open_raw(path: str | Path):
+    try:
+        raw = np.memmap(path, dtype=np.uint8, mode="r")
+    except (OSError, ValueError) as exc:
+        raise FrozenError(f"cannot map frozen artifact {path}: {exc}") from exc
+    if len(raw) < 16 or bytes(raw[:8]) != _MAGIC:
+        raise FrozenError(f"frozen artifact {path} has a bad magic header")
+    hlen = int.from_bytes(bytes(raw[8:16]), "little")
+    if hlen <= 0 or 16 + hlen > len(raw):
+        raise FrozenError(f"frozen artifact {path} has a truncated header")
+    try:
+        header = json.loads(bytes(raw[16 : 16 + hlen]).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrozenError(
+            f"frozen artifact {path} has a corrupt header: {exc}"
+        ) from exc
+    if not isinstance(header, dict) or "arrays" not in header:
+        raise FrozenError(f"frozen artifact {path} has a malformed header")
+    payload = 16 + hlen + ((-(16 + hlen)) % _ALIGN)
+    return raw, header, payload
+
+
+def _map_arrays(
+    raw, header: dict, payload: int, label: str, *, verify: bool
+) -> dict[str, np.ndarray]:
+    arrays: dict[str, np.ndarray] = {}
+    for entry in header["arrays"]:
+        try:
+            dtype = np.dtype(entry["dtype"])
+            shape = tuple(int(d) for d in entry["shape"])
+            name = entry["name"]
+            offset = int(entry["offset"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FrozenError(
+                f"frozen artifact {label} has a malformed array manifest: {exc!r}"
+            ) from exc
+        nbytes = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+        start = payload + offset
+        if start < 0 or start + nbytes > len(raw):
+            raise FrozenError(
+                f"frozen artifact {label} is truncated (array {name!r})"
+            )
+        view = raw[start : start + nbytes]
+        if verify and (zlib.crc32(view) & 0xFFFFFFFF) != entry.get("crc32"):
+            raise FrozenError(
+                f"frozen artifact {label} failed its CRC check (array {name!r})"
+            )
+        arrays[name] = view.view(dtype).reshape(shape)
+    return arrays
+
+
+def load_batch_tables(path: str | Path) -> BatchTables:
+    """Just the automaton's CSR/array view, mapped read-only — what a
+    pool worker needs to batch-scan without rebuilding anything."""
+    art = FrozenArtifact.open(path)
+    return _batch_tables_from(art)
+
+
+def _batch_tables_from(art: FrozenArtifact) -> BatchTables:
+    a = art.arrays
+    return BatchTables(
+        n_nodes=int(art.header["n_nodes"]),
+        n_words=int(a["node_words"].shape[1]) if a["node_words"].ndim == 2 else 1,
+        node_words=a["node_words"],
+        accept_off=a["accept_off"],
+        accept_pat=a["accept_pat"],
+        req_words=a["req_words"],
+        order_node=a["order_node"],
+        cond_off=a["cond_off"],
+        cond_node=a["cond_node"],
+        cond_tid=a["cond_tid"],
+        ded_off=a["ded_off"],
+        ded_node=a["ded_node"],
+        sat_kind=a["sat_kind"],
+        sat_a=a["sat_a"],
+        sat_b=a["sat_b"],
+    )
+
+
+def load_frozen_namer(path: str | Path):
+    """Reconstruct a fitted Namer from a frozen blob.
+
+    Raises :class:`FrozenError` for anything that is not a healthy
+    blob of the current schema era — callers treat that as a cache
+    miss and fall back to the JSON artifact.  The ``frozen.load`` fault
+    site injects exactly this failure.
+    """
+    fault_check("frozen.load", key=str(path))
+    art = FrozenArtifact.open(path)
+    return art.to_namer()
+
+
+def _namer_from_artifact(art: FrozenArtifact):
+    from repro.core.namer import Namer, NamerConfig
+    from repro.mining.confusing_pairs import ConfusingPairStore
+    from repro.mining.miner import MiningConfig
+    from repro.ml.linear import LinearSVM
+    from repro.ml.pipeline import ClassifierPipeline
+    from repro.ml.preprocess import PCA, StandardScaler
+
+    header = art.header
+    arrays = art.arrays
+    strings: list[str] = header["strings"]
+    steps = [
+        PathStep(value=sys.intern(strings[si]), index=ix)
+        for si, ix in header["steps"]
+    ]
+
+    # Path pool (vocabulary first — pool ids 0..V-1 are interner ids).
+    pool_off = arrays["pool_step_off"].tolist()
+    pool_step = arrays["pool_step"].tolist()
+    pool_end = arrays["pool_end"].tolist()
+    pool: list[NamePath] = []
+    for i in range(header["n_pool"]):
+        prefix = tuple(steps[k] for k in pool_step[pool_off[i] : pool_off[i + 1]])
+        end = pool_end[i]
+        pool.append(
+            NamePath(prefix=prefix, end=None if end < 0 else strings[end])
+        )
+    n_vocab = header["n_vocab"]
+
+    interner = PathInterner.__new__(PathInterner)
+    interner._paths = pool[:n_vocab]
+    interner._ids = {p: i for i, p in enumerate(interner._paths)}
+    interner._tables_upto = {
+        "sym": arrays["int_sym"].tolist(),
+        "rank": (n_vocab, arrays["int_rank"].tolist()),
+        "name_ok": [bool(x) for x in arrays["int_name_ok"].tolist()],
+    }
+
+    # Patterns from the shared pool.
+    pat_kind = arrays["pat_kind"].tolist()
+    pat_support = arrays["pat_support"].tolist()
+    pc_off = arrays["pat_cond_off"].tolist()
+    pc = arrays["pat_cond"].tolist()
+    pd_off = arrays["pat_ded_off"].tolist()
+    pd = arrays["pat_ded"].tolist()
+    patterns: list[NamePattern] = []
+    for i in range(header["n_patterns"]):
+        patterns.append(
+            NamePattern(
+                condition=frozenset(pool[j] for j in pc[pc_off[i] : pc_off[i + 1]]),
+                deduction=frozenset(pool[j] for j in pd[pd_off[i] : pd_off[i + 1]]),
+                kind=(
+                    PatternKind.CONSISTENCY
+                    if pat_kind[i]
+                    else PatternKind.CONFUSING_WORD
+                ),
+                support=pat_support[i],
+            )
+        )
+
+    # Automaton: small Python structures rebuilt eagerly (the trie is
+    # tiny), batch arrays mapped zero-copy.
+    auto = MatchAutomaton.__new__(MatchAutomaton)
+    auto.patterns = patterns
+    n_nodes = header["n_nodes"]
+    trie_off = arrays["trie_step_off"].tolist()
+    trie_step = arrays["trie_step"].tolist()
+    trie_child = arrays["trie_child"].tolist()
+    children: list[dict[PathStep, int]] = []
+    for node in range(n_nodes):
+        lo, hi = trie_off[node], trie_off[node + 1]
+        children.append(
+            {steps[trie_step[k]]: trie_child[k] for k in range(lo, hi)}
+        )
+    auto._children = children
+    node_words = arrays["node_words"]
+    auto._node_mask = [
+        int.from_bytes(node_words[n].tobytes(), "little")
+        for n in range(n_nodes)
+    ]
+    prefixes: list[tuple[PathStep, ...]] = [()] * n_nodes
+    for parent in range(n_nodes):
+        base = prefixes[parent]
+        for step, child in children[parent].items():
+            prefixes[child] = base + (step,)
+    auto._node_prefix = prefixes
+    auto._step_bits = {
+        sys.intern(strings[si]): 1 << pos for si, pos in header["step_bits"]
+    }
+    end_tokens = [sys.intern(strings[si]) for si in header["end_tokens"]]
+    auto._end_bits = {
+        tok: 1 << pos
+        for tok, pos in zip(end_tokens, header["end_bit_pos"])
+        if pos >= 0
+    }
+    auto._num_bits = header["num_bits"]
+    auto._end_tid = {tok: i for i, tok in enumerate(end_tokens)}
+    auto._ded_node_order = arrays["ded_order"].tolist()
+    auto._ded_node_counts = dict(
+        zip(auto._ded_node_order, arrays["ded_counts"].tolist())
+    )
+    cond_off = arrays["cond_off"].tolist()
+    cond_node = arrays["cond_node"].tolist()
+    cond_tid = arrays["cond_tid"].tolist()
+    auto._conds = [
+        tuple(
+            zip(
+                cond_node[cond_off[i] : cond_off[i + 1]],
+                cond_tid[cond_off[i] : cond_off[i + 1]],
+            )
+        )
+        for i in range(len(patterns))
+    ]
+    ded_off = arrays["ded_off"].tolist()
+    ded_node = arrays["ded_node"].tolist()
+    auto._deds = [
+        tuple(ded_node[ded_off[i] : ded_off[i + 1]])
+        for i in range(len(patterns))
+    ]
+    req_words = arrays["req_words"]
+    auto._req_masks = [
+        int.from_bytes(req_words[i].tobytes(), "little")
+        for i in range(len(patterns))
+    ]
+    auto._order_node = arrays["order_node"].tolist()
+    auto._ded_prefixes = [
+        [pool[j].prefix for j in pd[pd_off[i] : pd_off[i + 1]]]
+        for i in range(len(patterns))
+    ]
+    sat_kind = arrays["sat_kind"].tolist()
+    sat_a = arrays["sat_a"].tolist()
+    sat_b = arrays["sat_b"].tolist()
+    sat_path = arrays["sat_path"].tolist()
+    auto._sat = [
+        (bool(sat_kind[i]), sat_a[i], sat_b[i], pool[sat_path[i]])
+        for i in range(len(patterns))
+    ]
+    accept_off = arrays["accept_off"].tolist()
+    accept_pat = arrays["accept_pat"].tolist()
+    accepts: dict[int, list[int]] = {}
+    for node in range(n_nodes):
+        lo, hi = accept_off[node], accept_off[node + 1]
+        if hi > lo:
+            accepts[node] = accept_pat[lo:hi]
+    auto._accepts = accepts
+    auto._finalized = True
+    auto._scan_ready = False
+    auto._interner = interner
+    auto._intern_cap = header["intern_cap"]
+
+    # Per-ID tables: seeded from the blob, numpy mirrors zero-copy.
+    fold_pool = [sys.intern(strings[si]) for si in header["fold_pool"]]
+    auto._fold_ids = {s: i for i, s in enumerate(fold_pool)}
+    auto._pid_node = arrays["pid_node"].tolist()
+    auto._pid_tid = arrays["pid_tid"].tolist()
+    auto._pid_conc = arrays["pid_conc"].tolist()
+    auto._pid_foldid = arrays["pid_foldid"].tolist()
+    auto._pid_endbitpos = arrays["pid_ebp"].tolist()
+    auto._pid_endbit = [
+        (1 << pos) if pos >= 0 else 0 for pos in auto._pid_endbitpos
+    ]
+    auto._pid_fold = [fold_pool[f] for f in auto._pid_foldid]
+    auto._pid_end = [p.end for p in interner._paths]
+    auto._pid_np = (
+        arrays["pid_node"],
+        arrays["pid_tid"],
+        arrays["pid_conc"],
+        arrays["pid_foldid"],
+        arrays["pid_ebp"],
+    )
+    auto._batch = _batch_tables_from(art)
+    auto._frozen_path = art.path
+
+    matcher = PatternMatcher.__new__(PatternMatcher)
+    matcher.patterns = patterns
+    matcher.use_frozen = True
+    matcher._automaton = auto
+    matcher.prefix_counts = auto.deduction_prefix_counts()
+    matcher._corpus_counts = None
+    # Legacy selectivity index: built lazily by candidate_indices —
+    # nothing on the serving hot path needs it.
+    matcher._by_anchor = None
+    matcher._order_prefix = None
+    matcher._feature_bits = None
+    matcher._masks = None
+
+    config = header["config"]
+    namer = Namer(
+        NamerConfig(
+            mining=MiningConfig(
+                max_paths_per_statement=config["max_paths_per_statement"]
+            ),
+            use_analysis=config["use_analysis"],
+            use_classifier=config["use_classifier"],
+        )
+    )
+    namer.matcher = matcher
+    namer.pairs = ConfusingPairStore()
+    for mistaken, correct, count in header["pairs"]:
+        namer.pairs.add(mistaken, correct, count)
+    namer.stats = FrozenStats(art.path, patterns, header["total_statements"], art)
+
+    clf_header = header.get("classifier")
+    if clf_header is None:
+        namer.classifier = None
+    else:
+        pipeline = ClassifierPipeline(LinearSVM(), n_components=None)
+        pipeline.scaler = StandardScaler()
+        pipeline.scaler.mean_ = arrays["clf_scaler_mean"]
+        pipeline.scaler.scale_ = arrays["clf_scaler_scale"]
+        if clf_header.get("pca"):
+            pca = PCA()
+            pca.components_ = arrays["clf_pca_components"]
+            pca.mean_ = arrays["clf_pca_mean"]
+            pipeline.pca = pca
+        else:
+            pipeline.pca = None
+        pipeline.classifier.coef_ = arrays["clf_coef"]
+        pipeline.classifier.intercept_ = clf_header["intercept"]
+        namer.classifier = pipeline
+
+    # The precomputed JSON-document checksum: engines and index tiers
+    # read it instead of re-encoding the whole namer (~40% of a legacy
+    # cold start by itself).
+    namer.frozen_fingerprint = header.get("fingerprint")
+    namer.frozen_path = art.path
+    return namer
+
+
+# ----------------------------------------------------------------------
+# Lazy, array-backed statistics
+# ----------------------------------------------------------------------
+
+
+class FrozenStats(StatsIndex):
+    """A :class:`StatsIndex` whose counters materialize lazily from the
+    frozen blob's arrays.
+
+    Cold start only parses the header; the Counter dicts (the expensive
+    part of a legacy artifact load) are rebuilt — in their original
+    insertion order, so re-saves stay byte-identical — on first access.
+    Pickling ships only the blob path and the pattern list; workers
+    re-map the arrays instead of serializing the counters.
+    """
+
+    def __init__(self, path, patterns, total_statements, artifact=None):
+        self._path = str(path)
+        self._patterns = patterns
+        self._total = int(total_statements)
+        self._artifact = artifact
+        self._cache = None
+
+    # -- lazy field materialization ------------------------------------
+
+    def _tables(self) -> dict:
+        cache = self._cache
+        if cache is None:
+            cache = self._cache = self._materialize()
+        return cache
+
+    def _materialize(self) -> dict:
+        art = self._artifact
+        if art is None:
+            art = FrozenArtifact.open(self._path)
+        self._artifact = None
+        strings = art.header["strings"]
+        arrays = art.arrays
+        keys = [p.key() for p in self._patterns]
+        out: dict[str, Any] = {}
+        from collections import Counter
+
+        for name in ("matches", "satisfactions", "violations"):
+            table = {
+                "file": Counter(),
+                "repo": Counter(),
+                "dataset": Counter(),
+            }
+            for level in ("file", "repo"):
+                counter = table[level]
+                for scope, pat, cnt in zip(
+                    arrays[f"st_{name}_{level}_scope"].tolist(),
+                    arrays[f"st_{name}_{level}_pat"].tolist(),
+                    arrays[f"st_{name}_{level}_cnt"].tolist(),
+                ):
+                    counter[(strings[scope], keys[pat])] = cnt
+            counter = table["dataset"]
+            for pat, cnt in zip(
+                arrays[f"st_{name}_dataset_pat"].tolist(),
+                arrays[f"st_{name}_dataset_cnt"].tolist(),
+            ):
+                counter[keys[pat]] = cnt
+            out[name] = table
+        counts = {"file": Counter(), "repo": Counter()}
+        for level in ("file", "repo"):
+            counter = counts[level]
+            for scope, struct, cnt in zip(
+                arrays[f"sc_{level}_scope"].tolist(),
+                arrays[f"sc_{level}_struct"].tolist(),
+                arrays[f"sc_{level}_cnt"].tolist(),
+            ):
+                counter[(strings[scope], strings[struct])] = cnt
+        out["statement_counts"] = counts
+        return out
+
+    @property
+    def matches(self):
+        return self._tables()["matches"]
+
+    @property
+    def satisfactions(self):
+        return self._tables()["satisfactions"]
+
+    @property
+    def violations(self):
+        return self._tables()["violations"]
+
+    @property
+    def statement_counts(self):
+        return self._tables()["statement_counts"]
+
+    @property
+    def total_statements(self) -> int:
+        return self._total
+
+    # -- pickling ------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        return {
+            "path": self._path,
+            "patterns": self._patterns,
+            "total": self._total,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._path = state["path"]
+        self._patterns = state["patterns"]
+        self._total = state["total"]
+        self._artifact = None
+        self._cache = None

@@ -117,9 +117,14 @@ class PatternMatcher:
         use_automaton: bool = True,
         interner: PathInterner | None = None,
         use_interner: bool = True,
+        use_frozen: bool = True,
     ) -> None:
         pattern_list = list(patterns)
         automaton = MatchAutomaton(pattern_list) if use_automaton else None
+        #: route detect/prune scans through the fused single-scan /
+        #: vectorized batch walk (requires the automaton).  ``False``
+        #: retains the two-pass scalar path for the differential suite.
+        self.use_frozen = bool(use_frozen) and automaton is not None
         if automaton is not None and use_interner:
             # A corpus interner when the caller holds one (mining), a
             # fresh table otherwise (artifact loads / serving — it then
@@ -159,9 +164,23 @@ class PatternMatcher:
         self.prefix_counts = prefix_counts
         self._corpus_counts = corpus_counts
         self._automaton = automaton
+        if not hasattr(self, "use_frozen"):
+            self.use_frozen = automaton is not None
         rarity = corpus_counts if corpus_counts is not None else prefix_counts
-        if automaton is not None:
+        if automaton is not None and not automaton._finalized:
             automaton.finalize(rarity)
+        self._build_anchor_index()
+
+    def _build_anchor_index(self) -> None:
+        """The legacy selectivity index (anchor buckets, order prefixes,
+        feature bitmasks).  Matchers rebuilt from a frozen artifact skip
+        this until :meth:`candidate_indices` actually needs it — the
+        automaton serves every hot path without it."""
+        rarity = (
+            self._corpus_counts
+            if self._corpus_counts is not None
+            else self.prefix_counts
+        )
         self._by_anchor: dict[tuple[PathStep, ...], list[int]] = defaultdict(list)
         #: per pattern: the lexicographically smallest deduction prefix —
         #: the *ordering* anchor, kept fixed so enumeration order never
@@ -225,6 +244,8 @@ class PatternMatcher:
         position of each pattern's lexicographically smallest deduction
         prefix, then pattern index — invariant under anchor layout.
         """
+        if getattr(self, "_by_anchor", None) is None:
+            self._build_anchor_index()
         hits: list[int] = []
         seen: set[int] = set()
         for path in paths:
@@ -337,6 +358,64 @@ class PatternMatcher:
             if violation is not None:
                 found.append(violation)
         return found
+
+    def scan_entries(
+        self, entries: Sequence[tuple]
+    ) -> tuple[list[list[Violation]], list[list[tuple[int, Relation]]]]:
+        """Fused detect scan over ``(stmt, paths, ids)`` triples: one
+        pass yields both the per-statement violations and the
+        ``(pattern index, relation)`` lists the statistics build needs —
+        where the legacy path scanned every statement twice.
+
+        Fully-interned statements (every ID non-negative) go through
+        the vectorized batch walk in one call; statements the capped
+        interner refused (or scanned without an interner) take the
+        scalar single-scan loop.  Requires a compiled automaton
+        (callers gate on :attr:`use_frozen`).
+        """
+        automaton = self._automaton
+        viol_rows: list[list[Violation]] = [[] for _ in entries]
+        rel_rows: list[list[tuple[int, Relation]]] = [[] for _ in entries]
+        batch_pos: list[int] = []
+        batch_ids: list[Sequence[int]] = []
+        for i, (stmt, paths, ids) in enumerate(entries):
+            if ids is not None and (not ids or min(ids) >= 0):
+                batch_pos.append(i)
+                batch_ids.append(ids)
+            else:
+                viol_rows[i], rel_rows[i] = automaton.scan_one(stmt, paths, ids)
+        if batch_pos:
+            stmts = [entries[i][0] for i in batch_pos]
+            bviol, brel = automaton.scan_batch(stmts, batch_ids)
+            for k, i in enumerate(batch_pos):
+                viol_rows[i] = bviol[k]
+                rel_rows[i] = brel[k]
+        return viol_rows, rel_rows
+
+    def scan_entries_stats(
+        self, entries: Sequence[tuple]
+    ) -> tuple[list[list[Violation]], tuple] | None:
+        """:meth:`scan_entries` with the relation half pre-aggregated
+        into per-table ``(pattern indices, counts)`` arrays (matches /
+        satisfactions / violations).  Only valid when *every* entry is
+        fully interned — mixed batches would need the scalar walk's
+        relation stream folded in — so it returns ``None`` then and
+        the caller falls back to :meth:`scan_entries`.
+        """
+        id_rows: list[Sequence[int]] = []
+        for _, _, ids in entries:
+            if ids is None or (ids and min(ids) < 0):
+                return None
+            id_rows.append(ids)
+        stmts = [entry[0] for entry in entries]
+        return self._automaton.scan_batch_stats(stmts, id_rows)
+
+    def relations_batch(
+        self, id_rows: Sequence[Sequence[int]]
+    ) -> list[list[tuple[int, Relation]]]:
+        """Vectorized :meth:`relations_ids` over many fully-interned
+        statements (the miner's prune counters)."""
+        return self._automaton.relations_batch(id_rows)
 
     def __len__(self) -> int:
         return len(self.patterns)

@@ -45,6 +45,7 @@ from repro.core.patterns import NamePattern, PatternKind, Relation
 from repro.lang.astir import StatementAst
 from repro.mining.automaton import AUTOMATON_SCHEMA
 from repro.mining.fptree import FPNode, FPTree
+from repro.mining.frozen import FROZEN_SCHEMA
 from repro.mining.interner import (
     INTERNER_SCHEMA,
     PathInterner,
@@ -1170,7 +1171,8 @@ def _prune_salt(config: MiningConfig, supported: list[NamePattern]) -> str:
     list the counts are keyed into."""
     return (
         config_fingerprint(config, "prune")
-        + f"|automaton{AUTOMATON_SCHEMA}|interner{INTERNER_SCHEMA}|"
+        + f"|automaton{AUTOMATON_SCHEMA}|interner{INTERNER_SCHEMA}"
+        + f"|frozen{FROZEN_SCHEMA}|"
         + fingerprint_of(pattern_fingerprint(p) for p in supported)
     )
 
@@ -1368,6 +1370,18 @@ def _count_matches_ids(
     counters' key order — matches the object scan exactly."""
     match_counts: Counter[int] = Counter()
     sat_counts: Counter[int] = Counter()
+    if getattr(matcher, "use_frozen", False) and matcher._automaton is not None:
+        # One vectorized walk over the whole shard; per-row relation
+        # lists come back in the pinned candidate order, and rows are
+        # replayed in input order, so counter bump order — and the
+        # counters' key order — is identical to the scalar loop.
+        rows = id_rows if isinstance(id_rows, list) else list(id_rows)
+        for rels in matcher.relations_batch(rows):
+            for idx, relation in rels:
+                match_counts[idx] += 1
+                if relation is Relation.SATISFIED:
+                    sat_counts[idx] += 1
+        return match_counts, sat_counts
     for ids in id_rows:
         for idx, relation in matcher.relations_ids(ids):
             match_counts[idx] += 1

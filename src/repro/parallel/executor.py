@@ -28,6 +28,12 @@ tasks carry only a tiny :class:`SharedContext` handle instead of
 re-shipping megabytes of matcher per task.  The same fallback contract
 applies: if the pool already exists the raw value is returned and rides
 along with each task, bytes-for-bytes what the handle would resolve to.
+
+Context values may themselves defer their heavy state to read-only
+memory maps: a matcher loaded from a frozen blob (``repro.mining.frozen``)
+pickles as little more than the blob path, and each worker re-maps the
+arrays on first use — so N workers share one page-cache copy instead of
+N private heaps.
 """
 
 from __future__ import annotations

@@ -46,6 +46,8 @@ class MinePipelineResult:
     trained_on: int | None = None
     resumed_stages: list[str] = field(default_factory=list)
     quarantined_files: int = 0
+    #: path of the frozen matcher blob (``freeze=True``), else None
+    frozen_out: str | None = None
 
 
 def run_mine_pipeline(
@@ -59,6 +61,7 @@ def run_mine_pipeline(
     training_size: int = 120,
     seed: int = 7,
     keep_checkpoints: bool = False,
+    freeze: bool = False,
     log: Callable[[str], None] = lambda message: None,
 ) -> MinePipelineResult:
     """Run (or resume) mine → train → save, checkpointing each stage.
@@ -90,11 +93,11 @@ def run_mine_pipeline(
             return None
 
     final_document = load_stage("train")
+    namer: Namer | None = None
     if final_document is not None:
         result.resumed_stages.append("train")
         log("resumed from checkpoint 'train' (mining and training skipped)")
     else:
-        namer: Namer
         mine_document = load_stage("mine")
         if mine_document is not None:
             namer = namer_from_document(mine_document, label="checkpoint 'mine'")
@@ -141,6 +144,23 @@ def run_mine_pipeline(
         fault_check("pipeline.after_train", key=out)
 
     save_document(final_document, out)
+    if freeze:
+        # The compiled-matcher blob next to the JSON artifact: serving
+        # tiers mmap it for near-instant cold starts, and fall back to
+        # the JSON decode if it is ever damaged.
+        from repro.mining.frozen import default_frozen_path, freeze_namer
+
+        if namer is None:
+            # Resumed straight from the 'train' checkpoint: the fitted
+            # namer was never materialized, so decode it once to freeze.
+            namer = namer_from_document(final_document, label=f"artifact {out}")
+        frozen_path = default_frozen_path(out)
+        frozen = freeze_namer(namer, frozen_path)
+        result.frozen_out = str(frozen_path)
+        log(
+            f"frozen matcher blob saved to {frozen_path} "
+            f"({frozen['bytes']} bytes, {frozen['arrays']} arrays)"
+        )
     if not keep_checkpoints:
         store.clear()
     log(f"artifacts saved to {out}")

@@ -16,10 +16,11 @@ from __future__ import annotations
 
 import http.client
 import json
+import socket
 import sys
+import threading
 import time
-import urllib.error
-import urllib.request
+import urllib.parse
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -101,6 +102,14 @@ class HttpClient:
     cooldown elapses.  Retried requests carry an ``X-Repro-Retry``
     header that the daemon counts (``retried_requests`` in
     ``/metrics``), so client backoff is observable server-side.
+
+    Connections are **kept alive**: each thread holds one persistent
+    HTTP/1.1 connection to the daemon, reused across requests, so a
+    coordinator routing thousands of requests to the same replica pays
+    the TCP handshake once, not per request.  A reused connection the
+    server idled out is replayed once on a fresh connection before the
+    failure surfaces (the standard keep-alive race); connection-level
+    failures still normalize to transient ``ServiceError`` (status 0).
     """
 
     def __init__(
@@ -120,6 +129,44 @@ class HttpClient:
         #: ``X-Repro-Cache`` here tells the CLI how the batch was served.
         self.last_headers: dict[str, str] = {}
         self._sleep = sleep
+        parsed = urllib.parse.urlsplit(self.base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"HttpClient speaks plain http, not {parsed.scheme!r}")
+        self._host = parsed.hostname or "127.0.0.1"
+        self._port = parsed.port or 80
+        #: one persistent connection per thread (http.client connections
+        #: are not thread-safe; the coordinator probes and forwards from
+        #: different threads through the same client object)
+        self._local = threading.local()
+
+    # -- connection management -----------------------------------------
+
+    def _connection(self) -> tuple[http.client.HTTPConnection, bool]:
+        """This thread's persistent connection, plus whether it has
+        already served a request (a *reused* connection may have been
+        idled out by the server and deserves one transparent replay)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=self.timeout
+            )
+            self._local.conn = conn
+            self._local.used = False
+        return conn, bool(getattr(self._local, "used", False))
+
+    def _drop_connection(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._local.conn = None
+        self._local.used = False
+
+    def close(self) -> None:
+        """Drop this thread's persistent connection (idempotent)."""
+        self._drop_connection()
 
     # ------------------------------------------------------------------
 
@@ -165,31 +212,59 @@ class HttpClient:
         headers = {"Content-Type": "application/json"}
         if attempt > 0:
             headers["X-Repro-Retry"] = str(attempt)
-        request = urllib.request.Request(
-            self.base_url + path, data=data, method=method, headers=headers
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                body = json.loads(response.read())
-                self.last_headers = dict(response.headers.items())
-                return body
-        except urllib.error.HTTPError as exc:
+        while True:
+            conn, reused = self._connection()
+            if conn.sock is None:
+                # Connect explicitly so connection-*setup* failures keep
+                # their own message (and are never replayed here — the
+                # outer retry loop owns genuine unreachability).
+                try:
+                    conn.connect()
+                except (TimeoutError, socket.timeout) as exc:
+                    self._drop_connection()
+                    raise ServiceError(
+                        0, f"timed out waiting for {self.base_url}"
+                    ) from exc
+                except OSError as exc:
+                    self._drop_connection()
+                    reason = getattr(exc, "strerror", None) or exc
+                    raise ServiceError(
+                        0, f"cannot reach {self.base_url}: {reason}"
+                    ) from exc
+                reused = False
             try:
-                message = json.loads(exc.read()).get("error", exc.reason)
-            except (json.JSONDecodeError, ValueError):
-                message = str(exc.reason)
-            raise ServiceError(exc.code, message) from exc
-        except urllib.error.URLError as exc:
-            raise ServiceError(0, f"cannot reach {self.base_url}: {exc.reason}") from exc
-        except TimeoutError as exc:
-            raise ServiceError(0, f"timed out waiting for {self.base_url}") from exc
-        except (OSError, http.client.HTTPException) as exc:
-            # urllib wraps connection-setup failures in URLError, but a
-            # peer dying *mid-response* surfaces raw (ConnectionReset,
-            # RemoteDisconnected).  Both are the same transient story.
-            raise ServiceError(
-                0, f"connection to {self.base_url} failed: {exc!r}"
-            ) from exc
+                conn.request(method, path, body=data, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except (TimeoutError, socket.timeout) as exc:
+                self._drop_connection()
+                raise ServiceError(
+                    0, f"timed out waiting for {self.base_url}"
+                ) from exc
+            except (OSError, http.client.HTTPException) as exc:
+                # A kept-alive connection the server idled out dies on
+                # first use — the unavoidable keep-alive race.  Replay
+                # once on a fresh connection; a failure there is real.
+                self._drop_connection()
+                if reused:
+                    continue
+                raise ServiceError(
+                    0, f"connection to {self.base_url} failed: {exc!r}"
+                ) from exc
+            break
+        if response.will_close:
+            self._drop_connection()
+        else:
+            self._local.used = True
+        if response.status >= 400:
+            try:
+                message = json.loads(raw).get("error", response.reason)
+            except (json.JSONDecodeError, ValueError, AttributeError):
+                message = str(response.reason)
+            raise ServiceError(response.status, message)
+        body = json.loads(raw)
+        self.last_headers = dict(response.getheaders())
+        return body
 
     # ------------------------------------------------------------------
 

@@ -142,6 +142,7 @@ class ReplicaHandle:
         request_timeout: float = 60.0,
         probe_timeout: float = 3.0,
         probe_breaker: CircuitBreaker | None = None,
+        use_frozen: bool = True,
     ) -> None:
         self.name = name
         self.artifact_path = artifact_path
@@ -157,8 +158,17 @@ class ReplicaHandle:
         self.request_timeout = request_timeout
         self.probe_timeout = probe_timeout
         self._probe_breaker = probe_breaker
+        self.use_frozen = use_frozen
 
         self.state = DOWN
+        #: cold-start observability: coordinator-side spawn-to-ready
+        #: plus the replica's own reported load timings (refreshed from
+        #: its /metrics after each readiness transition)
+        self.spawned_at: float | None = None
+        self.spawn_to_ready_seconds: float | None = None
+        self.startup_seconds: float | None = None
+        self.artifact_load_seconds: float | None = None
+        self.artifact_source: str | None = None
         self.port: int | None = None
         self.process: subprocess.Popen | None = None
         self.client: HttpClient | None = None
@@ -199,6 +209,8 @@ class ReplicaHandle:
             cmd += ["--cache-dir", self.cache_dir]
         if self.strict_artifacts:
             cmd.append("--strict-artifacts")
+        if not self.use_frozen:
+            cmd.append("--no-frozen")
         if self.fault_plan_path:
             cmd += ["--fault-plan", self.fault_plan_path]
         return cmd
@@ -212,6 +224,11 @@ class ReplicaHandle:
             pass
         self.port = None
         self.client = self.probe = self.control = None
+        self.spawned_at = time.monotonic()
+        self.spawn_to_ready_seconds = None
+        self.startup_seconds = None
+        self.artifact_load_seconds = None
+        self.artifact_source = None
         log = open(self.runtime_dir / f"{self.name}.log", "ab")
         try:
             self.process = subprocess.Popen(
@@ -262,9 +279,26 @@ class ReplicaHandle:
                     self.port = port
                     self._build_clients()
             if self.port is not None and self.probe_ready():
+                if self.spawned_at is not None:
+                    self.spawn_to_ready_seconds = (
+                        time.monotonic() - self.spawned_at
+                    )
+                self.refresh_load_stats()
                 return True
             time.sleep(0.05)
         return False
+
+    def refresh_load_stats(self) -> None:
+        """Best-effort pull of the replica's own cold-start numbers
+        (``startup_seconds`` etc. from its /metrics) onto the handle, so
+        ``cluster-status`` can report them without another round trip."""
+        try:
+            document = self.fetch_metrics()
+        except (ServiceError, CircuitOpenError):
+            return
+        self.startup_seconds = document.get("startup_seconds")
+        self.artifact_load_seconds = document.get("artifact_load_seconds")
+        self.artifact_source = document.get("artifact_source")
 
     def _build_clients(self) -> None:
         base = f"http://{self.host}:{self.port}"
@@ -390,6 +424,10 @@ class ReplicaHandle:
                 "readmissions": self.readmissions,
                 "consecutive_failures": self.consecutive_failures,
                 "injected_crashes": self.injected_crashes,
+                "spawn_to_ready_seconds": self.spawn_to_ready_seconds,
+                "startup_seconds": self.startup_seconds,
+                "artifact_load_seconds": self.artifact_load_seconds,
+                "artifact_source": self.artifact_source,
             }
 
 
@@ -418,6 +456,7 @@ class ClusterCoordinator:
         strict_artifacts: bool = False,
         fault_plan_path: str | None = None,
         handles: list[ReplicaHandle] | None = None,
+        use_frozen: bool = True,
     ) -> None:
         self.artifact_path = artifact_path
         self.health_interval = health_interval
@@ -444,6 +483,7 @@ class ClusterCoordinator:
                     cache_entries=cache_entries,
                     strict_artifacts=strict_artifacts,
                     fault_plan_path=fault_plan_path,
+                    use_frozen=use_frozen,
                 )
                 for i in range(max(1, replicas))
             ]
@@ -702,6 +742,12 @@ class ClusterCoordinator:
                 handle.artifact_path = artifact_path
                 handle.set_state(READY if was_ready or handle.alive() else DOWN)
                 step["reloaded"] = True
+                # Which tier served the new artifact on this replica —
+                # "frozen" when the rollout shipped a healthy sibling
+                # blob, "json" when the replica fell back to the decode.
+                step["artifact_source"] = body.get("artifact_source")
+                handle.artifact_load_seconds = body.get("artifact_load_seconds")
+                handle.artifact_source = body.get("artifact_source")
                 upgraded.append(handle)
             self.artifact_path = artifact_path
             record["status"] = "complete"

@@ -28,7 +28,7 @@ from __future__ import annotations
 import json
 import threading
 import urllib.parse
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from http.server import BaseHTTPRequestHandler
 
 from repro.service.client import ServiceError
 from repro.service.cluster import (
@@ -36,7 +36,7 @@ from repro.service.cluster import (
     ClusterUnavailable,
     RolloutInProgress,
 )
-from repro.service.server import MAX_BODY_BYTES
+from repro.service.server import MAX_BODY_BYTES, DrainingListener
 
 __all__ = ["ClusterServer", "serve_cluster"]
 
@@ -52,7 +52,20 @@ class _ClusterHandler(BaseHTTPRequestHandler):
     quiet = True
     timeout = 60
 
+    def handle_one_request(self) -> None:
+        # Same park/unpark drain bracketing as the replica handler:
+        # shutdown half-closes sockets whose threads are waiting for a
+        # kept-alive connection's next request (DrainingListener).
+        if not self.server.connection_idle(self):
+            self.close_connection = True
+            return
+        try:
+            super().handle_one_request()
+        finally:
+            self.server.connection_busy(self)
+
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self.server.connection_busy(self)
         parsed = urllib.parse.urlsplit(self.path)
         try:
             if parsed.path == "/health":
@@ -71,6 +84,7 @@ class _ClusterHandler(BaseHTTPRequestHandler):
             self._reply(500, {"error": f"internal error: {exc!r}"})
 
     def do_POST(self) -> None:  # noqa: N802
+        self.server.connection_busy(self)
         try:
             body = self._read_json()
             if self.path == "/analyze":
@@ -131,12 +145,11 @@ class _ClusterHandler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
 
-class _ClusterListener(ThreadingHTTPServer):
-    request_queue_size = 128
+class _ClusterListener(DrainingListener):
     # Same graceful-drain policy as the single-server listener: handler
-    # threads are joinable, so stop() finishes in-flight responses.
-    daemon_threads = False
-    block_on_close = True
+    # threads are joinable, so stop() finishes in-flight responses, and
+    # idle keep-alive sockets are woken instead of pinning the join.
+    pass
 
 
 class ClusterServer:
@@ -203,6 +216,7 @@ def serve_cluster(
     queue_capacity: int = 64,
     cache_entries: int = 1024,
     strict_artifacts: bool = False,
+    use_frozen: bool = True,
     fault_plan_path: str | None = None,
     quiet: bool = True,
     start: bool = True,
@@ -220,6 +234,7 @@ def serve_cluster(
         queue_capacity=queue_capacity,
         cache_entries=cache_entries,
         strict_artifacts=strict_artifacts,
+        use_frozen=use_frozen,
         fault_plan_path=fault_plan_path,
     )
     coordinator.start(wait_ready=True)

@@ -18,6 +18,7 @@ the worker pool, then classify all uncached files in a single
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from dataclasses import dataclass, field
@@ -25,6 +26,12 @@ from dataclasses import dataclass, field
 from repro.cache import ContentCache
 from repro.core.namer import Namer
 from repro.mining.automaton import AUTOMATON_SCHEMA
+from repro.mining.frozen import (
+    FROZEN_SCHEMA,
+    FrozenError,
+    default_frozen_path,
+    load_frozen_namer,
+)
 from repro.mining.interner import INTERNER_SCHEMA
 from repro.core.persistence import PersistenceError, load_namer
 from repro.core.prepare import PreparedFile, PrepareError, prepare_file_checked
@@ -42,6 +49,8 @@ __all__ = [
     "EngineNotReady",
     "IndexNotAttached",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 class EngineNotReady(RuntimeError):
@@ -133,9 +142,22 @@ class AnalysisEngine:
         cache_dir: str | None = None,
         index_path: str | None = None,
         defer_load: bool = False,
+        use_frozen: bool = True,
     ) -> None:
         if namer is None and artifact_path is None:
             raise ValueError("AnalysisEngine needs a namer or an artifact_path")
+        #: from process start (or engine construction, whichever the
+        #: host marked) to readiness — the cold-start number /metrics
+        #: and cluster-status report per replica
+        self._start_monotonic = time.monotonic()
+        self._startup_seconds: float | None = None
+        self._artifact_load_seconds: float | None = None
+        #: "frozen" when the mmap'd blob served the load, "json" for the
+        #: legacy artifact decode, "inline" for an in-memory namer
+        self._artifact_source: str | None = None
+        #: try the frozen sibling blob (``<artifacts>.frozen``) before
+        #: the JSON decode; damage falls back with a logged warning
+        self.use_frozen = bool(use_frozen)
         self.degraded_ok = degraded_ok
         self.artifact_path = artifact_path
         self.request_timeout = request_timeout
@@ -172,8 +194,47 @@ class AnalysisEngine:
             # before the expensive load; ``complete_load`` flips ready.
             return
         if namer is None:
-            namer = load_namer(artifact_path, degraded_ok=degraded_ok)
+            namer = self._load_artifact(artifact_path)
+        else:
+            self._artifact_source = "inline"
         self._install_namer(namer)
+
+    def mark_process_start(self, monotonic_t0: float) -> None:
+        """Backdate the startup clock to the hosting process's entry
+        point (``time.monotonic()`` at ``main()``), so reported
+        ``startup_seconds`` covers interpreter + import + bind time,
+        not just engine construction."""
+        self._start_monotonic = monotonic_t0
+
+    def _load_artifact(self, artifact_path: str) -> Namer:
+        """Load the serving artifact, preferring the frozen sibling.
+
+        The fallback ladder: a healthy ``<artifacts>.frozen`` blob maps
+        in; a damaged, truncated, or era-mismatched one logs a warning
+        and falls back to the JSON artifact (same reports either way —
+        damage is a cache miss, never an outage).  Timing is recorded
+        for /metrics."""
+        started = time.monotonic()
+        namer: Namer | None = None
+        if self.use_frozen:
+            frozen_path = default_frozen_path(artifact_path)
+            if frozen_path.exists():
+                try:
+                    namer = load_frozen_namer(frozen_path)
+                    self._artifact_source = "frozen"
+                except (FrozenError, InjectedFault) as exc:
+                    logger.warning(
+                        "frozen artifact %s unusable (%s); "
+                        "falling back to %s",
+                        frozen_path,
+                        exc,
+                        artifact_path,
+                    )
+        if namer is None:
+            namer = load_namer(artifact_path, degraded_ok=self.degraded_ok)
+            self._artifact_source = "json"
+        self._artifact_load_seconds = time.monotonic() - started
+        return namer
 
     def _install_namer(self, namer: Namer) -> None:
         """Make ``namer`` the serving artifact: warm the detect pool,
@@ -186,6 +247,8 @@ class AnalysisEngine:
             else None
         )
         self.metrics.set_mining_phases(namer.summary.phase_timings)
+        if self._startup_seconds is None:
+            self._startup_seconds = time.monotonic() - self._start_monotonic
         self._ready.set()
 
     @property
@@ -201,7 +264,7 @@ class AnalysisEngine:
         if self.ready:
             return
         fault_check("engine.load", key=self.artifact_path or "")
-        namer = load_namer(self.artifact_path, degraded_ok=self.degraded_ok)
+        namer = self._load_artifact(self.artifact_path)
         self._install_namer(namer)
 
     def _require_ready(self) -> Namer:
@@ -402,13 +465,15 @@ class AnalysisEngine:
     @staticmethod
     def _detect_key(fp: str, request: AnalysisRequest) -> str:
         """Persistent detect-cache key: artifact fingerprint + request
-        content + the matching-automaton and interner schemas — reports
-        are produced through the compiled automaton scanning interned
-        path IDs, so a semantic change to either must miss rather than
+        content + the matching-automaton, interner, and frozen-layout
+        schemas — reports are produced through the compiled automaton
+        scanning interned path IDs via the fused batch walk, so a
+        semantic change to any of the three must miss rather than
         replay bytes matched under the old schema."""
         return ContentCache.key(
             fp,
             f"automaton{AUTOMATON_SCHEMA}|interner{INTERNER_SCHEMA}|"
+            f"frozen{FROZEN_SCHEMA}|"
             f"{request.cache_key()}",
         )
 
@@ -573,8 +638,10 @@ class AnalysisEngine:
         In-flight requests finish on the old artifact but cannot write
         into the new cache (generation fencing).
         """
-        # Raises PersistenceError when even a degraded load is impossible.
-        namer = load_namer(artifact_path, degraded_ok=self.degraded_ok)
+        # Raises PersistenceError when even a degraded load is
+        # impossible.  The frozen sibling is tried first, exactly like
+        # start-up; a damaged blob falls back to the JSON decode.
+        namer = self._load_artifact(artifact_path)
         # The old pool's forked workers inherited the *old* artifact's
         # matcher; build a fresh warm pool for the new one and swap it
         # in with the namer, closing the old pool outside the lock.
@@ -604,6 +671,8 @@ class AnalysisEngine:
             "artifacts": artifact_path,
             "cache_entries_dropped": dropped,
             "degraded": self.degraded,
+            "artifact_source": self._artifact_source,
+            "artifact_load_seconds": self._artifact_load_seconds,
         }
         if self.index is not None:
             stale = (
@@ -668,6 +737,12 @@ class AnalysisEngine:
         )
         namer = self._namer
         body["ready"] = self.ready
+        # Cold-start observability: process-start-to-ready, the
+        # artifact decode share of it, and which tier answered the load
+        # ("frozen" mmap, "json" decode, or an "inline" namer).
+        body["startup_seconds"] = self._startup_seconds
+        body["artifact_load_seconds"] = self._artifact_load_seconds
+        body["artifact_source"] = self._artifact_source
         body["mining_cache"] = (
             dict(namer.summary.cache_stats) if namer is not None else {}
         )

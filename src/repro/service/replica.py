@@ -34,6 +34,7 @@ import signal
 import sys
 import tempfile
 import threading
+import time
 from pathlib import Path
 
 from repro.core.persistence import PersistenceError
@@ -92,11 +93,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-size", type=int, default=1024)
     parser.add_argument("--cache-dir", default=None)
     parser.add_argument("--strict-artifacts", action="store_true")
+    parser.add_argument(
+        "--no-frozen", action="store_true",
+        help="skip the frozen sibling blob; always decode the JSON artifact",
+    )
     parser.add_argument("--fault-plan", default=None, metavar="PLAN_JSON")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    started = time.monotonic()
     args = build_parser().parse_args(argv)
     if args.fault_plan is not None:
         from repro.resilience.faults import FAULTS, FaultPlan
@@ -116,7 +122,11 @@ def main(argv: list[str] | None = None) -> int:
         cache_dir=args.cache_dir,
         degraded_ok=not args.strict_artifacts,
         defer_load=True,
+        use_frozen=not args.no_frozen,
     )
+    # Report cold start from main() entry, not engine construction, so
+    # the number in /metrics matches what an operator experiences.
+    engine.mark_process_start(started)
     try:
         server = AnalysisServer(engine, host=args.host, port=args.port, quiet=True)
     except OSError as exc:

@@ -27,6 +27,7 @@ concurrency is governed in exactly one place.
 from __future__ import annotations
 
 import json
+import socket
 import threading
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -41,7 +42,7 @@ from repro.service.engine import (
 )
 from repro.service.queue import QueueFullError, RequestTimeout, ServiceClosed
 
-__all__ = ["AnalysisServer", "cache_disposition", "serve"]
+__all__ = ["AnalysisServer", "DrainingListener", "cache_disposition", "serve"]
 
 
 def cache_disposition(results: list[AnalysisResult]) -> str:
@@ -97,7 +98,20 @@ class _Handler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
 
+    def handle_one_request(self) -> None:
+        # Park/unpark bracketing for graceful drain: while this thread
+        # waits for a kept-alive connection's next request, shutdown
+        # may close the socket out from under it (DrainingListener).
+        if not self.server.connection_idle(self):
+            self.close_connection = True
+            return
+        try:
+            super().handle_one_request()
+        finally:
+            self.server.connection_busy(self)
+
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self.server.connection_busy(self)
         self._count_retry_header()
         parsed = urllib.parse.urlsplit(self.path)
         try:
@@ -118,6 +132,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(500, {"error": f"internal error: {exc!r}"})
 
     def do_POST(self) -> None:  # noqa: N802
+        self.server.connection_busy(self)
         self._count_retry_header()
         try:
             if self.path == "/index/refresh":
@@ -232,7 +247,20 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
 
-class _Listener(ThreadingHTTPServer):
+class DrainingListener(ThreadingHTTPServer):
+    """Threaded listener whose shutdown wakes idle keep-alive sockets.
+
+    Handler threads are non-daemon and joined on ``server_close`` so
+    in-flight responses always finish (graceful drain).  Persistent
+    connections cut both ways, though: a thread parked on the *next*
+    request line of a kept-alive socket would pin that join until the
+    handler's idle timeout.  Handlers register the park via
+    :meth:`connection_idle` and clear it via :meth:`connection_busy`;
+    :meth:`shutdown` flips the draining flag and half-closes every
+    parked socket, so parked threads wake immediately and only
+    genuinely in-flight work delays exit.
+    """
+
     # The stdlib default listen(5) backlog resets connections under
     # request bursts; overload policy belongs to the bounded request
     # queue (503), not the TCP accept queue.
@@ -243,6 +271,43 @@ class _Listener(ThreadingHTTPServer):
     # therefore drain instead of dropping whatever was being served.
     daemon_threads = False
     block_on_close = True
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._conn_lock = threading.Lock()
+        self._parked: dict[int, socket.socket] = {}
+        self._draining = False
+
+    def connection_idle(self, handler) -> bool:
+        """A handler is about to block for its connection's next
+        request line; returns False when draining (close instead)."""
+        with self._conn_lock:
+            if self._draining:
+                return False
+            self._parked[id(handler)] = handler.connection
+        return True
+
+    def connection_busy(self, handler) -> None:
+        """A request arrived (or the connection died): the handler is
+        no longer parked, so shutdown must not touch its socket."""
+        with self._conn_lock:
+            self._parked.pop(id(handler), None)
+
+    def shutdown(self) -> None:
+        with self._conn_lock:
+            self._draining = True
+            parked = list(self._parked.values())
+            self._parked.clear()
+        for conn in parked:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        super().shutdown()
+
+
+class _Listener(DrainingListener):
+    pass
 
 
 class AnalysisServer:
